@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every bench regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index), times its core computation with
+pytest-benchmark, prints the reproduced artifact, and writes it under
+``benchmarks/output/`` so EXPERIMENTS.md can reference stable files.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The synthetic world used here is the *medium* stock scale (~30k hosts);
+set ``REPRO_BENCH_SCALE=large`` for the ~120k-host paper-shape runs.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import ReproductionContext, TableResult
+from repro.synth import WorldConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_config() -> WorldConfig:
+    """The world scale benches run at (env-switchable)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "medium")
+    if scale == "large":
+        return WorldConfig.large()
+    if scale == "small":
+        return WorldConfig.small()
+    return WorldConfig.medium()
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ReproductionContext:
+    """The shared reproduction context (world + core + estimates)."""
+    return ReproductionContext.build(bench_config())
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_artifact(output_dir):
+    """Print a reproduced table and persist it for EXPERIMENTS.md."""
+
+    def _save(result: TableResult, extra: str = "") -> None:
+        text = result.to_ascii()
+        if extra:
+            text = text + "\n\n" + extra
+        print("\n" + text)
+        path = output_dir / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,89 @@
+"""A4 — Ablation: detector comparison on one world.
+
+Benchmarks each detector family — mass-based (Algorithm 2), the
+TrustRank read-out, the naive in-neighbour schemes (with oracle
+labels), degree outliers and supporter-distribution deviation — and
+regenerates the head-to-head table.  The paper's qualitative claims
+checked: mass detection beats the realistic competitors on precision
+over the high-PageRank population, and the link-pattern detectors
+catch only regular machine-generated structures (demonstrated on a
+dedicated regular farm, where the degree detector *does* fire).
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    SupporterDeviationDetector,
+    degree_outlier_mask,
+    scheme1_mask,
+    trustrank,
+)
+from repro.core import MassDetector
+from repro.eval import run_baseline_comparison
+from repro.synth import (
+    BaseWebConfig,
+    WorldAssembler,
+    add_spam_farm,
+    generate_base_web,
+)
+
+
+def test_mass_detector_bench(benchmark, ctx):
+    detector = MassDetector(tau=0.98, rho=ctx.rho)
+    benchmark(detector.detect, ctx.estimates)
+
+
+def test_trustrank_bench(benchmark, ctx):
+    spam_mask = ctx.world.spam_mask
+    benchmark(
+        trustrank,
+        ctx.graph,
+        lambda node: not spam_mask[node],
+        seed_budget=max(len(ctx.core) // 20, 20),
+    )
+
+
+def test_scheme1_bench(benchmark, ctx):
+    benchmark(scheme1_mask, ctx.graph, ctx.world.spam_nodes())
+
+
+def test_degree_outlier_bench(benchmark, ctx):
+    benchmark(degree_outlier_mask, ctx.graph)
+
+
+def test_supporter_deviation_bench(benchmark, ctx):
+    detector = SupporterDeviationDetector(threshold=0.85)
+    benchmark(detector.detect, ctx.graph, ctx.estimates.pagerank)
+
+
+def test_baseline_comparison_table(benchmark, ctx, save_artifact):
+    result = benchmark.pedantic(run_baseline_comparison, args=(ctx,), rounds=1, iterations=1)
+    save_artifact(result)
+    rows = {row[0]: row for row in result.rows}
+    # mass detection beats the TrustRank read-out on eligible precision
+    assert rows["mass (tau=0.98)"][3] > rows["trustrank read-out"][3]
+
+
+def test_degree_outliers_catch_regular_farms_only(benchmark, save_artifact):
+    """The Fetterly-style detector fires on a machine-generated farm
+    whose boosters share one exact out-degree, and stays silent on the
+    organically varied farms of the main world — the gap the paper
+    describes for this family of methods."""
+    rng = np.random.default_rng(3)
+    assembler = WorldAssembler()
+    base = generate_base_web(
+        assembler, rng, BaseWebConfig(10_000, mean_outdegree=8.0)
+    )
+    farm = add_spam_farm(
+        assembler,
+        rng,
+        base,
+        1_500,
+        tag="farm:auto",
+        target_links_back=False,
+        booster_interlinks=6,
+    )
+    world = assembler.build()
+    mask = benchmark(degree_outlier_mask, world.graph, "out")
+    assert mask[farm.boosters].mean() > 0.95
+    assert world.spam_mask[mask].mean() > 0.8

@@ -1,0 +1,31 @@
+"""A6 — Temporal stability of white-lists vs black-lists (Section 3.4).
+
+The paper's justification for anchoring the method to a *good* core —
+"one can expect the good core to be more stable over time than Ṽ⁻, as
+spam nodes come and go on the web" — quantified: an epoch-0 good core
+keeps resolving and detecting across epochs of spam churn, while an
+epoch-0 black-list evaporates along with the hosts it listed.  The
+timed kernel is one epoch re-generation (the dominant cost of the
+sweep).
+"""
+
+from repro.eval import run_stability_experiment, world_at_epoch
+
+from conftest import bench_config
+
+
+def test_ablation_stability(benchmark, save_artifact):
+    config = bench_config()
+    benchmark.pedantic(
+        world_at_epoch, args=(config, 1), rounds=2, iterations=1
+    )
+    result = run_stability_experiment(config, epochs=3)
+    save_artifact(result)
+    core_resolved = result.column("core resolved %")
+    black_resolved = result.column("blacklist resolved %")
+    white_prec = result.column("white prec")
+    black_recall = result.column("blacklist recall")
+    assert all(v == 100.0 for v in core_resolved)
+    assert all(v < 10.0 for v in black_resolved[1:])
+    assert max(white_prec) - min(white_prec) < 0.25
+    assert all(v < 0.15 for v in black_recall[1:])

@@ -1,0 +1,23 @@
+"""F1 — Figure 1: the naive labeling schemes on the k-booster farm.
+
+Regenerates the Figure 1 analysis over a sweep of k: x's PageRank
+matches the closed form ``(1 + 3c + kc²)(1−c)/n``, scheme 1 is fooled
+for every k, scheme 2 flips to spam at ``k ≥ ⌈1/c⌉ = 2``.
+"""
+
+from repro.eval import run_figure1
+
+K_VALUES = (1, 2, 3, 5, 10, 20, 50)
+
+
+def test_fig1_naive_schemes(benchmark, save_artifact):
+    result = benchmark(run_figure1, K_VALUES)
+    save_artifact(result)
+    assert result.column("scheme1") == ["good"] * len(K_VALUES)
+    assert result.column("scheme2") == ["good"] + ["spam"] * (len(K_VALUES) - 1)
+    computed = result.column("p_x (computed)")
+    analytic = result.column("p_x (analytic)")
+    assert all(abs(a - b) < 1e-6 for a, b in zip(computed, analytic))
+    # the spam share of x's PageRank grows monotonically with k
+    shares = result.column("spam share")
+    assert shares == sorted(shares)

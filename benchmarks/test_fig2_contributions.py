@@ -1,0 +1,24 @@
+"""F2 — Figure 2: PageRank contributions that defeat both naive schemes.
+
+Regenerates the Section 3.3 contribution analysis: the seven spam nodes
+contribute 1.65x what the four good nodes contribute to x's PageRank
+(at c = 0.85), yet scheme 2 still calls x good — the observation that
+motivates whole-graph spam mass.
+"""
+
+from repro.core import contribution_vector
+from repro.datasets import figure2_graph
+from repro.eval import run_figure2_contributions
+
+
+def test_fig2_contributions(benchmark, save_artifact):
+    example = figure2_graph()
+    spam_only = [s for s in example.spam if s != example.id_of("x")]
+    benchmark(contribution_vector, example.graph, spam_only)
+    result = run_figure2_contributions()
+    save_artifact(result)
+    good_row, spam_row, ratio_row = result.rows
+    assert abs(good_row[1] - good_row[2]) < 1e-6
+    assert abs(spam_row[1] - spam_row[2]) < 1e-6
+    assert abs(ratio_row[1] - 1.6486) < 0.001
+    assert "good" in result.notes[0]  # scheme 2's recorded failure

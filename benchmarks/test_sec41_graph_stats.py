@@ -1,0 +1,25 @@
+"""S41 — Section 4.1: host-graph composition statistics.
+
+Times full synthetic-world generation and regenerates the data-set
+statistics table: the base web must match the Yahoo! 2004 fractions
+(35% no inlinks, 66.4% no outlinks, 25.8% isolated); the full world is
+reported alongside to document the dilution by link-active spam and
+community layers.
+"""
+
+from repro.eval import run_graph_stats
+from repro.synth import build_world
+
+from conftest import bench_config
+
+
+def test_sec41_graph_stats(benchmark, save_artifact):
+    config = bench_config()
+    benchmark(build_world, config)
+    result = run_graph_stats(config)
+    save_artifact(result)
+    by_metric = {row[0]: row for row in result.rows}
+    assert abs(by_metric["% no inlinks"][2] - 35.0) < 2.0
+    assert abs(by_metric["% no outlinks"][2] - 66.4) < 2.0
+    assert abs(by_metric["% isolated"][2] - 25.8) < 2.0
+    assert by_metric["edges"][3] > by_metric["edges"][2]

@@ -1,0 +1,31 @@
+"""S442 — Section 4.4.2: eliminating an anomaly by core repair.
+
+Regenerates the Alibaba repair experiment: a handful of hub hosts of
+the isolated portal community are added to the good core, the
+core-based PageRank is recomputed, and (a) the portal members' relative
+mass collapses while (b) everyone else's estimates barely move (the
+paper measured a mean absolute change of 0.0298).
+"""
+
+from repro.core import estimate_spam_mass
+from repro.eval import run_core_repair
+from repro.synth import repair_core
+
+
+def test_sec442_core_repair(benchmark, ctx, save_artifact):
+    hubs = ctx.world.group("portal:megaportal.com:hubs")
+    repaired = repair_core(ctx.core, hubs)
+    benchmark(estimate_spam_mass, ctx.graph, repaired, gamma=ctx.gamma)
+    result = run_core_repair(ctx)
+    save_artifact(result)
+    by_metric = {row[0]: row for row in result.rows}
+    assert by_metric["hub hosts added to core"][1] <= 16
+    before = by_metric["portal mean m~ before"][1]
+    after = by_metric["portal mean m~ after"][1]
+    assert before > 0.9
+    # the drop's magnitude scales with the per-core-host jump weight
+    # (gamma * n / |core|); our synthetic core is a larger fraction of
+    # the web than the paper's 504k/73.3M, so the collapse is softer —
+    # the direction and the isolation of the side effect are the claims
+    assert after < before - 0.08
+    assert by_metric["mean |change| elsewhere (positive m~)"][1] < 0.05

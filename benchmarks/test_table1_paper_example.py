@@ -1,0 +1,28 @@
+"""T1 — Table 1: node features of the paper's Figure 2 example.
+
+Regenerates every cell of Table 1 (PageRank, core-based PageRank,
+actual/estimated absolute and relative mass, scaled by ``n/(1−c)``) and
+checks them against the closed forms; the timed kernel is the pair of
+PageRank solves behind a mass estimation on the example graph.
+"""
+
+from repro.core import estimate_spam_mass
+from repro.datasets import figure2_graph
+from repro.eval import run_table1
+
+
+def test_table1_paper_example(benchmark, save_artifact):
+    example = figure2_graph()
+    benchmark(
+        estimate_spam_mass, example.graph, example.good_core, gamma=None
+    )
+    result = run_table1()
+    save_artifact(result)
+    deviation_note = [n for n in result.notes if "max" in n][0]
+    assert float(deviation_note.split("=")[-1]) < 1e-9
+    # spot-check the printed headline numbers
+    x_row = result.rows[0]
+    assert abs(x_row[1] - 9.33) < 0.005   # p
+    assert abs(x_row[2] - 2.295) < 1e-6   # p'
+    assert abs(x_row[3] - 6.185) < 1e-6   # M
+    assert abs(x_row[4] - 7.035) < 1e-6   # M~

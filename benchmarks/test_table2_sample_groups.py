@@ -1,0 +1,23 @@
+"""T2 — Table 2: relative-mass boundaries of the 20 sorted sample groups.
+
+Times the grouping step and regenerates the table: monotone group
+boundaries running from strongly negative (core-biased hosts) up to the
+saturated 1.00 of pure farm targets, with near-equal group sizes.
+"""
+
+from repro.eval import run_table2, split_into_groups
+
+
+def test_table2_sample_groups(benchmark, ctx, save_artifact):
+    benchmark(split_into_groups, ctx.sample, ctx.estimates.relative, 20)
+    result = run_table2(ctx, num_groups=20)
+    save_artifact(result)
+    smallest = result.column("smallest m~")
+    largest = result.column("largest m~")
+    sizes = result.column("size")
+    assert len(result.rows) == 20
+    assert smallest == sorted(smallest)
+    assert smallest[0] < 0  # paper: group 1 starts at -67.90
+    assert abs(largest[-1] - 1.0) < 0.01  # paper: group 20 ends at 1.00
+    assert max(sizes) - min(sizes) <= 1  # near-equal sizes
+    assert sum(sizes) == len(ctx.sample)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Candidate review: explaining *why* a host was flagged.
+
+Algorithm 2 outputs a candidate set; a production anti-spam team then
+reviews candidates by hand (the paper's authors manually inspected 892
+hosts).  The contribution formalism of Section 3.2 lets the tooling do
+most of that work: for any host, one linear solve yields every node's
+exact contribution to its PageRank (Theorem 1 guarantees they sum to
+it), which the library renders as a review sheet — how much of the
+rank comes from the known-good core, how much from suspected spam, and
+which individual sources matter most.
+
+This example flags candidates on a synthetic world, then prints review
+sheets for three instructive cases:
+
+* a farm target (boosters dominate the sheet — clear-cut takedown);
+* an anomalous good host (no spam sources at all: the mass came from
+  a core coverage gap — whitelist/repair material, not a takedown);
+* an expired-domain spam host (good sources on top, which is exactly
+  why mass-based detection leaves it to other methods).
+
+Run:  python examples/candidate_review.py
+"""
+
+import numpy as np
+
+from repro.core import MassDetector, explain_mass
+from repro.eval import ReproductionContext
+from repro.synth import WorldConfig
+
+
+def main() -> None:
+    print("Building the synthetic world ...")
+    ctx = ReproductionContext.build(WorldConfig.small())
+    detector = MassDetector(tau=0.9, rho=ctx.rho)
+    result = detector.detect(ctx.estimates)
+    print(
+        f"{result.num_candidates} candidates at tau=0.9 "
+        f"(of {result.num_eligible} eligible hosts)\n"
+    )
+
+    world = ctx.world
+    candidates = set(result.candidates.tolist())
+    anomalous = set(world.anomalous_nodes().tolist())
+
+    farm_target = next(
+        int(t) for t in world.group("spam:targets") if int(t) in candidates
+    )
+    anomalous_fp = next(
+        (int(c) for c in result.candidates if int(c) in anomalous), None
+    )
+    expired = int(world.group("expired:targets")[0])
+
+    cases = [("a detected farm target", farm_target)]
+    if anomalous_fp is not None:
+        cases.append(("an anomalous-community false positive", anomalous_fp))
+    cases.append(("an expired-domain spam host (not a candidate)", expired))
+
+    for title, node in cases:
+        # in production `suspected_spam` would be the team's running
+        # black-list; here the world's ground truth stands in for it
+        sheet = explain_mass(
+            ctx.graph,
+            node,
+            ctx.core,
+            suspected_spam=world.spam_nodes(),
+            top=6,
+        )
+        print(f"--- {title} ---")
+        print(sheet.render(ctx.graph))
+        truth = "spam" if world.spam_mask[node] else "good"
+        flagged = node in candidates
+        print(
+            f"  ground truth: {truth}; flagged: {flagged}; "
+            f"m~ = {ctx.estimates.relative[node]:.3f}\n"
+        )
+
+    print(
+        "Reading the sheets: the farm target's top sources are its own\n"
+        "boosters; the anomalous host's sources are fellow community\n"
+        "members (no spam anywhere — fix the core, not the host); the\n"
+        "expired domain is fed by genuinely good hosts, the blind spot\n"
+        "the paper assigns to complementary detection methods."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Good-core engineering: the search-engine operator's workflow.
+
+The paper's practical message is that detection quality is governed by
+the good core's size and, above all, its *breadth of coverage*
+(Sections 4.4.2 and 4.5).  This example plays the operator:
+
+1. assemble the default core and measure detection precision;
+2. sweep core size (100% / 10% / 1% / 0.5%) and a narrow
+   single-country core — Figure 5;
+3. diagnose the anomalies: which good communities show high relative
+   mass purely because the core misses them;
+4. repair the cheapest anomaly (add the portal's few hub hosts, like
+   the paper's 12 alibaba.com hosts) and re-measure — Section 4.4.2.
+
+Run:  python examples/core_engineering.py
+"""
+
+import numpy as np
+
+from repro.core import estimate_spam_mass
+from repro.eval import (
+    ReproductionContext,
+    precision_curve,
+    run_core_repair,
+    run_figure5,
+)
+from repro.synth import WorldConfig, core_coverage, repair_core
+
+
+def main() -> None:
+    print("Building the synthetic world ...")
+    ctx = ReproductionContext.build(WorldConfig.small())
+    coverage = core_coverage(ctx.world, ctx.core)
+    print(
+        f"  default core: {len(ctx.core):,} hosts "
+        f"({coverage:.1%} of the good web)\n"
+    )
+
+    # --- step 2: the Figure 5 sweep --------------------------------
+    print(run_figure5(ctx).to_ascii(), "\n")
+
+    # --- step 3: diagnose the anomalies ----------------------------
+    print("High-mass GOOD communities (core coverage gaps):")
+    rel = ctx.estimates.relative
+    eligible = ctx.eligible_mask
+    for group_name in ("portal:megaportal.com", "blogs", "country:pl",
+                       "country:cz"):
+        members = ctx.world.group(group_name)
+        mask = np.zeros(ctx.world.num_nodes, dtype=bool)
+        mask[members] = True
+        chosen = mask & eligible
+        if not chosen.any():
+            continue
+        print(
+            f"  {group_name:<25} eligible={int(chosen.sum()):>4} "
+            f"mean m~ = {rel[chosen].mean():>6.3f}"
+        )
+    print(
+        "  (country:cz is the control: its educational hosts ARE in the "
+        "core,\n   so its mass stays low — coverage, not nationality, "
+        "drives the anomaly)\n"
+    )
+
+    # --- step 4: repair the portal anomaly -------------------------
+    print(run_core_repair(ctx).to_ascii(), "\n")
+
+    hubs = ctx.world.group("portal:megaportal.com:hubs")
+    repaired = repair_core(ctx.core, hubs)
+    after = estimate_spam_mass(ctx.graph, repaired, gamma=ctx.gamma)
+    tau = 0.98
+    before_point = precision_curve(ctx.sample, rel, (tau,))[0]
+    after_point = precision_curve(ctx.sample, after.relative, (tau,))[0]
+    print(
+        f"precision at tau={tau} with anomalous hosts counted as false "
+        f"positives:\n"
+        f"  before repair: {before_point.precision:.3f} "
+        f"({before_point.num_spam}/{before_point.num_total})\n"
+        f"  after adding {len(hubs)} hub hosts: "
+        f"{after_point.precision:.3f} "
+        f"({after_point.num_spam}/{after_point.num_total})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Deployment tuning: choosing τ from a labeled sample, with honest
+error bars — and planning the spammer's side of the arms race.
+
+The paper derives its precision numbers from a manually labeled 0.1%
+sample and leaves "the selection of the threshold τ" as the key open
+knob.  This example shows the operator's workflow on top of the
+library's tooling:
+
+1. label a small uniform sample of the filtered set (simulated
+   inspection, including the paper's unknown/non-existent exclusions);
+2. pick the loosest τ that meets a precision target on the sample
+   (maximizing catch volume at that quality bar);
+3. bootstrap a confidence interval for the sample precision and check
+   it against the full-population value (which the synthetic world,
+   unlike the real web, lets us compute);
+4. flip sides: use the closed-form farm analysis to ask how many
+   boosters a spammer needs to reach a given rank — and observe that
+   the resulting farm lands straight in the detector's saturation
+   zone.
+
+Run:  python examples/deployment_tuning.py
+"""
+
+import numpy as np
+
+from repro.analysis import boosters_needed, optimal_farm_target
+from repro.eval import (
+    ReproductionContext,
+    bootstrap_precision,
+    build_evaluation_sample,
+    choose_tau,
+    detection_volume,
+    precision_at,
+)
+from repro.synth import WorldConfig
+
+
+def main() -> None:
+    print("Building the synthetic world ...")
+    ctx = ReproductionContext.build(WorldConfig.medium())
+    rel = ctx.estimates.relative
+    rng = np.random.default_rng(99)
+
+    # -- 1. a 25% labeled sample of the filtered set -----------------
+    eligible_nodes = np.flatnonzero(ctx.eligible_mask)
+    sample = build_evaluation_sample(
+        ctx.world, eligible_nodes, rng, fraction=0.25
+    )
+    composition = sample.composition()
+    print(
+        f"labeled sample: {len(sample)} of {len(eligible_nodes)} filtered "
+        f"hosts — {composition['good']} good, {composition['spam']} spam, "
+        f"{composition['unknown']} unknown, "
+        f"{composition['nonexistent']} non-existent\n"
+    )
+
+    # -- 2. choose tau for a precision target ------------------------
+    for target in (0.7, 0.9, 0.95):
+        chosen = choose_tau(sample, rel, target_precision=target)
+        if chosen is None:
+            print(f"target {target:.0%}: unreachable on this sample")
+            continue
+        tau, point = chosen
+        volume = detection_volume(rel, ctx.eligible_mask, tau)
+        print(
+            f"target {target:.0%}: tau = {tau:.2f} "
+            f"(sample precision {point.precision:.3f} on "
+            f"{point.num_total} hosts; would label {volume} hosts)"
+        )
+
+    # the unreachable high targets are caused by the anomalous good
+    # communities counting as false positives; once the operator has
+    # repaired/whitelisted them (Section 4.4.2), the bar moves:
+    print("\nwith anomalous communities repaired (excluded as FPs):")
+    for target in (0.9, 0.95):
+        chosen = choose_tau(
+            sample, rel, target_precision=target, exclude_anomalous=True
+        )
+        if chosen is None:
+            print(f"target {target:.0%}: still unreachable")
+            continue
+        tau, point = chosen
+        print(
+            f"target {target:.0%}: tau = {tau:.2f} "
+            f"(sample precision {point.precision:.3f} on "
+            f"{point.num_total} hosts)"
+        )
+
+    # -- 3. error bars vs the (here knowable) population value -------
+    tau = 0.91
+    interval = bootstrap_precision(
+        sample, rel, tau, num_resamples=2_000, rng=rng
+    )
+    population = precision_at(ctx.sample, rel, tau).precision
+    print(
+        f"\nbootstrap at tau = {tau}: sample precision "
+        f"{interval.point:.3f}, 95% CI "
+        f"[{interval.lower:.3f}, {interval.upper:.3f}] — "
+        f"population value {population:.3f} "
+        f"({'covered' if interval.contains(population) else 'MISSED'})\n"
+    )
+
+    # -- 4. the spammer's planning problem ---------------------------
+    print("The arms race, from the spammer's desk (closed forms):")
+    for target_rank in (10.0, 100.0, 1000.0):
+        k = boosters_needed(target_rank, recycling=True)
+        print(
+            f"  to reach scaled PageRank {target_rank:>6g}: "
+            f"{k:>5d} boosters (rank-recycling farm, reaches "
+            f"{optimal_farm_target(max(k, 1)):.1f})"
+        )
+    print(
+        "  ... and a pure farm of any such size has relative mass ~1.0 — "
+        "squarely\n  inside the tau >= 0.98 detection zone, which is the "
+        "paper's point: the\n  boosting that makes a farm effective is "
+        "exactly what makes it detectable."
+    )
+
+
+if __name__ == "__main__":
+    main()

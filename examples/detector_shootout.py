@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Detector shoot-out: spam mass vs the related-work baselines.
+
+Runs every implemented detector on the same synthetic world and prints
+the head-to-head comparison of Section 5's landscape:
+
+* mass-based detection (this paper, Algorithm 2);
+* a detection read-out of TrustRank (the paper's own prior work, which
+  demotes rather than detects);
+* the two naive in-neighbour schemes of Section 3.1, given oracle
+  labels they could never have in practice;
+* Fetterly-style degree outliers and a Benczúr-style
+  supporter-distribution detector, which catch regular machine-made
+  farms but miss sophisticated ones.
+
+Also demonstrates the combined white-list + black-list estimator of
+Section 3.4 and the built-in blind spot: expired-domain spam.
+
+Run:  python examples/detector_shootout.py
+"""
+
+import numpy as np
+
+from repro.core import MassDetector
+from repro.eval import (
+    ReproductionContext,
+    run_baseline_comparison,
+    run_combined_ablation,
+)
+from repro.synth import WorldConfig
+
+
+def main() -> None:
+    print("Building the synthetic world ...")
+    ctx = ReproductionContext.build(WorldConfig.small())
+    print(
+        f"  {ctx.graph.num_nodes:,} hosts, "
+        f"{int(ctx.world.spam_mask.sum()):,} ground-truth spam\n"
+    )
+
+    print(run_baseline_comparison(ctx).to_ascii(), "\n")
+    print(run_combined_ablation(ctx).to_ascii(), "\n")
+
+    # the known blind spot: expired domains
+    detector = MassDetector(tau=0.5, rho=ctx.rho)
+    result = detector.detect(ctx.estimates)
+    expired = ctx.world.group("expired:targets")
+    caught = int(result.candidate_mask[expired].sum())
+    rel = ctx.estimates.relative[expired]
+    print(
+        "Expired-domain spam (PageRank genuinely inherited from good "
+        "hosts):\n"
+        f"  targets: {len(expired)}, detected even at tau=0.5: {caught}\n"
+        f"  their relative mass: "
+        f"{np.array2string(np.sort(rel), precision=2)}\n"
+        "  — negative/low, exactly the miss the paper predicts for "
+        "mass-based detection\n    (Section 4.4.3, observation 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

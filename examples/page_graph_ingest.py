@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Ingesting a page-level crawl, the way the paper built its data set.
+
+Section 4.1: the Yahoo! host graph was "obtained by collapsing all
+hyperlinks between any pair of pages on two different hosts into a
+single directed edge", hosts being the URL part before the first `/`.
+This example runs that pipeline on a small page-level crawl:
+
+1. build a synthetic page-level crawl (pages expanded from a host
+   world, so we know the right answer);
+2. collapse it to host granularity with `collapse_page_graph` —
+   dropping broken URLs and intra-host navigation links exactly like
+   the paper's cleaning step;
+3. run the spam-mass pipeline on the collapsed graph;
+4. collapse the same crawl to *domain* granularity and observe how the
+   coarser view merges each farm's throwaway subdomains.
+
+Run:  python examples/page_graph_ingest.py
+"""
+
+import numpy as np
+
+from repro.core import detect_spam
+from repro.graph import collapse_page_graph
+from repro.synth import WorldConfig, build_world, default_good_core
+
+
+def expand_to_pages(world, rng):
+    """Turn the host world into a page-level crawl (1-4 pages/host)."""
+    pages, page_of_host = [], {}
+    for host in range(world.num_nodes):
+        page_of_host[host] = []
+        for p in range(int(rng.integers(1, 5))):
+            page_of_host[host].append(len(pages))
+            pages.append(f"http://{world.graph.name_of(host)}/page{p}.html")
+    page_edges = []
+    for u, v in world.graph.edges():
+        for _ in range(int(rng.integers(1, 3))):
+            page_edges.append(
+                (
+                    int(rng.choice(page_of_host[u])),
+                    int(rng.choice(page_of_host[v])),
+                )
+            )
+        # intra-host navigation (must vanish in the collapse)
+        if len(page_of_host[u]) > 1:
+            page_edges.append((page_of_host[u][0], page_of_host[u][1]))
+    # a few broken URLs, like any real crawl
+    pages.append("not a url")
+    page_edges.append((0, len(pages) - 1))
+    return pages, page_edges
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    print("Building a host world and expanding it to a page crawl ...")
+    world = build_world(WorldConfig.small())
+    pages, page_edges = expand_to_pages(world, rng)
+    print(f"  crawl: {len(pages):,} pages, {len(page_edges):,} hyperlinks")
+
+    result = collapse_page_graph(pages, page_edges, granularity="host")
+    g = result.graph
+    print(
+        f"  collapsed: {g.num_nodes:,} hosts, {g.num_edges:,} host edges "
+        f"({result.num_intra_edges:,} intra-host links and "
+        f"{result.num_dropped_pages} broken URLs discarded)\n"
+    )
+
+    # the collapsed graph is the original host graph (same names), so
+    # the world's core carries over by name
+    lookup = {name: i for i, name in enumerate(g.names)}
+    core = [
+        lookup[world.graph.name_of(int(i))]
+        for i in default_good_core(world)
+    ]
+    detection = detect_spam(g, core, tau=0.98, rho=10.0)
+    spam_by_name = {
+        world.graph.name_of(int(i)) for i in world.spam_nodes()
+    }
+    hits = sum(
+        1
+        for c in detection.candidates
+        if g.name_of(int(c)) in spam_by_name
+    )
+    print(
+        f"Algorithm 2 on the ingested graph: {detection.num_candidates} "
+        f"candidates, {hits} ground-truth spam "
+        f"({hits / max(detection.num_candidates, 1):.0%})\n"
+    )
+
+    domains = collapse_page_graph(pages, page_edges, granularity="domain")
+    print(
+        f"Domain-granularity view: {domains.graph.num_nodes:,} domains "
+        f"(vs {g.num_nodes:,} hosts) — each spam farm's throwaway "
+        "domains stay separate\n(farms deliberately spread across "
+        "domains; Section 1 notes farms spanning thousands of them)."
+    )
+
+
+if __name__ == "__main__":
+    main()

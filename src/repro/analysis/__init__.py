@@ -1,0 +1,39 @@
+"""Distribution analyses: power-law fitting and spam-mass histograms."""
+
+from .farm_theory import (
+    boosters_needed,
+    hijacked_boost,
+    optimal_farm_booster,
+    optimal_farm_target,
+    relay_farm_target,
+    star_farm_target,
+)
+from .distribution import (
+    MassDistribution,
+    mass_distribution,
+    negative_mass_decomposition,
+)
+from .powerlaw import (
+    PowerLawFit,
+    ccdf,
+    fit_continuous_powerlaw,
+    fit_discrete_powerlaw,
+    log_binned_histogram,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "fit_discrete_powerlaw",
+    "fit_continuous_powerlaw",
+    "ccdf",
+    "log_binned_histogram",
+    "MassDistribution",
+    "mass_distribution",
+    "negative_mass_decomposition",
+    "star_farm_target",
+    "optimal_farm_target",
+    "optimal_farm_booster",
+    "hijacked_boost",
+    "relay_farm_target",
+    "boosters_needed",
+]

@@ -1,0 +1,150 @@
+"""Closed-form PageRank of spam-farm structures.
+
+Section 2.3 of the paper describes the spam-farm model and cites the
+authors' companion work on link-spam alliances for the quantitative
+analysis.  This module derives the closed forms for the structures the
+synthetic generator builds, giving the test suite analytic oracles far
+beyond the Figure 1/2 examples:
+
+* **star farm** (boosters → target, no links back): the target simply
+  collects ``k`` leaf contributions,
+
+  .. math:: \\hat p_t = 1 + kc  \\qquad\\text{(scaled by } n/(1-c)\\text{)};
+
+* **optimal farm** (boosters → target → boosters, the rank-recycling
+  structure shown optimal in the alliances analysis): target and
+  boosters form a closed loop, solving the 2×2 system
+
+  .. math::
+
+     \\hat p_t = \\frac{1 + kc + kc^2}{1 - c^2}, \\qquad
+     \\hat p_b = 1 + \\frac{c\\,\\hat p_t}{k};
+
+* **hijacked links**: each stray link from a good host ``y`` with
+  out-degree ``d_y`` adds ``c\\,\\hat p_y/d_y`` to the target (by
+  PageRank linearity, on top of the farm's own closed form — exact
+  when the farm does not feed back into ``y``);
+
+* **two-tier (relay) farm**: ``f`` feeders split evenly over ``r``
+  relays which alone link the target.
+
+All formulas assume the farm is *closed* (no inlinks from outside
+except those modelled) and expressed in the paper's scaled units where
+a node with no inlinks scores exactly 1.
+"""
+
+from __future__ import annotations
+
+
+__all__ = [
+    "star_farm_target",
+    "optimal_farm_target",
+    "optimal_farm_booster",
+    "hijacked_boost",
+    "relay_farm_target",
+    "boosters_needed",
+]
+
+
+def _check(c: float, k: float) -> None:
+    if not (0.0 < c < 1.0):
+        raise ValueError(f"damping factor must be in (0, 1), got {c}")
+    if k < 1:
+        raise ValueError(f"farm needs at least one booster, got {k}")
+
+
+def star_farm_target(k: int, c: float = 0.85) -> float:
+    """Scaled PageRank of a star-farm target (no link back).
+
+    Each of the ``k`` boosters is a leaf (scaled score 1) with a single
+    outlink, contributing ``c`` to the target.
+    """
+    _check(c, k)
+    return 1.0 + k * c
+
+
+def optimal_farm_target(k: int, c: float = 0.85) -> float:
+    """Scaled PageRank of a rank-recycling farm target.
+
+    Boosters link only the target (out-degree 1 each); the target
+    links all ``k`` boosters back (out-degree ``k``), so no rank
+    leaks — the "optimal farm" of the alliances analysis.  The
+    coupled equations ``p_t = 1 + k·c·p_b`` and
+    ``p_b = 1 + c·p_t/k`` give ``p_t = 1 + kc + c²·p_t``, hence
+
+    .. math:: p_t = \\frac{1 + kc}{1 - c^2}.
+    """
+    _check(c, k)
+    return (1.0 + k * c) / (1.0 - c * c)
+
+
+def optimal_farm_booster(k: int, c: float = 0.85) -> float:
+    """Scaled PageRank of one booster in a rank-recycling farm:
+    ``p_b = 1 + c·p_t/k``."""
+    _check(c, k)
+    return 1.0 + c * optimal_farm_target(k, c) / k
+
+
+def hijacked_boost(
+    source_score: float, source_outdegree: int, c: float = 0.85
+) -> float:
+    """Scaled PageRank added to a target by one stray link.
+
+    ``source_score`` is the hijacked host's scaled PageRank *including*
+    the new link in its out-degree count (adding the link dilutes the
+    host's other contributions).  Exact by linearity when the target
+    does not link back into the source's neighbourhood.
+    """
+    if source_outdegree < 1:
+        raise ValueError("hijacked source must have at least the new link")
+    if source_score <= 0:
+        raise ValueError("source score must be positive")
+    _check(c, 1)
+    return c * source_score / source_outdegree
+
+
+def relay_farm_target(
+    feeders: int, relays: int, c: float = 0.85
+) -> float:
+    """Scaled PageRank of a two-tier farm target (no links back).
+
+    ``feeders`` leaf boosters each link exactly one of ``relays`` relay
+    nodes (assumed evenly split), and each relay has a single outlink
+    to the target:
+
+    ``p_relay = 1 + (feeders/relays)·c``,
+    ``p_t = 1 + relays·c·p_relay = 1 + relays·c + feeders·c²``.
+
+    Note the full booster count ``feeders + relays`` yields *less*
+    target PageRank than the flat star farm — the camouflage of a
+    majority-good immediate in-neighbourhood costs a factor ``c`` on
+    the feeders.
+    """
+    if relays < 1:
+        raise ValueError("need at least one relay")
+    if feeders < 0:
+        raise ValueError("feeders must be non-negative")
+    _check(c, 1)
+    return 1.0 + relays * c + feeders * c * c
+
+
+def boosters_needed(
+    target_score: float, c: float = 0.85, *, recycling: bool = True
+) -> int:
+    """Minimum boosters for a farm target to reach ``target_score``
+    (scaled), the spammer's planning problem.
+
+    With ``recycling`` (the optimal farm): invert
+    ``p_t = (1 + kc)/(1 − c²)`` → ``k = (p_t(1 − c²) − 1)/c``;
+    without: invert ``p_t = 1 + kc``.
+    """
+    if target_score <= 1.0:
+        return 0
+    _check(c, 1)
+    if recycling:
+        k = (target_score * (1.0 - c * c) - 1.0) / c
+    else:
+        k = (target_score - 1.0) / c
+    import math
+
+    return max(int(math.ceil(k - 1e-12)), 0)

@@ -1,0 +1,30 @@
+"""Baseline spam-detection methods the paper compares against or builds
+on: TrustRank, the naive labeling schemes of Section 3.1, and the
+related-work detectors of Section 5."""
+
+from .degree_outlier import DegreeOutlierDetector, degree_outlier_mask
+from .naive import scheme1_label, scheme1_mask, scheme2_label, scheme2_mask
+from .spamrank import SupporterDeviationDetector, supporter_deviation_scores
+from .trustrank import (
+    TrustRankResult,
+    inverse_pagerank,
+    select_seed,
+    trustrank,
+    trustrank_detector,
+)
+
+__all__ = [
+    "trustrank",
+    "TrustRankResult",
+    "inverse_pagerank",
+    "select_seed",
+    "trustrank_detector",
+    "scheme1_label",
+    "scheme2_label",
+    "scheme1_mask",
+    "scheme2_mask",
+    "DegreeOutlierDetector",
+    "degree_outlier_mask",
+    "SupporterDeviationDetector",
+    "supporter_deviation_scores",
+]

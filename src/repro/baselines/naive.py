@@ -1,0 +1,154 @@
+"""The two naive labeling schemes of Section 3.1.
+
+Both schemes label a node ``x`` from its *immediate in-neighbours* only,
+assuming their good/spam labels are known:
+
+* **Scheme 1** (:func:`scheme1_label`): majority vote over in-links —
+  ``x`` is spam iff more than half of its in-links come from spam nodes.
+  Fails on Figure 1, where a single spam link carries more PageRank
+  than the two good ones combined.
+* **Scheme 2** (:func:`scheme2_label`): weigh each in-link by its
+  PageRank contribution (the change in ``p_x`` caused by removing the
+  link) and compare the total spam-link weight to the good-link weight.
+  Fixes Figure 1 but still fails on Figure 2, where spam reaches ``x``
+  *through* good nodes.
+
+These exist to make the paper's motivating argument executable — the
+bench ``fig1_naive_schemes`` demonstrates both failure modes — and to
+serve as weak baselines in the detector comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from ..core.contribution import (
+    link_contribution_exact,
+    link_contribution_first_order,
+)
+from ..core.pagerank import DEFAULT_DAMPING, pagerank
+from ..graph.webgraph import WebGraph
+
+__all__ = [
+    "scheme1_label",
+    "scheme2_label",
+    "scheme1_mask",
+    "scheme2_mask",
+]
+
+GOOD = "good"
+SPAM = "spam"
+
+
+def _spam_set(spam_nodes: Iterable[int]) -> Set[int]:
+    return {int(s) for s in spam_nodes}
+
+
+def scheme1_label(
+    graph: WebGraph, node: int, spam_nodes: Iterable[int]
+) -> str:
+    """First naive scheme: in-link majority vote.
+
+    Returns ``"spam"`` when the majority of ``node``'s in-links come
+    from known spam nodes, ``"good"`` otherwise (ties and nodes without
+    inlinks count as good — the scheme has no evidence against them).
+    """
+    spam = _spam_set(spam_nodes)
+    in_neighbors = graph.in_neighbors(node)
+    if len(in_neighbors) == 0:
+        return GOOD
+    spam_links = sum(1 for y in in_neighbors if int(y) in spam)
+    return SPAM if 2 * spam_links > len(in_neighbors) else GOOD
+
+
+def scheme2_label(
+    graph: WebGraph,
+    node: int,
+    spam_nodes: Iterable[int],
+    *,
+    damping: float = DEFAULT_DAMPING,
+    exact: bool = True,
+    scores: Optional[np.ndarray] = None,
+    tol: float = 1e-12,
+) -> str:
+    """Second naive scheme: PageRank-contribution-weighted vote.
+
+    Each in-link's weight is its PageRank contribution to ``node`` —
+    exactly, by removing the link and recomputing PageRank
+    (``exact=True``, one solve per in-link), or by the first-order
+    approximation ``c·p_y/out(y)`` (``exact=False``; supply ``scores``
+    to reuse a precomputed PageRank vector).
+
+    Returns ``"spam"`` when spam links contribute strictly more than
+    good links.
+    """
+    spam = _spam_set(spam_nodes)
+    in_neighbors = graph.in_neighbors(node)
+    if len(in_neighbors) == 0:
+        return GOOD
+    if not exact and scores is None:
+        scores = pagerank(graph, damping=damping, tol=tol).scores
+    spam_weight = 0.0
+    good_weight = 0.0
+    for y in in_neighbors:
+        y = int(y)
+        if exact:
+            weight = link_contribution_exact(
+                graph, y, node, damping=damping, tol=tol
+            )
+        else:
+            weight = link_contribution_first_order(
+                graph, y, node, scores, damping
+            )
+        if y in spam:
+            spam_weight += weight
+        else:
+            good_weight += weight
+    return SPAM if spam_weight > good_weight else GOOD
+
+
+def scheme1_mask(
+    graph: WebGraph, spam_nodes: Iterable[int]
+) -> np.ndarray:
+    """Scheme-1 labels for every node, as a boolean spam mask."""
+    spam = _spam_set(spam_nodes)
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    for x in range(graph.num_nodes):
+        in_neighbors = graph.in_neighbors(x)
+        if len(in_neighbors) == 0:
+            continue
+        spam_links = sum(1 for y in in_neighbors if int(y) in spam)
+        mask[x] = 2 * spam_links > len(in_neighbors)
+    return mask
+
+
+def scheme2_mask(
+    graph: WebGraph,
+    spam_nodes: Iterable[int],
+    *,
+    damping: float = DEFAULT_DAMPING,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Scheme-2 labels for every node (first-order contributions —
+    the exact removal-based variant is O(|E|) PageRank solves and is
+    only exposed per node via :func:`scheme2_label`)."""
+    spam = _spam_set(spam_nodes)
+    scores = pagerank(graph, damping=damping, tol=tol).scores
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    for x in range(graph.num_nodes):
+        in_neighbors = graph.in_neighbors(x)
+        if len(in_neighbors) == 0:
+            continue
+        spam_weight = 0.0
+        good_weight = 0.0
+        for y in in_neighbors:
+            y = int(y)
+            weight = damping * scores[y] / graph.out_degree(y)
+            if y in spam:
+                spam_weight += weight
+            else:
+                good_weight += weight
+        mask[x] = spam_weight > good_weight
+    return mask

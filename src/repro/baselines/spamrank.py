@@ -1,0 +1,145 @@
+"""SpamRank-style baseline (Benczúr, Csalogány, Sarlós, Uher — AIRWeb
+2005), as characterised in Section 5 of the paper.
+
+The idea: for each node ``x``, examine the PageRank scores of the nodes
+*pointing to* ``x``.  Over the honest web these supporter scores follow
+the global power law; a spam farm instead supplies a target with many
+supporters of nearly identical (low) PageRank, a major deviation from
+the power-law shape.  Nodes whose in-neighbour PageRank histogram
+deviates strongly are penalized.
+
+This implementation follows the spirit of SpamRank's first phase:
+
+1. compute PageRank;
+2. for each node with at least ``min_supporters`` in-neighbours, build
+   the histogram of supporter scores over logarithmic buckets;
+3. score the deviation between the node's supporter histogram and the
+   expectation under the global supporter distribution (the same
+   buckets filled by all edges' sources), using total-variation
+   distance plus a concentration penalty for single-bucket pile-ups;
+4. flag nodes whose deviation exceeds ``threshold``.
+
+As the paper notes for this family of methods, it detects large
+regular/auto-generated farms but is blind to farms that mimic organic
+supporter diversity; and reputable-but-clubby communities can false
+positive.  The baseline bench demonstrates both behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.pagerank import DEFAULT_DAMPING, pagerank
+from ..graph.webgraph import WebGraph
+
+__all__ = ["SupporterDeviationDetector", "supporter_deviation_scores"]
+
+
+def _log_bucket(scores: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Assign each positive score a logarithmic bucket id in
+    ``[0, num_buckets)``; non-positive scores go to bucket 0."""
+    floor = scores[scores > 0].min() if np.any(scores > 0) else 1.0
+    safe = np.maximum(scores, floor)
+    logs = np.log10(safe / floor)
+    span = max(float(logs.max()), 1e-12)
+    buckets = np.minimum(
+        (logs / span * num_buckets).astype(np.int64), num_buckets - 1
+    )
+    return buckets
+
+
+def supporter_deviation_scores(
+    graph: WebGraph,
+    scores: Optional[np.ndarray] = None,
+    *,
+    num_buckets: int = 12,
+    min_supporters: int = 8,
+    damping: float = DEFAULT_DAMPING,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Per-node deviation of the in-neighbour PageRank distribution.
+
+    Returns a float vector in ``[0, 2]``: total-variation distance from
+    the global supporter distribution plus a ``[0, 1]`` concentration
+    penalty (fraction of supporters in the node's single fullest bucket
+    beyond the global baseline).  Nodes with fewer than
+    ``min_supporters`` in-neighbours score 0 — there is not enough
+    evidence to judge them, mirroring the paper's argument for its own
+    PageRank threshold ``ρ``.
+    """
+    if num_buckets < 2:
+        raise ValueError("num_buckets must be at least 2")
+    if scores is None:
+        scores = pagerank(graph, damping=damping, tol=tol).scores
+    if scores.shape != (graph.num_nodes,):
+        raise ValueError("scores vector has the wrong length")
+    buckets = _log_bucket(scores, num_buckets)
+    # global supporter distribution: bucket of the source of every edge
+    t_graph = graph.transpose()
+    global_counts = np.zeros(num_buckets, dtype=np.float64)
+    for x in range(graph.num_nodes):
+        for y in t_graph.out_neighbors(x):
+            global_counts[buckets[y]] += 1.0
+    total_edges = global_counts.sum()
+    if total_edges == 0:
+        return np.zeros(graph.num_nodes, dtype=np.float64)
+    global_dist = global_counts / total_edges
+
+    deviation = np.zeros(graph.num_nodes, dtype=np.float64)
+    for x in range(graph.num_nodes):
+        supporters = t_graph.out_neighbors(x)
+        if len(supporters) < min_supporters:
+            continue
+        local_counts = np.bincount(
+            buckets[supporters], minlength=num_buckets
+        ).astype(np.float64)
+        local_dist = local_counts / local_counts.sum()
+        tv_distance = 0.5 * float(np.abs(local_dist - global_dist).sum())
+        concentration = float(local_dist.max() - global_dist.max())
+        deviation[x] = tv_distance + max(concentration, 0.0)
+    return deviation
+
+
+class SupporterDeviationDetector:
+    """Threshold-based detector over supporter-distribution deviation.
+
+    Parameters
+    ----------
+    threshold:
+        Flag nodes with deviation above this value (range roughly
+        ``[0, 2]``; ~0.8+ indicates near-total concentration).
+    num_buckets, min_supporters:
+        See :func:`supporter_deviation_scores`.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.85,
+        *,
+        num_buckets: int = 12,
+        min_supporters: int = 8,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.num_buckets = num_buckets
+        self.min_supporters = min_supporters
+
+    def detect(
+        self,
+        graph: WebGraph,
+        scores: Optional[np.ndarray] = None,
+        *,
+        damping: float = DEFAULT_DAMPING,
+    ) -> np.ndarray:
+        """Boolean spam-candidate mask over all nodes."""
+        deviation = supporter_deviation_scores(
+            graph,
+            scores,
+            num_buckets=self.num_buckets,
+            min_supporters=self.min_supporters,
+            damping=damping,
+        )
+        return deviation > self.threshold

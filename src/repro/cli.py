@@ -1,0 +1,364 @@
+"""Command-line interface: the spam-mass pipeline as shell commands.
+
+The paper's deployment story is a pipeline a search engine runs over
+its index: build/refresh the host graph, assemble a good core, compute
+the two PageRank vectors, threshold the relative mass, review the
+candidates.  ``repro-spam`` exposes exactly those steps over the
+on-disk formats of :mod:`repro.graph.io`:
+
+``repro-spam generate``
+    Build a synthetic world, write it as a graph bundle (edge list or
+    ``.npz``, host names, ground-truth labels, metadata) plus the
+    assembled good core as a host list.
+``repro-spam stats``
+    Print the Section 4.1-style statistics of a stored graph.
+``repro-spam estimate``
+    Compute ``p``, ``p′`` and the mass estimates for a stored graph
+    and core; write them as score files.
+``repro-spam detect``
+    Apply Algorithm 2's thresholds to stored scores and list the spam
+    candidates (with ground-truth annotation when labels are present).
+``repro-spam reproduce``
+    Re-run one of the paper's experiments (by DESIGN.md id) and print
+    the reproduced table.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .core import estimate_spam_mass, scale_scores
+from .graph import (
+    read_graph_bundle,
+    read_host_list,
+    read_scores,
+    write_graph_bundle,
+    write_host_list,
+    write_scores,
+)
+from .synth import WorldConfig, build_world, default_good_core
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "small": WorldConfig.small,
+    "medium": WorldConfig.medium,
+    "large": WorldConfig.large,
+}
+
+
+def _config_for(scale: str, seed: int) -> WorldConfig:
+    try:
+        factory = _SCALES[scale]
+    except KeyError:
+        raise SystemExit(
+            f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
+        )
+    return factory(seed)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Build a synthetic world and persist it."""
+    config = _config_for(args.scale, args.seed)
+    world = build_world(config)
+    core = default_good_core(world)
+    out = Path(args.out)
+    labels = {
+        int(i): ("spam" if world.spam_mask[i] else "good")
+        for i in range(world.num_nodes)
+    }
+    write_graph_bundle(
+        world.graph,
+        out,
+        labels=labels,
+        metadata={
+            "scale": args.scale,
+            "seed": args.seed,
+            "num_nodes": world.num_nodes,
+            "num_edges": world.graph.num_edges,
+            "core_size": int(len(core)),
+        },
+        compress=args.compress,
+    )
+    core_names = [world.graph.name_of(int(i)) for i in core]
+    write_host_list(core_names, out / "core.hosts")
+    print(
+        f"wrote {world.num_nodes:,} hosts / {world.graph.num_edges:,} "
+        f"edges and a {len(core):,}-host good core to {out}"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print graph statistics for a stored bundle."""
+    graph, labels, metadata = read_graph_bundle(args.world)
+    stats = graph.stats()
+    print(f"hosts:        {stats.num_nodes:,}")
+    print(f"edges:        {stats.num_edges:,}")
+    print(f"no inlinks:   {stats.frac_no_inlinks:.1%}")
+    print(f"no outlinks:  {stats.frac_no_outlinks:.1%}")
+    print(f"isolated:     {stats.frac_isolated:.1%}")
+    print(f"max indegree: {stats.max_indegree:,}")
+    if labels is not None:
+        spam = sum(1 for v in labels.values() if v == "spam")
+        print(f"labeled spam: {spam:,} ({spam / stats.num_nodes:.1%})")
+    if metadata:
+        print(f"metadata:     {metadata}")
+    return 0
+
+
+def _core_ids(graph, core_path: Path) -> np.ndarray:
+    names = read_host_list(core_path)
+    if graph.names is None:
+        raise SystemExit("graph has no host names; cannot resolve the core")
+    lookup = {name: i for i, name in enumerate(graph.names)}
+    missing = [name for name in names if name not in lookup]
+    if missing:
+        raise SystemExit(
+            f"{len(missing)} core hosts not present in the graph "
+            f"(first: {missing[0]!r})"
+        )
+    return np.asarray([lookup[name] for name in names], dtype=np.int64)
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    """Compute PageRank, core PageRank and mass estimates."""
+    graph, _, _ = read_graph_bundle(args.world)
+    core_path = (
+        Path(args.core) if args.core else Path(args.world) / "core.hosts"
+    )
+    core = _core_ids(graph, core_path)
+    gamma = None if args.gamma <= 0 else args.gamma
+    estimates = estimate_spam_mass(graph, core, gamma=gamma)
+    prefix = Path(args.out_prefix)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    write_scores(estimates.pagerank, f"{prefix}.pagerank.scores")
+    write_scores(estimates.core_pagerank, f"{prefix}.core.scores")
+    write_scores(estimates.relative, f"{prefix}.relative.scores")
+    eligible = int(
+        (estimates.scaled_pagerank() >= args.rho).sum()
+    )
+    print(
+        f"estimated mass for {graph.num_nodes:,} hosts "
+        f"(core {len(core):,}, gamma {gamma}); "
+        f"{eligible:,} hosts pass scaled PageRank >= {args.rho:g}"
+    )
+    print(f"wrote {prefix}.{{pagerank,core,relative}}.scores")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """Apply Algorithm 2 thresholds to stored scores."""
+    graph, labels, _ = read_graph_bundle(args.world)
+    prefix = args.scores_prefix
+    pagerank_scores = read_scores(f"{prefix}.pagerank.scores")
+    relative = read_scores(f"{prefix}.relative.scores")
+    if len(pagerank_scores) != graph.num_nodes:
+        raise SystemExit("score files do not match the graph size")
+    scaled = scale_scores(pagerank_scores, graph.num_nodes)
+    candidate = (scaled >= args.rho) & (relative >= args.tau)
+    candidates = np.flatnonzero(candidate)
+    order = candidates[np.argsort(-relative[candidates], kind="stable")]
+    print(
+        f"{len(order)} spam candidates at tau={args.tau:g}, "
+        f"rho={args.rho:g}:"
+    )
+    shown = order if args.limit <= 0 else order[: args.limit]
+    for node in shown:
+        node = int(node)
+        truth = ""
+        if labels is not None:
+            truth = f"  [{labels.get(node, '?')}]"
+        print(
+            f"  {graph.name_of(node):<42} m~={relative[node]:.3f} "
+            f"p={scaled[node]:.1f}{truth}"
+        )
+    if len(order) > len(shown):
+        print(f"  ... and {len(order) - len(shown)} more")
+    if labels is not None and len(order):
+        spam_hits = sum(
+            1 for node in order if labels.get(int(node)) == "spam"
+        )
+        print(f"precision against stored labels: {spam_hits / len(order):.3f}")
+    if args.explain > 0 and len(order):
+        from .core.explain import explain_mass
+
+        core_path = Path(args.world) / "core.hosts"
+        core = (
+            _core_ids(graph, core_path) if core_path.exists() else []
+        )
+        print("\nreview sheets for the top candidates:")
+        for node in order[: args.explain]:
+            explanation = explain_mass(
+                graph, int(node), core, suspected_spam=order
+            )
+            print()
+            print(explanation.render(graph))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Re-run a paper experiment by its DESIGN.md id."""
+    from .eval.experiment import ReproductionContext
+    from .eval.registry import (
+        is_contextual,
+        list_experiments,
+        run_experiment,
+    )
+
+    config = _config_for(args.scale, args.seed)
+    requested = args.experiment.upper()
+    known = list_experiments()
+    if requested == "ALL":
+        ids: List[str] = known
+    elif requested in known:
+        ids = [requested]
+    else:
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; known: "
+            f"{', '.join(known)} or 'all'"
+        )
+
+    ctx = None
+    results = []
+    for exp_id in ids:
+        if is_contextual(exp_id) and ctx is None:
+            print(f"building the {args.scale} context ...", flush=True)
+            ctx = ReproductionContext.build(config)
+        result = run_experiment(exp_id, ctx=ctx, config=config)
+        results.append(result)
+        print(result.to_ascii())
+        print()
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        sections = [
+            "# Reproduced experiments",
+            "",
+            f"Scale: {args.scale}, seed: {args.seed}.  Generated by "
+            "`repro-spam reproduce`.",
+            "",
+        ]
+        sections.extend(
+            result.to_markdown() + "\n" for result in results
+        )
+        out_path.write_text("\n".join(sections), encoding="utf-8")
+        print(f"wrote Markdown report to {out_path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-spam`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spam",
+        description="Link-spam detection based on mass estimation "
+        "(Gyongyi et al., VLDB 2006) — reproduction pipeline.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser(
+        "generate", help="build and persist a synthetic world"
+    )
+    p_gen.add_argument("--scale", default="small", choices=sorted(_SCALES))
+    p_gen.add_argument("--seed", type=int, default=7)
+    p_gen.add_argument("--out", required=True, help="output directory")
+    p_gen.add_argument(
+        "--compress", action="store_true", help="gzip the edge list"
+    )
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_stats = sub.add_parser("stats", help="print graph statistics")
+    p_stats.add_argument("--world", required=True, help="bundle directory")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_est = sub.add_parser(
+        "estimate", help="compute PageRank and mass estimates"
+    )
+    p_est.add_argument("--world", required=True)
+    p_est.add_argument(
+        "--core",
+        default=None,
+        help="core host list (default: <world>/core.hosts)",
+    )
+    p_est.add_argument(
+        "--gamma",
+        type=float,
+        default=0.85,
+        help="good-fraction scaling; <= 0 for the unscaled core jump",
+    )
+    p_est.add_argument("--rho", type=float, default=10.0)
+    p_est.add_argument(
+        "--out-prefix", required=True, help="prefix for the score files"
+    )
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_det = sub.add_parser("detect", help="apply Algorithm 2 thresholds")
+    p_det.add_argument("--world", required=True)
+    p_det.add_argument(
+        "--scores-prefix",
+        required=True,
+        help="prefix used with 'estimate'",
+    )
+    p_det.add_argument("--tau", type=float, default=0.98)
+    p_det.add_argument("--rho", type=float, default=10.0)
+    p_det.add_argument(
+        "--limit", type=int, default=25, help="max candidates to print"
+    )
+    p_det.add_argument(
+        "--explain",
+        type=int,
+        default=0,
+        help="print contribution review sheets for the top N candidates",
+    )
+    p_det.set_defaults(func=cmd_detect)
+
+    p_rep = sub.add_parser(
+        "reproduce", help="re-run a paper experiment by id"
+    )
+    p_rep.add_argument(
+        "--experiment",
+        default="all",
+        help="DESIGN.md experiment id (T1, F4, A1, FW1, ...) or 'all'",
+    )
+    p_rep.add_argument("--scale", default="small", choices=sorted(_SCALES))
+    p_rep.add_argument("--seed", type=int, default=7)
+    p_rep.add_argument(
+        "--out",
+        default=None,
+        help="also write the reproduced tables as a Markdown report",
+    )
+    p_rep.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-spam`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The paper's primary contribution: linear PageRank, PageRank
+contributions, spam-mass estimation and the mass-based detector."""
+
+from .combined import (
+    CombinedEstimates,
+    combine_average,
+    combine_weighted,
+    estimate_combined_mass,
+)
+from .contribution import (
+    contribution_by_enumeration,
+    contribution_matrix,
+    contribution_vector,
+    enumerate_walks,
+    link_contribution_exact,
+    link_contribution_first_order,
+    walk_contribution,
+    walk_weight,
+)
+from .detector import DetectionResult, MassDetector, detect_spam
+from .mass import (
+    DEFAULT_GAMMA,
+    MassEstimates,
+    blacklist_mass,
+    estimate_spam_mass,
+    true_relative_mass,
+    true_spam_mass,
+)
+from .explain import MassExplanation, contributions_to, explain_mass
+from .montecarlo import MonteCarloResult, pagerank_montecarlo
+from .pagerank import (
+    DEFAULT_DAMPING,
+    core_jump_vector,
+    indicator_jump_vector,
+    pagerank,
+    pagerank_from_matrix,
+    scale_scores,
+    scaled_core_jump_vector,
+    unscale_scores,
+    uniform_jump_vector,
+)
+from .solvers import SOLVERS, SolverResult
+
+__all__ = [
+    "DEFAULT_DAMPING",
+    "DEFAULT_GAMMA",
+    "pagerank",
+    "pagerank_from_matrix",
+    "uniform_jump_vector",
+    "core_jump_vector",
+    "scaled_core_jump_vector",
+    "indicator_jump_vector",
+    "scale_scores",
+    "unscale_scores",
+    "SolverResult",
+    "SOLVERS",
+    "MonteCarloResult",
+    "pagerank_montecarlo",
+    "contributions_to",
+    "MassExplanation",
+    "explain_mass",
+    "walk_weight",
+    "walk_contribution",
+    "enumerate_walks",
+    "contribution_by_enumeration",
+    "contribution_vector",
+    "contribution_matrix",
+    "link_contribution_exact",
+    "link_contribution_first_order",
+    "MassEstimates",
+    "true_spam_mass",
+    "true_relative_mass",
+    "estimate_spam_mass",
+    "blacklist_mass",
+    "MassDetector",
+    "DetectionResult",
+    "detect_spam",
+    "CombinedEstimates",
+    "combine_average",
+    "combine_weighted",
+    "estimate_combined_mass",
+]

@@ -1,0 +1,19 @@
+"""Reference data sets: the paper's worked example graphs."""
+
+from .paper_graphs import (
+    PaperExample,
+    figure1_graph,
+    figure1_pagerank_x,
+    figure1_spam_contribution_x,
+    figure2_graph,
+    table1_expected,
+)
+
+__all__ = [
+    "PaperExample",
+    "figure1_graph",
+    "figure1_pagerank_x",
+    "figure1_spam_contribution_x",
+    "figure2_graph",
+    "table1_expected",
+]

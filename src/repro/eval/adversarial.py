@@ -1,0 +1,260 @@
+"""Adversarial robustness of mass-based detection (Section 6's claim).
+
+The paper argues the method is "robust even in the event that spammers
+learn about it": collecting good links helps a spammer only so much,
+and "effective tampering ... would require non-obvious manipulations
+of the good graph", which are impossible without knowing the actual
+core.  This module makes those attack models executable:
+
+* :func:`attack_good_link_harvest` — the knowledgeable spammer buys or
+  hijacks many additional links from good hosts to the farm targets
+  (the attack the paper says only *dilutes* detection per target, at
+  real cost per link);
+* :func:`attack_core_infiltration` — the stronger adversary gets spam
+  hosts *into* the good core itself (e.g. by compromising listed
+  hosts), the manipulation the paper deems virtually impossible
+  without knowing the core;
+* :func:`run_robustness_experiment` — sweeps attack intensities and
+  reports how the detector's precision/recall over farm targets moves,
+  so the cost-benefit trade-off the paper gestures at becomes a curve.
+
+All attacks operate on an immutable world by *deriving* a new graph
+(the original is never mutated), so one context can be attacked many
+ways.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.detector import MassDetector
+from ..core.mass import estimate_spam_mass
+from ..graph.webgraph import WebGraph
+from ..synth.assembler import SyntheticWorld
+from ..synth.hostgraph import sample_targets
+from .metrics import detection_metrics
+from .results import TableResult
+
+__all__ = [
+    "attack_good_link_harvest",
+    "attack_core_infiltration",
+    "run_robustness_experiment",
+]
+
+
+def _with_extra_edges(
+    graph: WebGraph, sources: np.ndarray, dests: np.ndarray
+) -> WebGraph:
+    """Return a new graph with the given edges appended."""
+    existing = np.column_stack(
+        (
+            np.repeat(
+                np.arange(graph.num_nodes, dtype=np.int64),
+                graph.out_degree(),
+            ),
+            graph.indices,
+        )
+    )
+    extra = np.column_stack(
+        (
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(dests, dtype=np.int64),
+        )
+    )
+    edges = np.concatenate([existing, extra], axis=0)
+    return WebGraph.from_edges(graph.num_nodes, edges, graph.names)
+
+
+def attack_good_link_harvest(
+    world: SyntheticWorld,
+    targets: Sequence[int],
+    links_per_target: int,
+    rng: np.random.Generator,
+    *,
+    popularity_weighted: bool = True,
+) -> WebGraph:
+    """The good-link-harvest attack: each target collects
+    ``links_per_target`` new links from good hosts.
+
+    Sources are good hosts with outlinks; ``popularity_weighted``
+    models an attacker going after visible hosts (harder, more
+    effective per link).  Returns the attacked graph.
+    """
+    if links_per_target < 1:
+        raise ValueError("links_per_target must be positive")
+    targets_arr = np.asarray(list(targets), dtype=np.int64)
+    if len(targets_arr) == 0:
+        raise ValueError("need at least one target")
+    good = ~world.spam_mask
+    out_deg = world.graph.out_degree()
+    candidates = np.flatnonzero(good & (out_deg > 0))
+    if popularity_weighted:
+        weights = world.graph.in_degree()[candidates].astype(np.float64) + 1.0
+    else:
+        weights = np.ones(len(candidates), dtype=np.float64)
+    sources: List[np.ndarray] = []
+    dests: List[np.ndarray] = []
+    for target in targets_arr:
+        picked = sample_targets(rng, candidates, weights, links_per_target)
+        sources.append(picked)
+        dests.append(np.full(len(picked), target, dtype=np.int64))
+    return _with_extra_edges(
+        world.graph, np.concatenate(sources), np.concatenate(dests)
+    )
+
+
+def attack_core_infiltration(
+    world: SyntheticWorld,
+    core: np.ndarray,
+    num_moles: int,
+    rng: np.random.Generator,
+    *,
+    links_per_mole: int = 20,
+) -> Tuple[WebGraph, np.ndarray]:
+    """The core-infiltration attack: ``num_moles`` spam hosts make it
+    into the good core and link at the farm targets.
+
+    Models a compromised directory listing or purchased ``.edu`` page:
+    the moles are existing spam boosters that (a) get appended to the
+    core the estimator will use, and (b) spread ``links_per_mole``
+    outlinks over the farm targets, becoming trust conduits.
+
+    Returns ``(attacked_graph, polluted_core)``.
+    """
+    if num_moles < 1:
+        raise ValueError("need at least one mole")
+    spam_pool = world.spam_nodes()
+    if len(spam_pool) < num_moles:
+        raise ValueError("not enough spam hosts to act as moles")
+    moles = rng.choice(spam_pool, size=num_moles, replace=False)
+    targets = world.group("spam:targets")
+    sources = np.repeat(moles, links_per_mole)
+    dests = rng.choice(targets, size=len(sources))
+    attacked = _with_extra_edges(world.graph, sources, dests)
+    polluted = np.unique(
+        np.concatenate([np.asarray(core, dtype=np.int64), moles])
+    )
+    return attacked, polluted
+
+
+def run_robustness_experiment(
+    ctx,
+    *,
+    harvest_fractions: Sequence[float] = (0.0, 0.1, 0.5, 1.0),
+    mole_levels: Sequence[int] = (1, 5, 20),
+    tau: float = 0.98,
+    seed: int = 71,
+) -> TableResult:
+    """Sweep both attacks and tabulate the evasion-vs-rank trade-off.
+
+    ``ctx`` is a :class:`~repro.eval.experiment.ReproductionContext`.
+
+    The harvest sweep scales the purchased good links with each farm's
+    own size (``harvest_fraction × boosters``), because that is the
+    economically meaningful axis: the table reports both the
+    *estimated* relative mass the detector sees and the *true* relative
+    mass (oracle), showing that by the time ``m̃`` falls below τ the
+    target's rank genuinely comes from good hosts — the spammer has
+    evaded the detector only by paying for honest-looking support, the
+    paper's cost argument.  The infiltration rows need the attacker to
+    know the core; the "blind moles" row shows the same spam links are
+    useless when the guessed hosts are *not* in the core.
+    """
+    from ..core.mass import true_relative_mass
+
+    rng = np.random.default_rng(seed)
+    world = ctx.world
+    targets = world.group("spam:targets")
+    spam_nodes = world.spam_nodes()
+    farm_sizes = {}
+    for name, ids in world.groups_matching("farm:").items():
+        if name.endswith(":boosters"):
+            tag = name.rsplit(":", 1)[0]
+            target_group = f"{tag}:target"
+            if target_group in world.groups:
+                farm_sizes[int(world.group(target_group)[0])] = len(ids)
+    rows = []
+
+    def measure(graph: WebGraph, core: np.ndarray, label: str) -> None:
+        estimates = estimate_spam_mass(graph, core, gamma=ctx.gamma)
+        result = MassDetector(tau=tau, rho=ctx.rho).detect(estimates)
+        metrics = detection_metrics(
+            result.candidate_mask,
+            world.spam_mask,
+            restrict_to=result.eligible_mask,
+        )
+        true_rel = true_relative_mass(graph, spam_nodes)
+        rows.append(
+            [
+                label,
+                round(float(estimates.relative[targets].mean()), 3),
+                round(float(true_rel[targets].mean()), 3),
+                int(result.candidate_mask[targets].sum()),
+                round(metrics["precision"], 3),
+            ]
+        )
+
+    for fraction in harvest_fractions:
+        if fraction == 0.0:
+            measure(ctx.graph, ctx.core, "baseline (no attack)")
+            continue
+        sources: List[np.ndarray] = []
+        dests: List[np.ndarray] = []
+        good = ~world.spam_mask
+        out_deg = world.graph.out_degree()
+        candidates = np.flatnonzero(good & (out_deg > 0))
+        weights = (
+            world.graph.in_degree()[candidates].astype(np.float64) + 1.0
+        )
+        for target in targets:
+            links = max(int(round(fraction * farm_sizes.get(int(target), 20))), 1)
+            picked = sample_targets(rng, candidates, weights, links)
+            sources.append(picked)
+            dests.append(np.full(len(picked), int(target), dtype=np.int64))
+        attacked = _with_extra_edges(
+            world.graph, np.concatenate(sources), np.concatenate(dests)
+        )
+        measure(
+            attacked,
+            ctx.core,
+            f"harvest {fraction:g}x boosters in good links",
+        )
+    for moles in mole_levels:
+        attacked, polluted = attack_core_infiltration(
+            world, ctx.core, moles, rng
+        )
+        measure(attacked, polluted, f"core infiltration, {moles} moles")
+    # blind moles: same spam conduits, but the attacker does not know
+    # the core, so the hosts never enter it
+    attacked, _ = attack_core_infiltration(
+        world, ctx.core, max(mole_levels), rng
+    )
+    measure(
+        attacked,
+        ctx.core,
+        f"blind moles ({max(mole_levels)}, core unknown)",
+    )
+    return TableResult(
+        "A5",
+        "Adversarial robustness of mass-based detection (Section 6)",
+        [
+            "attack",
+            "mean target m~ (est.)",
+            "mean target m (true)",
+            "targets caught",
+            "precision (elig.)",
+        ],
+        rows,
+        notes=[
+            f"tau = {tau}; evading the detector through good links "
+            "requires genuinely shifting the target's rank onto good "
+            "hosts (true m falls with estimated m~) — i.e. paying for "
+            "the rank honestly, the paper's cost argument",
+            "core infiltration defeats the method but requires knowing "
+            "the actual core (the blind-mole row shows guessed hosts "
+            "achieve nothing) — the paper's non-obvious-manipulation "
+            "claim",
+        ],
+    )

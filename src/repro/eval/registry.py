@@ -1,0 +1,157 @@
+"""The experiment registry: every reproduced artifact behind one id.
+
+DESIGN.md assigns each table/figure/ablation a short id (``T1``,
+``F4``, ``A5``, ``FW1``, …).  This module is the programmatic index:
+
+>>> from repro.eval import run_experiment, list_experiments
+>>> run_experiment("T1")                       # standalone experiment
+>>> run_experiment("F4", ctx=my_context)       # context experiment
+
+Standalone experiments need at most a :class:`WorldConfig`; contextual
+ones need a built :class:`ReproductionContext` (pass ``ctx``, or let
+``run_experiment`` build one from ``config``).  The CLI's ``reproduce``
+subcommand and the benchmark suite are both thin layers over this
+registry, so the set of reproducible artifacts lives in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..synth.scenario import WorldConfig
+from .results import TableResult
+
+__all__ = [
+    "EXPERIMENTS",
+    "list_experiments",
+    "is_contextual",
+    "run_experiment",
+]
+
+
+class _Entry:
+    __slots__ = ("runner", "contextual", "title")
+
+    def __init__(self, runner: Callable, contextual: bool, title: str):
+        self.runner = runner
+        self.contextual = contextual
+        self.title = title
+
+
+def _build_registry() -> Dict[str, _Entry]:
+    from ..extensions.content import run_content_filter_experiment
+    from . import experiment as exp
+    from .adversarial import run_robustness_experiment
+    from .sensitivity import run_gamma_sensitivity, run_rho_sensitivity
+    from .stability import run_stability_experiment
+    from .trustrank_study import run_trustrank_study
+
+    return {
+        "T1": _Entry(
+            lambda config: exp.run_table1(),
+            False,
+            "Table 1: Figure 2 node features",
+        ),
+        "F1": _Entry(
+            lambda config: exp.run_figure1(),
+            False,
+            "Figure 1: naive labeling schemes",
+        ),
+        "F2": _Entry(
+            lambda config: exp.run_figure2_contributions(),
+            False,
+            "Figure 2: PageRank contributions",
+        ),
+        "S41": _Entry(
+            exp.run_graph_stats, False, "Section 4.1: data-set statistics"
+        ),
+        "A6": _Entry(
+            run_stability_experiment,
+            False,
+            "Temporal stability of white/black lists",
+        ),
+        "S43": _Entry(
+            exp.run_pagerank_distribution,
+            True,
+            "Section 4.3: PageRank distribution",
+        ),
+        "T2": _Entry(exp.run_table2, True, "Table 2: sample groups"),
+        "F3": _Entry(exp.run_figure3, True, "Figure 3: sample composition"),
+        "F4": _Entry(exp.run_figure4, True, "Figure 4: precision curves"),
+        "F5": _Entry(exp.run_figure5, True, "Figure 5: core size/breadth"),
+        "F6": _Entry(exp.run_figure6, True, "Figure 6: mass distribution"),
+        "S442": _Entry(exp.run_core_repair, True, "Section 4.4.2: core repair"),
+        "S46": _Entry(
+            exp.run_absolute_mass_ranking,
+            True,
+            "Section 4.6: absolute-mass ranking",
+        ),
+        "A1": _Entry(exp.run_gamma_ablation, True, "Gamma-scaling ablation"),
+        "A2": _Entry(exp.run_solver_ablation, True, "Solver comparison"),
+        "A3": _Entry(
+            exp.run_combined_ablation, True, "Combined estimators"
+        ),
+        "A4": _Entry(
+            exp.run_baseline_comparison, True, "Detector comparison"
+        ),
+        "A5": _Entry(
+            run_robustness_experiment, True, "Adversarial robustness"
+        ),
+        "A7": _Entry(run_trustrank_study, True, "TrustRank study"),
+        "A8A": _Entry(run_gamma_sensitivity, True, "Gamma sensitivity"),
+        "A8B": _Entry(run_rho_sensitivity, True, "Rho sensitivity"),
+        "FW1": _Entry(
+            run_content_filter_experiment,
+            True,
+            "Future work: content analysis",
+        ),
+    }
+
+
+EXPERIMENTS: Dict[str, _Entry] = _build_registry()
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids, standalone first, in registry order."""
+    return list(EXPERIMENTS)
+
+
+def is_contextual(experiment_id: str) -> bool:
+    """Whether an experiment needs a built :class:`ReproductionContext`."""
+    return _entry(experiment_id).contextual
+
+
+def _entry(experiment_id: str) -> _Entry:
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    ctx=None,
+    config: Optional[WorldConfig] = None,
+) -> TableResult:
+    """Run one reproduced experiment by its DESIGN.md id.
+
+    Standalone experiments take an optional ``config`` (defaulting to
+    the stock medium world for S41/A6, and ignored by the worked
+    examples).  Contextual experiments use ``ctx`` when given,
+    otherwise build a fresh :class:`ReproductionContext` from
+    ``config`` — expensive, so pass a shared context when running
+    several.
+    """
+    entry = _entry(experiment_id)
+    if not entry.contextual:
+        return entry.runner(config)
+    if ctx is None:
+        from .experiment import ReproductionContext
+
+        ctx = ReproductionContext.build(config)
+    return entry.runner(ctx)

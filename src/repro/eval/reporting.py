@@ -1,0 +1,173 @@
+"""Terminal rendering of reproduced figures.
+
+The paper's figures are bar charts and curves; for a library whose
+benches run in a terminal, ASCII renderings are the honest equivalent.
+Three renderers cover every figure shape used:
+
+* :func:`render_stacked_bars` — Figure 3's per-group good/anomalous/
+  spam composition;
+* :func:`render_curves` — the precision-vs-threshold curves of
+  Figures 4 and 5 (multiple named series over a shared x grid);
+* :func:`render_loglog` — the Figure 6 mass-distribution panels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["render_stacked_bars", "render_curves", "render_loglog"]
+
+
+def render_stacked_bars(
+    labels: Sequence[str],
+    stacks: Dict[str, Sequence[float]],
+    *,
+    width: int = 50,
+    symbols: Optional[Dict[str, str]] = None,
+) -> str:
+    """Horizontal stacked bars, one row per label.
+
+    ``stacks`` maps series name → per-row values; ``symbols`` maps
+    series name → the fill character (defaults cycle ``# + .``).
+    """
+    names = list(stacks)
+    if not names:
+        raise ValueError("need at least one series")
+    length = len(labels)
+    for name in names:
+        if len(stacks[name]) != length:
+            raise ValueError(f"series {name!r} is not aligned with labels")
+    default_fills = ["#", "+", ".", "o", "*"]
+    fills = {
+        name: (symbols or {}).get(name, default_fills[i % len(default_fills)])
+        for i, name in enumerate(names)
+    }
+    totals = [
+        sum(stacks[name][i] for name in names) for i in range(length)
+    ]
+    peak = max(max(totals), 1e-12)
+    lines = []
+    legend = "  ".join(f"{fills[name]}={name}" for name in names)
+    lines.append(legend)
+    label_width = max(len(str(label)) for label in labels)
+    for i, label in enumerate(labels):
+        bar = ""
+        for name in names:
+            span = int(round(stacks[name][i] / peak * width))
+            bar += fills[name] * span
+        lines.append(f"{str(label).rjust(label_width)} |{bar} ({totals[i]:g})")
+    return "\n".join(lines)
+
+
+def render_curves(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: Optional[int] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Plot one or more aligned series as an ASCII chart.
+
+    Each series gets a distinct marker; x positions are spread evenly
+    (the paper's τ grid is non-uniform, and its figures also space the
+    ticks evenly).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    num_points = len(x_values)
+    for name, values in series.items():
+        if len(values) != num_points:
+            raise ValueError(f"series {name!r} is not aligned with x grid")
+    finite = [
+        v
+        for values in series.values()
+        for v in values
+        if v == v  # skip NaN
+    ]
+    if not finite:
+        raise ValueError("all values are NaN")
+    lo, hi = y_range if y_range else (min(finite), max(finite))
+    if hi <= lo:
+        hi = lo + 1.0
+    if width is None:
+        width = max(num_points * 6, 30)
+    markers = "oxv*+#"
+    canvas = [[" "] * width for _ in range(height)]
+    for s_idx, (name, values) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        for i, value in enumerate(values):
+            if value != value:
+                continue
+            col = int(round(i / max(num_points - 1, 1) * (width - 1)))
+            frac = (value - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            canvas[row][col] = marker
+    lines = []
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    for r, row_chars in enumerate(canvas):
+        if r == 0:
+            axis_label = f"{hi:8.2f} |"
+        elif r == height - 1:
+            axis_label = f"{lo:8.2f} |"
+        else:
+            axis_label = "         |"
+        lines.append(axis_label + "".join(row_chars))
+    ticks = "          "
+    tick_line = [" "] * width
+    for i in (0, num_points - 1):
+        col = int(round(i / max(num_points - 1, 1) * (width - 1)))
+        text = f"{x_values[i]:g}"
+        start = min(col, width - len(text))
+        for j, ch in enumerate(text):
+            tick_line[start + j] = ch
+    lines.append(ticks + "".join(tick_line))
+    return "\n".join(lines)
+
+
+def render_loglog(
+    bins: Sequence[float],
+    fractions: Sequence[float],
+    *,
+    height: int = 10,
+    title: str = "",
+) -> str:
+    """Log-log scatter of (bin, fraction) pairs as ASCII.
+
+    Renders ``log10`` on both axes, the format of Figure 6.
+    """
+    points = [
+        (b, f)
+        for b, f in zip(bins, fractions)
+        if b > 0 and f > 0
+    ]
+    if not points:
+        return f"{title} (no positive data)"
+    xs = [math.log10(b) for b, _ in points]
+    ys = [math.log10(f) for _, f in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    width = 60
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = height - 1 - int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        canvas[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"log10(frac) {y_hi:6.2f}")
+    for row_chars in canvas:
+        lines.append("  |" + "".join(row_chars))
+    lines.append(f"  {y_lo:6.2f}  log10(value): [{x_lo:.2f}, {x_hi:.2f}]")
+    return "\n".join(lines)

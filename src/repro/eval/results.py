@@ -1,0 +1,120 @@
+"""Result records for reproduced tables and figures.
+
+Every experiment runner in :mod:`repro.eval.experiment` returns a
+:class:`TableResult` — a titled, column-named grid of values with
+free-form notes — which renders to aligned ASCII (for bench output) or
+Markdown (for EXPERIMENTS.md).  Keeping results in one dumb container
+means a bench, a test and the documentation generator all consume the
+same object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["TableResult"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value)}"
+        if 0 < abs(value) < 0.001 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class TableResult:
+    """A reproduced table/figure as a plain grid.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id matching DESIGN.md's per-experiment index ("T1",
+        "F4", "S442", "A2", ...).
+    title:
+        Human-readable description.
+    columns:
+        Column names.
+    rows:
+        Row tuples (values, any printable type).
+    notes:
+        Free-form remarks (parameters used, paper-expected shape, ...).
+    """
+
+    __slots__ = ("experiment_id", "title", "columns", "rows", "notes")
+
+    def __init__(
+        self,
+        experiment_id: str,
+        title: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        notes: Optional[List[str]] = None,
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self.columns = list(columns)
+        self.rows = [list(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row {row!r} does not match columns {self.columns!r}"
+                )
+        self.notes = list(notes or [])
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column by name."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; have {self.columns}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def to_ascii(self) -> str:
+        """Render as an aligned plain-text table."""
+        grid = [self.columns] + [
+            [_format_cell(cell) for cell in row] for row in self.rows
+        ]
+        widths = [
+            max(len(grid[r][c]) for r in range(len(grid)))
+            for c in range(len(self.columns))
+        ]
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(grid[0])
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in grid[1:]:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavored Markdown table."""
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(_format_cell(cell) for cell in row) + " |"
+            )
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TableResult({self.experiment_id}, rows={len(self.rows)}, "
+            f"cols={len(self.columns)})"
+        )

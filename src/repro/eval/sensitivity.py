@@ -1,0 +1,130 @@
+"""Parameter sensitivity of mass-based detection (Sections 3.5, 3.6,
+4.3, 4.4).
+
+The paper fixes its two auxiliary parameters informally: γ comes from
+"the conservative estimate that at least 15% of the hosts are spam"
+(the true rate in their own sample was ~26%), and ρ = 10 is "the
+arbitrarily selected scaled PageRank threshold".  For the method to be
+deployable, detection quality must be forgiving to both choices —
+this module sweeps them:
+
+* :func:`run_gamma_sensitivity` — γ from badly under- to
+  over-estimated.  The prediction: precision at high τ is *stable*
+  (scaling moves every node's `p′` proportionally, so the relative
+  ordering near the top barely moves), while the negative-mass region
+  and the absolute estimates shift.
+* :func:`run_rho_sensitivity` — ρ from permissive to strict.  The
+  prediction: higher ρ trades candidate volume for precision (the
+  paper's three arguments for the filter), with diminishing returns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+from ..core.detector import MassDetector
+from ..core.mass import estimate_spam_mass
+from ..graph.ops import transition_matrix
+from .metrics import detection_metrics
+from .results import TableResult
+
+__all__ = ["run_gamma_sensitivity", "run_rho_sensitivity"]
+
+
+def run_gamma_sensitivity(
+    ctx,
+    gammas: Sequence[float] = (0.5, 0.7, 0.85, 0.95, 0.99),
+    *,
+    tau: float = 0.98,
+) -> TableResult:
+    """Sweep the good-fraction estimate γ (Section 3.5's knob).
+
+    ``ctx`` is a :class:`~repro.eval.experiment.ReproductionContext`;
+    the true good fraction of its world is reported for reference.
+    """
+    transition_t = transition_matrix(ctx.graph).T.tocsr()
+    spam_mask = ctx.world.spam_mask
+    true_gamma = float((~spam_mask).sum() / ctx.world.num_nodes)
+    rows: List[list] = []
+    for gamma in gammas:
+        estimates = estimate_spam_mass(
+            ctx.graph, ctx.core, gamma=gamma, transition_t=transition_t
+        )
+        result = MassDetector(tau=tau, rho=ctx.rho).detect(estimates)
+        metrics = detection_metrics(
+            result.candidate_mask,
+            spam_mask,
+            restrict_to=result.eligible_mask,
+        )
+        eligible = result.eligible_mask
+        good_eligible = eligible & ~spam_mask
+        rows.append(
+            [
+                gamma,
+                round(metrics["precision"], 3),
+                round(metrics["recall"], 3),
+                result.num_candidates,
+                round(float((estimates.relative[good_eligible] < 0).mean()), 3),
+            ]
+        )
+    return TableResult(
+        "A8a",
+        "Sensitivity to the good-fraction estimate gamma (Section 3.5)",
+        [
+            "gamma",
+            "precision (elig.)",
+            "recall (elig.)",
+            "candidates",
+            "frac good w/ negative m~",
+        ],
+        rows,
+        notes=[
+            f"true good fraction of this world: {true_gamma:.3f}; the "
+            "paper used the conservative 0.85 while its own sample "
+            "suggested ~0.74",
+            "prediction: detection quality is forgiving to gamma "
+            "mis-estimation (scaling shifts all of p' proportionally); "
+            "what moves is how much of the good web goes mass-negative",
+        ],
+    )
+
+
+def run_rho_sensitivity(
+    ctx,
+    rhos: Sequence[float] = (2.0, 5.0, 10.0, 25.0, 100.0),
+    *,
+    tau: float = 0.98,
+) -> TableResult:
+    """Sweep the PageRank filter ρ (the Section 3.6 threshold the paper
+    sets 'arbitrarily' to 10)."""
+    spam_mask = ctx.world.spam_mask
+    scaled = ctx.estimates.scaled_pagerank()
+    rows: List[list] = []
+    for rho in rhos:
+        result = MassDetector(tau=tau, rho=rho).detect(ctx.estimates)
+        metrics = detection_metrics(
+            result.candidate_mask,
+            spam_mask,
+            restrict_to=result.eligible_mask,
+        )
+        rows.append(
+            [
+                rho,
+                int(result.eligible_mask.sum()),
+                result.num_candidates,
+                round(metrics["precision"], 3),
+            ]
+        )
+    return TableResult(
+        "A8b",
+        "Sensitivity to the PageRank filter rho (Section 3.6)",
+        ["rho (scaled)", "|T| eligible", "candidates", "precision (elig.)"],
+        rows,
+        notes=[
+            "the paper's three reasons for the filter: low-rank nodes "
+            "are not boosting beneficiaries, carry too little evidence, "
+            "and amplify estimation error in the relative form — so "
+            "precision should not degrade as rho tightens",
+        ],
+    )

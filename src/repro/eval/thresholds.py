@@ -1,0 +1,175 @@
+"""Threshold selection and uncertainty quantification for deployment.
+
+The paper leaves "the selection of the threshold τ" as the key
+operational knob (Section 4.4.2) and derives its precision numbers
+from a manually labeled 0.1% sample.  This module provides the tooling
+a search engine deploying Algorithm 2 would need on top:
+
+* :func:`choose_tau` — pick the loosest τ whose *sample* precision
+  meets a target (e.g. "99% precision"), maximizing the number of spam
+  hosts caught at that quality bar;
+* :func:`bootstrap_precision` — a bootstrap confidence interval for
+  ``prec(τ)``, quantifying how far the sample estimate can stray from
+  the population value (the paper's 892-host sample leaves each
+  point with ~45 hosts of evidence);
+* :func:`detection_volume` — how many filtered hosts a τ would label,
+  the paper's "total number of hosts above threshold" annotation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import PAPER_THRESHOLDS, PrecisionPoint, precision_at
+from .sampling import EvaluationSample
+
+__all__ = [
+    "choose_tau",
+    "bootstrap_precision",
+    "detection_volume",
+    "BootstrapInterval",
+]
+
+
+class BootstrapInterval:
+    """A bootstrap confidence interval for a precision estimate.
+
+    Attributes
+    ----------
+    point:
+        The plug-in estimate on the full sample.
+    lower, upper:
+        The percentile-interval bounds.
+    level:
+        The confidence level (e.g. 0.95).
+    num_resamples:
+        Bootstrap replicates drawn.
+    """
+
+    __slots__ = ("point", "lower", "upper", "level", "num_resamples")
+
+    def __init__(
+        self,
+        point: float,
+        lower: float,
+        upper: float,
+        level: float,
+        num_resamples: int,
+    ) -> None:
+        self.point = point
+        self.lower = lower
+        self.upper = upper
+        self.level = level
+        self.num_resamples = num_resamples
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower - 1e-12 <= value <= self.upper + 1e-12
+
+    @property
+    def width(self) -> float:
+        """Interval width (evidence sparsity indicator)."""
+        return self.upper - self.lower
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BootstrapInterval({self.point:.3f} in "
+            f"[{self.lower:.3f}, {self.upper:.3f}] @ {self.level:.0%})"
+        )
+
+
+def choose_tau(
+    sample: EvaluationSample,
+    relative_mass: np.ndarray,
+    target_precision: float,
+    *,
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    exclude_anomalous: bool = False,
+    min_evidence: int = 5,
+) -> Optional[Tuple[float, PrecisionPoint]]:
+    """Pick the loosest τ meeting ``target_precision`` on the sample.
+
+    Scans ``thresholds`` from loose to strict and returns the first
+    (i.e. loosest, hence highest-recall) τ whose sample precision
+    reaches the target with at least ``min_evidence`` sample hosts
+    above it; ``None`` when no threshold qualifies.
+    """
+    if not (0.0 < target_precision <= 1.0):
+        raise ValueError("target_precision must be in (0, 1]")
+    qualifying: Optional[Tuple[float, PrecisionPoint]] = None
+    for tau in sorted(thresholds):
+        point = precision_at(
+            sample,
+            relative_mass,
+            tau,
+            exclude_anomalous=exclude_anomalous,
+        )
+        if point.num_total < min_evidence:
+            continue
+        if point.precision >= target_precision:
+            return tau, point
+    return None
+
+
+def bootstrap_precision(
+    sample: EvaluationSample,
+    relative_mass: np.ndarray,
+    tau: float,
+    *,
+    num_resamples: int = 2_000,
+    level: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+    exclude_anomalous: bool = False,
+) -> BootstrapInterval:
+    """Percentile-bootstrap confidence interval for ``prec(τ)``.
+
+    Resamples the labeled hosts with replacement; replicates with no
+    host above τ are skipped (they carry no information about the
+    ratio).
+    """
+    if num_resamples < 10:
+        raise ValueError("need at least 10 bootstrap resamples")
+    if not (0.0 < level < 1.0):
+        raise ValueError("confidence level must be in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    mass = relative_mass[sample.nodes]
+    usable = sample.usable_mask()
+    if exclude_anomalous:
+        usable = usable & ~sample.anomalous_mask
+    above = (mass >= tau) & usable
+    spam_above = above & sample.spam_sample_mask()
+    point = (
+        float(spam_above.sum()) / float(above.sum())
+        if above.any()
+        else float("nan")
+    )
+    size = len(sample)
+    replicates: List[float] = []
+    for _ in range(num_resamples):
+        picks = rng.integers(0, size, size=size)
+        total = int(above[picks].sum())
+        if total == 0:
+            continue
+        replicates.append(float(spam_above[picks].sum()) / total)
+    if not replicates:
+        return BootstrapInterval(point, float("nan"), float("nan"), level, 0)
+    alpha = (1.0 - level) / 2.0
+    lower, upper = np.quantile(replicates, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        point, float(lower), float(upper), level, len(replicates)
+    )
+
+
+def detection_volume(
+    relative_mass: np.ndarray,
+    eligible_mask: np.ndarray,
+    tau: float,
+) -> int:
+    """How many filtered hosts a threshold would label as candidates —
+    the figure the paper annotates above its precision plots."""
+    if relative_mass.shape != eligible_mask.shape:
+        raise ValueError("mass and eligibility vectors must align")
+    return int((relative_mass[eligible_mask] >= tau).sum())

@@ -1,0 +1,158 @@
+"""TrustRank vs spam mass: demotion vs detection (Sections 3.4 and 5).
+
+The paper positions the two methods as complementary:
+
+    "TrustRank helps cleansing top ranking results by identifying
+    reputable nodes. While spam is demoted, it is not detected — this
+    is a gap that we strive to fill in this paper."
+
+and notes that the mass core differs from a TrustRank seed in being
+orders of magnitude larger and not restricted to the highest-quality
+nodes.  This study quantifies both points on one world:
+
+* **demotion quality** — how far down a trust-ordered ranking the spam
+  hosts move, measured by the spam share of the top-k trust ranking
+  versus the top-k PageRank ranking (TrustRank's actual job, which it
+  does well even with tiny seeds);
+* **detection quality** — precision/recall of thresholding trust
+  (the natural read-out) versus Algorithm 2, across seed budgets
+  (where TrustRank stays behind: low trust means "not near my seed",
+  not "spam");
+* **the seed/core size axis** — budgets swept from TrustRank-tiny to
+  mass-core-large.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..baselines.trustrank import trustrank, trustrank_detector
+from ..core.detector import MassDetector
+from .metrics import detection_metrics
+from .results import TableResult
+
+__all__ = ["demotion_quality", "run_trustrank_study"]
+
+
+def demotion_quality(
+    ranking: np.ndarray, spam_mask: np.ndarray, top_k: int
+) -> float:
+    """Spam share of the top ``top_k`` of a ranking (lower = better
+    cleansing of top results, the TrustRank objective)."""
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+    top = ranking[:top_k]
+    return float(spam_mask[top].mean())
+
+
+def run_trustrank_study(
+    ctx,
+    budgets: Sequence[int] = (20, 100, 500),
+    *,
+    top_k: int = 100,
+    tau: float = 0.98,
+) -> TableResult:
+    """Sweep TrustRank seed budgets against mass-based detection.
+
+    ``ctx`` is a :class:`~repro.eval.experiment.ReproductionContext`.
+    The oracle answering TrustRank's seed-inspection queries is the
+    world's ground truth (the realistic upper bound for TrustRank).
+    """
+    world = ctx.world
+    graph = ctx.graph
+    spam_mask = world.spam_mask
+    eligible = ctx.eligible_mask
+
+    pagerank_ranking = np.argsort(-ctx.estimates.pagerank, kind="stable")
+    baseline_topk_spam = demotion_quality(
+        pagerank_ranking, spam_mask, top_k
+    )
+
+    rows: List[list] = [
+        [
+            "PageRank (no defense)",
+            "-",
+            round(baseline_topk_spam, 3),
+            "-",
+            "-",
+        ]
+    ]
+    for budget in budgets:
+        result = trustrank(
+            graph,
+            lambda node: not spam_mask[node],
+            seed_budget=budget,
+        )
+        trust_ranking = np.argsort(-result.trust, kind="stable")
+        topk_spam = demotion_quality(trust_ranking, spam_mask, top_k)
+        detector_mask = trustrank_detector(
+            graph, result.trust, ctx.estimates.pagerank, rho=ctx.rho
+        )
+        metrics = detection_metrics(
+            detector_mask, spam_mask, restrict_to=eligible
+        )
+        rows.append(
+            [
+                f"TrustRank, budget {budget}",
+                len(result.seed),
+                round(topk_spam, 3),
+                round(metrics["precision"], 3),
+                round(metrics["recall"], 3),
+            ]
+        )
+    mass_result = MassDetector(tau=tau, rho=ctx.rho).detect(ctx.estimates)
+    mass_metrics = detection_metrics(
+        mass_result.candidate_mask, spam_mask, restrict_to=eligible
+    )
+    anomalous = np.zeros(world.num_nodes, dtype=bool)
+    anomalous[world.anomalous_nodes()] = True
+    repaired_metrics = detection_metrics(
+        mass_result.candidate_mask,
+        spam_mask,
+        restrict_to=eligible & ~anomalous,
+    )
+    # mass-based "demotion": rank by PageRank with candidates removed
+    demoted = pagerank_ranking[
+        ~mass_result.candidate_mask[pagerank_ranking]
+    ]
+    rows.append(
+        [
+            f"spam mass (tau={tau})",
+            len(ctx.core),
+            round(demotion_quality(demoted, spam_mask, top_k), 3),
+            round(mass_metrics["precision"], 3),
+            round(mass_metrics["recall"], 3),
+        ]
+    )
+    rows.append(
+        [
+            f"spam mass (tau={tau}, anomalies repaired)",
+            len(ctx.core),
+            "-",
+            round(repaired_metrics["precision"], 3),
+            round(repaired_metrics["recall"], 3),
+        ]
+    )
+    return TableResult(
+        "A7",
+        "TrustRank vs spam mass: demotion and detection (Section 5)",
+        [
+            "method",
+            "seed/core size",
+            f"spam in top-{top_k}",
+            "det. precision",
+            "det. recall",
+        ],
+        rows,
+        notes=[
+            "TrustRank cleanses top rankings even with tiny seeds "
+            "(its job: demotion); mass-based candidate removal only "
+            "demotes what it detects — the methods are complementary, "
+            "as the paper argues",
+            "mass detection's false positives are the anomalous good "
+            "communities; the 'anomalies repaired' row is its precision "
+            "after the Section 4.4.2 core-repair workflow",
+        ],
+    )

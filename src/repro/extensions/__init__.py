@@ -1,0 +1,14 @@
+"""Extensions beyond the paper's evaluated system: the future-work
+ideas Section 6 sketches, made executable."""
+
+from .content import (
+    ContentModel,
+    content_filter,
+    run_content_filter_experiment,
+)
+
+__all__ = [
+    "ContentModel",
+    "content_filter",
+    "run_content_filter_experiment",
+]

@@ -1,0 +1,83 @@
+"""Web-graph substrate: model, construction, I/O and structural ops.
+
+This package implements the web-graph model of Section 2.1 of the paper
+(directed, unweighted, no self-links, any granularity — we work at host
+level, like the paper's experiments) plus the supporting machinery the
+rest of the library builds on.
+"""
+
+from .builder import GraphBuilder
+from .collapse import CollapseResult, collapse_by_key, collapse_page_graph
+from .components import (
+    component_sizes,
+    largest_component,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from .hosts import HostName, HostRegistry, clean_url, parse_host
+from .io import (
+    read_edge_list,
+    read_npz,
+    read_graph_bundle,
+    read_host_list,
+    read_labels,
+    read_scores,
+    write_edge_list,
+    write_graph_bundle,
+    write_npz,
+    write_host_list,
+    write_labels,
+    write_scores,
+)
+from .ops import (
+    adjacency_matrix,
+    degree_histogram,
+    merge_graphs,
+    reachable_from,
+    reaches,
+    remove_nodes,
+    subgraph,
+    from_networkx,
+    to_networkx,
+    transition_matrix,
+)
+from .webgraph import GraphStats, WebGraph
+
+__all__ = [
+    "WebGraph",
+    "GraphStats",
+    "GraphBuilder",
+    "HostName",
+    "HostRegistry",
+    "parse_host",
+    "clean_url",
+    "transition_matrix",
+    "adjacency_matrix",
+    "subgraph",
+    "remove_nodes",
+    "reachable_from",
+    "reaches",
+    "degree_histogram",
+    "merge_graphs",
+    "to_networkx",
+    "from_networkx",
+    "CollapseResult",
+    "collapse_by_key",
+    "collapse_page_graph",
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "component_sizes",
+    "largest_component",
+    "read_edge_list",
+    "write_edge_list",
+    "read_npz",
+    "write_npz",
+    "read_host_list",
+    "write_host_list",
+    "read_labels",
+    "write_labels",
+    "read_scores",
+    "write_scores",
+    "read_graph_bundle",
+    "write_graph_bundle",
+]

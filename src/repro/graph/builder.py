@@ -1,0 +1,181 @@
+"""Incremental construction of :class:`~repro.graph.webgraph.WebGraph`.
+
+The synthetic-world generators (``repro.synth``) assemble graphs edge by
+edge: first the reputable web core, then spam farms, hijacked links and
+community structures layered on top.  :class:`GraphBuilder` supports this
+incremental style, applying the paper's host-graph conventions on the
+fly:
+
+* self-links are silently dropped (the model of Section 2.1 disallows
+  them);
+* duplicate edges are collapsed into a single unweighted link, the way
+  the Yahoo! host graph collapses all page-level hyperlinks between two
+  hosts (Section 4.1);
+* nodes may be registered by name, in which case ids are assigned in
+  registration order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .webgraph import WebGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable accumulator that produces an immutable :class:`WebGraph`.
+
+    Examples
+    --------
+    >>> b = GraphBuilder()
+    >>> g0 = b.add_node("g0.example.com")
+    >>> g1 = b.add_node("g1.example.com")
+    >>> b.add_edge(g0, g1)
+    True
+    >>> graph = b.build()
+    >>> graph.num_edges
+    1
+    """
+
+    def __init__(self, num_nodes: int = 0) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self._num_nodes = num_nodes
+        self._sources: List[int] = []
+        self._dests: List[int] = []
+        self._names: Dict[int, str] = {}
+        self._name_to_id: Dict[str, int] = {}
+        self._edge_set: Optional[Set[Tuple[int, int]]] = set()
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes registered so far."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct edges added so far."""
+        if self._edge_set is not None:
+            return len(self._edge_set)
+        return len(set(zip(self._sources, self._dests)))
+
+    def add_node(self, name: Optional[str] = None) -> int:
+        """Register a new node and return its id.
+
+        When ``name`` is given it must be unique; re-registering an
+        existing name raises ``ValueError`` (use :meth:`node_id` to look
+        names up instead).
+        """
+        if name is not None:
+            if name in self._name_to_id:
+                raise ValueError(f"node name {name!r} already registered")
+            self._name_to_id[name] = self._num_nodes
+            self._names[self._num_nodes] = name
+        node = self._num_nodes
+        self._num_nodes += 1
+        return node
+
+    def add_nodes(self, count: int) -> range:
+        """Register ``count`` anonymous nodes; return their id range."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = self._num_nodes
+        self._num_nodes += count
+        return range(start, self._num_nodes)
+
+    def node_id(self, name: str) -> int:
+        """Return the id of a previously registered named node."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise KeyError(f"unknown node name {name!r}") from None
+
+    def ensure_node(self, name: str) -> int:
+        """Return the id for ``name``, registering it if necessary."""
+        if name in self._name_to_id:
+            return self._name_to_id[name]
+        return self.add_node(name)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+
+    def add_edge(self, source: int, dest: int) -> bool:
+        """Add the directed edge ``(source, dest)``.
+
+        Returns ``True`` when a new edge was recorded, ``False`` when the
+        edge was a self-link or a duplicate (both are ignored, matching
+        the unweighted host-graph model).
+        """
+        self._check(source)
+        self._check(dest)
+        if source == dest:
+            return False
+        if self._edge_set is not None:
+            if (source, dest) in self._edge_set:
+                return False
+            self._edge_set.add((source, dest))
+        self._sources.append(source)
+        self._dests.append(dest)
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Add many edges; return the number actually recorded."""
+        added = 0
+        for source, dest in edges:
+            if self.add_edge(source, dest):
+                added += 1
+        return added
+
+    def add_bidirectional(self, a: int, b: int) -> int:
+        """Add both ``(a, b)`` and ``(b, a)``; return how many were new."""
+        return int(self.add_edge(a, b)) + int(self.add_edge(b, a))
+
+    def has_edge(self, source: int, dest: int) -> bool:
+        """Return ``True`` when ``(source, dest)`` was already added."""
+        if self._edge_set is None:
+            return (source, dest) in set(zip(self._sources, self._dests))
+        return (source, dest) in self._edge_set
+
+    def disable_dedup_tracking(self) -> None:
+        """Drop the in-memory edge set to save RAM on huge builds.
+
+        Duplicate collapsing still happens in :meth:`build` (inside
+        ``WebGraph.from_edges``); only the incremental ``has_edge`` /
+        duplicate-skip bookkeeping is disabled.
+        """
+        self._edge_set = None
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self._num_nodes):
+            raise IndexError(
+                f"node {node} not registered (have {self._num_nodes} nodes)"
+            )
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+
+    def build(self) -> WebGraph:
+        """Freeze the accumulated structure into a :class:`WebGraph`."""
+        if self._names:
+            names: Optional[List[str]] = [
+                self._names.get(i, f"node{i}") for i in range(self._num_nodes)
+            ]
+        else:
+            names = None
+        edges = np.column_stack(
+            (
+                np.asarray(self._sources, dtype=np.int64),
+                np.asarray(self._dests, dtype=np.int64),
+            )
+        ) if self._sources else np.empty((0, 2), dtype=np.int64)
+        return WebGraph.from_edges(self._num_nodes, edges, names)

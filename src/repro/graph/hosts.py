@@ -1,0 +1,224 @@
+"""Host-name machinery for the host-level web graph.
+
+Section 4 of the paper works at host granularity: a host name is the part
+of the URL between ``http://`` and the first ``/``.  The good core of
+Section 4.2 is assembled from host families recognised by name —
+``.gov`` hosts, educational hosts, hosts listed in a directory — and the
+anomaly analysis of Section 4.4.1 groups hosts by domain suffix
+(``.alibaba.com``, ``.blogger.com.br``, ``.pl``).  This module provides
+the name parsing and registry that those steps need.
+
+No DNS or alias detection is performed, matching the paper (which counts
+``www-cs.stanford.edu`` and ``cs.stanford.edu`` as distinct hosts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "HostName",
+    "HostRegistry",
+    "parse_host",
+    "clean_url",
+]
+
+# Country-code second-level domains that behave like TLD suffixes, so the
+# registrable domain of e.g. ``blogA.blogger.com.br`` is ``blogger.com.br``.
+_COMPOSITE_SUFFIXES = frozenset(
+    {
+        "com.br",
+        "com.cn",
+        "com.au",
+        "co.uk",
+        "ac.uk",
+        "gov.uk",
+        "co.jp",
+        "ac.jp",
+        "edu.cn",
+        "edu.pl",
+        "com.pl",
+        "edu.it",
+        "gov.it",
+    }
+)
+
+
+class HostName:
+    """A parsed host name.
+
+    Attributes
+    ----------
+    raw:
+        The host name exactly as given (lower-cased).
+    labels:
+        The dot-separated labels, left to right.
+    tld:
+        The top-level domain (last label), e.g. ``"br"``.
+    suffix:
+        The effective public suffix: either the TLD or a recognised
+        composite suffix such as ``"com.br"``.
+    domain:
+        The registrable domain: suffix plus one label, e.g.
+        ``"blogger.com.br"`` or ``"alibaba.com"``.
+    """
+
+    __slots__ = ("raw", "labels", "tld", "suffix", "domain")
+
+    def __init__(self, raw: str) -> None:
+        raw = raw.strip().lower().rstrip(".")
+        if not raw:
+            raise ValueError("empty host name")
+        if any(not label for label in raw.split(".")):
+            raise ValueError(f"malformed host name {raw!r}")
+        self.raw = raw
+        self.labels = tuple(raw.split("."))
+        self.tld = self.labels[-1]
+        if len(self.labels) >= 2:
+            two = ".".join(self.labels[-2:])
+            self.suffix = two if two in _COMPOSITE_SUFFIXES else self.tld
+        else:
+            self.suffix = self.tld
+        suffix_labels = self.suffix.count(".") + 1
+        if len(self.labels) > suffix_labels:
+            self.domain = ".".join(self.labels[-(suffix_labels + 1) :])
+        else:
+            self.domain = self.raw
+
+    def is_subdomain_of(self, domain: str) -> bool:
+        """Return ``True`` if this host is within ``domain`` (inclusive)."""
+        domain = domain.strip().lower().strip(".")
+        return self.raw == domain or self.raw.endswith("." + domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HostName({self.raw!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, HostName):
+            return self.raw == other.raw
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.raw)
+
+
+def parse_host(name: str) -> HostName:
+    """Parse ``name`` into a :class:`HostName`."""
+    return HostName(name)
+
+
+def clean_url(url: str) -> Optional[str]:
+    """Extract a host name from a URL, per the paper's definition.
+
+    Returns the part between the scheme and the first ``/``, lower-cased,
+    with ports and credentials stripped; ``None`` when no plausible host
+    can be extracted (the paper's core construction "cleaned" incorrect
+    and broken URLs the same way).
+    """
+    url = url.strip()
+    if not url:
+        return None
+    lowered = url.lower()
+    for scheme in ("http://", "https://"):
+        if lowered.startswith(scheme):
+            url = url[len(scheme) :]
+            break
+    host = url.split("/", 1)[0]
+    if "@" in host:  # credentials
+        host = host.rsplit("@", 1)[1]
+    if ":" in host:  # port
+        host = host.split(":", 1)[0]
+    host = host.strip().lower().rstrip(".")
+    if not host or "." not in host:
+        return None
+    if any(not label for label in host.split(".")):
+        return None
+    if any(c in host for c in " \t\r\n?#"):
+        return None
+    return host
+
+
+class HostRegistry:
+    """Bidirectional mapping between host names and node ids.
+
+    The registry is the naming layer on top of a :class:`WebGraph`: the
+    synthetic-world generators register every host they create, and the
+    good-core builder then selects hosts by suffix or domain
+    (e.g. "all ``.gov`` hosts", "all hosts of educational institutions").
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._ids: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def register(self, name: str) -> int:
+        """Register ``name`` and return its node id (must be new)."""
+        key = name.strip().lower()
+        if key in self._ids:
+            raise ValueError(f"host {name!r} already registered")
+        node = len(self._names)
+        self._names.append(key)
+        self._ids[key] = node
+        return node
+
+    def register_all(self, names: Iterable[str]) -> List[int]:
+        """Register many hosts; return their ids in order."""
+        return [self.register(name) for name in names]
+
+    def id_of(self, name: str) -> int:
+        """Node id of ``name`` (raises ``KeyError`` when unknown)."""
+        return self._ids[name.strip().lower()]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.strip().lower() in self._ids
+
+    def name_of(self, node: int) -> str:
+        """Host name of node id ``node``."""
+        return self._names[node]
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, in id order."""
+        return tuple(self._names)
+
+    def iter_ids(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(range(len(self._names)))
+
+    # ------------------------------------------------------------------
+    # suffix / domain selection (core construction, anomaly analysis)
+    # ------------------------------------------------------------------
+
+    def with_suffix(self, suffix: str) -> List[int]:
+        """Ids of hosts whose name ends in ``suffix`` (e.g. ``".gov"``).
+
+        A leading dot is implied: ``with_suffix("gov")`` matches
+        ``www.nasa.gov`` but not ``notgov``.
+        """
+        suffix = suffix.strip().lower().lstrip(".")
+        dotted = "." + suffix
+        return [
+            i
+            for i, name in enumerate(self._names)
+            if name.endswith(dotted) or name == suffix
+        ]
+
+    def in_domain(self, domain: str) -> List[int]:
+        """Ids of hosts inside ``domain`` (inclusive of the apex host)."""
+        domain = domain.strip().lower().strip(".")
+        dotted = "." + domain
+        return [
+            i
+            for i, name in enumerate(self._names)
+            if name == domain or name.endswith(dotted)
+        ]
+
+    def domains(self) -> Dict[str, List[int]]:
+        """Group all hosts by registrable domain."""
+        groups: Dict[str, List[int]] = {}
+        for i, name in enumerate(self._names):
+            domain = HostName(name).domain
+            groups.setdefault(domain, []).append(i)
+        return groups

@@ -1,0 +1,205 @@
+"""Structural operations on :class:`~repro.graph.webgraph.WebGraph`.
+
+These are the graph-level utilities that the spam-mass pipeline and the
+synthetic-world generators lean on: building the (sub)stochastic
+transition matrix of Section 2.2, taking subgraphs, BFS reachability for
+walk-based contribution checks, and degree-distribution extraction for
+the Section 4.1 / Figure 6 style analyses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .webgraph import WebGraph
+
+__all__ = [
+    "transition_matrix",
+    "adjacency_matrix",
+    "subgraph",
+    "remove_nodes",
+    "reachable_from",
+    "reaches",
+    "degree_histogram",
+    "merge_graphs",
+    "to_networkx",
+    "from_networkx",
+]
+
+
+def transition_matrix(graph: WebGraph) -> sparse.csr_matrix:
+    """Return the substochastic transition matrix ``T`` of Section 2.2.
+
+    ``T[x, y] = 1 / out(x)`` when ``(x, y) ∈ E`` and 0 otherwise.  Rows of
+    dangling nodes are all zero (T is substochastic, not stochastic); the
+    linear PageRank formulation of the paper works directly with this
+    matrix, no dangling patch needed.
+    """
+    n = graph.num_nodes
+    out_deg = graph.out_degree().astype(np.float64)
+    inv = np.zeros(n, dtype=np.float64)
+    nonzero = out_deg > 0
+    inv[nonzero] = 1.0 / out_deg[nonzero]
+    data = np.repeat(inv, graph.out_degree())
+    return sparse.csr_matrix(
+        (data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n)
+    )
+
+
+def adjacency_matrix(graph: WebGraph) -> sparse.csr_matrix:
+    """Return the 0/1 adjacency matrix ``A`` with ``A[x, y] = 1`` iff
+    ``(x, y) ∈ E``."""
+    n = graph.num_nodes
+    data = np.ones(graph.num_edges, dtype=np.float64)
+    return sparse.csr_matrix(
+        (data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n)
+    )
+
+
+def subgraph(graph: WebGraph, nodes: Sequence[int]) -> Tuple[WebGraph, np.ndarray]:
+    """Return the induced subgraph on ``nodes`` and the id mapping.
+
+    The second return value maps new ids to old ids
+    (``mapping[new_id] == old_id``).  Node order follows ``nodes``;
+    duplicates are rejected.
+    """
+    nodes_arr = np.asarray(nodes, dtype=np.int64)
+    if len(np.unique(nodes_arr)) != len(nodes_arr):
+        raise ValueError("duplicate node ids in subgraph selection")
+    old_to_new = -np.ones(graph.num_nodes, dtype=np.int64)
+    old_to_new[nodes_arr] = np.arange(len(nodes_arr))
+    edges = []
+    for new_u, old_u in enumerate(nodes_arr):
+        for old_v in graph.out_neighbors(int(old_u)):
+            new_v = old_to_new[old_v]
+            if new_v >= 0:
+                edges.append((new_u, int(new_v)))
+    names = None
+    if graph.names is not None:
+        names = [graph.names[int(old)] for old in nodes_arr]
+    return WebGraph.from_edges(len(nodes_arr), edges, names), nodes_arr
+
+
+def remove_nodes(graph: WebGraph, nodes: Iterable[int]) -> Tuple[WebGraph, np.ndarray]:
+    """Return the graph with ``nodes`` deleted, plus the id mapping.
+
+    Used e.g. to measure the PageRank a target *would* have in the
+    absence of its spam farm (the link-contribution argument around
+    Figure 1).
+    """
+    drop = set(int(x) for x in nodes)
+    keep = [x for x in range(graph.num_nodes) if x not in drop]
+    return subgraph(graph, keep)
+
+
+def reachable_from(graph: WebGraph, sources: Iterable[int]) -> np.ndarray:
+    """Boolean mask of nodes reachable from ``sources`` by directed walks.
+
+    Sources themselves are included (the zero-length virtual circuit of
+    Section 3.2 means every node contributes to itself).
+    """
+    seen = np.zeros(graph.num_nodes, dtype=bool)
+    queue = deque()
+    for s in sources:
+        s = int(s)
+        if not seen[s]:
+            seen[s] = True
+            queue.append(s)
+    while queue:
+        x = queue.popleft()
+        for y in graph.out_neighbors(x):
+            if not seen[y]:
+                seen[y] = True
+                queue.append(int(y))
+    return seen
+
+
+def reaches(graph: WebGraph, targets: Iterable[int]) -> np.ndarray:
+    """Boolean mask of nodes from which some node in ``targets`` is
+    reachable (reverse reachability)."""
+    return reachable_from(graph.transpose(), targets)
+
+
+def degree_histogram(
+    degrees: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(degree_values, counts)`` for a degree vector.
+
+    Zero-count degrees are omitted, giving the sparse log-log-ready
+    histogram used in power-law analyses (Fetterly-style baselines,
+    Figure 6 analogues).
+    """
+    degrees = np.asarray(degrees)
+    if degrees.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    values, counts = np.unique(degrees, return_counts=True)
+    return values.astype(np.int64), counts.astype(np.int64)
+
+
+def merge_graphs(
+    graphs: Sequence[WebGraph],
+    cross_edges: Sequence[Tuple[int, int, int, int]] = (),
+) -> Tuple[WebGraph, List[int]]:
+    """Disjoint-union several graphs, with optional cross edges.
+
+    ``cross_edges`` entries are ``(graph_a, node_a, graph_b, node_b)``
+    meaning a directed edge from node ``node_a`` of ``graphs[graph_a]``
+    to node ``node_b`` of ``graphs[graph_b]``.  Returns the merged graph
+    and the list of id offsets of each input graph.
+
+    This is how scenario composition glues the reputable web, spam
+    farms, and isolated communities together.
+    """
+    offsets: List[int] = []
+    total = 0
+    for g in graphs:
+        offsets.append(total)
+        total += g.num_nodes
+    edges: List[Tuple[int, int]] = []
+    for g, off in zip(graphs, offsets):
+        for u, v in g.edges():
+            edges.append((u + off, v + off))
+    for ga, na, gb, nb in cross_edges:
+        if not (0 <= ga < len(graphs) and 0 <= gb < len(graphs)):
+            raise IndexError("cross edge references unknown graph")
+        graphs[ga]._check_node(na)
+        graphs[gb]._check_node(nb)
+        edges.append((na + offsets[ga], nb + offsets[gb]))
+    names = None
+    if all(g.names is not None for g in graphs) and graphs:
+        names = [name for g in graphs for name in g.names]  # type: ignore[union-attr]
+    return WebGraph.from_edges(total, edges, names), offsets
+
+
+def to_networkx(graph: WebGraph):
+    """Convert to a :class:`networkx.DiGraph` (test/debug convenience)."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_nodes))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph) -> WebGraph:
+    """Build a :class:`WebGraph` from a :class:`networkx.DiGraph`.
+
+    Node labels may be arbitrary hashables; they are mapped to dense
+    ids in sorted-by-insertion order and kept as names when they are
+    strings.  Self-loops are dropped per the web-graph model.
+    """
+    nodes = list(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [
+        (index[u], index[v]) for u, v in nx_graph.edges() if u != v
+    ]
+    names = (
+        [str(node) for node in nodes]
+        if all(isinstance(node, str) for node in nodes) and nodes
+        else None
+    )
+    return WebGraph.from_edges(len(nodes), edges, names)

@@ -1,0 +1,65 @@
+"""Synthetic Yahoo!-like world: base host graph, good communities,
+anomalies, spam farms and good-core assembly (the stand-in for the
+paper's proprietary data set — see DESIGN.md section 2)."""
+
+from .assembler import GOOD, SPAM, SyntheticWorld, WorldAssembler
+from .communities import (
+    add_blog_community,
+    add_country_web,
+    add_directory,
+    add_edu_institutions,
+    add_good_clique,
+    add_gov_hosts,
+    add_portal_community,
+)
+from .goodcore import (
+    assemble_good_core,
+    core_coverage,
+    country_only_core,
+    repair_core,
+    subsample_core,
+)
+from .hostgraph import BaseWeb, BaseWebConfig, generate_base_web, sample_targets
+from .rng import RngStreams
+from .scenario import WorldConfig, build_world, default_good_core, true_gamma
+from .validation import assert_valid_world, validate_world
+from .spamfarm import (
+    SpamFarm,
+    add_expired_domain_spam,
+    add_farm_alliance,
+    add_spam_farm,
+)
+
+__all__ = [
+    "GOOD",
+    "SPAM",
+    "WorldAssembler",
+    "SyntheticWorld",
+    "RngStreams",
+    "BaseWebConfig",
+    "BaseWeb",
+    "generate_base_web",
+    "sample_targets",
+    "add_directory",
+    "add_gov_hosts",
+    "add_edu_institutions",
+    "add_portal_community",
+    "add_blog_community",
+    "add_country_web",
+    "add_good_clique",
+    "SpamFarm",
+    "add_spam_farm",
+    "add_farm_alliance",
+    "add_expired_domain_spam",
+    "assemble_good_core",
+    "subsample_core",
+    "country_only_core",
+    "repair_core",
+    "core_coverage",
+    "WorldConfig",
+    "build_world",
+    "default_good_core",
+    "true_gamma",
+    "validate_world",
+    "assert_valid_world",
+]

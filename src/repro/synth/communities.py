@@ -1,0 +1,456 @@
+"""Good-web communities: core families and the Section 4.4.1 anomalies.
+
+The paper's good core is assembled from three host families — a
+trustworthy web directory, US governmental hosts and worldwide
+educational hosts (Section 4.2) — and its false-positive post-mortem
+identifies three *anomaly* archetypes whose relative mass is high only
+because the core fails to cover them:
+
+* a huge single-domain community (Alibaba's ``*.alibaba.com`` hosts),
+* a large, decentralized blog community (``*.blogger.com.br``),
+* an under-covered national web (Poland, with only 12 Polish
+  educational hosts in the core, versus 4020 Czech ones).
+
+Plus one benign observation: *isolated cliques* of good hosts (gaming
+communities, web-design shops and their clients) that show moderate
+positive mass.
+
+This module generates all of these as labeled groups on top of the base
+web, so the evaluation harness can reproduce Figures 3–5 — including
+the gray "anomalous" bars and the core-repair experiment of
+Section 4.4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .assembler import GOOD, WorldAssembler
+from .hostgraph import BaseWeb, sample_targets
+
+__all__ = [
+    "add_directory",
+    "add_gov_hosts",
+    "add_edu_institutions",
+    "add_portal_community",
+    "add_blog_community",
+    "add_country_web",
+    "add_good_clique",
+]
+
+
+def _attach_inlinks(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    targets: np.ndarray,
+    count: int,
+) -> None:
+    """Add ``count`` links from random active base hosts to ``targets``
+    (popularity-weighted sources are unnecessary; any active host can
+    link out)."""
+    if count <= 0 or len(targets) == 0:
+        return
+    sources = rng.choice(base.active, size=count)
+    dests = rng.choice(targets, size=count)
+    assembler.add_edges(sources, dests)
+
+
+def _attach_outlinks(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    sources: np.ndarray,
+    count: int,
+    *,
+    uniform: bool = False,
+) -> None:
+    """Add ``count`` links from ``sources`` to base hosts.
+
+    Targets are popularity-weighted by default (citations go to the
+    visible head of the web); ``uniform=True`` spreads them evenly over
+    all linkable hosts instead — directories deliberately list obscure
+    sites too, which is what gives a directory-seeded core its breadth.
+    """
+    if count <= 0 or len(sources) == 0:
+        return
+    from_nodes = rng.choice(sources, size=count)
+    if uniform:
+        to_nodes = rng.choice(base.linkable, size=count)
+    else:
+        to_nodes = sample_targets(rng, base.linkable, base.popularity, count)
+    assembler.add_edges(from_nodes, to_nodes)
+
+
+def add_directory(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    size: int = 400,
+    *,
+    listings_per_host: int = 30,
+) -> np.ndarray:
+    """A small, spam-free web directory (core family #1).
+
+    Directory hosts form a shallow category tree (each links its parent
+    and children) and, crucially, link *out* to many reputable base
+    hosts — that is what makes a directory-seeded jump spread trust
+    through the good web.  They also receive inlinks from the base web.
+    """
+    if size < 2:
+        raise ValueError("directory needs at least 2 hosts")
+    names = [f"cat{i}.web-directory.org" for i in range(size)]
+    ids = assembler.add_hosts(names, GOOD)
+    # category tree: node i links to parent (i-1)//2 and vice versa
+    children = np.arange(1, size, dtype=np.int64)
+    parents = (children - 1) // 2
+    assembler.add_edges(ids[children], ids[parents])
+    assembler.add_edges(ids[parents], ids[children])
+    # listings: every directory host points at reputable base hosts;
+    # half the listings go to the popular head, half are spread
+    # uniformly (directories list obscure sites too — breadth is
+    # what makes the core cover the web)
+    _attach_outlinks(
+        assembler, rng, base, ids, size * listings_per_host // 2
+    )
+    _attach_outlinks(
+        assembler,
+        rng,
+        base,
+        ids,
+        size * listings_per_host // 2,
+        uniform=True,
+    )
+    # the directory is known and linked-to
+    _attach_inlinks(assembler, rng, base, ids, max(size // 2, 1))
+    assembler.mark("directory", ids)
+    return ids
+
+
+def add_gov_hosts(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    size: int = 1200,
+    *,
+    interlink_factor: float = 3.0,
+) -> np.ndarray:
+    """US governmental hosts (core family #2).
+
+    Agencies interlink heavily and are widely cited by the ordinary
+    web; they also link out to base hosts (press rooms, resources).
+    """
+    if size < 2:
+        raise ValueError("need at least 2 gov hosts")
+    names = [f"www.agency{i}.gov" for i in range(size)]
+    ids = assembler.add_hosts(names, GOOD)
+    num_internal = int(size * interlink_factor)
+    src = rng.choice(ids, size=num_internal)
+    dst = rng.choice(ids, size=num_internal)
+    keep = src != dst
+    assembler.add_edges(src[keep], dst[keep])
+    _attach_outlinks(assembler, rng, base, ids, size * 3)
+    _attach_inlinks(assembler, rng, base, ids, size * 2)
+    assembler.mark("gov", ids)
+    return ids
+
+
+def add_edu_institutions(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    countries: Dict[str, Tuple[int, int]],
+    *,
+    interlink_factor: float = 2.0,
+) -> Dict[str, np.ndarray]:
+    """Educational hosts of many countries (core family #3).
+
+    ``countries`` maps a country code (``"us"``, ``"cz"``, …) to
+    ``(num_institutions, mean_hosts_per_institution)``.  Hosts within an
+    institution interlink (department sites), institutions interlink
+    within and across countries (the international academic web), and
+    the surrounding base web both cites and is cited by them.
+
+    Returns the per-country id arrays; every host is also added to the
+    global ``"edu"`` group and to ``"edu:<cc>"``.
+    """
+    per_country: Dict[str, np.ndarray] = {}
+    for cc, (num_institutions, mean_hosts) in countries.items():
+        if num_institutions < 1 or mean_hosts < 1:
+            raise ValueError(f"invalid edu sizing for country {cc!r}")
+        suffix = ".edu" if cc == "us" else f".edu.{cc}"
+        country_ids: List[np.ndarray] = []
+        for inst in range(num_institutions):
+            count = max(1, int(rng.poisson(mean_hosts)))
+            names = [
+                (
+                    f"www.uni{inst}-{cc}{suffix}"
+                    if h == 0
+                    else f"dept{h}.uni{inst}-{cc}{suffix}"
+                )
+                for h in range(count)
+            ]
+            ids = assembler.add_hosts(names, GOOD)
+            # hub-and-spoke inside the institution: departments link the
+            # main host and back
+            if count > 1:
+                spokes = ids[1:]
+                assembler.add_edges(
+                    spokes, np.full(len(spokes), ids[0], dtype=np.int64)
+                )
+                assembler.add_edges(
+                    np.full(len(spokes), ids[0], dtype=np.int64), spokes
+                )
+            country_ids.append(ids)
+        all_ids = np.concatenate(country_ids)
+        # academic interlinking within the country
+        num_internal = int(len(all_ids) * interlink_factor)
+        if len(all_ids) > 1 and num_internal:
+            src = rng.choice(all_ids, size=num_internal)
+            dst = rng.choice(all_ids, size=num_internal)
+            keep = src != dst
+            assembler.add_edges(src[keep], dst[keep])
+        _attach_outlinks(assembler, rng, base, all_ids, len(all_ids) * 3)
+        _attach_inlinks(assembler, rng, base, all_ids, len(all_ids) * 2)
+        assembler.mark("edu", all_ids)
+        assembler.mark(f"edu:{cc}", all_ids)
+        per_country[cc] = all_ids
+    # international academic links
+    codes = [cc for cc in per_country if len(per_country[cc]) > 0]
+    if len(codes) > 1:
+        for cc in codes:
+            others = np.concatenate(
+                [per_country[other] for other in codes if other != cc]
+            )
+            count = max(len(per_country[cc]) // 4, 1)
+            src = rng.choice(per_country[cc], size=count)
+            dst = rng.choice(others, size=count)
+            assembler.add_edges(src, dst)
+    return per_country
+
+
+def add_portal_community(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    domain: str = "megaportal.com",
+    num_hosts: int = 800,
+    *,
+    num_hubs: int = 8,
+    external_inlinks: int = 6,
+    member_links: int = 2,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A huge single-domain community (the Alibaba analogue).
+
+    One registrable domain with very many subdomain hosts: a few *hub*
+    hosts (``www.``, regional portals) that everything links to, dense
+    member↔hub linking, sparse member↔member links, and only a
+    trickle of inlinks from the outside web.  All hosts are good, but
+    with the community absent from the good core their PageRank is
+    self-sourced (uniform jumps of many members), so estimated relative
+    mass comes out high — the Figure 3 gray-bar anomaly.
+
+    Returns ``(all_ids, hub_ids)``.  The Section 4.4.2 repair experiment
+    adds the hubs to the core and watches the members' mass collapse.
+    """
+    if num_hosts < num_hubs + 1:
+        raise ValueError("num_hosts must exceed num_hubs")
+    hub_labels = ["www", "china", "en", "trade", "shop", "news", "mail",
+                  "search", "forum", "help", "dev", "m"]
+    names = [f"{hub_labels[i % len(hub_labels)]}{i // len(hub_labels) or ''}"
+             f".{domain}" for i in range(num_hubs)]
+    names += [f"member{i}.{domain}" for i in range(num_hosts - num_hubs)]
+    ids = assembler.add_hosts(names, GOOD)
+    hubs = ids[:num_hubs]
+    members = ids[num_hubs:]
+    # members ↔ hubs: every member links (and is linked from) two
+    # hubs — portal navigation touches the www host plus a regional
+    # hub.  The hubs being on every member's path is what makes the
+    # Section 4.4.2 repair work: adding the few hubs to the core
+    # re-covers the whole community.
+    for _ in range(2):
+        hub_choice = rng.choice(hubs, size=len(members))
+        assembler.add_edges(members, hub_choice)
+        assembler.add_edges(hub_choice, members)
+    # hubs interlink fully
+    for h in hubs:
+        others = hubs[hubs != h]
+        assembler.add_edges(np.full(len(others), h, dtype=np.int64), others)
+    # sparse member ↔ member
+    num_member_links = len(members) * member_links
+    src = rng.choice(members, size=num_member_links)
+    dst = rng.choice(members, size=num_member_links)
+    keep = src != dst
+    assembler.add_edges(src[keep], dst[keep])
+    # a trickle of external citations (weak connection to the web)
+    _attach_inlinks(assembler, rng, base, hubs, external_inlinks)
+    # the portal cites the outside web normally — isolation is one-way:
+    # outlinks exist, inlinks are what the community lacks
+    _attach_outlinks(assembler, rng, base, members, len(members) // 2)
+    _attach_outlinks(assembler, rng, base, hubs, num_hubs * 2)
+    assembler.mark(f"portal:{domain}", ids)
+    assembler.mark(f"portal:{domain}:hubs", hubs)
+    assembler.mark("anomalous", ids)
+    return ids, hubs
+
+
+def add_blog_community(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    suffix: str = "blogger.com.br",
+    num_hosts: int = 900,
+    *,
+    blogroll_links: int = 3,
+    external_inlinks: int = 4,
+) -> np.ndarray:
+    """A large decentralized blog community (the ``blogger.com.br``
+    analogue).
+
+    Many small hosts under one suffix, connected by random blogroll
+    links with *no* central reputable hubs — which is exactly why the
+    paper found this anomaly hard to repair: there is no short list of
+    hosts whose inclusion in the core would cover the community.
+    """
+    if num_hosts < 2:
+        raise ValueError("need at least 2 blog hosts")
+    names = [f"blog{i}.{suffix}" for i in range(num_hosts)]
+    ids = assembler.add_hosts(names, GOOD)
+    num_links = num_hosts * blogroll_links
+    src = rng.choice(ids, size=num_links)
+    dst = rng.choice(ids, size=num_links)
+    keep = src != dst
+    assembler.add_edges(src[keep], dst[keep])
+    _attach_inlinks(assembler, rng, base, ids, external_inlinks)
+    # bloggers link the outside web liberally; the community's problem
+    # is that nothing reputable links back
+    _attach_outlinks(assembler, rng, base, ids, len(ids))
+    assembler.mark("blogs", ids)
+    assembler.mark("anomalous", ids)
+    return ids
+
+
+def add_country_web(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    cc: str,
+    num_hosts: int,
+    *,
+    num_edu_hosts: int = 60,
+    mean_outdegree: float = 5.0,
+    cross_links: Optional[int] = None,
+    anomalous: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A national web community under one ccTLD (the Poland/Czech
+    analogues).
+
+    A self-contained national web: ordinary ``.<cc>`` hosts linking
+    preferentially among themselves, a contingent of national
+    educational hosts (added to ``"edu:<cc>"``, so the good-core builder
+    can include many — Czech-style coverage — or almost none —
+    Polish-style), and a modest number of cross links to and from the
+    global base web.
+
+    Mark ``anomalous=True`` for the under-covered country whose good
+    hosts are expected to surface as high-mass false positives.
+
+    Returns ``(all_ids, edu_ids)``.
+    """
+    if num_hosts < num_edu_hosts + 2:
+        raise ValueError("num_hosts must exceed num_edu_hosts")
+    if cross_links is None:
+        cross_links = max(num_hosts // 12, 10)
+    ordinary = [f"www.firma{i}.{cc}" for i in range(num_hosts - num_edu_hosts)]
+    edu = [
+        (f"www.uni{i}.edu.{cc}" if i % 3 == 0 else f"dept{i}.uni{i // 3}.edu.{cc}")
+        for i in range(num_edu_hosts)
+    ]
+    ordinary_ids = assembler.add_hosts(ordinary, GOOD)
+    edu_ids = assembler.add_hosts(edu, GOOD)
+    ids = np.concatenate([ordinary_ids, edu_ids])
+    # internal national web: preferential attachment within the country
+    popularity = rng.zipf(1.8, size=len(ids)).astype(np.float64)
+    num_links = int(len(ids) * mean_outdegree)
+    src = rng.choice(ids, size=num_links)
+    dst = sample_targets(rng, ids, popularity, num_links)
+    keep = src != dst
+    assembler.add_edges(src[keep], dst[keep])
+    # the national web cites its universities
+    uni_links = max(num_edu_hosts * 3, 1)
+    assembler.add_edges(
+        rng.choice(ordinary_ids, size=uni_links),
+        rng.choice(edu_ids, size=uni_links),
+    )
+    # cross links with the global web: the national web cites the
+    # global one freely, but is cited back more rarely
+    _attach_inlinks(assembler, rng, base, ids, cross_links)
+    _attach_outlinks(assembler, rng, base, ids, cross_links * 3)
+    assembler.mark(f"country:{cc}", ids)
+    assembler.mark("edu", edu_ids)
+    assembler.mark(f"edu:{cc}", edu_ids)
+    if anomalous:
+        assembler.mark("anomalous", ids)
+    return ids, edu_ids
+
+
+def add_good_clique(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    size: int = 20,
+    *,
+    tag: str = "clique:0",
+    hub_and_clients: bool = True,
+    external_inlinks: int = 0,
+) -> np.ndarray:
+    """An isolated clique of good hosts (Section 4.4.3, observation 1).
+
+    Two honest shapes the paper found among positive-mass good hosts:
+    a web-design/hosting company whose clients link to it and it links
+    back (``hub_and_clients=True``), or an online-gaming community with
+    dense mutual links (``False``).  Few or no external links point in,
+    so the members' PageRank is self-sourced and their estimated mass
+    is positive despite being good.
+    """
+    if size < 2:
+        raise ValueError("a clique needs at least 2 hosts")
+    slug = tag.replace(":", "-")
+    names = [f"www.{slug}-member{i}.com" for i in range(size)]
+    ids = assembler.add_hosts(names, GOOD)
+    if hub_and_clients:
+        hub = ids[0]
+        clients = ids[1:]
+        assembler.add_edges(
+            clients, np.full(len(clients), hub, dtype=np.int64)
+        )
+        assembler.add_edges(
+            np.full(len(clients), hub, dtype=np.int64), clients
+        )
+    else:
+        # dense mutual linking
+        for i in ids:
+            others = ids[ids != i]
+            pick = rng.choice(
+                others, size=min(len(others), 6), replace=False
+            )
+            assembler.add_edges(np.full(len(pick), i, dtype=np.int64), pick)
+    # the few external links a clique does attract land on its most
+    # visible member and come from visible (popularity-weighted,
+    # core-reachable) hosts — the clique is weakly connected, not
+    # disconnected, so its relative mass is high but below saturation
+    if external_inlinks > 0:
+        sources = sample_targets(
+            rng,
+            base.connected,
+            base.connected_popularity,
+            external_inlinks,
+        )
+        assembler.add_edges(
+            sources, np.full(len(sources), ids[0], dtype=np.int64)
+        )
+    assembler.mark(tag, ids)
+    assembler.mark("cliques", ids)
+    return ids

@@ -1,0 +1,319 @@
+"""Synthetic base web: a scaled-down stand-in for the Yahoo! host graph.
+
+**Substitution note (DESIGN.md §2).**  The paper's experiments run on a
+proprietary 2004 Yahoo! crawl of 73.3 million hosts and 979 million
+host-level edges.  This generator produces a host graph that matches
+the *structural statistics the method depends on* at laptop scale:
+
+* the degree-class composition of Section 4.1 — 25.8% isolated hosts,
+  66.4% without outlinks, 35% without inlinks (defaults; configurable);
+* heavy-tailed out-degrees for the crawled/active hosts;
+* preferential-attachment in-links, yielding power-law in-degree and
+  PageRank distributions (Section 4.3 reports 91.1% of hosts below
+  twice the minimum scaled PageRank);
+* synthetic but realistic host names over a TLD mix, so the name-based
+  good-core assembly of Section 4.2 has something to select on.
+
+Spam farms and special communities are *not* generated here — they are
+layered on by :mod:`repro.synth.spamfarm` and
+:mod:`repro.synth.communities` so that ground truth stays attributable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .assembler import GOOD, WorldAssembler
+
+__all__ = ["BaseWebConfig", "BaseWeb", "generate_base_web", "sample_targets"]
+
+_TLDS = (".com", ".org", ".net", ".info", ".biz", ".us", ".co.uk", ".de")
+_TLD_WEIGHTS = (0.52, 0.12, 0.10, 0.06, 0.04, 0.06, 0.05, 0.05)
+
+
+class BaseWebConfig:
+    """Parameters of the base-web generator.
+
+    Defaults reproduce the Section 4.1 class fractions.  ``num_hosts``
+    is the only size knob; everything else scales with it.
+
+    Attributes
+    ----------
+    num_hosts:
+        Total number of base hosts (the paper: 73.3M; tests: tens of
+        thousands).
+    frac_isolated:
+        Hosts with neither inlinks nor outlinks (paper: 0.258).
+    frac_no_outlinks:
+        Hosts without outlinks, *including* the isolated ones
+        (paper: 0.664).
+    frac_no_inlinks:
+        Hosts without inlinks, *including* the isolated ones
+        (paper: 0.35).
+    mean_outdegree:
+        Mean out-degree of hosts that have outlinks.  (The Yahoo! graph
+        averages ≈ 40; the default is lower to keep laptop runs brisk —
+        the mass-estimation behaviour is insensitive to it.)
+    outdegree_tail:
+        Zipf exponent of the out-degree tail (≥ ~2 keeps the mean
+        finite).
+    popularity_tail:
+        Zipf exponent of the target-popularity weights driving
+        preferential attachment (in-degree power law).
+    """
+
+    __slots__ = (
+        "num_hosts",
+        "frac_isolated",
+        "frac_no_outlinks",
+        "frac_no_inlinks",
+        "mean_outdegree",
+        "outdegree_tail",
+        "popularity_tail",
+    )
+
+    def __init__(
+        self,
+        num_hosts: int = 30_000,
+        *,
+        frac_isolated: float = 0.258,
+        frac_no_outlinks: float = 0.664,
+        frac_no_inlinks: float = 0.35,
+        mean_outdegree: float = 12.0,
+        outdegree_tail: float = 2.2,
+        popularity_tail: float = 1.7,
+    ) -> None:
+        if num_hosts < 100:
+            raise ValueError("num_hosts must be at least 100")
+        if not (0.0 <= frac_isolated < 1.0):
+            raise ValueError("frac_isolated must be in [0, 1)")
+        if frac_no_outlinks < frac_isolated or frac_no_inlinks < frac_isolated:
+            raise ValueError(
+                "no-outlink and no-inlink fractions include isolated hosts "
+                "and must be at least frac_isolated"
+            )
+        if frac_no_outlinks + frac_no_inlinks - frac_isolated >= 1.0:
+            raise ValueError(
+                "degree-class fractions leave no hosts with both inlinks "
+                "and outlinks"
+            )
+        if mean_outdegree < 1.0:
+            raise ValueError("mean_outdegree must be at least 1")
+        self.num_hosts = num_hosts
+        self.frac_isolated = frac_isolated
+        self.frac_no_outlinks = frac_no_outlinks
+        self.frac_no_inlinks = frac_no_inlinks
+        self.mean_outdegree = mean_outdegree
+        self.outdegree_tail = outdegree_tail
+        self.popularity_tail = popularity_tail
+
+
+class BaseWeb:
+    """Handle onto the generated base web inside the assembler.
+
+    Later generators use it to attach communities and farms to
+    plausible places: ``linkable`` hosts can receive new inlinks
+    (they are hosts that already have inlinks, so adding one does not
+    break class accounting), ``active`` hosts can emit new outlinks,
+    and ``popularity`` weights bias those attachments toward the head
+    of the web, the way real stray links concentrate on visible pages.
+    """
+
+    __slots__ = (
+        "all_ids",
+        "active",
+        "linkable",
+        "isolated",
+        "popularity",
+        "connected",
+        "connected_popularity",
+    )
+
+    def __init__(
+        self,
+        all_ids: np.ndarray,
+        active: np.ndarray,
+        linkable: np.ndarray,
+        isolated: np.ndarray,
+        popularity: np.ndarray,
+        connected: np.ndarray,
+        connected_popularity: np.ndarray,
+    ) -> None:
+        self.all_ids = all_ids
+        self.active = active
+        self.linkable = linkable
+        self.isolated = isolated
+        self.popularity = popularity  # aligned with `linkable`
+        self.connected = connected  # class A: both inlinks and outlinks
+        self.connected_popularity = connected_popularity  # aligned with it
+
+
+def _zipf_capped(
+    rng: np.random.Generator, a: float, size: int, cap: int
+) -> np.ndarray:
+    """Zipf draws with an upper cap (vectorized redraw loop)."""
+    values = rng.zipf(a, size=size)
+    for _ in range(64):
+        over = values > cap
+        if not over.any():
+            break
+        values[over] = rng.zipf(a, size=int(over.sum()))
+    values[values > cap] = cap
+    return values
+
+
+def _make_names(rng: np.random.Generator, count: int) -> List[str]:
+    """Synthetic host names over a mixed-TLD population."""
+    tld_idx = rng.choice(len(_TLDS), size=count, p=_TLD_WEIGHTS)
+    labels = rng.integers(0, 3, size=count)  # www / bare / sub
+    serials = np.arange(count)
+    names = []
+    for i in range(count):
+        base = f"site-{serials[i]}{_TLDS[tld_idx[i]]}"
+        if labels[i] == 0:
+            names.append(f"www.{base}")
+        elif labels[i] == 1:
+            names.append(base)
+        else:
+            names.append(f"sub{int(rng.integers(0, 9))}.{base}")
+    return names
+
+
+def sample_targets(
+    rng: np.random.Generator,
+    candidates: np.ndarray,
+    weights: np.ndarray,
+    size: int,
+) -> np.ndarray:
+    """Sample ``size`` target nodes proportional to ``weights``.
+
+    Uses cumulative-sum + searchsorted, which beats
+    ``Generator.choice(p=...)`` by a wide margin for repeated large
+    draws on big candidate sets.
+    """
+    if len(candidates) == 0:
+        raise ValueError("no candidates to sample from")
+    cumulative = np.cumsum(weights, dtype=np.float64)
+    picks = rng.random(size) * cumulative[-1]
+    return candidates[np.searchsorted(cumulative, picks)]
+
+
+def generate_base_web(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    config: Optional[BaseWebConfig] = None,
+) -> BaseWeb:
+    """Generate the base web into ``assembler``; returns a handle.
+
+    Degree classes (letters as in DESIGN.md):
+
+    * **A** — inlinks and outlinks (the connected crawl core),
+    * **B** — inlinks only (dangling hosts: uncrawled or extinct URLs),
+    * **C** — outlinks only (never-linked-to sources),
+    * **D** — fully isolated.
+
+    Class sizes follow from the three configured fractions.  All base
+    hosts are ground-truth good; spam is layered on separately.
+    """
+    if config is None:
+        config = BaseWebConfig()
+    n = config.num_hosts
+    num_d = int(round(config.frac_isolated * n))
+    num_b = int(round((config.frac_no_outlinks - config.frac_isolated) * n))
+    num_c = int(round((config.frac_no_inlinks - config.frac_isolated) * n))
+    num_a = n - num_b - num_c - num_d
+    if num_a <= 1:
+        raise ValueError("configuration leaves no connected core")
+
+    names = _make_names(rng, n)
+    ids = assembler.add_hosts(names, GOOD)
+    # shuffle class assignment so ids do not encode the class
+    shuffled = ids.copy()
+    rng.shuffle(shuffled)
+    class_a = np.sort(shuffled[:num_a])
+    class_b = np.sort(shuffled[num_a : num_a + num_b])
+    class_c = np.sort(shuffled[num_a + num_b : num_a + num_b + num_c])
+    class_d = np.sort(shuffled[num_a + num_b + num_c :])
+
+    active = np.concatenate([class_a, class_c])  # hosts that emit links
+    linkable = np.concatenate([class_a, class_b])  # hosts that receive
+    # preferential-attachment popularity: heavy-tailed weights
+    popularity = _zipf_capped(
+        rng, config.popularity_tail, len(linkable), cap=len(linkable)
+    ).astype(np.float64)
+
+    # out-degrees: 1 + capped-zipf shifted to the target mean
+    raw = _zipf_capped(
+        rng, config.outdegree_tail, len(active), cap=max(len(linkable) // 2, 2)
+    ).astype(np.float64)
+    scale = max((config.mean_outdegree - 1.0), 0.0) / max(raw.mean() - 1.0, 1e-9)
+    out_degrees = np.maximum(
+        1, np.round(1.0 + (raw - 1.0) * scale).astype(np.int64)
+    )
+
+    sources = np.repeat(active, out_degrees)
+    dests = sample_targets(rng, linkable, popularity, len(sources))
+    assembler.add_edges(sources, dests)
+
+    # fix-up: every A/B host must actually receive at least one inlink
+    # (sampling can miss tail hosts); link each miss from a random
+    # active host.  Self-links are dropped at build time, so they do
+    # not count as inlinks (or outlinks) here.
+    valid = sources != dests
+    got_inlink = np.zeros(assembler.num_nodes, dtype=bool)
+    got_inlink[dests[valid]] = True
+    missing = linkable[~got_inlink[linkable]]
+    if len(missing):
+        fix_sources = rng.choice(active, size=len(missing))
+        # avoid accidental self-links in the fix-up
+        clash = fix_sources == missing
+        while clash.any():
+            fix_sources[clash] = rng.choice(active, size=int(clash.sum()))
+            clash = fix_sources == missing
+        assembler.add_edges(fix_sources, missing)
+
+    # fix-up: every active host must keep at least one non-self outlink
+    has_outlink = np.zeros(assembler.num_nodes, dtype=bool)
+    has_outlink[sources[valid]] = True
+    silent = active[~has_outlink[active]]
+    if len(silent):
+        fix_dests = sample_targets(rng, linkable, popularity, len(silent))
+        clash = fix_dests == silent
+        while clash.any():
+            fix_dests[clash] = sample_targets(
+                rng, linkable, popularity, int(clash.sum())
+            )
+            clash = fix_dests == silent
+        assembler.add_edges(silent, fix_dests)
+
+    assembler.mark("base:all", ids)
+    assembler.mark("base:active", active)
+    assembler.mark("base:linkable", linkable)
+    assembler.mark("base:isolated", class_d)
+    assembler.note(
+        "base_web",
+        {
+            "num_hosts": n,
+            "class_sizes": {
+                "A": int(num_a),
+                "B": int(num_b),
+                "C": int(num_c),
+                "D": int(num_d),
+            },
+            "mean_outdegree": config.mean_outdegree,
+        },
+    )
+    # class A with its popularity weights (linkable is [A | B] in order)
+    connected = class_a
+    connected_popularity = popularity[: len(class_a)]
+    return BaseWeb(
+        ids,
+        active,
+        linkable,
+        class_d,
+        popularity,
+        connected,
+        connected_popularity,
+    )

@@ -1,0 +1,430 @@
+"""Scenario composition: one call builds a labeled Yahoo!-like world.
+
+:func:`build_world` assembles, in order: the base web (Section 4.1
+statistics), the good-core families (directory, gov, edu — Section
+4.2), the three anomaly communities (portal, blogs, under-covered
+country — Section 4.4.1) plus a well-covered control country, benign
+isolated cliques (Section 4.4.3 obs. 1), and finally the spam layer —
+independent farms of log-uniformly distributed size, farm alliances,
+honey-pot farms and expired-domain takeovers (Sections 2.3, 4.4.3
+obs. 2).
+
+Three stock sizes are provided: :meth:`WorldConfig.small` for unit
+tests (≈8k hosts), :meth:`WorldConfig.medium` for integration tests
+and quick benches (≈30k), :meth:`WorldConfig.large` for the paper-scale
+benchmark runs (≈120k).  Everything is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .assembler import SyntheticWorld, WorldAssembler
+from .communities import (
+    add_blog_community,
+    add_country_web,
+    add_directory,
+    add_edu_institutions,
+    add_good_clique,
+    add_gov_hosts,
+    add_portal_community,
+)
+from .goodcore import assemble_good_core
+from .hostgraph import BaseWebConfig, generate_base_web
+from .rng import RngStreams
+from .spamfarm import (
+    add_expired_domain_spam,
+    add_farm_alliance,
+    add_paid_links,
+    add_spam_farm,
+)
+
+__all__ = ["WorldConfig", "build_world", "default_good_core", "true_gamma"]
+
+
+class WorldConfig:
+    """All knobs of the synthetic world, with paper-shaped defaults."""
+
+    __slots__ = (
+        "seed",
+        "spam_seed",
+        "num_base_hosts",
+        "mean_outdegree",
+        "directory_size",
+        "gov_size",
+        "edu_countries",
+        "portal_hosts",
+        "blog_hosts",
+        "uncovered_country_hosts",
+        "uncovered_country_edu",
+        "covered_country_hosts",
+        "covered_country_edu",
+        "num_cliques",
+        "clique_size_range",
+        "num_farms",
+        "farm_boosters_range",
+        "frac_farms_hijacked",
+        "hijacked_links_range",
+        "frac_farms_honeypot",
+        "num_alliances",
+        "alliance_targets",
+        "alliance_boosters",
+        "num_expired",
+        "expired_links_range",
+        "num_paid_customers",
+        "paid_links_range",
+    )
+
+    def __init__(
+        self,
+        seed: int = 7,
+        *,
+        spam_seed: Optional[int] = None,
+        num_base_hosts: int = 20_000,
+        mean_outdegree: float = 10.0,
+        directory_size: int = 300,
+        gov_size: int = 900,
+        edu_countries: Optional[Dict[str, Tuple[int, int]]] = None,
+        portal_hosts: int = 700,
+        blog_hosts: int = 800,
+        uncovered_country_hosts: int = 1500,
+        uncovered_country_edu: int = 80,
+        covered_country_hosts: int = 1200,
+        covered_country_edu: int = 80,
+        num_cliques: int = 8,
+        clique_size_range: Tuple[int, int] = (8, 40),
+        num_farms: int = 110,
+        farm_boosters_range: Tuple[int, int] = (15, 400),
+        frac_farms_hijacked: float = 0.5,
+        hijacked_links_range: Tuple[int, int] = (2, 18),
+        frac_farms_honeypot: float = 0.15,
+        num_alliances: int = 2,
+        alliance_targets: int = 3,
+        alliance_boosters: int = 80,
+        num_expired: int = 8,
+        expired_links_range: Tuple[int, int] = (12, 50),
+        num_paid_customers: int = 30,
+        paid_links_range: Tuple[int, int] = (4, 40),
+    ) -> None:
+        if edu_countries is None:
+            edu_countries = {
+                "us": (40, 6),
+                "uk": (12, 4),
+                "de": (12, 4),
+                "fr": (8, 4),
+                "it": (24, 4),
+                "jp": (8, 4),
+            }
+        self.seed = seed
+        self.spam_seed = spam_seed
+        self.num_base_hosts = num_base_hosts
+        self.mean_outdegree = mean_outdegree
+        self.directory_size = directory_size
+        self.gov_size = gov_size
+        self.edu_countries = dict(edu_countries)
+        self.portal_hosts = portal_hosts
+        self.blog_hosts = blog_hosts
+        self.uncovered_country_hosts = uncovered_country_hosts
+        self.uncovered_country_edu = uncovered_country_edu
+        self.covered_country_hosts = covered_country_hosts
+        self.covered_country_edu = covered_country_edu
+        self.num_cliques = num_cliques
+        self.clique_size_range = clique_size_range
+        self.num_farms = num_farms
+        self.farm_boosters_range = farm_boosters_range
+        self.frac_farms_hijacked = frac_farms_hijacked
+        self.hijacked_links_range = hijacked_links_range
+        self.frac_farms_honeypot = frac_farms_honeypot
+        self.num_alliances = num_alliances
+        self.alliance_targets = alliance_targets
+        self.alliance_boosters = alliance_boosters
+        self.num_expired = num_expired
+        self.expired_links_range = expired_links_range
+        self.num_paid_customers = num_paid_customers
+        self.paid_links_range = paid_links_range
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "WorldConfig":
+        """Unit-test scale (~8k hosts, sub-second PageRank)."""
+        return cls(
+            seed,
+            num_base_hosts=4_000,
+            mean_outdegree=8.0,
+            directory_size=80,
+            gov_size=200,
+            edu_countries={
+                "us": (10, 5),
+                "uk": (4, 4),
+                "it": (8, 4),
+                "de": (4, 4),
+            },
+            portal_hosts=180,
+            blog_hosts=200,
+            uncovered_country_hosts=350,
+            uncovered_country_edu=30,
+            covered_country_hosts=300,
+            covered_country_edu=30,
+            num_cliques=4,
+            clique_size_range=(6, 20),
+            num_farms=28,
+            farm_boosters_range=(12, 130),
+            frac_farms_hijacked=0.5,
+            hijacked_links_range=(2, 10),
+            num_alliances=1,
+            alliance_targets=2,
+            alliance_boosters=40,
+            num_expired=4,
+            expired_links_range=(8, 25),
+            num_paid_customers=12,
+            paid_links_range=(3, 25),
+        )
+
+    @classmethod
+    def medium(cls, seed: int = 7) -> "WorldConfig":
+        """Integration-test / quick-bench scale (~30k hosts)."""
+        return cls(seed)
+
+    @classmethod
+    def large(cls, seed: int = 7) -> "WorldConfig":
+        """Paper-shape benchmark scale (~120k hosts)."""
+        return cls(
+            seed,
+            num_base_hosts=90_000,
+            mean_outdegree=12.0,
+            directory_size=900,
+            gov_size=2_500,
+            edu_countries={
+                "us": (120, 7),
+                "uk": (35, 5),
+                "de": (35, 5),
+                "fr": (25, 5),
+                "it": (60, 5),
+                "jp": (25, 5),
+                "br": (25, 5),
+                "au": (15, 5),
+            },
+            portal_hosts=2_500,
+            blog_hosts=3_000,
+            uncovered_country_hosts=5_000,
+            uncovered_country_edu=220,
+            covered_country_hosts=4_000,
+            covered_country_edu=220,
+            num_cliques=20,
+            clique_size_range=(8, 60),
+            num_farms=400,
+            farm_boosters_range=(15, 900),
+            num_alliances=5,
+            alliance_targets=3,
+            alliance_boosters=150,
+            num_expired=25,
+            expired_links_range=(15, 80),
+            num_paid_customers=90,
+            paid_links_range=(4, 60),
+        )
+
+
+def build_world(config: Optional[WorldConfig] = None) -> SyntheticWorld:
+    """Build the full synthetic world described by ``config``."""
+    if config is None:
+        config = WorldConfig()
+    streams = RngStreams(config.seed)
+    # the spam layer draws from its own seed space so that "the web a
+    # year later" — same good web, new crop of spammers — is one knob
+    # away (Section 3.4's stability argument; see synth.evolution)
+    spam_streams = RngStreams(
+        config.seed if config.spam_seed is None else config.spam_seed
+    )
+    assembler = WorldAssembler()
+
+    base = generate_base_web(
+        assembler,
+        streams.get("base-web"),
+        BaseWebConfig(
+            config.num_base_hosts, mean_outdegree=config.mean_outdegree
+        ),
+    )
+
+    # --- good-core families -----------------------------------------
+    add_directory(
+        assembler, streams.get("directory"), base, config.directory_size
+    )
+    add_gov_hosts(assembler, streams.get("gov"), base, config.gov_size)
+    add_edu_institutions(
+        assembler, streams.get("edu"), base, config.edu_countries
+    )
+
+    # --- anomaly communities (Section 4.4.1) -------------------------
+    add_portal_community(
+        assembler,
+        streams.get("portal"),
+        base,
+        domain="megaportal.com",
+        num_hosts=config.portal_hosts,
+    )
+    add_blog_community(
+        assembler,
+        streams.get("blogs"),
+        base,
+        suffix="blogger.com.br",
+        num_hosts=config.blog_hosts,
+    )
+    add_country_web(
+        assembler,
+        streams.get("country-pl"),
+        base,
+        "pl",
+        config.uncovered_country_hosts,
+        num_edu_hosts=config.uncovered_country_edu,
+        anomalous=True,
+    )
+    add_country_web(
+        assembler,
+        streams.get("country-cz"),
+        base,
+        "cz",
+        config.covered_country_hosts,
+        num_edu_hosts=config.covered_country_edu,
+        anomalous=False,
+    )
+
+    # --- benign isolated cliques (Section 4.4.3 obs. 1) --------------
+    clique_rng = streams.get("cliques")
+    lo, hi = config.clique_size_range
+    for i in range(config.num_cliques):
+        add_good_clique(
+            assembler,
+            clique_rng,
+            base,
+            size=int(clique_rng.integers(lo, hi + 1)),
+            tag=f"clique:{i}",
+            hub_and_clients=bool(i % 2),
+            external_inlinks=int(clique_rng.integers(1, 4)),
+        )
+
+    # --- the spam layer ----------------------------------------------
+    farm_rng = spam_streams.get("farms")
+    farms = []
+    b_lo, b_hi = config.farm_boosters_range
+    for i in range(config.num_farms):
+        # truncated-Pareto farm sizes with the Figure 6 exponent:
+        # many modest farms, a heavy tail of booster monsters.  Farm
+        # targets dominate the positive-mass tail, so this choice is
+        # what makes the reproduced mass distribution a power law with
+        # an exponent near the paper's -2.31.
+        pareto_alpha = 2.31
+        u = farm_rng.random()
+        lo_pow = b_lo ** (1.0 - pareto_alpha)
+        hi_pow = b_hi ** (1.0 - pareto_alpha)
+        boosters = int(
+            round((lo_pow + u * (hi_pow - lo_pow)) ** (1.0 / (1.0 - pareto_alpha)))
+        )
+        hijacked = 0
+        if farm_rng.random() < config.frac_farms_hijacked:
+            h_lo, h_hi = config.hijacked_links_range
+            hijacked = int(farm_rng.integers(h_lo, h_hi + 1))
+            # stray links are a side dish: a farm whose hijacked links
+            # rival its booster count is hijack-dominated and would be
+            # (correctly, but uninterestingly) mass-negative like an
+            # expired domain — cap them at a fifth of the boosters
+            hijacked = min(hijacked, max(boosters // 5, 1))
+        relays = (
+            int(farm_rng.integers(2, 5))
+            if boosters >= 40 and farm_rng.random() < 0.25
+            else 0
+        )
+        if relays:
+            # two-tier farms hide behind hijacked good links: the
+            # target's immediate in-neighbourhood must be majority-good
+            # for the structure to defeat the in-link-majority scheme
+            hijacked = 2 * relays + 2
+        honeypots = 0
+        if farm_rng.random() < config.frac_farms_honeypot:
+            honeypots = int(farm_rng.integers(1, 4))
+        farms.append(
+            add_spam_farm(
+                assembler,
+                farm_rng,
+                base,
+                boosters,
+                tag=f"farm:{i}",
+                hijacked_links=hijacked,
+                num_honeypots=min(honeypots, boosters),
+                target_links_back=bool(farm_rng.random() < 0.8),
+                booster_interlinks=(
+                    int(farm_rng.integers(2, 4))
+                    if farm_rng.random() < 0.15
+                    else 0
+                ),
+                leak_links=(
+                    max(boosters // 4, 1)
+                    if farm_rng.random() < 0.4
+                    else 0
+                ),
+                relay_nodes=relays,
+            )
+        )
+    alliance_rng = spam_streams.get("alliances")
+    for i in range(config.num_alliances):
+        add_farm_alliance(
+            assembler,
+            alliance_rng,
+            base,
+            config.alliance_targets,
+            config.alliance_boosters,
+            tag=f"alliance:{i}",
+            share_fraction=0.5,
+        )
+    # grey-market link selling: farms boost legitimate customer hosts,
+    # which therefore acquire moderate spam mass while staying good
+    paid_rng = spam_streams.get("paid-links")
+    p_lo, p_hi = config.paid_links_range
+    for _ in range(config.num_paid_customers):
+        farm = farms[int(paid_rng.integers(0, len(farms)))]
+        customer = int(paid_rng.choice(base.connected))
+        add_paid_links(
+            assembler,
+            paid_rng,
+            farm,
+            customer,
+            int(paid_rng.integers(p_lo, p_hi + 1)),
+        )
+
+    expired_rng = spam_streams.get("expired")
+    e_lo, e_hi = config.expired_links_range
+    for i in range(config.num_expired):
+        add_expired_domain_spam(
+            assembler,
+            expired_rng,
+            base,
+            int(expired_rng.integers(e_lo, e_hi + 1)),
+            tag=f"expired:{i}",
+        )
+
+    assembler.note("config_seed", config.seed)
+    return assembler.build()
+
+
+def default_good_core(
+    world: SyntheticWorld,
+    *,
+    uncovered_country: str = "pl",
+    uncovered_coverage: float = 0.03,
+    seed: int = 11,
+) -> np.ndarray:
+    """The standard core for a built world: directory + gov + all edu
+    hosts, except the under-covered country keeps only a token fraction
+    (the paper's 12-Polish-hosts situation)."""
+    return assemble_good_core(
+        world,
+        edu_coverage={uncovered_country: uncovered_coverage},
+        rng=np.random.default_rng(seed),
+    )
+
+
+def true_gamma(world: SyntheticWorld) -> float:
+    """Ground-truth good fraction ``|V⁺|/n`` — what the paper's γ
+    estimates via a manually labeled uniform sample (they used the
+    conservative γ = 0.85)."""
+    return float((~world.spam_mask).sum() / world.num_nodes)

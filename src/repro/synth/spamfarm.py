@@ -1,0 +1,358 @@
+"""Spam-farm generators (the link-spam structures of Section 2.3).
+
+A spam farm is a single *target* node plus *boosting* nodes that exist
+only to inflate the target's PageRank; sophisticated farms additionally
+harvest "stray" links from reputable nodes through blog-comment
+spamming, honey pots, or purchased expired domains.  Multiple farms can
+collude into *alliances* [Gyöngyi & Garcia-Molina, VLDB 2005], sharing
+boosters across targets.
+
+Every generator labels the nodes it creates as ground-truth spam and
+tags descriptive groups, so the evaluation harness can ask questions
+like "did the detector find the farm targets?" or "were the
+expired-domain targets (which the paper predicts are *undetectable* by
+mass estimation, because their PageRank genuinely comes from good
+nodes) correctly missed?".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .assembler import SPAM, WorldAssembler
+from .hostgraph import BaseWeb
+
+__all__ = [
+    "SpamFarm",
+    "add_spam_farm",
+    "add_farm_alliance",
+    "add_expired_domain_spam",
+    "add_paid_links",
+]
+
+
+class SpamFarm:
+    """Handle onto one generated farm.
+
+    Attributes
+    ----------
+    target:
+        The target node id whose ranking the farm boosts.
+    boosters:
+        Ids of the boosting nodes.
+    honeypots:
+        Ids of honey-pot nodes (subset of boosters that attract real
+        links from good hosts).
+    hijacked_sources:
+        The good nodes tricked into linking at the farm (blog comments,
+        guestbooks) — *not* farm members.
+    tag:
+        The group-name prefix used in the assembler.
+    """
+
+    __slots__ = ("target", "boosters", "honeypots", "hijacked_sources", "tag")
+
+    def __init__(
+        self,
+        target: int,
+        boosters: np.ndarray,
+        honeypots: np.ndarray,
+        hijacked_sources: np.ndarray,
+        tag: str,
+    ) -> None:
+        self.target = target
+        self.boosters = boosters
+        self.honeypots = honeypots
+        self.hijacked_sources = hijacked_sources
+        self.tag = tag
+
+    @property
+    def size(self) -> int:
+        """Total number of farm-owned nodes (target + boosters)."""
+        return 1 + len(self.boosters)
+
+
+def _spam_names(tag: str, count: int, salt: int) -> List[str]:
+    """Host names for farm nodes — spread over many throwaway domains,
+    matching the paper's observation that farms span hundreds or
+    thousands of domain names to dodge naive per-domain counters.
+
+    ``salt`` is drawn from the farm's random stream so that a *new*
+    spam layer (different ``spam_seed``) registers entirely new domain
+    names: spam hosts come and go, which is what makes black-lists go
+    stale while the good core stays valid (Section 3.4).
+    """
+    slug = tag.replace(":", "-")
+    return [f"www.{slug}-{salt:06x}-d{i}.biz" for i in range(count)]
+
+
+def add_spam_farm(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    num_boosters: int,
+    *,
+    tag: str = "farm:0",
+    hijacked_links: int = 0,
+    num_honeypots: int = 0,
+    honeypot_inlinks: int = 3,
+    target_links_back: bool = True,
+    booster_interlinks: int = 0,
+    leak_links: int = 0,
+    relay_nodes: int = 0,
+) -> SpamFarm:
+    """Generate a single-target spam farm.
+
+    Structure (the optimal farm of the link-spam-alliances analysis):
+    every booster links to the target; optionally the target links back
+    to boosters (``target_links_back``), recycling its PageRank into the
+    farm instead of leaking it.  ``booster_interlinks`` adds random
+    booster→booster links for farms that camouflage as organic sites.
+
+    ``relay_nodes > 0`` builds a *two-tier* farm: boosters link to the
+    relays instead of the target, and only the relays link onward to
+    it.  Combined with hijacked links, the target's immediate
+    in-neighbourhood is then mostly good hosts — the structure that
+    defeats the in-link-majority scheme of Section 3.1 (Figure 1's
+    failure generalized), while spam mass still flows through.
+
+    Stray-link machinery:
+
+    * ``hijacked_links`` good base hosts are made to link *directly* at
+      the target (comment spam on blogs/boards that slipped the
+      editorial radar);
+    * ``num_honeypots`` boosters are designated honey pots: each
+      attracts ``honeypot_inlinks`` genuine links from good base hosts
+      (useful content hiding farm links behind the scenes);
+    * ``leak_links`` camouflage links point from boosters at popular
+      *good* hosts, mimicking organic sites — a side effect being that
+      those good hosts acquire moderate spam mass (the ``g0`` situation
+      of Figure 2).
+    """
+    if num_boosters < 1:
+        raise ValueError("a farm needs at least one booster")
+    if num_honeypots > num_boosters:
+        raise ValueError("cannot have more honeypots than boosters")
+    if relay_nodes >= num_boosters:
+        raise ValueError("relay_nodes must be smaller than num_boosters")
+    names = _spam_names(tag, num_boosters + 1, int(rng.integers(0, 1 << 24)))
+    ids = assembler.add_hosts(names, SPAM)
+    target = int(ids[0])
+    boosters = ids[1:]
+    if relay_nodes > 0:
+        relays = boosters[:relay_nodes]
+        feeders = boosters[relay_nodes:]
+        relay_choice = relays[
+            rng.integers(0, len(relays), size=len(feeders))
+        ]
+        assembler.add_edges(feeders, relay_choice)
+        assembler.add_edges(
+            relays, np.full(len(relays), target, dtype=np.int64)
+        )
+        assembler.mark(f"{tag}:relays", relays)
+    else:
+        assembler.add_edges(
+            boosters, np.full(len(boosters), target, dtype=np.int64)
+        )
+    if target_links_back:
+        assembler.add_edges(
+            np.full(len(boosters), target, dtype=np.int64), boosters
+        )
+    if booster_interlinks > 0 and len(boosters) > 1:
+        # auto-generated farms are *regular*: every booster links the
+        # same number of ring-siblings, so they all share the exact
+        # same out-degree — the machine-made signature that
+        # degree-distribution detectors (Fetterly et al.) key on
+        k = min(booster_interlinks, len(boosters) - 1)
+        for shift in range(1, k + 1):
+            assembler.add_edges(boosters, np.roll(boosters, -shift))
+
+    hijacked = np.empty(0, dtype=np.int64)
+    if hijacked_links > 0:
+        # hijacked links live on *visible but ordinary* good hosts —
+        # blogs and boards with open comment forms, not the heavily
+        # edited mega-portals.  Square-root-flattened popularity models
+        # that: mid-popularity hosts dominate, the extreme head rarely
+        # appears (and each of its links would otherwise out-contribute
+        # an entire booster farm)
+        from .hostgraph import sample_targets
+
+        hijacked = np.unique(
+            sample_targets(
+                rng,
+                base.connected,
+                np.sqrt(base.connected_popularity),
+                hijacked_links,
+            )
+        )
+        assembler.add_edges(
+            hijacked, np.full(len(hijacked), target, dtype=np.int64)
+        )
+
+    if leak_links > 0:
+        from .hostgraph import sample_targets
+
+        leak_sources = rng.choice(boosters, size=leak_links)
+        leak_dests = sample_targets(
+            rng, base.linkable, base.popularity, leak_links
+        )
+        assembler.add_edges(leak_sources, leak_dests)
+
+    honeypots = boosters[:num_honeypots].copy()
+    if num_honeypots > 0 and honeypot_inlinks > 0:
+        for pot in honeypots:
+            fans = rng.choice(base.active, size=honeypot_inlinks, replace=False)
+            assembler.add_edges(
+                fans, np.full(len(fans), int(pot), dtype=np.int64)
+            )
+
+    assembler.mark(f"{tag}:target", np.asarray([target], dtype=np.int64))
+    assembler.mark(f"{tag}:boosters", boosters)
+    assembler.mark("spam:targets", np.asarray([target], dtype=np.int64))
+    assembler.mark("spam:all", ids)
+    if len(hijacked):
+        assembler.mark(f"{tag}:hijacked_sources", hijacked)
+    if len(honeypots):
+        assembler.mark(f"{tag}:honeypots", honeypots)
+    return SpamFarm(target, boosters, honeypots, hijacked, tag)
+
+
+def add_farm_alliance(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    num_targets: int,
+    boosters_per_target: int,
+    *,
+    tag: str = "alliance:0",
+    share_fraction: float = 1.0,
+    hijacked_links_per_target: int = 0,
+) -> List[SpamFarm]:
+    """Generate an alliance of spam farms (collaborating spammers).
+
+    Each of the ``num_targets`` farms owns ``boosters_per_target``
+    boosters; a ``share_fraction`` of every farm's boosters additionally
+    link to *all other* targets in the alliance (the cross-boosting deal
+    of the link-spam-alliances paper).  Targets interlink in a ring,
+    recycling rank within the alliance.
+
+    Returns one :class:`SpamFarm` handle per target.
+    """
+    if num_targets < 2:
+        raise ValueError("an alliance needs at least 2 targets")
+    if not (0.0 <= share_fraction <= 1.0):
+        raise ValueError("share_fraction must be in [0, 1]")
+    farms: List[SpamFarm] = []
+    for t in range(num_targets):
+        farm = add_spam_farm(
+            assembler,
+            rng,
+            base,
+            boosters_per_target,
+            tag=f"{tag}:farm{t}",
+            hijacked_links=hijacked_links_per_target,
+        )
+        farms.append(farm)
+    targets = np.asarray([farm.target for farm in farms], dtype=np.int64)
+    # ring of targets
+    assembler.add_edges(targets, np.roll(targets, -1))
+    # shared boosters cross-link to the other targets
+    for farm in farms:
+        num_shared = int(round(share_fraction * len(farm.boosters)))
+        if num_shared == 0:
+            continue
+        shared = farm.boosters[:num_shared]
+        for other in farms:
+            if other.target == farm.target:
+                continue
+            assembler.add_edges(
+                shared,
+                np.full(len(shared), other.target, dtype=np.int64),
+            )
+    assembler.mark(f"{tag}:targets", targets)
+    return farms
+
+
+def add_paid_links(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    farm: SpamFarm,
+    customer: int,
+    num_links: int,
+) -> np.ndarray:
+    """Sell boosting links from an existing farm to a *good* host.
+
+    Link selling is a real grey-market practice: the customer host has
+    real content, but under the paper's spam definition — "content or
+    links added with the clear intention of manipulating search engine
+    ranking algorithms" — buying links makes it spam, so the customer
+    is relabeled ground-truth spam.  A chunk of its PageRank now
+    arrives from spam nodes while the rest stays organic, which places
+    these hosts in the *middle* relative-mass groups of Figure 3
+    (unlike farm targets, which saturate near 1).
+
+    Returns the booster ids that link to the customer.
+    """
+    if num_links < 1:
+        raise ValueError("num_links must be positive")
+    take = min(num_links, len(farm.boosters))
+    sellers = rng.choice(farm.boosters, size=take, replace=False)
+    assembler.add_edges(
+        sellers, np.full(len(sellers), customer, dtype=np.int64)
+    )
+    customer_arr = np.asarray([customer], dtype=np.int64)
+    assembler.relabel(customer_arr, SPAM)
+    assembler.mark("paid:customers", customer_arr)
+    assembler.mark("spam:all", customer_arr)
+    return sellers
+
+
+def add_expired_domain_spam(
+    assembler: WorldAssembler,
+    rng: np.random.Generator,
+    base: BaseWeb,
+    lingering_links: int,
+    *,
+    tag: str = "expired:0",
+) -> int:
+    """A spammer-bought expired domain (Section 2.3 / Section 4.4.3,
+    observation 2).
+
+    The domain was once reputable, so ``lingering_links`` good base
+    hosts still point at it; the spammer repopulates it with spam but
+    adds **no** boosting structure.  Because its PageRank genuinely
+    flows from good nodes, the paper predicts large *negative* mass and
+    explicitly notes the mass-based detector "is not expected to detect
+    them" — the benches assert exactly that miss.
+
+    Returns the target's node id.
+    """
+    if lingering_links < 1:
+        raise ValueError("an expired domain keeps at least one old link")
+    salt = int(rng.integers(0, 1 << 24))
+    ids = assembler.add_hosts(
+        [f"www.{tag.replace(':', '-')}-{salt:06x}-once-reputable.com"], SPAM
+    )
+    target = int(ids[0])
+    # lingering links come from *reputable, visible* hosts — the domain
+    # was popular once, so the head of the web linked to it; sample
+    # popularity-weighted connected hosts, not the crawl tail
+    from .hostgraph import sample_targets
+
+    sources = np.unique(
+        sample_targets(
+            rng,
+            base.connected,
+            base.connected_popularity,
+            lingering_links,
+        )
+    )
+    assembler.add_edges(
+        sources, np.full(len(sources), target, dtype=np.int64)
+    )
+    assembler.mark(f"{tag}:target", ids)
+    assembler.mark("expired:targets", ids)
+    assembler.mark("spam:all", ids)
+    return target

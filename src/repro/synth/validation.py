@@ -1,0 +1,138 @@
+"""Validation of synthetic worlds against their design invariants.
+
+Custom world generators (or custom :class:`WorldConfig` knobs) can
+silently break the assumptions the evaluation harness relies on — a
+spam-labeled host missing from ``spam:all``, a core family containing
+ground-truth spam, an anomalous group that isn't good.  This module
+checks those invariants explicitly, so a misconfigured generator fails
+loudly before it quietly distorts a reproduction.
+
+``validate_world(world)`` returns a list of human-readable issues
+(empty = healthy); ``assert_valid_world`` raises on the first problem.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .assembler import SyntheticWorld
+
+__all__ = ["validate_world", "assert_valid_world"]
+
+
+def validate_world(world: SyntheticWorld) -> List[str]:
+    """Check a world's structural and labeling invariants.
+
+    Checks performed:
+
+    * every group's node ids are in range and sorted/unique;
+    * ``spam:all`` covers exactly the ground-truth spam mask (when the
+      group exists);
+    * farm/alliance/expired groups contain only spam; core-family and
+      anomaly groups contain only good hosts;
+    * every ``farm:<tag>:boosters`` group has a matching single-node
+      ``farm:<tag>:target`` group;
+    * host names are unique when present;
+    * the graph carries no self-links (guaranteed by construction, but
+      revalidated because custom generators may bypass the builder).
+    """
+    issues: List[str] = []
+    n = world.num_nodes
+
+    in_range = {}
+    for name, ids in world.groups.items():
+        if len(ids) == 0:
+            issues.append(f"group {name!r} is empty")
+            in_range[name] = False
+            continue
+        ok = bool(ids.min() >= 0 and ids.max() < n)
+        in_range[name] = ok
+        if not ok:
+            issues.append(f"group {name!r} references out-of-range nodes")
+        if len(np.unique(ids)) != len(ids):
+            issues.append(f"group {name!r} contains duplicate ids")
+
+    if "spam:all" in world.groups and in_range["spam:all"]:
+        tagged = np.zeros(n, dtype=bool)
+        tagged[world.group("spam:all")] = True
+        untagged_spam = int((world.spam_mask & ~tagged).sum())
+        mislabeled = int((tagged & ~world.spam_mask).sum())
+        if untagged_spam:
+            issues.append(
+                f"{untagged_spam} spam-labeled hosts missing from "
+                "'spam:all'"
+            )
+        if mislabeled:
+            issues.append(
+                f"{mislabeled} 'spam:all' members are not spam-labeled"
+            )
+
+    spam_only_prefixes = ("spam:", "expired:")
+    good_only_groups = ("directory", "gov", "edu", "blogs", "cliques",
+                        "anomalous")
+    paid = np.zeros(n, dtype=bool)
+    if "paid:customers" in world.groups and in_range["paid:customers"]:
+        paid[world.group("paid:customers")] = True
+    for name, ids in world.groups.items():
+        if not in_range[name]:
+            continue
+        if name.startswith(spam_only_prefixes) or (
+            name.startswith("farm:")
+            and (name.endswith(":target") or name.endswith(":boosters")
+                 or name.endswith(":relays"))
+        ):
+            bad = int((~world.spam_mask[ids]).sum())
+            if bad:
+                issues.append(
+                    f"group {name!r} holds {bad} non-spam hosts"
+                )
+        if name in good_only_groups or name.startswith(
+            ("edu:", "country:", "portal:", "clique:")
+        ):
+            bad = int(world.spam_mask[ids].sum())
+            if bad:
+                issues.append(f"group {name!r} holds {bad} spam hosts")
+        if name.endswith(":hijacked_sources"):
+            # hijack victims were good at farm-creation time; the one
+            # legitimate way they end up spam-labeled is by *later*
+            # buying links themselves (paid:customers relabeling)
+            bad = int((world.spam_mask[ids] & ~paid[ids]).sum())
+            if bad:
+                issues.append(
+                    f"hijacked sources in {name!r} include {bad} spam "
+                    "hosts (they must be victims, not members)"
+                )
+
+    for name in world.groups:
+        if name.startswith("farm:") and name.endswith(":boosters"):
+            tag = name.rsplit(":", 1)[0]
+            target_group = f"{tag}:target"
+            if target_group not in world.groups:
+                issues.append(f"{name!r} has no matching {target_group!r}")
+            elif len(world.group(target_group)) != 1:
+                issues.append(f"{target_group!r} must hold exactly one node")
+
+    if world.graph.names is not None:
+        if len(set(world.graph.names)) != n:
+            issues.append("host names are not unique")
+
+    indptr = world.graph.indptr
+    indices = world.graph.indices
+    for x in range(n):
+        row = indices[indptr[x] : indptr[x + 1]]
+        if np.any(row == x):
+            issues.append(f"self-link on node {x}")
+            break
+
+    return issues
+
+
+def assert_valid_world(world: SyntheticWorld) -> None:
+    """Raise ``AssertionError`` listing every violated invariant."""
+    issues = validate_world(world)
+    if issues:
+        raise AssertionError(
+            "invalid synthetic world:\n  " + "\n  ".join(issues)
+        )

@@ -1,0 +1,108 @@
+"""Tests for the adversarial-robustness experiments (Section 6 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MassDetector, estimate_spam_mass, true_relative_mass
+from repro.eval import (
+    attack_core_infiltration,
+    attack_good_link_harvest,
+    run_robustness_experiment,
+)
+
+
+def test_harvest_adds_only_good_links(small_ctx, rng):
+    world = small_ctx.world
+    targets = world.group("spam:targets")[:5]
+    attacked = attack_good_link_harvest(world, targets, 10, rng)
+    assert attacked.num_edges > world.graph.num_edges
+    # every new edge points at a target and comes from a good host
+    original = set(world.graph.edges())
+    for u, v in attacked.edges():
+        if (u, v) not in original:
+            assert v in set(targets.tolist())
+            assert not world.spam_mask[u]
+    # the original world is untouched
+    assert world.graph.num_edges == len(original)
+
+
+def test_harvest_dilutes_estimated_and_true_mass(small_ctx, rng):
+    """Evasion through good links lowers true spam mass too — the
+    spammer pays for honest support (the paper's cost argument)."""
+    world = small_ctx.world
+    targets = world.group("spam:targets")
+    attacked = attack_good_link_harvest(world, targets, 30, rng)
+    est_before = small_ctx.estimates.relative[targets].mean()
+    true_before = true_relative_mass(
+        world.graph, world.spam_nodes()
+    )[targets].mean()
+    est_after = estimate_spam_mass(
+        attacked, small_ctx.core, gamma=small_ctx.gamma
+    ).relative[targets].mean()
+    true_after = true_relative_mass(
+        attacked, world.spam_nodes()
+    )[targets].mean()
+    assert est_after < est_before
+    assert true_after < true_before
+
+
+def test_infiltration_requires_core_knowledge(small_ctx, rng):
+    """The same attack graph, evaluated with and without the moles in
+    the core: only the known-core version divorces the estimate from
+    the truth."""
+    world = small_ctx.world
+    targets = world.group("spam:targets")
+    attacked, polluted = attack_core_infiltration(
+        world, small_ctx.core, num_moles=15, rng=rng
+    )
+    with_knowledge = estimate_spam_mass(
+        attacked, polluted, gamma=small_ctx.gamma
+    ).relative[targets].mean()
+    without = estimate_spam_mass(
+        attacked, small_ctx.core, gamma=small_ctx.gamma
+    ).relative[targets].mean()
+    truth = true_relative_mass(attacked, world.spam_nodes())[targets].mean()
+    # knowing the core lets the attacker launder mass ...
+    assert with_knowledge < without - 0.1
+    # ... while the true mass stays high either way
+    assert truth > 0.8
+
+
+def test_infiltration_pollutes_core_with_spam(small_ctx, rng):
+    _, polluted = attack_core_infiltration(
+        small_ctx.world, small_ctx.core, num_moles=5, rng=rng
+    )
+    assert small_ctx.world.spam_mask[polluted].sum() == 5
+    assert len(polluted) == len(small_ctx.core) + 5
+
+
+def test_attack_validation(small_ctx, rng):
+    with pytest.raises(ValueError):
+        attack_good_link_harvest(small_ctx.world, [], 5, rng)
+    with pytest.raises(ValueError):
+        attack_good_link_harvest(
+            small_ctx.world, small_ctx.world.group("spam:targets"), 0, rng
+        )
+    with pytest.raises(ValueError):
+        attack_core_infiltration(
+            small_ctx.world, small_ctx.core, num_moles=0, rng=rng
+        )
+
+
+def test_robustness_experiment_shape(small_ctx):
+    result = run_robustness_experiment(
+        small_ctx, harvest_fractions=(0.0, 0.5), mole_levels=(1, 10)
+    )
+    rows = {row[0]: row for row in result.rows}
+    baseline = rows["baseline (no attack)"]
+    harvest = rows["harvest 0.5x boosters in good links"]
+    # the harvest drops both the estimate AND the truth
+    assert harvest[1] < baseline[1]
+    assert harvest[2] < baseline[2]
+    # infiltration drops the estimate while the truth holds
+    infiltration = rows["core infiltration, 10 moles"]
+    assert infiltration[1] < baseline[1]
+    assert infiltration[2] == pytest.approx(baseline[2], abs=0.05)
+    # blind moles barely move the estimate compared to informed ones
+    blind = rows["blind moles (10, core unknown)"]
+    assert blind[1] > infiltration[1]

@@ -1,0 +1,104 @@
+"""Unit tests for the world assembler and SyntheticWorld container."""
+
+import numpy as np
+import pytest
+
+from repro.synth import GOOD, SPAM, SyntheticWorld, WorldAssembler
+
+
+def test_add_hosts_and_labels():
+    asm = WorldAssembler()
+    good = asm.add_hosts(["a.com", "b.com"], GOOD)
+    spam = asm.add_hosts(["s.biz"], SPAM)
+    assert good.tolist() == [0, 1]
+    assert spam.tolist() == [2]
+    world = asm.build()
+    assert world.spam_mask.tolist() == [False, False, True]
+    assert world.label_of(0) == "good"
+    assert world.label_of(2) == "spam"
+
+
+def test_invalid_label_rejected():
+    asm = WorldAssembler()
+    with pytest.raises(ValueError):
+        asm.add_hosts(["a.com"], 7)
+    ids = asm.add_hosts(["b.com"], GOOD)
+    with pytest.raises(ValueError):
+        asm.relabel(ids, 5)
+
+
+def test_relabel():
+    asm = WorldAssembler()
+    ids = asm.add_hosts(["a.com", "b.com"], GOOD)
+    asm.relabel(ids[:1], SPAM)
+    world = asm.build()
+    assert world.spam_mask.tolist() == [True, False]
+
+
+def test_edges_validated_and_deduped():
+    asm = WorldAssembler()
+    asm.add_hosts(["a", "b"], GOOD)
+    asm.add_edges(np.array([0, 0, 1]), np.array([1, 1, 1]))  # dup + self
+    world = asm.build()
+    assert world.graph.num_edges == 1
+    with pytest.raises(ValueError):
+        asm.add_edges(np.array([0]), np.array([5]))
+    with pytest.raises(ValueError):
+        asm.add_edges(np.array([0, 1]), np.array([1]))
+
+
+def test_add_single_edge():
+    asm = WorldAssembler()
+    asm.add_hosts(["a", "b"], GOOD)
+    asm.add_edge(0, 1)
+    assert asm.build().graph.has_edge(0, 1)
+
+
+def test_groups_merge_and_dedup():
+    asm = WorldAssembler()
+    ids = asm.add_hosts(["a", "b", "c"], GOOD)
+    asm.mark("g", ids[:2])
+    asm.mark("g", ids[1:])
+    world = asm.build()
+    assert world.group("g").tolist() == [0, 1, 2]
+    assert "g" in world.groups_matching("g")
+    with pytest.raises(KeyError):
+        world.group("missing")
+
+
+def test_metadata_and_groups_matching():
+    asm = WorldAssembler()
+    ids = asm.add_hosts(["a"], GOOD)
+    asm.mark("farm:0:target", ids)
+    asm.mark("farm:1:target", ids)
+    asm.note("key", {"nested": 1})
+    world = asm.build()
+    assert world.metadata["key"] == {"nested": 1}
+    assert set(world.groups_matching("farm:")) == {
+        "farm:0:target",
+        "farm:1:target",
+    }
+
+
+def test_good_and_spam_nodes():
+    asm = WorldAssembler()
+    asm.add_hosts(["a", "b"], GOOD)
+    asm.add_hosts(["s"], SPAM)
+    world = asm.build()
+    assert world.good_nodes().tolist() == [0, 1]
+    assert world.spam_nodes().tolist() == [2]
+    assert world.num_nodes == 3
+
+
+def test_anomalous_nodes_default_empty():
+    asm = WorldAssembler()
+    asm.add_hosts(["a"], GOOD)
+    world = asm.build()
+    assert world.anomalous_nodes().size == 0
+
+
+def test_world_shape_validation():
+    from repro.graph import WebGraph
+
+    with pytest.raises(ValueError):
+        SyntheticWorld(WebGraph.empty(3), np.zeros(2, dtype=bool), {})

@@ -1,0 +1,108 @@
+"""Unit tests for the incremental graph builder."""
+
+import pytest
+
+from repro.graph import GraphBuilder
+
+
+def test_add_nodes_and_edges():
+    b = GraphBuilder()
+    nodes = b.add_nodes(3)
+    assert list(nodes) == [0, 1, 2]
+    assert b.add_edge(0, 1)
+    assert b.add_edge(1, 2)
+    g = b.build()
+    assert g.num_nodes == 3
+    assert g.num_edges == 2
+
+
+def test_self_link_ignored():
+    b = GraphBuilder(2)
+    assert not b.add_edge(1, 1)
+    assert b.build().num_edges == 0
+
+
+def test_duplicate_edge_ignored():
+    b = GraphBuilder(2)
+    assert b.add_edge(0, 1)
+    assert not b.add_edge(0, 1)
+    assert b.num_edges == 1
+
+
+def test_add_edges_returns_new_count():
+    b = GraphBuilder(3)
+    added = b.add_edges([(0, 1), (0, 1), (1, 1), (1, 2)])
+    assert added == 2
+
+
+def test_add_bidirectional():
+    b = GraphBuilder(2)
+    assert b.add_bidirectional(0, 1) == 2
+    assert b.add_bidirectional(0, 1) == 0
+    g = b.build()
+    assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+
+def test_named_nodes():
+    b = GraphBuilder()
+    a = b.add_node("a.example.com")
+    b.add_node("b.example.com")
+    assert b.node_id("a.example.com") == a
+    assert b.ensure_node("a.example.com") == a
+    c = b.ensure_node("c.example.com")
+    g = b.build()
+    assert g.names[c] == "c.example.com"
+
+
+def test_duplicate_name_rejected():
+    b = GraphBuilder()
+    b.add_node("x.com")
+    with pytest.raises(ValueError):
+        b.add_node("x.com")
+
+
+def test_unknown_name_raises():
+    b = GraphBuilder()
+    with pytest.raises(KeyError):
+        b.node_id("missing.com")
+
+
+def test_edge_to_unregistered_node_rejected():
+    b = GraphBuilder(1)
+    with pytest.raises(IndexError):
+        b.add_edge(0, 1)
+
+
+def test_mixed_named_and_anonymous_nodes():
+    b = GraphBuilder()
+    named = b.add_node("named.com")
+    anon = b.add_nodes(2)
+    g = b.build()
+    assert g.names[named] == "named.com"
+    assert g.names[anon[0]] == f"node{anon[0]}"
+
+
+def test_has_edge_with_and_without_tracking():
+    b = GraphBuilder(3)
+    b.add_edge(0, 1)
+    assert b.has_edge(0, 1)
+    b.disable_dedup_tracking()
+    assert b.has_edge(0, 1)
+    assert not b.has_edge(1, 2)
+    # duplicates no longer filtered incrementally, but build() collapses
+    b.add_edge(0, 1)
+    assert b.build().num_edges == 1
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        GraphBuilder(-1)
+    b = GraphBuilder()
+    with pytest.raises(ValueError):
+        b.add_nodes(-2)
+
+
+def test_empty_build():
+    g = GraphBuilder().build()
+    assert g.num_nodes == 0
+    assert g.num_edges == 0

@@ -1,0 +1,188 @@
+"""End-to-end tests of the ``repro-spam`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import read_graph_bundle, read_host_list, read_scores
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    """A generated world bundle shared by the CLI tests."""
+    out = tmp_path_factory.mktemp("world")
+    code = main(
+        ["generate", "--scale", "small", "--seed", "3", "--out", str(out)]
+    )
+    assert code == 0
+    return out
+
+
+def test_generate_writes_bundle(world_dir):
+    graph, labels, metadata = read_graph_bundle(world_dir)
+    assert graph.num_nodes > 1_000
+    assert labels is not None and "spam" in labels.values()
+    assert metadata["scale"] == "small"
+    core = read_host_list(world_dir / "core.hosts")
+    assert len(core) > 50
+    # core host names resolve back to graph nodes
+    assert set(core) <= set(graph.names)
+
+
+def test_generate_deterministic(tmp_path):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    main(["generate", "--scale", "small", "--seed", "5", "--out", str(a)])
+    main(["generate", "--scale", "small", "--seed", "5", "--out", str(b)])
+    assert (a / "graph.edges").read_text() == (b / "graph.edges").read_text()
+    assert (a / "core.hosts").read_text() == (b / "core.hosts").read_text()
+
+
+def test_stats(world_dir, capsys):
+    assert main(["stats", "--world", str(world_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "hosts:" in out
+    assert "labeled spam:" in out
+
+
+def test_estimate_and_detect(world_dir, tmp_path, capsys):
+    prefix = tmp_path / "scores" / "run1"
+    code = main(
+        [
+            "estimate",
+            "--world",
+            str(world_dir),
+            "--out-prefix",
+            str(prefix),
+        ]
+    )
+    assert code == 0
+    relative = read_scores(f"{prefix}.relative.scores")
+    pagerank_scores = read_scores(f"{prefix}.pagerank.scores")
+    graph, labels, _ = read_graph_bundle(world_dir)
+    assert len(relative) == graph.num_nodes
+    assert relative.max() <= 1.0 + 1e-9
+    assert pagerank_scores.sum() <= 1.0
+
+    capsys.readouterr()
+    code = main(
+        [
+            "detect",
+            "--world",
+            str(world_dir),
+            "--scores-prefix",
+            str(prefix),
+            "--tau",
+            "0.98",
+            "--limit",
+            "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "spam candidates at tau=0.98" in out
+    assert "precision against stored labels" in out
+    precision = float(out.strip().rsplit(" ", 1)[-1])
+    assert precision > 0.4
+
+
+def test_detect_respects_thresholds(world_dir, tmp_path, capsys):
+    prefix = tmp_path / "s" / "r"
+    main(
+        ["estimate", "--world", str(world_dir), "--out-prefix", str(prefix)]
+    )
+    capsys.readouterr()
+    main(
+        [
+            "detect",
+            "--world",
+            str(world_dir),
+            "--scores-prefix",
+            str(prefix),
+            "--tau",
+            "0.5",
+            "--limit",
+            "0",
+        ]
+    )
+    loose = int(capsys.readouterr().out.split(" spam candidates")[0].split()[-1])
+    main(
+        [
+            "detect",
+            "--world",
+            str(world_dir),
+            "--scores-prefix",
+            str(prefix),
+            "--tau",
+            "0.99",
+            "--limit",
+            "0",
+        ]
+    )
+    strict = int(
+        capsys.readouterr().out.split(" spam candidates")[0].split()[-1]
+    )
+    assert strict <= loose
+
+
+def test_reproduce_single(capsys):
+    assert main(["reproduce", "--experiment", "T1"]) == 0
+    out = capsys.readouterr().out
+    assert "[T1]" in out
+    assert "9.33" in out
+
+
+def test_reproduce_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["reproduce", "--experiment", "Z9"])
+
+
+def test_unknown_scale():
+    with pytest.raises(SystemExit):
+        main(["generate", "--scale", "galactic", "--out", "/tmp/x"])
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["estimate", "--world", "w", "--out-prefix", "p", "--gamma", "-1"]
+    )
+    assert args.gamma == -1  # unscaled-core escape hatch
+    with pytest.raises(SystemExit):
+        parser.parse_args(["frobnicate"])
+
+
+def test_reproduce_report_output(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["reproduce", "--experiment", "F1", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert text.startswith("# Reproduced experiments")
+    assert "### F1" in text
+    assert "| k |" in text
+
+
+def test_detect_with_explanations(world_dir, tmp_path, capsys):
+    prefix = tmp_path / "e" / "r"
+    main(
+        ["estimate", "--world", str(world_dir), "--out-prefix", str(prefix)]
+    )
+    capsys.readouterr()
+    code = main(
+        [
+            "detect",
+            "--world",
+            str(world_dir),
+            "--scores-prefix",
+            str(prefix),
+            "--tau",
+            "0.9",
+            "--limit",
+            "3",
+            "--explain",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "review sheets" in out
+    assert "core (known good):" in out

@@ -1,0 +1,146 @@
+"""Tests for page→host collapsing and the networkx bridge."""
+
+import pytest
+
+from repro.graph import (
+    WebGraph,
+    collapse_by_key,
+    collapse_page_graph,
+    from_networkx,
+    to_networkx,
+)
+
+
+PAGES = [
+    "http://www.shop.com/index.html",       # 0
+    "http://www.shop.com/products",         # 1
+    "https://blog.shop.com/post-1",         # 2
+    "http://news.example.org/a",            # 3
+    "http://news.example.org/b",            # 4
+    "not a url at all",                     # 5
+]
+PAGE_EDGES = [
+    (0, 1),  # intra-host: dropped
+    (0, 3),  # www.shop.com -> news.example.org
+    (1, 3),  # duplicate host pair: collapsed
+    (2, 0),  # blog.shop.com -> www.shop.com (different hosts!)
+    (3, 2),  # news -> blog
+    (4, 5),  # edge into a broken URL: dropped
+    (5, 0),  # edge from a broken URL: dropped
+]
+
+
+def test_host_collapse_matches_paper_semantics():
+    result = collapse_page_graph(PAGES, PAGE_EDGES, granularity="host")
+    g = result.graph
+    assert g.names == (
+        "www.shop.com",
+        "blog.shop.com",
+        "news.example.org",
+    )
+    assert sorted(g.edges()) == sorted(
+        [(0, 2), (1, 0), (2, 1)]
+    )  # shop->news, blog->shop, news->blog
+    assert result.num_dropped_pages == 1
+    assert result.num_intra_edges == 1
+    # page 1 maps to the same host node as page 0
+    assert result.page_to_node[0] == result.page_to_node[1] == 0
+    assert result.page_to_node[5] == -1
+
+
+def test_domain_collapse_merges_subdomains():
+    result = collapse_page_graph(PAGES, PAGE_EDGES, granularity="domain")
+    g = result.graph
+    assert g.names == ("shop.com", "example.org")
+    # blog->www becomes intra-domain and vanishes
+    assert sorted(g.edges()) == [(0, 1), (1, 0)]
+    assert result.num_intra_edges >= 2
+
+
+def test_unknown_granularity():
+    with pytest.raises(ValueError):
+        collapse_page_graph(PAGES, PAGE_EDGES, granularity="continent")
+
+
+def test_edge_range_validation():
+    with pytest.raises(ValueError):
+        collapse_page_graph(PAGES, [(0, 99)])
+
+
+def test_collapse_by_custom_key():
+    result = collapse_by_key(
+        ["a1", "a2", "b1", "drop-me"],
+        [(0, 2), (1, 2), (0, 1)],
+        key=lambda p: None if p.startswith("drop") else p[0],
+    )
+    assert result.graph.names == ("a", "b")
+    assert sorted(result.graph.edges()) == [(0, 1)]
+    assert result.num_dropped_pages == 1
+    assert result.num_intra_edges == 1
+
+
+def test_networkx_roundtrip():
+    import networkx as nx
+
+    g = WebGraph.from_edges(4, [(0, 1), (1, 2), (3, 0)])
+    back = from_networkx(to_networkx(g))
+    assert back == g
+
+
+def test_from_networkx_string_labels():
+    import networkx as nx
+
+    nx_graph = nx.DiGraph()
+    nx_graph.add_edge("a.com", "b.com")
+    nx_graph.add_edge("b.com", "b.com")  # self-loop dropped
+    g = from_networkx(nx_graph)
+    assert g.num_nodes == 2
+    assert g.num_edges == 1
+    assert set(g.names) == {"a.com", "b.com"}
+
+
+def test_from_networkx_empty():
+    import networkx as nx
+
+    g = from_networkx(nx.DiGraph())
+    assert g.num_nodes == 0
+
+
+def test_expand_collapse_roundtrip(rng):
+    """Expanding a host graph into pages and collapsing back recovers
+    the original host graph — the paper's data pipeline, closed loop."""
+    from repro.synth import BaseWebConfig, WorldAssembler, generate_base_web
+
+    asm = WorldAssembler()
+    generate_base_web(asm, rng, BaseWebConfig(600, mean_outdegree=5.0))
+    host_graph = asm.build().graph
+
+    pages = []
+    page_of_host = {}
+    for host in range(host_graph.num_nodes):
+        count = int(rng.integers(1, 4))
+        page_of_host[host] = []
+        for p in range(count):
+            page_of_host[host].append(len(pages))
+            pages.append(f"http://{host_graph.name_of(host)}/page{p}")
+    page_edges = []
+    for u, v in host_graph.edges():
+        # each host-level edge appears as 1-3 page-level hyperlinks
+        for _ in range(int(rng.integers(1, 4))):
+            src = int(rng.choice(page_of_host[u]))
+            dst = int(rng.choice(page_of_host[v]))
+            page_edges.append((src, dst))
+        # plus intra-host navigation links that must vanish
+        if len(page_of_host[u]) > 1:
+            page_edges.append((page_of_host[u][0], page_of_host[u][1]))
+
+    result = collapse_page_graph(pages, page_edges, granularity="host")
+    # hosts without pages linking out are still nodes (every host has
+    # at least one page); edge sets must match exactly
+    lookup = {name: i for i, name in enumerate(result.graph.names)}
+    recovered = {
+        (host_graph.names.index(result.graph.names[u]),
+         host_graph.names.index(result.graph.names[v]))
+        for u, v in result.graph.edges()
+    }
+    assert recovered == set(host_graph.edges())

@@ -1,0 +1,130 @@
+"""Unit tests for the combined white-list + black-list estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    blacklist_mass,
+    combine_average,
+    combine_weighted,
+    estimate_combined_mass,
+    estimate_spam_mass,
+)
+from repro.datasets import figure2_graph
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    example = figure2_graph()
+    whitelist = estimate_spam_mass(
+        example.graph, example.good_core, gamma=None
+    )
+    black = blacklist_mass(example.graph, example.spam, tol=1e-14)
+    return example, whitelist, black
+
+
+def test_average_is_paper_formula(pieces):
+    _, whitelist, black = pieces
+    combined = combine_average(whitelist, black)
+    assert np.allclose(
+        combined.absolute, 0.5 * (whitelist.absolute + black)
+    )
+    assert combined.weight_white == 0.5
+
+
+def test_average_shape_mismatch(pieces):
+    _, whitelist, black = pieces
+    with pytest.raises(ValueError):
+        combine_average(whitelist, black[:-1])
+
+
+def test_weighted_reduces_to_average_for_equal_coverage(pieces):
+    _, whitelist, black = pieces
+    combined = combine_weighted(
+        whitelist,
+        black,
+        good_core_size=50,
+        spam_core_size=10,
+        est_good_size=100,
+        est_spam_size=20,
+    )
+    # coverages are 0.5 each -> plain average
+    assert combined.weight_white == pytest.approx(0.5)
+    assert np.allclose(
+        combined.absolute, combine_average(whitelist, black).absolute
+    )
+
+
+def test_weighted_leans_toward_better_covered_core(pieces):
+    _, whitelist, black = pieces
+    combined = combine_weighted(
+        whitelist,
+        black,
+        good_core_size=90,
+        spam_core_size=1,
+        est_good_size=100,
+        est_spam_size=100,
+    )
+    assert combined.weight_white == pytest.approx(0.9 / 0.91)
+    assert combined.weight_white > 0.95
+
+
+def test_weighted_input_validation(pieces):
+    _, whitelist, black = pieces
+    with pytest.raises(ValueError):
+        combine_weighted(
+            whitelist, black, good_core_size=-1, spam_core_size=1,
+            est_good_size=10, est_spam_size=10,
+        )
+    with pytest.raises(ValueError):
+        combine_weighted(
+            whitelist, black, good_core_size=1, spam_core_size=1,
+            est_good_size=0, est_spam_size=10,
+        )
+
+
+def test_relative_capped_at_one(pieces):
+    _, whitelist, black = pieces
+    combined = combine_average(whitelist, black)
+    assert combined.relative.max() <= 1.0
+
+
+def test_end_to_end_combined(pieces):
+    example, _, _ = pieces
+    combined = estimate_combined_mass(
+        example.graph, example.good_core, example.spam, gamma=None
+    )
+    # x should still carry the highest combined relative mass among
+    # eligible nodes
+    x = example.id_of("x")
+    assert combined.relative[x] > 0.7
+    weighted = estimate_combined_mass(
+        example.graph,
+        example.good_core,
+        example.spam,
+        gamma=None,
+        weighted=True,
+    )
+    assert 0.0 < weighted.weight_white < 1.0
+
+
+def test_combined_improves_recall_of_mid_mass_spam(small_ctx):
+    """With a substantial black list, combined estimates push known-farm
+    spam above detection thresholds that the white-list-only estimate
+    misses (the Section 3.4 motivation for combining)."""
+    world = small_ctx.world
+    rng = np.random.default_rng(5)
+    spam_nodes = world.spam_nodes()
+    blacklist = rng.choice(
+        spam_nodes, size=len(spam_nodes) // 2, replace=False
+    )
+    black = blacklist_mass(world.graph, blacklist, gamma=small_ctx.gamma)
+    combined = combine_average(small_ctx.estimates, black)
+    eligible = small_ctx.eligible_mask
+    spam_eligible = world.spam_mask & eligible
+    good_eligible = ~world.spam_mask & eligible
+    sep_combined = (
+        combined.relative[spam_eligible].mean()
+        - combined.relative[good_eligible].mean()
+    )
+    assert sep_combined > 0.3

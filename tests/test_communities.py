@@ -1,0 +1,180 @@
+"""Unit tests for the community generators (core families + anomalies)."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    BaseWebConfig,
+    WorldAssembler,
+    add_blog_community,
+    add_country_web,
+    add_directory,
+    add_edu_institutions,
+    add_good_clique,
+    add_gov_hosts,
+    add_portal_community,
+    generate_base_web,
+)
+
+
+@pytest.fixture()
+def base_pair(rng):
+    asm = WorldAssembler()
+    base = generate_base_web(asm, rng, BaseWebConfig(3_000, mean_outdegree=8.0))
+    return asm, base
+
+
+def test_directory(base_pair, rng):
+    asm, base = base_pair
+    ids = add_directory(asm, rng, base, size=50)
+    world = asm.build()
+    assert world.group("directory").tolist() == ids.tolist()
+    assert all(
+        name.endswith("web-directory.org")
+        for name in (world.graph.names[i] for i in ids)
+    )
+    # directory hosts link out into the base web (trust spreading)
+    out_into_base = sum(
+        1
+        for i in ids
+        for j in world.graph.out_neighbors(int(i))
+        if j < base.all_ids[-1] + 1
+    )
+    assert out_into_base > len(ids) * 5
+    with pytest.raises(ValueError):
+        add_directory(asm, rng, base, size=1)
+
+
+def test_gov_hosts(base_pair, rng):
+    asm, base = base_pair
+    ids = add_gov_hosts(asm, rng, base, size=80)
+    world = asm.build()
+    assert world.group("gov").tolist() == sorted(ids.tolist())
+    assert all(
+        world.graph.names[i].endswith(".gov") for i in ids
+    )
+
+
+def test_edu_institutions(base_pair, rng):
+    asm, base = base_pair
+    per_country = add_edu_institutions(
+        asm, rng, base, {"us": (4, 3), "cz": (3, 3)}
+    )
+    world = asm.build()
+    assert set(per_country) == {"us", "cz"}
+    assert set(world.group("edu:us").tolist()) == set(
+        per_country["us"].tolist()
+    )
+    # global group is the union
+    assert set(world.group("edu").tolist()) == set(
+        per_country["us"].tolist()
+    ) | set(per_country["cz"].tolist())
+    # naming convention carries the country suffix
+    assert all(
+        world.graph.names[i].endswith(".edu")
+        for i in per_country["us"]
+    )
+    assert all(
+        world.graph.names[i].endswith(".edu.cz")
+        for i in per_country["cz"]
+    )
+    with pytest.raises(ValueError):
+        add_edu_institutions(asm, rng, base, {"xx": (0, 3)})
+
+
+def test_portal_community(base_pair, rng):
+    asm, base = base_pair
+    ids, hubs = add_portal_community(
+        asm, rng, base, domain="bigportal.com", num_hosts=120, num_hubs=6
+    )
+    world = asm.build()
+    assert len(hubs) == 6
+    assert set(world.group("portal:bigportal.com:hubs").tolist()) == set(
+        hubs.tolist()
+    )
+    # the whole community is tagged anomalous
+    assert set(ids.tolist()) <= set(world.anomalous_nodes().tolist())
+    # one registrable domain
+    assert all(
+        world.graph.names[i].endswith(".bigportal.com") for i in ids
+    )
+    # weak external citation: few inlinks from outside the community
+    members = set(ids.tolist())
+    external_in = sum(
+        1
+        for i in ids
+        for j in world.graph.in_neighbors(int(i))
+        if int(j) not in members
+    )
+    assert external_in < len(ids) // 5
+    with pytest.raises(ValueError):
+        add_portal_community(asm, rng, base, num_hosts=3, num_hubs=5)
+
+
+def test_blog_community(base_pair, rng):
+    asm, base = base_pair
+    ids = add_blog_community(asm, rng, base, suffix="blogs.com.br", num_hosts=100)
+    world = asm.build()
+    assert set(world.group("blogs").tolist()) == set(ids.tolist())
+    assert set(ids.tolist()) <= set(world.anomalous_nodes().tolist())
+    with pytest.raises(ValueError):
+        add_blog_community(asm, rng, base, num_hosts=1)
+
+
+def test_country_web(base_pair, rng):
+    asm, base = base_pair
+    ids, edu_ids = add_country_web(
+        asm, rng, base, "pl", 200, num_edu_hosts=20, anomalous=True
+    )
+    world = asm.build()
+    assert len(ids) == 200
+    assert set(world.group("country:pl").tolist()) == set(ids.tolist())
+    assert set(world.group("edu:pl").tolist()) == set(edu_ids.tolist())
+    assert set(ids.tolist()) <= set(world.anomalous_nodes().tolist())
+    assert all(world.graph.names[i].endswith(".pl") for i in ids)
+    with pytest.raises(ValueError):
+        add_country_web(asm, rng, base, "xx", 10, num_edu_hosts=20)
+
+
+def test_country_web_not_anomalous_when_covered(base_pair, rng):
+    asm, base = base_pair
+    ids, _ = add_country_web(
+        asm, rng, base, "cz", 150, num_edu_hosts=15, anomalous=False
+    )
+    world = asm.build()
+    anomalous = set(world.anomalous_nodes().tolist())
+    assert not (set(ids.tolist()) & anomalous)
+
+
+def test_good_clique_shapes(base_pair, rng):
+    asm, base = base_pair
+    hub_ids = add_good_clique(
+        asm, rng, base, size=10, tag="clique:0", hub_and_clients=True
+    )
+    mutual_ids = add_good_clique(
+        asm, rng, base, size=10, tag="clique:1", hub_and_clients=False
+    )
+    world = asm.build()
+    g = world.graph
+    # hub-and-clients: every client links the hub and back
+    hub = int(hub_ids[0])
+    for client in hub_ids[1:]:
+        assert g.has_edge(int(client), hub)
+        assert g.has_edge(hub, int(client))
+    # mutual clique: every member has internal outlinks
+    members = set(mutual_ids.tolist())
+    for i in mutual_ids:
+        internal = [j for j in g.out_neighbors(int(i)) if int(j) in members]
+        assert internal
+    assert set(world.group("cliques").tolist()) >= members
+    with pytest.raises(ValueError):
+        add_good_clique(asm, rng, base, size=1)
+
+
+def test_all_community_hosts_are_good(base_pair, rng):
+    asm, base = base_pair
+    add_directory(asm, rng, base, size=20)
+    add_gov_hosts(asm, rng, base, size=20)
+    add_portal_community(asm, rng, base, num_hosts=50, num_hubs=4)
+    world = asm.build()
+    assert not world.spam_mask.any()

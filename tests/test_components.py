@@ -1,0 +1,97 @@
+"""Unit tests for connected-component analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    WebGraph,
+    component_sizes,
+    largest_component,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+def test_wcc_two_islands():
+    g = WebGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+    labels = weakly_connected_components(g)
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] == labels[4]
+    assert labels[0] != labels[3]
+
+
+def test_wcc_direction_ignored():
+    g = WebGraph.from_edges(3, [(1, 0), (1, 2)])
+    labels = weakly_connected_components(g)
+    assert len(set(labels.tolist())) == 1
+
+
+def test_wcc_isolated_nodes():
+    g = WebGraph.empty(3)
+    labels = weakly_connected_components(g)
+    assert sorted(labels.tolist()) == [0, 1, 2]
+
+
+def test_scc_cycle_vs_chain():
+    # 0 -> 1 -> 2 -> 0 is one SCC; 3 hangs off it
+    g = WebGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+    labels = strongly_connected_components(g)
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] != labels[0]
+
+
+def test_scc_chain_all_singletons():
+    g = WebGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    labels = strongly_connected_components(g)
+    assert len(set(labels.tolist())) == 4
+
+
+def test_scc_two_cycles_bridged():
+    g = WebGraph.from_edges(
+        6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (2, 5)]
+    )
+    labels = strongly_connected_components(g)
+    assert labels[0] == labels[1]
+    assert labels[2] == labels[3] == labels[4]
+    assert labels[0] != labels[2]
+    assert labels[5] not in (labels[0], labels[2])
+
+
+def test_scc_matches_networkx_on_random_graph(rng):
+    import networkx as nx
+
+    n = 60
+    edges = [
+        (int(u), int(v))
+        for u, v in zip(
+            rng.integers(0, n, size=300), rng.integers(0, n, size=300)
+        )
+        if u != v
+    ]
+    g = WebGraph.from_edges(n, edges)
+    ours = strongly_connected_components(g)
+    nx_graph = nx.DiGraph(edges)
+    nx_graph.add_nodes_from(range(n))
+    for comp in nx.strongly_connected_components(nx_graph):
+        comp = list(comp)
+        assert len({ours[x] for x in comp}) == 1
+    # same number of components
+    assert len(set(ours.tolist())) == nx.number_strongly_connected_components(
+        nx_graph
+    )
+
+
+def test_component_sizes_and_largest():
+    labels = np.array([0, 0, 1, 1, 1, 2])
+    assert component_sizes(labels).tolist() == [2, 3, 1]
+    assert largest_component(labels).tolist() == [2, 3, 4]
+    assert component_sizes(np.empty(0, dtype=np.int64)).size == 0
+    assert largest_component(np.empty(0, dtype=np.int64)).size == 0
+
+
+def test_scc_deep_chain_no_recursion_error():
+    n = 5_000
+    edges = [(i, i + 1) for i in range(n - 1)]
+    g = WebGraph.from_edges(n, edges)
+    labels = strongly_connected_components(g)
+    assert len(set(labels.tolist())) == n

@@ -1,0 +1,94 @@
+"""Tests for the content-analysis extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MassDetector
+from repro.extensions import (
+    ContentModel,
+    content_filter,
+    run_content_filter_experiment,
+)
+
+
+def test_scores_shape_and_range(tiny_world, rng):
+    scores = ContentModel().score(tiny_world, rng)
+    assert scores.shape == (tiny_world.num_nodes,)
+    assert (scores >= 0).all() and (scores <= 1).all()
+
+
+def test_ordinary_spam_reads_spammy(tiny_world, rng):
+    scores = ContentModel(noise=0.0).score(tiny_world, rng)
+    # star-farm boosters are machine-generated: high content scores
+    boosters = tiny_world.group("farm:0:boosters")
+    assert scores[boosters].mean() > 0.6
+    # ordinary good hosts read clean
+    good = tiny_world.good_nodes()[:500]
+    assert scores[good].mean() < 0.35
+
+
+def test_blind_spots(tiny_world, rng):
+    scores = ContentModel(noise=0.0).score(tiny_world, rng)
+    # paid customers are spam with clean content
+    customers = tiny_world.group("paid:customers")
+    assert scores[customers].mean() < 0.35
+    # honeypots (if any farm has them) read clean
+    for name, ids in tiny_world.groups_matching("farm:").items():
+        if name.endswith(":honeypots") and len(ids):
+            assert scores[ids].mean() < 0.35
+    # anomalous good communities read clean — they are the false
+    # positives the filter is supposed to clear
+    anomalous = tiny_world.anomalous_nodes()
+    assert scores[anomalous].mean() < 0.35
+
+
+def test_sophisticated_farms_mimic_content(tiny_world, rng):
+    scores = ContentModel(noise=0.0).score(tiny_world, rng)
+    sophisticated = []
+    for name in tiny_world.groups_matching("farm:"):
+        if name.endswith(":hijacked_sources") or name.endswith(":relays"):
+            farm_tag = name.rsplit(":", 1)[0]
+            sophisticated.extend(
+                tiny_world.group(f"{farm_tag}:target").tolist()
+            )
+    assert sophisticated
+    # collectively they read clean (individual Beta draws can stray)
+    assert scores[sophisticated].mean() < 0.35
+    assert (scores[sophisticated] < 0.5).mean() > 0.8
+
+
+def test_content_filter_mask():
+    candidates = np.array([True, True, False, True])
+    content = np.array([0.9, 0.1, 0.9, 0.6])
+    refined = content_filter(candidates, content, threshold=0.5)
+    assert refined.tolist() == [True, False, False, True]
+    with pytest.raises(ValueError):
+        content_filter(candidates, content[:2])
+    with pytest.raises(ValueError):
+        content_filter(candidates, content, threshold=2.0)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        ContentModel(noise=1.0)
+
+
+def test_experiment_shape(small_ctx):
+    result = run_content_filter_experiment(small_ctx)
+    rows = {row[0]: row for row in result.rows}
+    mass_row = rows["mass only (tau=0.75)"]
+    and_row = rows["mass AND content"]
+    or_row = rows["mass OR content"]
+    # the filter removes most anomalous false positives...
+    assert and_row[3] < mass_row[3]
+    # ...and strictly improves precision
+    assert and_row[4] > mass_row[4]
+    # the union recovers recall beyond either signal alone
+    assert or_row[5] >= mass_row[5]
+    assert or_row[5] >= rows["content only (eligible)"][5]
+
+
+def test_determinism(small_ctx):
+    a = run_content_filter_experiment(small_ctx, seed=7)
+    b = run_content_filter_experiment(small_ctx, seed=7)
+    assert a.rows == b.rows

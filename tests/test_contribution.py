@@ -1,0 +1,168 @@
+"""Unit tests for PageRank contributions (Section 3.2, Theorems 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    contribution_by_enumeration,
+    contribution_matrix,
+    contribution_vector,
+    enumerate_walks,
+    link_contribution_exact,
+    link_contribution_first_order,
+    pagerank,
+    scale_scores,
+    uniform_jump_vector,
+    walk_contribution,
+    walk_weight,
+)
+from repro.datasets import figure2_graph
+from repro.graph import WebGraph
+
+
+@pytest.fixture()
+def chain():
+    # 0 -> 1 -> 2
+    return WebGraph.from_edges(3, [(0, 1), (1, 2)])
+
+
+@pytest.fixture()
+def cyclic():
+    # 0 <-> 1, 1 -> 2
+    return WebGraph.from_edges(3, [(0, 1), (1, 0), (1, 2)])
+
+
+def test_walk_weight(chain, cyclic):
+    assert walk_weight(chain, [0, 1, 2]) == pytest.approx(1.0)
+    # node 1 in the cyclic graph has out-degree 2
+    assert walk_weight(cyclic, [0, 1, 2]) == pytest.approx(0.5)
+    assert walk_weight(cyclic, [0, 1, 0, 1, 2]) == pytest.approx(0.25)
+
+
+def test_walk_weight_rejects_non_walks(chain):
+    with pytest.raises(ValueError):
+        walk_weight(chain, [0, 2])
+    with pytest.raises(ValueError):
+        walk_weight(chain, [])
+
+
+def test_walk_contribution_formula(chain):
+    # q = c^k * pi(W) * (1-c) * v_x  with v uniform (1/3)
+    c = 0.85
+    contribution = walk_contribution(chain, [0, 1, 2], damping=c)
+    assert contribution == pytest.approx(c**2 * 1.0 * (1 - c) / 3)
+
+
+def test_enumerate_walks_acyclic(chain):
+    walks = list(enumerate_walks(chain, 0, 2, max_length=10))
+    assert walks == [(0, 1, 2)]
+    assert list(enumerate_walks(chain, 2, 0, max_length=10)) == []
+    assert list(enumerate_walks(chain, 0, 2, max_length=0)) == []
+
+
+def test_enumerate_walks_cyclic_truncated(cyclic):
+    walks = list(enumerate_walks(cyclic, 0, 2, max_length=6))
+    # 0-1-2, 0-1-0-1-2, 0-1-0-1-0-1-2 (length 6)
+    assert (0, 1, 2) in walks
+    assert (0, 1, 0, 1, 2) in walks
+    assert len(walks) == 3
+
+
+def test_theorem2_enumeration_matches_linear_system(cyclic):
+    """q^x computed by walk enumeration equals PR(v^x)."""
+    for source in range(3):
+        by_system = contribution_vector(cyclic, [source], tol=1e-14)
+        for target in range(3):
+            by_walks = contribution_by_enumeration(
+                cyclic, source, target, max_length=200
+            )
+            assert by_system[target] == pytest.approx(by_walks, abs=1e-10)
+
+
+def test_theorem1_contributions_sum_to_pagerank(cyclic):
+    """p_y = sum_x q_y^x (Theorem 1)."""
+    scores = pagerank(cyclic, tol=1e-14).scores
+    q = contribution_matrix(cyclic)
+    assert np.abs(q.sum(axis=0) - scores).max() < 1e-12
+
+
+def test_theorem1_on_figure2_graph():
+    example = figure2_graph()
+    scores = pagerank(example.graph, tol=1e-14).scores
+    q = contribution_matrix(example.graph)
+    assert np.abs(q.sum(axis=0) - scores).max() < 1e-12
+
+
+def test_self_contribution_without_circuit_is_jump_only(chain):
+    """A node on no circuit contributes (1-c) v_x to itself."""
+    q = contribution_matrix(chain)
+    v = uniform_jump_vector(3)
+    for x in range(3):
+        assert q[x, x] == pytest.approx(0.15 * v[x])
+
+
+def test_self_contribution_with_circuit_exceeds_jump(cyclic):
+    q = contribution_matrix(cyclic)
+    assert q[0, 0] > 0.15 / 3
+    assert q[1, 1] > 0.15 / 3
+    assert q[2, 2] == pytest.approx(0.15 / 3)  # node 2 has no circuit
+
+
+def test_unconnected_contribution_is_zero(chain):
+    q = contribution_matrix(chain)
+    assert q[2, 0] == pytest.approx(0.0)
+    assert q[1, 0] == pytest.approx(0.0)
+
+
+def test_subset_contribution_linearity(cyclic):
+    """q^U = sum of q^x for x in U (Theorem 2 corollary)."""
+    q_union = contribution_vector(cyclic, [0, 2], tol=1e-14)
+    q_each = contribution_vector(cyclic, [0], tol=1e-14) + contribution_vector(
+        cyclic, [2], tol=1e-14
+    )
+    assert np.abs(q_union - q_each).max() < 1e-12
+
+
+def test_contribution_matrix_size_guard():
+    g = WebGraph.empty(5000)
+    with pytest.raises(ValueError, match="too large"):
+        contribution_matrix(g)
+
+
+def test_figure1_link_contributions():
+    """Section 3.1: g0's link contributes c(1-c)/n, s0's link
+    (c + kc^2)(1-c)/n."""
+    from repro.datasets import figure1_graph
+
+    k, c = 3, 0.85
+    example = figure1_graph(k)
+    g = example.graph
+    n = g.num_nodes
+    x = example.id_of("x")
+    scale = n / (1 - c)
+    g0_contribution = link_contribution_exact(g, example.id_of("g0"), x)
+    assert g0_contribution * scale == pytest.approx(c, abs=1e-9)
+    s0_contribution = link_contribution_exact(g, example.id_of("s0"), x)
+    assert s0_contribution * scale == pytest.approx(c + k * c * c, abs=1e-9)
+
+
+def test_link_contribution_first_order_matches_exact_when_acyclic():
+    from repro.datasets import figure1_graph
+
+    example = figure1_graph(2)
+    g = example.graph
+    x = example.id_of("x")
+    scores = pagerank(g, tol=1e-14).scores
+    for source in ("g0", "g1", "s0"):
+        s = example.id_of(source)
+        assert link_contribution_first_order(
+            g, s, x, scores
+        ) == pytest.approx(link_contribution_exact(g, s, x), abs=1e-10)
+
+
+def test_link_contribution_requires_edge(chain):
+    scores = pagerank(chain).scores
+    with pytest.raises(ValueError):
+        link_contribution_exact(chain, 0, 2)
+    with pytest.raises(ValueError):
+        link_contribution_first_order(chain, 0, 2, scores)

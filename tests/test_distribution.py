@@ -1,0 +1,74 @@
+"""Unit tests for the Figure 6 mass-distribution analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import mass_distribution, negative_mass_decomposition
+from repro.core import estimate_spam_mass
+
+
+def test_sign_composition():
+    mass = np.array([-2.0, -0.5, 0.0, 1.0, 3.0, 10.0])
+    dist = mass_distribution(mass)
+    assert dist.frac_positive == pytest.approx(0.5)
+    assert dist.frac_negative == pytest.approx(2 / 6)
+    assert dist.frac_zero == pytest.approx(1 / 6)
+    assert dist.min_mass == -2.0
+    assert dist.max_mass == 10.0
+
+
+def test_histograms_cover_both_panels(rng):
+    mass = np.concatenate([rng.pareto(2.0, 3_000) + 1, -rng.pareto(2.0, 500) - 1])
+    dist = mass_distribution(mass)
+    assert dist.positive_bins.size > 0
+    assert dist.negative_bins.size > 0
+    # fractions relative to all nodes: both panels together cover all
+    assert dist.positive_fractions.sum() + dist.negative_fractions.sum() == (
+        pytest.approx(1.0, abs=1e-9)
+    )
+
+
+def test_positive_fit_recovers_pareto_exponent(rng):
+    mass = rng.pareto(1.31, 200_000) + 1.0  # density exponent 2.31
+    dist = mass_distribution(mass, fit_xmin=1.0)
+    assert dist.positive_fit is not None
+    assert dist.positive_fit.alpha == pytest.approx(2.31, rel=0.05)
+
+
+def test_no_fit_when_too_few_positive():
+    dist = mass_distribution(np.array([-1.0, -2.0, 0.5]))
+    assert dist.positive_fit is None
+
+
+def test_empty_mass_rejected():
+    with pytest.raises(ValueError):
+        mass_distribution(np.array([]))
+
+
+def test_negative_decomposition_separates_core(tiny_world, tiny_core):
+    """Figure 6's negative panel superposes two curves: ordinary hosts
+    (small magnitudes) and core-biased hosts (large magnitudes)."""
+    est = estimate_spam_mass(tiny_world.graph, tiny_core, gamma=0.85)
+    scaled = est.scaled_absolute()
+    noncore, core = negative_mass_decomposition(scaled, tiny_core)
+    noncore_bins, noncore_frac = noncore
+    core_bins, core_frac = core
+    assert core_bins.size > 0 and noncore_bins.size > 0
+    # the core curve sits further left (larger magnitudes) than the
+    # non-core curve: compare fraction-weighted mean magnitudes
+    core_mean = np.average(core_bins, weights=core_frac)
+    noncore_mean = np.average(noncore_bins, weights=noncore_frac)
+    assert core_mean > noncore_mean
+
+
+def test_negative_decomposition_fraction_bookkeeping():
+    mass = np.array([-10.0, -1.0, -0.1, 2.0, 3.0])
+    noncore, core = negative_mass_decomposition(mass, core=[0])
+    assert core[1].sum() == pytest.approx(1 / 5)
+    assert noncore[1].sum() == pytest.approx(2 / 5)
+
+
+def test_negative_decomposition_empty_sides():
+    mass = np.array([1.0, 2.0, 3.0])
+    noncore, core = negative_mass_decomposition(mass, core=[0])
+    assert noncore[0].size == 0 and core[0].size == 0

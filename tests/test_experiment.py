@@ -1,0 +1,237 @@
+"""Tests for the experiment runners — each checks the *shape* claims the
+paper makes for its table/figure (see DESIGN.md's per-experiment index).
+
+These run on the session-scoped small context, so together they form an
+integration test of the whole pipeline.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ReproductionContext,
+    run_absolute_mass_ranking,
+    run_baseline_comparison,
+    run_combined_ablation,
+    run_core_repair,
+    run_figure1,
+    run_figure2_contributions,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_gamma_ablation,
+    run_graph_stats,
+    run_pagerank_distribution,
+    run_solver_ablation,
+    run_table1,
+    run_table2,
+)
+from repro.synth import WorldConfig
+
+
+def test_context_build(small_ctx):
+    assert small_ctx.num_eligible() > 50
+    assert small_ctx.eligible_mask.sum() == small_ctx.num_eligible()
+    assert len(small_ctx.sample) == small_ctx.num_eligible()
+    assert small_ctx.gamma == 0.85
+    assert small_ctx.graph is small_ctx.world.graph
+
+
+def test_t1_reproduces_paper_table_exactly():
+    result = run_table1()
+    # the note records the max deviation from the paper's analytics
+    note = [n for n in result.notes if "max" in n][0]
+    deviation = float(note.split("=")[-1])
+    assert deviation < 1e-9
+    assert len(result.rows) == 12
+    x_row = result.rows[0]
+    assert x_row[0] == "x"
+    assert x_row[1] == pytest.approx(9.33, abs=0.005)
+
+
+def test_f1_naive_scheme_claims():
+    result = run_figure1(k_values=(1, 2, 5))
+    scheme1 = result.column("scheme1")
+    scheme2 = result.column("scheme2")
+    assert scheme1 == ["good", "good", "good"]  # always fooled
+    assert scheme2 == ["good", "spam", "spam"]  # flips at k = 2
+    computed = result.column("p_x (computed)")
+    analytic = result.column("p_x (analytic)")
+    assert computed == pytest.approx(analytic, abs=1e-6)
+
+
+def test_f2_contribution_claims():
+    result = run_figure2_contributions()
+    ratio_row = result.rows[-1]
+    assert ratio_row[1] == pytest.approx(1.65, abs=0.005)
+    assert ratio_row[1] == pytest.approx(ratio_row[2], abs=1e-6)
+
+
+def test_s41_graph_stats_shape():
+    result = run_graph_stats(WorldConfig.small())
+    by_metric = {row[0]: row for row in result.rows}
+    # base web matches the Yahoo! fractions closely
+    assert by_metric["% no inlinks"][2] == pytest.approx(35.0, abs=2.0)
+    assert by_metric["% no outlinks"][2] == pytest.approx(66.4, abs=2.0)
+    assert by_metric["% isolated"][2] == pytest.approx(25.8, abs=2.0)
+    # the full world is strictly larger than the base web
+    assert by_metric["hosts"][3] > by_metric["hosts"][2]
+
+
+def test_s43_pagerank_distribution_shape(small_ctx):
+    result = run_pagerank_distribution(small_ctx)
+    by_metric = {row[0]: row for row in result.rows}
+    # most hosts sit near the minimum score
+    assert by_metric["% scaled PR < 2"][2] > 50.0
+    # high-PR hosts are rare
+    assert by_metric["% scaled PR >= 100"][2] < 2.0
+    assert by_metric["filtered set |T| (PR >= rho)"][2] == (
+        small_ctx.num_eligible()
+    )
+
+
+def test_t2_group_boundaries(small_ctx):
+    result = run_table2(small_ctx, num_groups=10)
+    smallest = result.column("smallest m~")
+    largest = result.column("largest m~")
+    # monotone group boundaries, negative head, saturated tail
+    assert smallest == sorted(smallest)
+    assert smallest[0] < 0  # core-biased negatives exist
+    assert largest[-1] == pytest.approx(1.0, abs=0.01)
+    assert sum(result.column("size")) == len(small_ctx.sample)
+
+
+def test_f3_spam_rises_toward_top_groups(small_ctx):
+    result = run_figure3(small_ctx, num_groups=10)
+    spam_frac = result.column("% spam")
+    # bottom third nearly spam-free (the spam that does appear there is
+    # the expired-domain kind, which the paper also finds at large
+    # negative mass), top group spam-heavy
+    assert sum(spam_frac[:3]) / 3 <= 20.0
+    assert spam_frac[-1] >= 60.0
+    # anomalous hosts exist and sit in the upper-middle region
+    anomalous = result.column("anomalous")
+    assert sum(anomalous) > 0
+    top_half = sum(anomalous[5:])
+    assert top_half >= sum(anomalous) * 0.9
+
+
+def test_f4_precision_shape(small_ctx):
+    result = run_figure4(small_ctx)
+    taus = result.column("tau")
+    incl = result.column("prec (anom. incl.)")
+    excl = result.column("prec (anom. excl.)")
+    totals = result.column("|T| above")
+    # anomalies excluded: near-perfect at the paper's tau = 0.98
+    assert excl[0] >= 0.95
+    # excluding anomalies can only help
+    for i, e in zip(incl, excl):
+        if not (math.isnan(i) or math.isnan(e)):
+            assert e >= i - 1e-9
+    # precision never drops below the positive-mass spam base rate area
+    assert min(x for x in incl if not math.isnan(x)) > 0.3
+    # counts grow as the threshold loosens
+    assert totals == sorted(totals)
+    # overall decay: the top threshold beats the bottom one
+    assert excl[0] > excl[-1]
+
+
+def test_f5_core_size_and_breadth(small_ctx):
+    result = run_figure5(small_ctx, fractions=(1.0, 0.1, 0.01))
+    labels = result.columns[1:]
+    assert labels == ["100% core", "10% core", "1% core", ".it core"]
+    curves = {label: result.column(label) for label in labels}
+
+    def mean_precision(label):
+        values = [v for v in curves[label] if not math.isnan(v)]
+        return sum(values) / len(values)
+
+    # graceful decline with core size...
+    assert mean_precision("100% core") >= mean_precision("1% core") - 0.02
+    # ...and the narrow national core does worst on average (breadth
+    # beats size, the Figure 5 headline)
+    assert mean_precision(".it core") <= mean_precision("10% core")
+    assert mean_precision(".it core") <= mean_precision("100% core")
+
+
+def test_f6_mass_distribution_shape(small_ctx):
+    result = run_figure6(small_ctx)
+    by_metric = {row[0]: row for row in result.rows}
+    assert by_metric["min mass"][1] < 0
+    assert by_metric["max mass"][1] > 0
+    exponent = by_metric["positive power-law exponent"][1]
+    assert exponent != "n/a"
+    # a decaying power law in the right range (paper: -2.31)
+    assert -4.0 < float(exponent) < -1.0
+    # negative side: the core curve sits at larger magnitudes
+    med = by_metric["negative curves (non-core / core median |mass|)"][1]
+    noncore_med, core_med = (float(x) for x in med.split(" / "))
+    assert core_med > noncore_med
+
+
+def test_s442_core_repair(small_ctx):
+    result = run_core_repair(small_ctx)
+    by_metric = {row[0]: row for row in result.rows}
+    before = by_metric["portal mean m~ before"][1]
+    after = by_metric["portal mean m~ after"][1]
+    elsewhere = by_metric["mean |change| elsewhere (positive m~)"][1]
+    # the paper's shape: ~0.99 before, collapses after, tiny side effect
+    assert before > 0.9
+    assert after < 0.55
+    assert elsewhere < 0.05
+    assert by_metric["hub hosts added to core"][1] <= 16
+
+
+def test_s46_absolute_mass_unusable(small_ctx):
+    result = run_absolute_mass_ranking(small_ctx, top=15)
+    truths = result.column("truth")
+    # good hosts intermix in the top absolute-mass list — no clean
+    # separation point (the macromedia effect)
+    assert "good" in truths
+    assert "spam" in truths
+
+
+def test_a1_gamma_ablation(small_ctx):
+    result = run_gamma_ablation(small_ctx)
+    unscaled, scaled = result.rows
+    # unscaled: ||p'|| << ||p|| and estimates collapse onto PageRank
+    assert unscaled[1] < 0.2
+    assert unscaled[2] > 50.0
+    # scaled: healthy norm ratio and a much larger good/spam separation
+    assert scaled[1] > 0.5
+    assert scaled[5] > unscaled[5] + 0.3
+
+
+def test_a2_solver_ablation(small_ctx):
+    result = run_solver_ablation(
+        small_ctx, methods=("jacobi", "power", "bicgstab")
+    )
+    assert all(result.column("converged"))
+    deviations = [float(d) for d in result.column(result.columns[-1])]
+    assert max(deviations) < 1e-6
+
+
+def test_a3_combined_ablation(small_ctx):
+    result = run_combined_ablation(small_ctx, blacklist_fractions=(0.25,))
+    assert result.rows[0][0] == "white-list only"
+    separations = result.column("separation")
+    assert all(s > 0.3 for s in separations)
+    # combining with a real blacklist should not hurt recall
+    recalls = result.column("recall")
+    assert max(recalls[1:]) >= recalls[0] - 0.05
+
+
+def test_a4_baseline_comparison(small_ctx):
+    result = run_baseline_comparison(small_ctx)
+    rows = {row[0]: row for row in result.rows}
+    mass = rows["mass (tau=0.98)"]
+    trust = rows["trustrank read-out"]
+    # mass detection beats the TrustRank read-out on eligible precision
+    assert mass[3] > trust[3]
+    # naive schemes only work because they get oracle labels; they are
+    # present for the comparison
+    assert "naive scheme 1 (oracle labels)" in rows
+    assert "supporter deviation" in rows

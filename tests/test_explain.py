@@ -1,0 +1,130 @@
+"""Tests for the mass-explanation module (inverse contributions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import contribution_matrix, pagerank
+from repro.core.explain import contributions_to, explain_mass
+from repro.datasets import figure2_graph
+from repro.graph import WebGraph
+
+
+@pytest.fixture(scope="module")
+def example():
+    return figure2_graph()
+
+
+def test_contributions_to_matches_contribution_matrix(example):
+    """The backward solve agrees with the forward Theorem 2 matrix."""
+    q = contribution_matrix(example.graph)
+    for target in range(example.graph.num_nodes):
+        backward = contributions_to(example.graph, target)
+        assert np.abs(backward - q[:, target]).max() < 1e-10
+
+
+def test_contributions_sum_to_pagerank(example):
+    """Theorem 1 through the backward direction."""
+    scores = pagerank(example.graph, tol=1e-14).scores
+    for target in (example.id_of("x"), example.id_of("g0")):
+        contributions = contributions_to(example.graph, target)
+        assert contributions.sum() == pytest.approx(
+            scores[target], abs=1e-12
+        )
+
+
+def test_contributions_to_validation(example):
+    with pytest.raises(IndexError):
+        contributions_to(example.graph, 99)
+    with pytest.raises(ValueError):
+        contributions_to(example.graph, 0, v=np.ones(3))
+    with pytest.raises(ValueError):
+        contributions_to(example.graph, 0, damping=1.0)
+
+
+def test_explain_x_blames_spam(example):
+    """Explaining Figure 2's x reproduces the Section 3.3 analysis:
+    the spam side contributes ~66% (Table 1's m = 0.66)."""
+    explanation = explain_mass(
+        example.graph,
+        example.id_of("x"),
+        example.good_core,
+        suspected_spam=example.spam,
+    )
+    # x itself is in example.spam, so self + s-nodes give m = 0.66
+    assert explanation.spam_share == pytest.approx(0.663, abs=0.005)
+    assert explanation.core_share > 0.2
+    kinds = {kind for _, _, kind in explanation.top_sources}
+    assert "spam" in kinds and "core" in kinds
+    # the direct in-neighbours g0, g2, s0 tie at the top of the
+    # external sources (each contributes c = 0.85 scaled)
+    external = [
+        (s, c) for s, c, _ in explanation.top_sources
+        if s != example.id_of("x")
+    ]
+    top_ids = {s for s, _ in external[:3]}
+    assert top_ids == {
+        example.id_of("g0"), example.id_of("g2"), example.id_of("s0")
+    }
+    assert external[0][1] == pytest.approx(external[2][1])
+
+
+def test_explain_marks_self(example):
+    # s1 has no inlinks: its whole PageRank is its own jump, and with
+    # no black-list supplied it counts as unknown
+    explanation = explain_mass(
+        example.graph, example.id_of("s1"), example.good_core
+    )
+    assert explanation.top_sources[0][2] == "self"
+    assert explanation.unknown_share == pytest.approx(1.0)
+    # a core member's own jump counts toward the core share
+    core_member = explain_mass(
+        example.graph, example.id_of("g1"), example.good_core
+    )
+    assert core_member.core_share == pytest.approx(1.0)
+
+
+def test_whitelist_wins_on_conflict(example):
+    explanation = explain_mass(
+        example.graph,
+        example.id_of("x"),
+        example.good_core,
+        suspected_spam=list(example.good_core) + list(example.spam),
+    )
+    # core members stay "core" even when also black-listed
+    for source, _, kind in explanation.top_sources:
+        if source in example.good_core:
+            assert kind == "core"
+
+
+def test_render_is_readable(example):
+    explanation = explain_mass(
+        example.graph,
+        example.id_of("x"),
+        example.good_core,
+        suspected_spam=example.spam,
+    )
+    text = explanation.render(example.graph)
+    assert "node x" in text
+    assert "core (known good)" in text
+    assert "[spam]" in text
+
+
+def test_explain_on_synthetic_candidate(small_ctx):
+    """Explaining a detected farm target shows its boosters on top."""
+    target = int(small_ctx.world.group("farm:1:target")[0])
+    boosters = set(small_ctx.world.group("farm:1:boosters").tolist())
+    explanation = explain_mass(
+        small_ctx.graph, target, small_ctx.core, top=8
+    )
+    external_sources = [
+        s for s, _, kind in explanation.top_sources if kind != "self"
+    ]
+    assert external_sources
+    booster_hits = sum(1 for s in external_sources if s in boosters)
+    assert booster_hits >= len(external_sources) * 0.7
+    assert explanation.core_share < 0.3
+
+
+def test_top_validation(example):
+    with pytest.raises(ValueError):
+        explain_mass(example.graph, 0, example.good_core, top=0)

@@ -1,0 +1,129 @@
+"""Tests for the closed-form farm analysis — validated against actual
+PageRank computations on generated farms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.farm_theory import (
+    boosters_needed,
+    hijacked_boost,
+    optimal_farm_booster,
+    optimal_farm_target,
+    relay_farm_target,
+    star_farm_target,
+)
+from repro.core import pagerank, scale_scores
+from repro.graph import WebGraph
+
+
+def isolated_farm(k, linkback, relays=0):
+    """A farm floating alone in a larger graph of isolated filler nodes
+    (filler keeps the uniform jump from distorting scaled units)."""
+    n = k + 1 + 20
+    edges = []
+    target = 0
+    boosters = list(range(1, k + 1))
+    if relays:
+        relay_nodes = boosters[:relays]
+        feeders = boosters[relays:]
+        for i, f in enumerate(feeders):
+            edges.append((f, relay_nodes[i % relays]))
+        for r in relay_nodes:
+            edges.append((r, target))
+    else:
+        edges.extend((b, target) for b in boosters)
+    if linkback:
+        edges.extend((target, b) for b in boosters)
+    return WebGraph.from_edges(n, edges), target
+
+
+def scaled_pagerank(graph):
+    return scale_scores(pagerank(graph, tol=1e-13).scores, graph.num_nodes)
+
+
+@pytest.mark.parametrize("k", [1, 5, 20, 100])
+def test_star_farm_closed_form(k):
+    graph, target = isolated_farm(k, linkback=False)
+    assert scaled_pagerank(graph)[target] == pytest.approx(
+        star_farm_target(k), abs=1e-8
+    )
+
+
+@pytest.mark.parametrize("k", [1, 5, 20, 100])
+def test_optimal_farm_closed_form(k):
+    graph, target = isolated_farm(k, linkback=True)
+    scaled = scaled_pagerank(graph)
+    assert scaled[target] == pytest.approx(optimal_farm_target(k), abs=1e-8)
+    assert scaled[1] == pytest.approx(optimal_farm_booster(k), abs=1e-8)
+
+
+def test_recycling_beats_star():
+    """The alliances result: linking back recycles rank, so the optimal
+    farm strictly beats the star farm for every k."""
+    for k in (1, 10, 500):
+        assert optimal_farm_target(k) > star_farm_target(k)
+    # asymptotically by the factor 1/(1-c^2)
+    ratio = optimal_farm_target(10_000) / star_farm_target(10_000)
+    assert ratio == pytest.approx(1 / (1 - 0.85**2), rel=1e-3)
+
+
+@pytest.mark.parametrize("feeders,relays", [(6, 2), (9, 3), (20, 4)])
+def test_relay_farm_closed_form(feeders, relays):
+    graph, target = isolated_farm(
+        feeders + relays, linkback=False, relays=relays
+    )
+    assert scaled_pagerank(graph)[target] == pytest.approx(
+        relay_farm_target(feeders, relays), abs=1e-8
+    )
+
+
+def test_relay_camouflage_costs_rank():
+    """Two-tier structure trades target PageRank for camouflage."""
+    total = 30
+    for relays in (1, 3, 10):
+        assert relay_farm_target(total - relays, relays) < star_farm_target(
+            total
+        )
+
+
+def test_hijacked_boost_linearity():
+    # star farm + one stray link from a good chain: y -> target where y
+    # also links one other node (out-degree 2)
+    k = 5
+    n = k + 4 + 20
+    target, y, other = 0, k + 1, k + 2
+    edges = [(b, target) for b in range(1, k + 1)]
+    edges += [(y, target), (y, other)]
+    graph = WebGraph.from_edges(n, edges)
+    scaled = scaled_pagerank(graph)
+    expected = star_farm_target(k) + hijacked_boost(scaled[y], 2)
+    assert scaled[target] == pytest.approx(expected, abs=1e-8)
+
+
+def test_boosters_needed_inverts_closed_forms():
+    for score in (10.0, 50.0, 333.0):
+        k = boosters_needed(score, recycling=True)
+        assert optimal_farm_target(max(k, 1)) >= score - 1e-9
+        if k > 1:
+            assert optimal_farm_target(k - 1) < score
+        k_star = boosters_needed(score, recycling=False)
+        assert star_farm_target(max(k_star, 1)) >= score - 1e-9
+        # recycling always needs fewer (or equal) boosters
+        assert k <= k_star
+    assert boosters_needed(1.0) == 0
+    assert boosters_needed(0.5) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        star_farm_target(0)
+    with pytest.raises(ValueError):
+        optimal_farm_target(5, c=1.0)
+    with pytest.raises(ValueError):
+        relay_farm_target(5, 0)
+    with pytest.raises(ValueError):
+        relay_farm_target(-1, 2)
+    with pytest.raises(ValueError):
+        hijacked_boost(1.0, 0)
+    with pytest.raises(ValueError):
+        hijacked_boost(-1.0, 2)

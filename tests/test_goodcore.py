@@ -1,0 +1,103 @@
+"""Unit tests for good-core assembly and manipulation (Section 4.2/4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    assemble_good_core,
+    core_coverage,
+    country_only_core,
+    repair_core,
+    subsample_core,
+)
+
+
+def test_core_contains_only_good_hosts(tiny_world):
+    core = assemble_good_core(tiny_world)
+    assert not tiny_world.spam_mask[core].any()
+    assert len(core) == len(np.unique(core))
+
+
+def test_core_families_included(tiny_world):
+    core = set(assemble_good_core(tiny_world).tolist())
+    assert set(tiny_world.group("directory").tolist()) <= core
+    assert set(tiny_world.group("gov").tolist()) <= core
+    assert set(tiny_world.group("edu:us").tolist()) <= core
+
+
+def test_family_exclusion(tiny_world):
+    core = set(
+        assemble_good_core(
+            tiny_world, include_directory=False, include_gov=False
+        ).tolist()
+    )
+    assert not (set(tiny_world.group("directory").tolist()) & core)
+    assert not (set(tiny_world.group("gov").tolist()) & core)
+    assert set(tiny_world.group("edu:us").tolist()) <= core
+
+
+def test_edu_coverage_gap(tiny_world, rng):
+    """The Polish-anomaly mechanism: a country's edu hosts are almost
+    entirely left out of the core."""
+    full = set(assemble_good_core(tiny_world).tolist())
+    gapped = set(
+        assemble_good_core(
+            tiny_world, edu_coverage={"it": 0.0}, rng=rng
+        ).tolist()
+    )
+    it_hosts = set(tiny_world.group("edu:it").tolist())
+    assert it_hosts <= full
+    assert not (it_hosts & gapped)
+    partial = set(
+        assemble_good_core(
+            tiny_world, edu_coverage={"it": 0.5}, rng=rng
+        ).tolist()
+    )
+    included = len(it_hosts & partial)
+    assert 0 < included < len(it_hosts)
+
+
+def test_coverage_validation(tiny_world):
+    with pytest.raises(ValueError):
+        assemble_good_core(tiny_world, edu_coverage={"it": 1.5})
+
+
+def test_subsample_core(rng):
+    core = np.arange(1_000)
+    for fraction in (0.1, 0.01):
+        sub = subsample_core(core, fraction, rng)
+        assert len(sub) == int(round(fraction * 1_000))
+        assert set(sub.tolist()) <= set(core.tolist())
+        assert np.array_equal(sub, np.sort(sub))
+    # never empty
+    assert len(subsample_core(core, 0.0001, rng)) == 1
+    with pytest.raises(ValueError):
+        subsample_core(core, 0.0, rng)
+    with pytest.raises(ValueError):
+        subsample_core(core, 1.5, rng)
+
+
+def test_country_only_core(tiny_world):
+    core = country_only_core(tiny_world, "it")
+    assert set(core.tolist()) == set(tiny_world.group("edu:it").tolist())
+    with pytest.raises(KeyError):
+        country_only_core(tiny_world, "zz")
+
+
+def test_repair_core(tiny_world):
+    core = assemble_good_core(tiny_world, edu_coverage={"it": 0.0})
+    extra = tiny_world.group("edu:it")[:3]
+    repaired = repair_core(core, extra)
+    assert set(extra.tolist()) <= set(repaired.tolist())
+    assert len(repaired) == len(core) + 3
+    # idempotent
+    assert len(repair_core(repaired, extra)) == len(repaired)
+
+
+def test_core_coverage(tiny_world):
+    core = assemble_good_core(tiny_world)
+    coverage = core_coverage(tiny_world, core)
+    assert 0.0 < coverage < 1.0
+    assert coverage == pytest.approx(
+        len(core) / int((~tiny_world.spam_mask).sum())
+    )

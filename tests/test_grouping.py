@@ -1,0 +1,95 @@
+"""Unit tests for sample grouping (Table 2 / Figure 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    LABEL_GOOD,
+    LABEL_SPAM,
+    LABEL_UNKNOWN,
+    EvaluationSample,
+    group_composition,
+    split_into_groups,
+)
+
+
+def make_sample(num=100, seed=0):
+    rng = np.random.default_rng(seed)
+    nodes = np.arange(num)
+    mass = rng.uniform(-5, 1, size=200)
+    labels = [
+        LABEL_SPAM if rng.random() < 0.3 else LABEL_GOOD for _ in range(num)
+    ]
+    anomalous = rng.random(num) < 0.1
+    return EvaluationSample(nodes, labels, anomalous), mass
+
+
+def test_group_count_and_sizes():
+    sample, mass = make_sample(92)
+    groups = split_into_groups(sample, mass, num_groups=20)
+    assert len(groups) == 20
+    sizes = [g.size for g in groups]
+    assert sum(sizes) == 92
+    # near-equal sizes: paper's 892/20 gives 44-48; here 4 or 5
+    assert set(sizes) <= {4, 5}
+    assert [g.index for g in groups] == list(range(1, 21))
+
+
+def test_groups_sorted_by_mass():
+    sample, mass = make_sample()
+    groups = split_into_groups(sample, mass, num_groups=10)
+    boundaries = [(g.smallest, g.largest) for g in groups]
+    for (s1, l1), (s2, l2) in zip(boundaries, boundaries[1:]):
+        assert l1 <= s2 + 1e-12
+        assert s1 <= l1 and s2 <= l2
+
+
+def test_group_membership_matches_mass_range():
+    sample, mass = make_sample()
+    groups = split_into_groups(sample, mass, num_groups=5)
+    for g in groups:
+        member_mass = mass[g.members]
+        assert member_mass.min() == pytest.approx(g.smallest)
+        assert member_mass.max() == pytest.approx(g.largest)
+
+
+def test_composition_counts():
+    nodes = np.array([0, 1, 2, 3])
+    labels = [LABEL_GOOD, LABEL_SPAM, LABEL_GOOD, LABEL_UNKNOWN]
+    anomalous = np.array([False, False, True, False])
+    sample = EvaluationSample(nodes, labels, anomalous)
+    mass = np.array([0.1, 0.2, 0.3, 0.4])
+    (group,) = split_into_groups(sample, mass, num_groups=1)
+    assert group.num_good == 1
+    assert group.num_spam == 1
+    assert group.num_anomalous == 1  # anomalous good counted separately
+    assert group.num_excluded == 1
+    assert group.usable == 3
+    assert group.spam_fraction() == pytest.approx(1 / 3)
+
+
+def test_spam_fraction_empty_group():
+    nodes = np.array([0])
+    sample = EvaluationSample(nodes, [LABEL_UNKNOWN], np.array([False]))
+    (group,) = split_into_groups(sample, np.array([0.5]), num_groups=1)
+    assert group.usable == 0
+    assert group.spam_fraction() == 0.0
+
+
+def test_group_composition_table():
+    sample, mass = make_sample(60)
+    groups = split_into_groups(sample, mass, num_groups=6)
+    table = group_composition(groups)
+    assert table["group"] == [1, 2, 3, 4, 5, 6]
+    assert len(table["spam_fraction"]) == 6
+    for i, g in enumerate(groups):
+        assert table["usable"][i] == g.usable
+        assert table["good"][i] == g.num_good
+
+
+def test_validation():
+    sample, mass = make_sample(5)
+    with pytest.raises(ValueError):
+        split_into_groups(sample, mass, num_groups=0)
+    with pytest.raises(ValueError):
+        split_into_groups(sample, mass, num_groups=10)

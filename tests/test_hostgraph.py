@@ -1,0 +1,124 @@
+"""Unit tests for the base-web generator (Section 4.1 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.synth import BaseWebConfig, WorldAssembler, generate_base_web
+from repro.synth.hostgraph import sample_targets
+
+
+def build(rng, **kwargs):
+    asm = WorldAssembler()
+    base = generate_base_web(asm, rng, BaseWebConfig(**kwargs))
+    return asm.build(), base
+
+
+def test_default_fractions_match_paper(rng):
+    world, _ = build(rng, num_hosts=20_000)
+    stats = world.graph.stats()
+    assert stats.frac_no_inlinks == pytest.approx(0.35, abs=0.02)
+    assert stats.frac_no_outlinks == pytest.approx(0.664, abs=0.02)
+    assert stats.frac_isolated == pytest.approx(0.258, abs=0.02)
+
+
+def test_custom_fractions(rng):
+    world, _ = build(
+        rng,
+        num_hosts=10_000,
+        frac_isolated=0.1,
+        frac_no_outlinks=0.4,
+        frac_no_inlinks=0.3,
+    )
+    stats = world.graph.stats()
+    assert stats.frac_isolated == pytest.approx(0.1, abs=0.02)
+    assert stats.frac_no_outlinks == pytest.approx(0.4, abs=0.02)
+    assert stats.frac_no_inlinks == pytest.approx(0.3, abs=0.02)
+
+
+def test_class_handles_are_consistent(rng):
+    world, base = build(rng, num_hosts=5_000)
+    g = world.graph
+    out_deg = g.out_degree()
+    in_deg = g.in_degree()
+    # active hosts emit links; linkable hosts receive them
+    assert (out_deg[base.active] > 0).all()
+    assert (in_deg[base.linkable] > 0).all()
+    assert (out_deg[base.isolated] == 0).all()
+    assert (in_deg[base.isolated] == 0).all()
+    # connected hosts have both
+    assert (out_deg[base.connected] > 0).all()
+    assert (in_deg[base.connected] > 0).all()
+    assert len(base.connected_popularity) == len(base.connected)
+
+
+def test_destinations_only_linkable(rng):
+    world, base = build(rng, num_hosts=5_000)
+    linkable = set(base.linkable.tolist())
+    dests = set(world.graph.indices.tolist())
+    assert dests <= linkable
+
+
+def test_indegree_is_heavy_tailed(rng):
+    world, _ = build(rng, num_hosts=20_000)
+    in_deg = world.graph.in_degree()
+    mean = in_deg[in_deg > 0].mean()
+    # a heavy tail: the max in-degree dwarfs the mean
+    assert in_deg.max() > 20 * mean
+
+
+def test_mean_outdegree_respected(rng):
+    world, base = build(rng, num_hosts=10_000, mean_outdegree=10.0)
+    out_deg = world.graph.out_degree()
+    active_mean = out_deg[base.active].mean()
+    # dedup and self-link removal lose a little, so allow slack
+    assert active_mean == pytest.approx(10.0, rel=0.25)
+
+
+def test_all_base_hosts_good(rng):
+    world, _ = build(rng, num_hosts=2_000)
+    assert not world.spam_mask.any()
+
+
+def test_names_generated(rng):
+    world, _ = build(rng, num_hosts=500)
+    assert world.graph.names is not None
+    assert all("." in name for name in world.graph.names)
+    # names are unique
+    assert len(set(world.graph.names)) == 500
+
+
+def test_determinism():
+    a, _ = build(np.random.default_rng(9), num_hosts=2_000)
+    b, _ = build(np.random.default_rng(9), num_hosts=2_000)
+    assert a.graph == b.graph
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BaseWebConfig(10)  # too few hosts
+    with pytest.raises(ValueError):
+        BaseWebConfig(1_000, frac_isolated=1.2)
+    with pytest.raises(ValueError):
+        BaseWebConfig(1_000, frac_no_outlinks=0.1, frac_isolated=0.3)
+    with pytest.raises(ValueError):
+        BaseWebConfig(
+            1_000, frac_no_outlinks=0.7, frac_no_inlinks=0.6, frac_isolated=0.2
+        )
+    with pytest.raises(ValueError):
+        BaseWebConfig(1_000, mean_outdegree=0.5)
+
+
+def test_sample_targets_weighting(rng):
+    candidates = np.array([10, 20, 30])
+    weights = np.array([0.0, 0.0, 1.0])
+    picks = sample_targets(rng, candidates, weights, 100)
+    assert (picks == 30).all()
+    with pytest.raises(ValueError):
+        sample_targets(rng, np.array([]), np.array([]), 5)
+
+
+def test_sample_targets_proportionality(rng):
+    candidates = np.array([0, 1])
+    weights = np.array([1.0, 3.0])
+    picks = sample_targets(rng, candidates, weights, 40_000)
+    assert (picks == 1).mean() == pytest.approx(0.75, abs=0.02)

@@ -1,0 +1,124 @@
+"""Unit tests for host-name parsing and the host registry."""
+
+import pytest
+
+from repro.graph import HostName, HostRegistry, clean_url, parse_host
+
+
+class TestHostName:
+    def test_simple_host(self):
+        h = parse_host("www.example.com")
+        assert h.tld == "com"
+        assert h.suffix == "com"
+        assert h.domain == "example.com"
+
+    def test_composite_suffix(self):
+        h = parse_host("blogA.blogger.com.br")
+        assert h.suffix == "com.br"
+        assert h.domain == "blogger.com.br"
+
+    def test_paper_host_definition(self):
+        # the paper counts www-cs and cs as distinct hosts
+        a = parse_host("www-cs.stanford.edu")
+        b = parse_host("cs.stanford.edu")
+        assert a != b
+        assert a.domain == b.domain == "stanford.edu"
+
+    def test_case_and_trailing_dot_normalized(self):
+        assert parse_host("WWW.Example.COM.").raw == "www.example.com"
+
+    def test_bare_domain(self):
+        h = parse_host("example.org")
+        assert h.domain == "example.org"
+
+    def test_single_label(self):
+        h = parse_host("localhost")
+        assert h.tld == "localhost"
+        assert h.domain == "localhost"
+
+    def test_subdomain_membership(self):
+        h = parse_host("china.alibaba.com")
+        assert h.is_subdomain_of("alibaba.com")
+        assert h.is_subdomain_of("china.alibaba.com")
+        assert not h.is_subdomain_of("balibaba.com")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_host("")
+        with pytest.raises(ValueError):
+            parse_host("a..b")
+
+    def test_hashable(self):
+        assert len({parse_host("a.com"), parse_host("A.com")}) == 1
+
+
+class TestCleanUrl:
+    def test_scheme_and_path_stripped(self):
+        assert clean_url("http://www.foo.com/bar/baz") == "www.foo.com"
+        assert clean_url("https://foo.com") == "foo.com"
+
+    def test_port_and_credentials_stripped(self):
+        assert clean_url("http://foo.com:8080/x") == "foo.com"
+        assert clean_url("http://user:pw@foo.com/") == "foo.com"
+
+    def test_broken_urls_return_none(self):
+        assert clean_url("") is None
+        assert clean_url("http://") is None
+        assert clean_url("not a url") is None
+        assert clean_url("http://nodots") is None
+        assert clean_url("http://bad..host/") is None
+
+    def test_no_scheme_accepted(self):
+        assert clean_url("plain.example.net/path") == "plain.example.net"
+
+
+class TestHostRegistry:
+    def make(self):
+        reg = HostRegistry()
+        reg.register_all(
+            [
+                "www.nasa.gov",
+                "www.epa.gov",
+                "cs.stanford.edu",
+                "china.alibaba.com",
+                "www.alibaba.com",
+                "blog1.blogger.com.br",
+                "www.onet.pl",
+            ]
+        )
+        return reg
+
+    def test_roundtrip(self):
+        reg = self.make()
+        assert reg.id_of("www.nasa.gov") == 0
+        assert reg.name_of(0) == "www.nasa.gov"
+        assert "www.nasa.gov" in reg
+        assert "missing.example" not in reg
+        assert len(reg) == 7
+
+    def test_duplicate_rejected(self):
+        reg = self.make()
+        with pytest.raises(ValueError):
+            reg.register("WWW.NASA.GOV")
+
+    def test_with_suffix_selects_gov(self):
+        reg = self.make()
+        assert reg.with_suffix(".gov") == [0, 1]
+        assert reg.with_suffix("pl") == [6]
+        # no false positive on partial label match
+        assert 3 not in reg.with_suffix("libaba.com")
+
+    def test_in_domain(self):
+        reg = self.make()
+        assert reg.in_domain("alibaba.com") == [3, 4]
+
+    def test_domains_grouping(self):
+        reg = self.make()
+        groups = reg.domains()
+        assert groups["alibaba.com"] == [3, 4]
+        assert groups["blogger.com.br"] == [5]
+
+    def test_names_and_iter(self):
+        reg = self.make()
+        assert reg.names()[2] == "cs.stanford.edu"
+        assert list(reg.iter_ids()) == list(range(7))

@@ -1,0 +1,145 @@
+"""End-to-end integration tests: world → core → estimates → detection →
+evaluation, plus serialization round trips of a full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MassDetector,
+    detect_spam,
+    estimate_spam_mass,
+    true_relative_mass,
+)
+from repro.eval import (
+    build_evaluation_sample,
+    detection_metrics,
+    precision_curve,
+    split_into_groups,
+)
+from repro.graph import read_graph_bundle, read_scores, write_graph_bundle, write_scores
+from repro.synth import (
+    WorldConfig,
+    build_world,
+    default_good_core,
+    repair_core,
+    true_gamma,
+)
+
+
+def test_full_pipeline_on_small_world(small_ctx):
+    """The complete Section 4 pipeline holds together: high precision at
+    tau = 0.98 once anomalies are accounted for, and the detector's
+    candidate set is dominated by genuine heavy-weight link spam."""
+    detector = MassDetector(tau=0.98, rho=10.0)
+    result = detector.detect(small_ctx.estimates)
+    metrics = detection_metrics(
+        result.candidate_mask,
+        small_ctx.world.spam_mask,
+        restrict_to=small_ctx.eligible_mask,
+    )
+    assert metrics["precision"] > 0.5
+    # with anomalous communities removed from the universe, precision
+    # approaches the paper's ~100%
+    anomalous_mask = np.zeros(small_ctx.world.num_nodes, dtype=bool)
+    anomalous_mask[small_ctx.world.anomalous_nodes()] = True
+    clean = detection_metrics(
+        result.candidate_mask,
+        small_ctx.world.spam_mask,
+        restrict_to=small_ctx.eligible_mask & ~anomalous_mask,
+    )
+    assert clean["precision"] >= 0.95
+
+
+def test_core_repair_pipeline(small_ctx):
+    """Repairing the core (Section 4.4.2) lifts precision with anomalies
+    included."""
+    hubs = small_ctx.world.group("portal:megaportal.com:hubs")
+    repaired = repair_core(small_ctx.core, hubs)
+    estimates = estimate_spam_mass(
+        small_ctx.graph, repaired, gamma=small_ctx.gamma
+    )
+    before = precision_curve(
+        small_ctx.sample, small_ctx.estimates.relative, (0.98,)
+    )[0]
+    after = precision_curve(small_ctx.sample, estimates.relative, (0.98,))[0]
+    assert after.precision >= before.precision
+
+
+def test_pipeline_determinism():
+    config = WorldConfig.small(seed=99)
+    a = build_world(config)
+    b = build_world(config)
+    core_a = default_good_core(a)
+    core_b = default_good_core(b)
+    assert np.array_equal(core_a, core_b)
+    est_a = estimate_spam_mass(a.graph, core_a)
+    est_b = estimate_spam_mass(b.graph, core_b)
+    assert np.array_equal(est_a.relative, est_b.relative)
+
+
+def test_serialization_roundtrip_preserves_detection(tmp_path, tiny_world):
+    """Persist the world, reload it, and get bit-identical detection."""
+    core = default_good_core(tiny_world)
+    labels = {
+        int(i): ("spam" if tiny_world.spam_mask[i] else "good")
+        for i in range(tiny_world.num_nodes)
+    }
+    write_graph_bundle(
+        tiny_world.graph,
+        tmp_path / "world",
+        labels=labels,
+        metadata={"gamma": 0.85},
+    )
+    graph, loaded_labels, meta = read_graph_bundle(tmp_path / "world")
+    assert graph == tiny_world.graph
+    assert meta == {"gamma": 0.85}
+
+    original = detect_spam(tiny_world.graph, core, tau=0.9, rho=10.0)
+    reloaded = detect_spam(graph, core, tau=0.9, rho=10.0)
+    assert np.array_equal(original.candidate_mask, reloaded.candidate_mask)
+
+    # score vectors survive exactly too
+    est = estimate_spam_mass(tiny_world.graph, core)
+    write_scores(est.relative, tmp_path / "rel.scores")
+    assert np.array_equal(read_scores(tmp_path / "rel.scores"), est.relative)
+
+
+def test_estimator_tracks_oracle_on_fresh_world(rng):
+    """Build a fresh world (different seed from fixtures) and verify the
+    estimated relative mass orders spam above good among eligible
+    non-anomalous hosts."""
+    config = WorldConfig.small(seed=31)
+    world = build_world(config)
+    core = default_good_core(world)
+    est = estimate_spam_mass(world.graph, core, gamma=true_gamma(world))
+    eligible = est.scaled_pagerank() >= 10
+    anomalous = np.zeros(world.num_nodes, dtype=bool)
+    anomalous[world.anomalous_nodes()] = True
+    spam_rel = est.relative[eligible & world.spam_mask]
+    good_rel = est.relative[eligible & ~world.spam_mask & ~anomalous]
+    assert spam_rel.mean() - good_rel.mean() > 0.5
+
+
+def test_sample_grouping_pipeline(small_ctx):
+    groups = split_into_groups(
+        small_ctx.sample, small_ctx.estimates.relative, num_groups=10
+    )
+    # the grouping covers the whole sample and respects the filter
+    assert sum(g.size for g in groups) == len(small_ctx.sample)
+    scaled = small_ctx.estimates.scaled_pagerank()
+    for g in groups:
+        assert (scaled[g.members] >= small_ctx.rho - 1e-9).all()
+
+
+def test_sampled_evaluation_approximates_full(small_ctx, rng):
+    """A 50% uniform sample yields precision estimates close to the
+    full-population ones (the paper's 0.1% sample logic)."""
+    eligible_nodes = np.flatnonzero(small_ctx.eligible_mask)
+    sample = build_evaluation_sample(
+        small_ctx.world, eligible_nodes, rng, fraction=0.5
+    )
+    full = precision_curve(
+        small_ctx.sample, small_ctx.estimates.relative, (0.45,)
+    )[0]
+    half = precision_curve(sample, small_ctx.estimates.relative, (0.45,))[0]
+    assert half.precision == pytest.approx(full.precision, abs=0.2)

@@ -1,0 +1,151 @@
+"""Unit tests for graph/label/score serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    WebGraph,
+    read_edge_list,
+    read_graph_bundle,
+    read_host_list,
+    read_labels,
+    read_scores,
+    write_edge_list,
+    write_graph_bundle,
+    write_host_list,
+    write_labels,
+    write_scores,
+)
+
+
+@pytest.fixture()
+def sample_graph():
+    return WebGraph.from_edges(
+        4, [(0, 1), (1, 2), (2, 0), (0, 3)], names=["a.com", "b.com", "c.com", "d.com"]
+    )
+
+
+def test_edge_list_roundtrip(tmp_path, sample_graph):
+    path = tmp_path / "g.edges"
+    write_edge_list(sample_graph, path)
+    loaded = read_edge_list(path)
+    assert loaded == sample_graph
+
+
+def test_edge_list_gzip_roundtrip(tmp_path, sample_graph):
+    path = tmp_path / "g.edges.gz"
+    write_edge_list(sample_graph, path)
+    assert read_edge_list(path) == sample_graph
+
+
+def test_edge_list_preserves_isolated_nodes(tmp_path):
+    g = WebGraph.from_edges(10, [(0, 1)])
+    path = tmp_path / "g.edges"
+    write_edge_list(g, path)
+    assert read_edge_list(path).num_nodes == 10
+
+
+def test_edge_list_rejects_malformed(tmp_path):
+    bad = tmp_path / "bad.edges"
+    bad.write_text("# header\nnot-a-number\n")
+    with pytest.raises(ValueError):
+        read_edge_list(bad)
+    bad.write_text("3\n1 2 3\n")
+    with pytest.raises(ValueError):
+        read_edge_list(bad)
+    bad.write_text("# only comments\n")
+    with pytest.raises(ValueError):
+        read_edge_list(bad)
+
+
+def test_host_list_roundtrip(tmp_path):
+    names = ["www.a.com", "b.org", "sub.c.net"]
+    path = tmp_path / "hosts.txt"
+    write_host_list(names, path)
+    assert read_host_list(path) == names
+
+
+def test_host_list_rejects_newlines(tmp_path):
+    with pytest.raises(ValueError):
+        write_host_list(["bad\nname"], tmp_path / "h.txt")
+
+
+def test_labels_roundtrip(tmp_path):
+    labels = {0: "good", 3: "spam", 7: "unknown"}
+    path = tmp_path / "l.labels"
+    write_labels(labels, path)
+    assert read_labels(path) == labels
+
+
+def test_labels_reject_whitespace(tmp_path):
+    with pytest.raises(ValueError):
+        write_labels({0: "two words"}, tmp_path / "l.labels")
+
+
+def test_labels_reject_malformed_line(tmp_path):
+    bad = tmp_path / "bad.labels"
+    bad.write_text("0 good extra\n")
+    with pytest.raises(ValueError):
+        read_labels(bad)
+
+
+def test_scores_roundtrip_exact(tmp_path):
+    scores = np.array([0.1, 1e-17, 3.25, -2.5])
+    path = tmp_path / "s.scores"
+    write_scores(scores, path)
+    loaded = read_scores(path)
+    # repr-based format preserves doubles exactly
+    assert np.array_equal(loaded, scores)
+
+
+def test_scores_empty(tmp_path):
+    path = tmp_path / "empty.scores"
+    write_scores(np.array([]), path)
+    assert read_scores(path).size == 0
+
+
+def test_bundle_roundtrip(tmp_path, sample_graph):
+    labels = {0: "good", 1: "spam"}
+    meta = {"seed": 7, "kind": "test"}
+    out = write_graph_bundle(
+        sample_graph, tmp_path / "bundle", labels=labels, metadata=meta
+    )
+    graph, loaded_labels, loaded_meta = read_graph_bundle(out)
+    assert graph == sample_graph
+    assert graph.names == sample_graph.names
+    assert loaded_labels == labels
+    assert loaded_meta == meta
+
+
+def test_bundle_compressed(tmp_path, sample_graph):
+    out = write_graph_bundle(sample_graph, tmp_path / "bz", compress=True)
+    assert (out / "graph.edges.gz").exists()
+    graph, labels, meta = read_graph_bundle(out)
+    assert graph == sample_graph
+    assert labels is None and meta is None
+
+
+def test_bundle_missing_graph(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_graph_bundle(tmp_path)
+
+
+def test_npz_roundtrip(tmp_path, sample_graph):
+    from repro.graph import read_npz, write_npz
+
+    path = tmp_path / "g.npz"
+    write_npz(sample_graph, path)
+    loaded = read_npz(path)
+    assert loaded == sample_graph
+    assert loaded.names == sample_graph.names
+
+
+def test_npz_without_names(tmp_path):
+    from repro.graph import read_npz, write_npz
+
+    g = WebGraph.from_edges(6, [(0, 1), (4, 5)])
+    path = tmp_path / "g.npz"
+    write_npz(g, path)
+    loaded = read_npz(path)
+    assert loaded == g
+    assert loaded.names is None

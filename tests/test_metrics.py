@@ -1,0 +1,112 @@
+"""Unit tests for precision curves and detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    LABEL_GOOD,
+    LABEL_NONEXISTENT,
+    LABEL_SPAM,
+    LABEL_UNKNOWN,
+    PAPER_THRESHOLDS,
+    EvaluationSample,
+    counts_above_thresholds,
+    detection_metrics,
+    paper_thresholds,
+    precision_at,
+    precision_curve,
+)
+
+
+@pytest.fixture()
+def labeled_sample():
+    nodes = np.arange(6)
+    labels = [
+        LABEL_SPAM,       # mass 0.99
+        LABEL_GOOD,       # mass 0.99 (anomalous)
+        LABEL_SPAM,       # mass 0.5
+        LABEL_GOOD,       # mass 0.2
+        LABEL_UNKNOWN,    # mass 0.99 — excluded
+        LABEL_NONEXISTENT # mass -1  — excluded
+    ]
+    anomalous = np.array([False, True, False, False, False, False])
+    mass = np.array([0.99, 0.99, 0.5, 0.2, 0.99, -1.0])
+    return EvaluationSample(nodes, labels, anomalous), mass
+
+
+def test_precision_at_includes_anomalous(labeled_sample):
+    sample, mass = labeled_sample
+    point = precision_at(sample, mass, 0.98)
+    # above 0.98: spam(1) + anomalous good(1); unknown excluded
+    assert point.num_total == 2
+    assert point.num_spam == 1
+    assert point.precision == pytest.approx(0.5)
+
+
+def test_precision_at_excludes_anomalous(labeled_sample):
+    sample, mass = labeled_sample
+    point = precision_at(sample, mass, 0.98, exclude_anomalous=True)
+    assert point.num_total == 1
+    assert point.precision == pytest.approx(1.0)
+
+
+def test_precision_nan_when_empty(labeled_sample):
+    sample, mass = labeled_sample
+    point = precision_at(sample, mass, 1.5)
+    assert point.num_total == 0
+    assert point.precision != point.precision  # NaN
+
+
+def test_precision_curve_matches_pointwise(labeled_sample):
+    sample, mass = labeled_sample
+    curve = precision_curve(sample, mass, (0.98, 0.4, 0.0))
+    assert [p.tau for p in curve] == [0.98, 0.4, 0.0]
+    assert curve[1].num_spam == 2  # both spam hosts above 0.4
+    assert curve[2].num_total == 4  # all usable hosts above 0
+
+
+def test_paper_thresholds():
+    assert paper_thresholds() == PAPER_THRESHOLDS
+    assert PAPER_THRESHOLDS[0] == 0.98
+    assert PAPER_THRESHOLDS[-1] == 0.0
+    assert list(PAPER_THRESHOLDS) == sorted(PAPER_THRESHOLDS, reverse=True)
+
+
+def test_counts_above_thresholds():
+    mass = np.array([0.99, 0.5, 0.1, -2.0, 0.98])
+    eligible = np.array([True, True, True, True, False])
+    counts = counts_above_thresholds(mass, eligible, (0.98, 0.5, 0.0))
+    assert counts == [1, 2, 3]
+    with pytest.raises(ValueError):
+        counts_above_thresholds(mass, eligible[:3])
+
+
+def test_detection_metrics_basic():
+    candidates = np.array([True, True, False, False])
+    spam = np.array([True, False, True, False])
+    m = detection_metrics(candidates, spam)
+    assert m["tp"] == 1 and m["fp"] == 1 and m["fn"] == 1
+    assert m["precision"] == pytest.approx(0.5)
+    assert m["recall"] == pytest.approx(0.5)
+    assert m["f1"] == pytest.approx(0.5)
+
+
+def test_detection_metrics_restricted_universe():
+    candidates = np.array([True, True, False, False])
+    spam = np.array([True, False, True, False])
+    universe = np.array([True, False, False, True])
+    m = detection_metrics(candidates, spam, restrict_to=universe)
+    assert m["tp"] == 1 and m["fp"] == 0 and m["fn"] == 0
+    assert m["precision"] == 1.0 and m["recall"] == 1.0
+
+
+def test_detection_metrics_degenerate_cases():
+    none = np.zeros(3, dtype=bool)
+    spam = np.array([True, False, False])
+    m = detection_metrics(none, spam)
+    assert m["precision"] != m["precision"]  # no candidates -> NaN
+    assert m["recall"] == 0.0
+    all_clean = detection_metrics(none, none)
+    assert all_clean["f1"] != all_clean["f1"]  # nothing to find -> NaN
+    with pytest.raises(ValueError):
+        detection_metrics(none, spam[:2])

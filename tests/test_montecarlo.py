@@ -1,0 +1,103 @@
+"""Tests for Monte-Carlo PageRank estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import pagerank
+from repro.core.montecarlo import pagerank_montecarlo
+from repro.datasets import figure2_graph
+from repro.graph import WebGraph
+
+
+def test_matches_linear_solution_on_figure2(rng):
+    example = figure2_graph()
+    exact = pagerank(example.graph, tol=1e-13).scores
+    mc = pagerank_montecarlo(
+        example.graph, num_walks=400_000, rng=rng
+    )
+    assert np.abs(mc.scores - exact).max() < 5e-3 * exact.max()
+    # relative error on the biggest score is tight
+    x = example.id_of("x")
+    assert mc.scores[x] == pytest.approx(exact[x], rel=0.02)
+
+
+def test_unnormalized_core_jump(rng):
+    """MC estimation works for core-based vectors, i.e. for p'."""
+    example = figure2_graph()
+    from repro.core import core_jump_vector
+
+    v = core_jump_vector(example.graph.num_nodes, example.good_core)
+    exact = pagerank(example.graph, v, tol=1e-13).scores
+    mc = pagerank_montecarlo(
+        example.graph, v, num_walks=400_000, rng=rng
+    )
+    assert np.abs(mc.scores - exact).max() < 0.01 * max(exact.max(), 1e-9)
+
+
+def test_estimator_is_unbiased_across_seeds():
+    g = WebGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)])
+    exact = pagerank(g, tol=1e-13).scores
+    estimates = [
+        pagerank_montecarlo(
+            g, num_walks=30_000, rng=np.random.default_rng(seed)
+        ).scores
+        for seed in range(8)
+    ]
+    mean_estimate = np.mean(estimates, axis=0)
+    assert np.abs(mean_estimate - exact).max() < 2e-3
+
+
+def test_error_shrinks_with_walks(rng):
+    g = WebGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    exact = pagerank(g, tol=1e-13).scores
+
+    def error(num_walks, seed):
+        mc = pagerank_montecarlo(
+            g, num_walks=num_walks, rng=np.random.default_rng(seed)
+        )
+        return np.abs(mc.scores - exact).sum()
+
+    small = np.mean([error(2_000, s) for s in range(5)])
+    large = np.mean([error(128_000, s) for s in range(5)])
+    assert large < small / 3  # expect ~8x from 64x more walks
+
+
+def test_dangling_nodes_kill_walks(rng):
+    # single dangling node: every walk visits it once at most
+    g = WebGraph.from_edges(2, [(0, 1)])
+    mc = pagerank_montecarlo(g, num_walks=50_000, rng=rng)
+    exact = pagerank(g, tol=1e-13).scores
+    assert np.abs(mc.scores - exact).max() < 3e-3
+    assert mc.total_steps <= 2 * mc.num_walks
+
+
+def test_validation(rng):
+    g = WebGraph.from_edges(2, [(0, 1)])
+    with pytest.raises(ValueError):
+        pagerank_montecarlo(g, np.ones(3), rng=rng)
+    with pytest.raises(ValueError):
+        pagerank_montecarlo(g, np.array([-0.5, 0.5]), rng=rng)
+    with pytest.raises(ValueError):
+        pagerank_montecarlo(g, np.zeros(2), rng=rng)
+    with pytest.raises(ValueError):
+        pagerank_montecarlo(g, num_walks=0, rng=rng)
+    with pytest.raises(ValueError):
+        pagerank_montecarlo(g, damping=1.5, rng=rng)
+
+
+def test_spam_mass_via_montecarlo(rng):
+    """MC-estimated relative mass separates Figure 2's spam from good —
+    the estimator composes with the paper's pipeline."""
+    example = figure2_graph()
+    from repro.core import core_jump_vector
+
+    g = example.graph
+    p = pagerank_montecarlo(g, num_walks=300_000, rng=rng).scores
+    v_core = core_jump_vector(g.num_nodes, example.good_core)
+    p_core = pagerank_montecarlo(
+        g, v_core, num_walks=300_000, rng=rng
+    ).scores
+    rel = 1.0 - p_core / np.maximum(p, 1e-12)
+    assert rel[example.id_of("x")] > 0.6
+    assert rel[example.id_of("s0")] > 0.9
+    assert rel[example.id_of("g0")] < 0.5

@@ -1,0 +1,91 @@
+"""Unit tests for the naive labeling schemes (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scheme1_label, scheme1_mask, scheme2_label, scheme2_mask
+from repro.datasets import figure1_graph, figure2_graph
+
+
+def test_scheme1_fails_on_figure1():
+    """The paper's first example: x has 2 good links and 1 spam link, so
+    the majority vote says good even though spam dominates its
+    PageRank."""
+    for k in (2, 5, 10):
+        example = figure1_graph(k)
+        assert (
+            scheme1_label(example.graph, example.id_of("x"), example.spam)
+            == "good"
+        )
+
+
+def test_scheme2_succeeds_on_figure1_for_large_k():
+    """Scheme 2 flips to spam once k >= ceil(1/c) = 2 (the paper's
+    analysis)."""
+    example = figure1_graph(1)
+    assert (
+        scheme2_label(example.graph, example.id_of("x"), example.spam)
+        == "good"
+    )
+    for k in (2, 3, 8):
+        example = figure1_graph(k)
+        assert (
+            scheme2_label(example.graph, example.id_of("x"), example.spam)
+            == "spam"
+        )
+
+
+def test_both_schemes_fail_on_figure2():
+    """Figure 2's indirect boosting defeats both schemes — the paper's
+    motivation for whole-graph spam mass."""
+    example = figure2_graph()
+    x = example.id_of("x")
+    assert scheme1_label(example.graph, x, example.spam) == "good"
+    assert scheme2_label(example.graph, x, example.spam) == "good"
+    assert (
+        scheme2_label(example.graph, x, example.spam, exact=False) == "good"
+    )
+
+
+def test_scheme1_catches_directly_boosted_node():
+    example = figure1_graph(4)
+    s0 = example.id_of("s0")  # all of s0's in-links are spam
+    assert scheme1_label(example.graph, s0, example.spam) == "spam"
+
+
+def test_no_inlinks_labeled_good():
+    example = figure1_graph(2)
+    g0 = example.id_of("g0")
+    assert scheme1_label(example.graph, g0, example.spam) == "good"
+    assert scheme2_label(example.graph, g0, example.spam) == "good"
+
+
+def test_tie_counts_as_good():
+    """One good and one spam in-link: not a majority, so scheme 1 has no
+    evidence to call spam."""
+    from repro.graph import WebGraph
+
+    g = WebGraph.from_edges(3, [(0, 2), (1, 2)])
+    assert scheme1_label(g, 2, [1]) == "good"
+
+
+def test_scheme_masks_match_per_node_labels():
+    example = figure2_graph()
+    g = example.graph
+    mask1 = scheme1_mask(g, example.spam)
+    mask2 = scheme2_mask(g, example.spam)
+    for node in range(g.num_nodes):
+        assert mask1[node] == (
+            scheme1_label(g, node, example.spam) == "spam"
+        )
+        assert mask2[node] == (
+            scheme2_label(g, node, example.spam, exact=False) == "spam"
+        )
+
+
+def test_scheme2_exact_vs_first_order_agree_on_figure1():
+    example = figure1_graph(3)
+    x = example.id_of("x")
+    assert scheme2_label(
+        example.graph, x, example.spam, exact=True
+    ) == scheme2_label(example.graph, x, example.spam, exact=False)

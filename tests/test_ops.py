@@ -1,0 +1,116 @@
+"""Unit tests for graph structural operations."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    WebGraph,
+    adjacency_matrix,
+    degree_histogram,
+    merge_graphs,
+    reachable_from,
+    reaches,
+    remove_nodes,
+    subgraph,
+    to_networkx,
+    transition_matrix,
+)
+
+
+@pytest.fixture()
+def diamond():
+    # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+    return WebGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+def test_transition_matrix_rows(diamond):
+    t = transition_matrix(diamond).toarray()
+    assert t[0, 1] == pytest.approx(0.5)
+    assert t[0, 2] == pytest.approx(0.5)
+    assert t[1, 3] == pytest.approx(1.0)
+    # dangling row is zero (substochastic, Section 2.2)
+    assert t[3].sum() == 0.0
+    # every non-dangling row sums to 1
+    assert t[0].sum() == pytest.approx(1.0)
+
+
+def test_adjacency_matrix(diamond):
+    a = adjacency_matrix(diamond).toarray()
+    assert a.sum() == diamond.num_edges
+    assert a[0, 1] == 1.0 and a[1, 0] == 0.0
+
+
+def test_subgraph_induced(diamond):
+    sub, mapping = subgraph(diamond, [0, 1, 3])
+    assert sub.num_nodes == 3
+    assert sorted(sub.edges()) == [(0, 1), (1, 2)]  # 0->1, 1->3 renumbered
+    assert list(mapping) == [0, 1, 3]
+
+
+def test_subgraph_rejects_duplicates(diamond):
+    with pytest.raises(ValueError):
+        subgraph(diamond, [0, 0, 1])
+
+
+def test_subgraph_keeps_names():
+    g = WebGraph.from_edges(3, [(0, 1)], names=["a", "b", "c"])
+    sub, _ = subgraph(g, [1, 2])
+    assert sub.names == ("b", "c")
+
+
+def test_remove_nodes(diamond):
+    pruned, mapping = remove_nodes(diamond, [1])
+    assert pruned.num_nodes == 3
+    # only 0->2->3 path remains (renumbered 0->1->2)
+    assert sorted(pruned.edges()) == [(0, 1), (1, 2)]
+    assert list(mapping) == [0, 2, 3]
+
+
+def test_reachable_from(diamond):
+    mask = reachable_from(diamond, [1])
+    assert list(mask) == [False, True, False, True]
+    # sources always included (zero-length walk)
+    assert reachable_from(diamond, [3]).tolist() == [False, False, False, True]
+
+
+def test_reaches(diamond):
+    mask = reaches(diamond, [3])
+    assert mask.all()  # every node reaches 3
+    assert reaches(diamond, [0]).tolist() == [True, False, False, False]
+
+
+def test_reachable_multiple_sources(diamond):
+    assert reachable_from(diamond, [1, 2]).tolist() == [False, True, True, True]
+
+
+def test_degree_histogram():
+    values, counts = degree_histogram(np.array([0, 1, 1, 3, 3, 3]))
+    assert values.tolist() == [0, 1, 3]
+    assert counts.tolist() == [1, 2, 3]
+    empty_values, empty_counts = degree_histogram(np.array([]))
+    assert len(empty_values) == 0 and len(empty_counts) == 0
+
+
+def test_merge_graphs():
+    a = WebGraph.from_edges(2, [(0, 1)], names=["a0", "a1"])
+    b = WebGraph.from_edges(3, [(1, 2)], names=["b0", "b1", "b2"])
+    merged, offsets = merge_graphs([a, b], cross_edges=[(0, 1, 1, 0)])
+    assert merged.num_nodes == 5
+    assert offsets == [0, 2]
+    assert merged.has_edge(0, 1)  # a's edge
+    assert merged.has_edge(3, 4)  # b's edge shifted by 2
+    assert merged.has_edge(1, 2)  # cross edge a1 -> b0
+    assert merged.names == ("a0", "a1", "b0", "b1", "b2")
+
+
+def test_merge_graphs_bad_cross_edge():
+    a = WebGraph.empty(1)
+    with pytest.raises(IndexError):
+        merge_graphs([a], cross_edges=[(0, 0, 3, 0)])
+
+
+def test_to_networkx(diamond):
+    g = to_networkx(diamond)
+    assert g.number_of_nodes() == 4
+    assert g.number_of_edges() == 4
+    assert g.has_edge(0, 1)

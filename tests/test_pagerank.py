@@ -1,0 +1,141 @@
+"""Unit tests for the high-level PageRank API (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_DAMPING,
+    core_jump_vector,
+    indicator_jump_vector,
+    pagerank,
+    scale_scores,
+    scaled_core_jump_vector,
+    uniform_jump_vector,
+    unscale_scores,
+)
+from repro.datasets import figure1_graph, figure1_pagerank_x
+from repro.graph import WebGraph
+
+
+def test_uniform_jump_vector():
+    v = uniform_jump_vector(4)
+    assert v.sum() == pytest.approx(1.0)
+    assert (v == 0.25).all()
+    with pytest.raises(ValueError):
+        uniform_jump_vector(0)
+
+
+def test_core_jump_vector_unnormalized():
+    v = core_jump_vector(10, [0, 3, 7])
+    assert v.sum() == pytest.approx(0.3)
+    assert v[3] == pytest.approx(0.1)
+    assert v[1] == 0.0
+
+
+def test_core_jump_vector_range_check():
+    with pytest.raises(ValueError):
+        core_jump_vector(3, [5])
+
+
+def test_scaled_core_jump_vector_norm_is_gamma():
+    w = scaled_core_jump_vector(100, [1, 2, 3, 4], gamma=0.85)
+    assert w.sum() == pytest.approx(0.85)
+    assert w[1] == pytest.approx(0.85 / 4)
+    with pytest.raises(ValueError):
+        scaled_core_jump_vector(10, [0], gamma=0.0)
+    with pytest.raises(ValueError):
+        scaled_core_jump_vector(10, [], gamma=0.5)
+
+
+def test_indicator_jump_vector_restricts_base():
+    base = np.array([0.4, 0.3, 0.2, 0.1])
+    v = indicator_jump_vector(4, [1, 3], base)
+    assert v.tolist() == [0.0, 0.3, 0.0, 0.1]
+    with pytest.raises(ValueError):
+        indicator_jump_vector(4, [0], np.ones(3))
+
+
+def test_pagerank_accepts_node_list_as_jump():
+    g = WebGraph.from_edges(3, [(0, 1), (1, 2)])
+    from_ids = pagerank(g, [0]).scores
+    explicit = pagerank(g, core_jump_vector(3, [0])).scores
+    assert np.array_equal(from_ids, explicit)
+
+
+def test_pagerank_figure1_closed_form():
+    for k in (0, 1, 4, 12):
+        example = figure1_graph(k)
+        scores = pagerank(example.graph).scores
+        scaled = scale_scores(scores, example.graph.num_nodes)
+        assert scaled[example.id_of("x")] == pytest.approx(
+            figure1_pagerank_x(k), abs=1e-9
+        )
+
+
+def test_scaled_score_of_leaf_is_one():
+    """Under the paper's scaling, a node with no inlinks scores 1."""
+    g = WebGraph.from_edges(3, [(0, 1), (2, 1)])
+    scaled = scale_scores(pagerank(g).scores, 3)
+    assert scaled[0] == pytest.approx(1.0)
+    assert scaled[2] == pytest.approx(1.0)
+
+
+def test_scale_unscale_roundtrip(rng):
+    scores = rng.random(7)
+    assert np.allclose(unscale_scores(scale_scores(scores, 7), 7), scores)
+    with pytest.raises(ValueError):
+        scale_scores(scores, 0)
+    with pytest.raises(ValueError):
+        unscale_scores(scores, -1)
+
+
+def test_pagerank_linearity_in_v():
+    """PR(v1 + v2) = PR(v1) + PR(v2) — the property core-based mass
+    estimation rests on."""
+    g = WebGraph.from_edges(
+        5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 2)]
+    )
+    v1 = indicator_jump_vector(5, [0, 1])
+    v2 = indicator_jump_vector(5, [2, 3, 4])
+    combined = pagerank(g, v1 + v2, tol=1e-14).scores
+    separate = pagerank(g, v1, tol=1e-14).scores + pagerank(g, v2, tol=1e-14).scores
+    assert np.abs(combined - separate).max() < 1e-11
+
+
+def test_pagerank_default_damping_is_085():
+    assert DEFAULT_DAMPING == 0.85
+
+
+def test_pagerank_raises_on_divergence():
+    g = WebGraph.from_edges(3, [(0, 1), (1, 0)])
+    with pytest.raises(RuntimeError, match="failed to converge"):
+        pagerank(g, tol=1e-16, max_iter=1)
+    result = pagerank(g, tol=1e-16, max_iter=1, raise_on_divergence=False)
+    assert not result.converged
+
+
+def test_pagerank_wrong_shape_jump_rejected():
+    g = WebGraph.empty(3)
+    with pytest.raises(ValueError):
+        pagerank(g, np.full(4, 0.25))
+
+
+def test_pagerank_order_matches_networkx(rng):
+    import networkx as nx
+
+    n = 80
+    edges = [
+        (int(u), int(v))
+        for u, v in zip(rng.integers(0, n, 500), rng.integers(0, n, 500))
+        if u != v
+    ]
+    g = WebGraph.from_edges(n, edges)
+    ours = pagerank(g, tol=1e-13).scores
+    ours = ours / ours.sum()
+    nx_graph = nx.DiGraph(edges)
+    nx_graph.add_nodes_from(range(n))
+    theirs = nx.pagerank(nx_graph, alpha=0.85, tol=1e-13, max_iter=500)
+    theirs_vec = np.array([theirs[i] for i in range(n)])
+    # networkx patches dangling nodes (stochastic formulation), which is
+    # exactly the normalized linear solution
+    assert np.abs(ours - theirs_vec).max() < 1e-6

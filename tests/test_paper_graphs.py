@@ -1,0 +1,108 @@
+"""Unit tests for the reference paper graphs (Figures 1-2, Table 1)."""
+
+import pytest
+
+from repro.datasets import (
+    figure1_graph,
+    figure1_pagerank_x,
+    figure1_spam_contribution_x,
+    figure2_graph,
+    table1_expected,
+)
+
+
+def test_figure1_structure():
+    example = figure1_graph(4)
+    g = example.graph
+    assert g.num_nodes == 8  # x, g0, g1, s0, s1..s4
+    x = example.id_of("x")
+    assert g.has_edge(example.id_of("g0"), x)
+    assert g.has_edge(example.id_of("g1"), x)
+    assert g.has_edge(example.id_of("s0"), x)
+    for i in range(1, 5):
+        assert g.has_edge(example.id_of(f"s{i}"), example.id_of("s0"))
+    assert set(example.good) == {example.id_of("g0"), example.id_of("g1")}
+    assert x in example.spam
+
+
+def test_figure1_k_zero():
+    example = figure1_graph(0)
+    assert example.graph.num_nodes == 4
+    with pytest.raises(ValueError):
+        figure1_graph(-1)
+
+
+def test_figure1_closed_forms():
+    # paper: for c = 0.85 and k >= ceil(1/c) = 2 spam dominates
+    c = 0.85
+    assert figure1_pagerank_x(0, c) == pytest.approx(1 + 3 * c)
+    for k in (2, 3, 10):
+        spam_share = figure1_spam_contribution_x(k, c) / figure1_pagerank_x(k, c)
+        if k >= 2:
+            good_part = figure1_pagerank_x(k, c) - figure1_spam_contribution_x(k, c)
+            assert figure1_spam_contribution_x(k, c) > good_part - 1  # spam ~ dominant
+    # k=2 is the paper's tipping point for the scheme-2 majority
+    assert figure1_spam_contribution_x(2, c) > (
+        figure1_pagerank_x(2, c) - figure1_spam_contribution_x(2, c) - 1.0
+    )
+
+
+def test_figure2_structure():
+    example = figure2_graph()
+    g = example.graph
+    assert g.num_nodes == 12
+    x = example.id_of("x")
+    # x's immediate in-neighbours: g0, g2, s0
+    assert sorted(g.in_neighbors(x).tolist()) == sorted(
+        [example.id_of("g0"), example.id_of("g2"), example.id_of("s0")]
+    )
+    # spam reaches x only indirectly through g0/g2 (besides s0)
+    assert g.has_edge(example.id_of("s5"), example.id_of("g0"))
+    assert g.has_edge(example.id_of("s6"), example.id_of("g2"))
+    for i in range(1, 5):
+        assert g.has_edge(example.id_of(f"s{i}"), example.id_of("s0"))
+    # x is dangling (no outlinks in the figure)
+    assert g.out_degree(x) == 0
+
+
+def test_figure2_partition():
+    example = figure2_graph()
+    assert len(example.good) == 4
+    assert len(example.spam) == 8  # x + s0..s6
+    assert set(example.good) & set(example.spam) == set()
+    assert set(example.good) | set(example.spam) == set(range(12))
+    # the worked example's core deliberately omits g2
+    assert example.id_of("g2") not in example.good_core
+    assert len(example.good_core) == 3
+
+
+def test_table1_values_at_085():
+    exp = table1_expected(0.85)
+    assert exp["x"]["p"] == pytest.approx(9.33, abs=0.005)
+    assert exp["x"]["p_core"] == pytest.approx(2.295)
+    assert exp["x"]["M"] == pytest.approx(6.185)
+    assert exp["x"]["M_est"] == pytest.approx(7.035)
+    assert exp["x"]["m"] == pytest.approx(0.66, abs=0.005)
+    assert exp["x"]["m_est"] == pytest.approx(0.75, abs=0.005)
+    assert exp["g0"]["m"] == pytest.approx(0.31, abs=0.005)
+    assert exp["g2"]["m_est"] == pytest.approx(0.69, abs=0.005)
+    assert exp["s0"]["p"] == pytest.approx(4.4)
+    assert exp["s1"]["m"] == 1.0
+    assert exp["g1"]["M"] == 0.0
+
+
+def test_table1_other_damping_consistent():
+    """The analytic table must stay internally consistent for any c:
+    relative values are ratios of the absolute ones."""
+    exp = table1_expected(0.5)
+    for name, row in exp.items():
+        assert row["m"] == pytest.approx(row["M"] / row["p"])
+        assert row["m_est"] == pytest.approx(row["M_est"] / row["p"])
+
+
+def test_names_in_order():
+    example = figure2_graph()
+    names = example.names_in_order()
+    assert names[0] == "x"
+    assert len(names) == 12
+    assert example.id_of(names[5]) == 5

@@ -1,0 +1,119 @@
+"""Unit tests for power-law fitting and distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ccdf,
+    fit_continuous_powerlaw,
+    fit_discrete_powerlaw,
+    log_binned_histogram,
+)
+
+
+def pareto_sample(rng, alpha, xmin, size):
+    """Continuous Pareto draws with density ~ x^-alpha for x >= xmin."""
+    u = rng.random(size)
+    return xmin * (1 - u) ** (-1.0 / (alpha - 1.0))
+
+
+def test_continuous_mle_recovers_exponent(rng):
+    for alpha in (1.8, 2.31, 3.0):
+        sample = pareto_sample(rng, alpha, xmin=1.0, size=50_000)
+        fit = fit_continuous_powerlaw(sample, xmin=1.0)
+        assert fit.alpha == pytest.approx(alpha, rel=0.03)
+        assert not fit.discrete
+
+
+def test_discrete_mle_recovers_exponent(rng):
+    alpha = 2.5
+    sample = np.floor(pareto_sample(rng, alpha, xmin=5.0, size=80_000)).astype(
+        int
+    )
+    fit = fit_discrete_powerlaw(sample, xmin=5)
+    assert fit.alpha == pytest.approx(alpha, rel=0.05)
+    assert fit.discrete
+
+
+def test_fit_ignores_below_xmin(rng):
+    sample = np.concatenate(
+        [pareto_sample(rng, 2.4, 10.0, 20_000), np.full(50_000, 1.0)]
+    )
+    fit = fit_continuous_powerlaw(sample, xmin=10.0)
+    assert fit.alpha == pytest.approx(2.4, rel=0.05)
+    assert fit.num_tail == 20_000
+
+
+def test_fit_continuous_default_xmin(rng):
+    sample = pareto_sample(rng, 2.0, 3.0, 10_000)
+    fit = fit_continuous_powerlaw(sample)
+    assert fit.xmin == pytest.approx(sample.min())
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        fit_continuous_powerlaw(np.array([1.0]))
+    with pytest.raises(ValueError):
+        fit_continuous_powerlaw(np.array([-1.0, -2.0]))
+    with pytest.raises(ValueError):
+        fit_continuous_powerlaw(np.array([2.0, 3.0]), xmin=-1.0)
+    with pytest.raises(ValueError):
+        fit_discrete_powerlaw(np.array([3, 4, 5]), xmin=0)
+    with pytest.raises(ValueError):
+        fit_continuous_powerlaw(np.array([5.0, 5.0, 5.0]), xmin=5.0)
+
+
+def test_pdf_normalization():
+    fit = fit_continuous_powerlaw(
+        pareto_sample(np.random.default_rng(0), 2.5, 1.0, 5_000), xmin=1.0
+    )
+    xs = np.linspace(1.0, 5_000.0, 2_000_000)
+    integral = np.trapezoid(fit.pdf(xs), xs)
+    assert integral == pytest.approx(1.0, abs=0.01)
+
+
+def test_expected_counts_scale_with_total():
+    fit = fit_continuous_powerlaw(
+        pareto_sample(np.random.default_rng(1), 2.0, 1.0, 5_000), xmin=1.0
+    )
+    values = np.array([1.0, 2.0, 4.0])
+    assert np.allclose(
+        fit.expected_counts(values, 200), 2 * fit.expected_counts(values, 100)
+    )
+
+
+def test_ccdf_basic():
+    xs, probs = ccdf(np.array([1.0, 1.0, 2.0, 4.0]))
+    assert xs.tolist() == [1.0, 2.0, 4.0]
+    assert probs.tolist() == [1.0, 0.5, 0.25]
+    empty_x, empty_p = ccdf(np.array([]))
+    assert empty_x.size == 0 and empty_p.size == 0
+
+
+def test_ccdf_slope_matches_exponent(rng):
+    """For a power law with exponent alpha, the CCDF has log-log slope
+    1 - alpha."""
+    alpha = 2.5
+    sample = pareto_sample(rng, alpha, 1.0, 100_000)
+    xs, probs = ccdf(sample)
+    keep = (xs > 2) & (xs < 50)
+    slope = np.polyfit(np.log(xs[keep]), np.log(probs[keep]), 1)[0]
+    assert slope == pytest.approx(1 - alpha, abs=0.1)
+
+
+def test_log_binned_histogram_fractions():
+    values = np.array([0.0, -3.0, 1.0, 10.0, 100.0, 100.0])
+    bins, fractions = log_binned_histogram(values, bins_per_decade=1)
+    # fractions are relative to ALL inputs (incl. non-positive)
+    assert fractions.sum() == pytest.approx(4 / 6)
+    assert (bins > 0).all()
+
+
+def test_log_binned_histogram_density_and_validation():
+    values = np.array([1.0, 5.0, 50.0])
+    bins, dens = log_binned_histogram(values, bins_per_decade=2, density=True)
+    assert (dens > 0).all()
+    with pytest.raises(ValueError):
+        log_binned_histogram(values, bins_per_decade=0)
+    empty_b, empty_f = log_binned_histogram(np.array([-1.0, 0.0]))
+    assert empty_b.size == 0

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the paper's mathematical claims on *arbitrary* graphs and
+jump vectors, not just the worked examples:
+
+* Theorem 1 — contributions sum to PageRank;
+* linearity of ``PR(·)`` in the jump vector;
+* solver agreement;
+* estimator identities (``M̃ = p − p′``, ``m̃ = 1 − p′/p``,
+  ``m̃ ≤ 1``);
+* detector monotonicity in both thresholds;
+* graph-construction invariants (dedup, self-link removal, transpose).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MassDetector,
+    contribution_matrix,
+    contribution_vector,
+    estimate_spam_mass,
+    pagerank,
+    true_spam_mass,
+    uniform_jump_vector,
+)
+from repro.graph import WebGraph, transition_matrix
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, min_nodes=2, max_nodes=12):
+    """Random directed graphs (possibly with dangling/isolated nodes)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    num_edges = draw(st.integers(0, n * (n - 1)))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=0,
+            max_size=num_edges,
+        )
+    )
+    return WebGraph.from_edges(n, edges)
+
+
+@st.composite
+def graphs_with_subset(draw):
+    graph = draw(graphs())
+    subset = draw(
+        st.sets(
+            st.integers(0, graph.num_nodes - 1),
+            min_size=1,
+            max_size=graph.num_nodes,
+        )
+    )
+    return graph, sorted(subset)
+
+
+@given(graphs())
+@settings(**SETTINGS)
+def test_theorem1_contributions_sum_to_pagerank(graph):
+    scores = pagerank(graph, tol=1e-13).scores
+    q = contribution_matrix(graph)
+    assert np.abs(q.sum(axis=0) - scores).max() < 1e-9
+
+
+@given(graphs_with_subset())
+@settings(**SETTINGS)
+def test_decomposition_into_subset_and_complement(pair):
+    """p = q^U + q^{V \\ U} for every subset U (Section 3.3)."""
+    graph, subset = pair
+    complement = [x for x in range(graph.num_nodes) if x not in subset]
+    scores = pagerank(graph, tol=1e-13).scores
+    q_subset = contribution_vector(graph, subset, tol=1e-13)
+    if complement:
+        q_subset = q_subset + contribution_vector(graph, complement, tol=1e-13)
+    assert np.abs(scores - q_subset).max() < 1e-9
+
+
+@given(graphs_with_subset())
+@settings(**SETTINGS)
+def test_mass_is_nonnegative_and_bounded(pair):
+    """0 <= M <= p for the true mass of any spam set."""
+    graph, subset = pair
+    scores = pagerank(graph, tol=1e-13).scores
+    mass = true_spam_mass(graph, subset, tol=1e-13)
+    assert (mass >= -1e-12).all()
+    assert (mass <= scores + 1e-12).all()
+
+
+@given(graphs(), st.floats(0.05, 0.95))
+@settings(**SETTINGS)
+def test_pagerank_linearity(graph, split):
+    v = uniform_jump_vector(graph.num_nodes)
+    combined = pagerank(graph, v, tol=1e-13).scores
+    part1 = pagerank(graph, split * v, tol=1e-13).scores
+    part2 = pagerank(graph, (1 - split) * v, tol=1e-13).scores
+    assert np.abs(combined - part1 - part2).max() < 1e-9
+
+
+@given(graphs())
+@settings(**SETTINGS)
+def test_solvers_agree(graph):
+    from repro.core.solvers import direct, jacobi
+
+    tt = transition_matrix(graph).T.tocsr()
+    v = uniform_jump_vector(graph.num_nodes)
+    a = jacobi(tt, v, tol=1e-13).scores
+    b = direct(tt, v).scores
+    assert np.abs(a - b).max() < 1e-9
+
+
+@given(graphs_with_subset(), st.one_of(st.none(), st.floats(0.1, 1.0)))
+@settings(**SETTINGS)
+def test_estimator_identities(pair, gamma):
+    graph, core = pair
+    est = estimate_spam_mass(graph, core, gamma=gamma, tol=1e-13)
+    assert np.allclose(est.absolute, est.pagerank - est.core_pagerank)
+    positive = est.pagerank > 0
+    assert np.allclose(
+        est.relative[positive],
+        1.0 - est.core_pagerank[positive] / est.pagerank[positive],
+    )
+    # p' >= 0 always, so relative mass never exceeds 1
+    assert est.relative.max() <= 1.0 + 1e-12
+    assert np.isfinite(est.relative).all()
+
+
+@given(
+    graphs_with_subset(),
+    st.floats(-1.0, 1.0),
+    st.floats(-1.0, 1.0),
+    st.floats(0.5, 20.0),
+    st.floats(0.5, 20.0),
+)
+@settings(**SETTINGS)
+def test_detector_monotonicity(pair, tau1, tau2, rho1, rho2):
+    graph, core = pair
+    est = estimate_spam_mass(graph, core, gamma=0.85, tol=1e-12)
+    lo_tau, hi_tau = sorted((tau1, tau2))
+    lo_rho, hi_rho = sorted((rho1, rho2))
+    loose = MassDetector(lo_tau, lo_rho).detect(est)
+    strict = MassDetector(hi_tau, hi_rho).detect(est)
+    assert set(strict.candidates.tolist()) <= set(loose.candidates.tolist())
+
+
+@given(
+    st.integers(2, 10),
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=60
+    ),
+)
+@settings(**SETTINGS)
+def test_graph_construction_invariants(n, raw_edges):
+    edges = [(u % n, v % n) for u, v in raw_edges]
+    graph = WebGraph.from_edges(n, edges)
+    clean = {(u, v) for u, v in edges if u != v}
+    assert graph.num_edges == len(clean)
+    assert sorted(graph.edges()) == sorted(clean)
+    # degree bookkeeping is consistent
+    assert graph.out_degree().sum() == graph.num_edges
+    assert graph.in_degree().sum() == graph.num_edges
+    # transpose twice is the identity
+    assert graph.transpose().transpose() == graph
+    # transition matrix rows are (sub)stochastic
+    t = transition_matrix(graph)
+    row_sums = np.asarray(t.sum(axis=1)).ravel()
+    dangling = graph.dangling_mask()
+    assert np.allclose(row_sums[dangling], 0.0)
+    assert np.allclose(row_sums[~dangling], 1.0)
+
+
+@given(graphs())
+@settings(**SETTINGS)
+def test_pagerank_norm_bounds(graph):
+    """0 < ||p||_1 <= ||v||_1 in the linear formulation."""
+    scores = pagerank(graph, tol=1e-13).scores
+    assert scores.sum() > 0
+    assert scores.sum() <= 1.0 + 1e-9
+    assert (scores > 0).all()  # uniform jump reaches every node

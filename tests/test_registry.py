@@ -1,0 +1,54 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.eval import (
+    EXPERIMENTS,
+    is_contextual,
+    list_experiments,
+    run_experiment,
+)
+from repro.eval.results import TableResult
+
+
+def test_registry_covers_design_index():
+    expected = {
+        "T1", "F1", "F2", "S41", "S43", "T2", "F3", "F4", "F5", "F6",
+        "S442", "S46", "A1", "A2", "A3", "A4", "A5", "A6", "A7",
+        "A8A", "A8B", "FW1",
+    }
+    assert set(list_experiments()) == expected
+
+
+def test_contextual_flags():
+    assert not is_contextual("T1")
+    assert not is_contextual("S41")
+    assert not is_contextual("A6")
+    assert is_contextual("F4")
+    assert is_contextual("FW1")
+
+
+def test_run_standalone_experiments():
+    for exp_id in ("T1", "F1", "F2"):
+        result = run_experiment(exp_id)
+        assert isinstance(result, TableResult)
+        assert result.experiment_id == exp_id
+
+
+def test_run_contextual_with_shared_ctx(small_ctx):
+    for exp_id in ("F4", "A8B"):
+        result = run_experiment(exp_id, ctx=small_ctx)
+        assert isinstance(result, TableResult)
+
+
+def test_case_insensitive_and_unknown():
+    assert run_experiment("t1").experiment_id == "T1"
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("Z9")
+    with pytest.raises(KeyError):
+        is_contextual("nope")
+
+
+def test_entries_have_titles():
+    for entry in EXPERIMENTS.values():
+        assert entry.title

@@ -1,0 +1,95 @@
+"""Unit tests for TableResult and terminal reporting."""
+
+import pytest
+
+from repro.eval import (
+    TableResult,
+    render_curves,
+    render_loglog,
+    render_stacked_bars,
+)
+
+
+def make_table():
+    return TableResult(
+        "T9",
+        "demo table",
+        ["name", "value", "flag"],
+        [["a", 1.5, True], ["b", float("nan"), False]],
+        notes=["a note"],
+    )
+
+
+def test_column_extraction():
+    t = make_table()
+    assert t.column("value") == [1.5, float("nan")] or t.column("value")[0] == 1.5
+    assert t.column("name") == ["a", "b"]
+    with pytest.raises(KeyError):
+        t.column("missing")
+
+
+def test_row_length_validation():
+    with pytest.raises(ValueError):
+        TableResult("X", "bad", ["a", "b"], [[1]])
+
+
+def test_ascii_rendering():
+    text = make_table().to_ascii()
+    assert "[T9] demo table" in text
+    assert "a note" in text
+    assert "n/a" in text  # NaN formatting
+    assert "1.5" in text
+
+
+def test_markdown_rendering():
+    md = make_table().to_markdown()
+    assert md.startswith("### T9: demo table")
+    assert "| name | value | flag |" in md
+    assert "|---|---|---|" in md
+    assert "*a note*" in md
+
+
+def test_cell_formatting_edge_cases():
+    t = TableResult(
+        "F", "fmt", ["v"], [[0.00001], [2.0], [1234567.0], [0.123456]]
+    )
+    text = t.to_ascii()
+    assert "1.000e-05" in text
+    assert "2" in text
+    assert "1.235e+06" in text or "1234567" in text
+    assert "0.1235" in text
+
+
+def test_render_stacked_bars():
+    art = render_stacked_bars(
+        ["g1", "g2"],
+        {"good": [3, 1], "spam": [1, 3]},
+    )
+    assert "#=good" in art and "+=spam" in art
+    assert "g1" in art and "(4)" in art
+    with pytest.raises(ValueError):
+        render_stacked_bars(["g1"], {})
+    with pytest.raises(ValueError):
+        render_stacked_bars(["g1"], {"good": [1, 2]})
+
+
+def test_render_curves():
+    art = render_curves(
+        [0.98, 0.5, 0.0],
+        {"incl": [0.6, 0.5, 0.45], "excl": [1.0, 0.8, float("nan")]},
+    )
+    assert "o=incl" in art and "x=excl" in art
+    assert "0.98" in art
+    with pytest.raises(ValueError):
+        render_curves([1, 2], {})
+    with pytest.raises(ValueError):
+        render_curves([1, 2], {"a": [1.0]})
+    with pytest.raises(ValueError):
+        render_curves([1.0], {"a": [float("nan")]})
+
+
+def test_render_loglog():
+    art = render_loglog([1.0, 10.0, 100.0], [0.1, 0.01, 0.001], title="mass")
+    assert "mass" in art
+    assert "*" in art
+    assert render_loglog([], [], title="empty").startswith("empty")

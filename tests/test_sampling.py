@@ -1,0 +1,164 @@
+"""Unit tests for evaluation sampling and the inspection oracle."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    LABEL_GOOD,
+    LABEL_NONEXISTENT,
+    LABEL_SPAM,
+    LABEL_UNKNOWN,
+    EvaluationSample,
+    InspectionOracle,
+    build_evaluation_sample,
+    uniform_sample,
+)
+
+
+def test_uniform_sample_by_fraction(rng):
+    nodes = np.arange(1_000)
+    sample = uniform_sample(nodes, rng, fraction=0.1)
+    assert len(sample) == 100
+    assert len(np.unique(sample)) == 100
+    assert np.array_equal(sample, np.sort(sample))
+
+
+def test_uniform_sample_by_size(rng):
+    sample = uniform_sample(np.arange(50), rng, size=10)
+    assert len(sample) == 10
+
+
+def test_uniform_sample_validation(rng):
+    nodes = np.arange(10)
+    with pytest.raises(ValueError):
+        uniform_sample(nodes, rng)
+    with pytest.raises(ValueError):
+        uniform_sample(nodes, rng, fraction=0.5, size=3)
+    with pytest.raises(ValueError):
+        uniform_sample(nodes, rng, fraction=0.0)
+    with pytest.raises(ValueError):
+        uniform_sample(nodes, rng, size=11)
+
+
+def test_oracle_truth_without_noise(tiny_world, rng):
+    oracle = InspectionOracle(
+        tiny_world, rng, frac_unknown=0.0, frac_nonexistent=0.0
+    )
+    spam = int(tiny_world.spam_nodes()[0])
+    good = int(tiny_world.good_nodes()[0])
+    assert oracle.inspect(spam) == LABEL_SPAM
+    assert oracle.inspect(good) == LABEL_GOOD
+
+
+def test_oracle_exclusion_rates(tiny_world, rng):
+    oracle = InspectionOracle(
+        tiny_world, rng, frac_unknown=0.2, frac_nonexistent=0.1
+    )
+    nodes = np.zeros(20_000, dtype=np.int64)  # same node, many draws
+    labels = oracle.inspect_all(nodes)
+    frac_unknown = labels.count(LABEL_UNKNOWN) / len(labels)
+    frac_gone = labels.count(LABEL_NONEXISTENT) / len(labels)
+    assert frac_unknown == pytest.approx(0.2, abs=0.02)
+    assert frac_gone == pytest.approx(0.1, abs=0.02)
+
+
+def test_oracle_validation(tiny_world, rng):
+    with pytest.raises(ValueError):
+        InspectionOracle(tiny_world, rng, frac_unknown=-0.1)
+    with pytest.raises(ValueError):
+        InspectionOracle(
+            tiny_world, rng, frac_unknown=0.6, frac_nonexistent=0.5
+        )
+
+
+def test_evaluation_sample_masks():
+    nodes = np.array([10, 20, 30, 40])
+    labels = [LABEL_GOOD, LABEL_SPAM, LABEL_UNKNOWN, LABEL_NONEXISTENT]
+    anomalous = np.array([True, False, False, False])
+    sample = EvaluationSample(nodes, labels, anomalous)
+    assert sample.usable_mask().tolist() == [True, True, False, False]
+    assert sample.spam_sample_mask().tolist() == [False, True, False, False]
+    assert sample.good_sample_mask().tolist() == [True, False, False, False]
+    assert sample.composition() == {
+        LABEL_GOOD: 1,
+        LABEL_SPAM: 1,
+        LABEL_UNKNOWN: 1,
+        LABEL_NONEXISTENT: 1,
+    }
+    assert len(sample) == 4
+
+
+def test_evaluation_sample_alignment_check():
+    with pytest.raises(ValueError):
+        EvaluationSample(np.array([1, 2]), ["good"], np.array([False]))
+
+
+def test_build_evaluation_sample_full_population(tiny_world, rng):
+    eligible = tiny_world.good_nodes()[:200]
+    sample = build_evaluation_sample(tiny_world, eligible, rng)
+    assert len(sample) == 200
+    assert np.array_equal(sample.nodes, np.sort(eligible))
+
+
+def test_build_evaluation_sample_fraction(tiny_world, rng):
+    eligible = np.arange(500)
+    sample = build_evaluation_sample(
+        tiny_world, eligible, rng, fraction=0.1
+    )
+    assert len(sample) == 50
+
+
+def test_build_evaluation_sample_marks_anomalous(tiny_world, rng):
+    anomalous_nodes = tiny_world.anomalous_nodes()
+    sample = build_evaluation_sample(
+        tiny_world,
+        anomalous_nodes[:10],
+        rng,
+        frac_unknown=0.0,
+        frac_nonexistent=0.0,
+    )
+    assert sample.anomalous_mask.all()
+    # paper-composition bookkeeping: anomalous hosts are good
+    assert all(label == LABEL_GOOD for label in sample.labels)
+
+
+def test_disputed_labels_flip_at_rate(tiny_world, rng):
+    spam = int(tiny_world.spam_nodes()[0])
+    oracle = InspectionOracle(
+        tiny_world,
+        rng,
+        frac_unknown=0.0,
+        frac_nonexistent=0.0,
+        frac_disputed=0.25,
+    )
+    labels = oracle.inspect_all(np.full(8_000, spam, dtype=np.int64))
+    flipped = labels.count(LABEL_GOOD) / len(labels)
+    assert flipped == pytest.approx(0.25, abs=0.02)
+
+
+def test_disputed_labels_blur_measured_precision(small_ctx, rng):
+    """The paper's gray-area footnote, quantified: labeling
+    disagreement pulls the measured precision toward 50/50 even though
+    the detector did not change."""
+    from repro.eval import precision_at
+
+    eligible = np.flatnonzero(small_ctx.eligible_mask)
+    clean = build_evaluation_sample(
+        small_ctx.world, eligible, rng, frac_disputed=0.0
+    )
+    noisy = build_evaluation_sample(
+        small_ctx.world, eligible, rng, frac_disputed=0.3
+    )
+    tau = 0.98
+    clean_prec = precision_at(
+        clean, small_ctx.estimates.relative, tau, exclude_anomalous=True
+    ).precision
+    noisy_prec = precision_at(
+        noisy, small_ctx.estimates.relative, tau, exclude_anomalous=True
+    ).precision
+    assert noisy_prec < clean_prec
+
+
+def test_disputed_validation(tiny_world, rng):
+    with pytest.raises(ValueError):
+        InspectionOracle(tiny_world, rng, frac_disputed=1.0)

@@ -1,0 +1,125 @@
+"""Integration-flavoured tests for the scenario composer."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    WorldConfig,
+    build_world,
+    default_good_core,
+    true_gamma,
+)
+
+
+def test_world_is_deterministic(tiny_config):
+    a = build_world(tiny_config)
+    b = build_world(tiny_config)
+    assert a.graph == b.graph
+    assert np.array_equal(a.spam_mask, b.spam_mask)
+    assert set(a.groups) == set(b.groups)
+
+
+def test_different_seeds_differ(tiny_config):
+    import copy
+
+    a = build_world(tiny_config)
+    other = WorldConfig(
+        seed=tiny_config.seed + 1,
+        num_base_hosts=tiny_config.num_base_hosts,
+        num_farms=tiny_config.num_farms,
+    )
+    b = build_world(other)
+    assert a.graph != b.graph
+
+
+def test_world_has_all_expected_groups(tiny_world):
+    expected = {
+        "base:all",
+        "base:active",
+        "directory",
+        "gov",
+        "edu",
+        "edu:us",
+        "edu:pl",
+        "edu:cz",
+        "portal:megaportal.com",
+        "portal:megaportal.com:hubs",
+        "blogs",
+        "country:pl",
+        "country:cz",
+        "cliques",
+        "spam:targets",
+        "spam:all",
+        "expired:targets",
+        "paid:customers",
+        "anomalous",
+    }
+    assert expected <= set(tiny_world.groups)
+
+
+def test_spam_composition(tiny_world, tiny_config):
+    targets = tiny_world.group("spam:targets")
+    # independent farms + alliance farms
+    expected_targets = (
+        tiny_config.num_farms
+        + tiny_config.num_alliances * tiny_config.alliance_targets
+    )
+    assert len(targets) == expected_targets
+    assert tiny_world.spam_mask[targets].all()
+    expired = tiny_world.group("expired:targets")
+    assert len(expired) == tiny_config.num_expired
+
+
+def test_anomalous_are_good(tiny_world):
+    anomalous = tiny_world.anomalous_nodes()
+    assert len(anomalous) > 0
+    assert not tiny_world.spam_mask[anomalous].any()
+
+
+def test_paid_customers_are_spam(tiny_world):
+    customers = tiny_world.group("paid:customers")
+    assert tiny_world.spam_mask[customers].all()
+
+
+def test_true_gamma(tiny_world):
+    gamma = true_gamma(tiny_world)
+    assert 0.5 < gamma < 1.0
+    assert gamma == pytest.approx(
+        (~tiny_world.spam_mask).sum() / tiny_world.num_nodes
+    )
+
+
+def test_default_good_core_undercovers_pl(tiny_world):
+    core = default_good_core(tiny_world, uncovered_coverage=0.0)
+    pl_edu = set(tiny_world.group("edu:pl").tolist())
+    assert not (pl_edu & set(core.tolist()))
+    cz_edu = set(tiny_world.group("edu:cz").tolist())
+    assert cz_edu <= set(core.tolist())
+
+
+def test_stock_configs_have_increasing_scale():
+    small = WorldConfig.small()
+    medium = WorldConfig.medium()
+    large = WorldConfig.large()
+    assert (
+        small.num_base_hosts < medium.num_base_hosts < large.num_base_hosts
+    )
+    assert small.num_farms < medium.num_farms < large.num_farms
+
+
+def test_farm_size_distribution_is_heavy_tailed(tiny_world, tiny_config):
+    sizes = [
+        len(tiny_world.group(f"farm:{i}:boosters"))
+        for i in range(tiny_config.num_farms)
+    ]
+    lo, hi = tiny_config.farm_boosters_range
+    assert min(sizes) >= lo - 1
+    assert max(sizes) <= hi + 1
+    # Pareto-ish: the median sits in the lower part of the range
+    assert np.median(sizes) < (lo + hi) / 2
+
+
+def test_names_are_unique(tiny_world):
+    names = tiny_world.graph.names
+    assert names is not None
+    assert len(set(names)) == len(names)

@@ -1,0 +1,44 @@
+"""Tests for the γ/ρ sensitivity sweeps."""
+
+import pytest
+
+from repro.eval import run_gamma_sensitivity, run_rho_sensitivity
+
+
+def test_gamma_sweep_precision_stable(small_ctx):
+    result = run_gamma_sensitivity(small_ctx)
+    precisions = result.column("precision (elig.)")
+    # the detector is forgiving to gamma mis-estimation
+    assert max(precisions) - min(precisions) < 0.1
+    # the negative-mass share of the good web grows with gamma
+    negatives = result.column("frac good w/ negative m~")
+    assert negatives == sorted(negatives)
+    assert negatives[-1] > negatives[0]
+
+
+def test_gamma_sweep_reports_truth(small_ctx):
+    result = run_gamma_sensitivity(small_ctx, gammas=(0.85,))
+    truth_note = [n for n in result.notes if "true good fraction" in n][0]
+    truth = float(truth_note.split(":")[1].split(";")[0])
+    assert truth == pytest.approx(
+        1 - small_ctx.world.spam_mask.mean(), abs=0.001
+    )
+
+
+def test_rho_sweep_eligibility_shrinks(small_ctx):
+    result = run_rho_sensitivity(small_ctx)
+    eligible = result.column("|T| eligible")
+    candidates = result.column("candidates")
+    assert eligible == sorted(eligible, reverse=True)
+    assert candidates == sorted(candidates, reverse=True)
+
+
+def test_rho_filter_beats_no_filter(small_ctx):
+    """The paper's reason for the filter: with a permissive rho, noisy
+    relative estimates on low-PageRank hosts flood the candidate set
+    with false positives."""
+    result = run_rho_sensitivity(small_ctx, rhos=(2.0, 10.0))
+    loose, standard = result.rows
+    assert standard[3] >= loose[3]
+    # the loose filter lets through many times more candidates
+    assert loose[2] > 5 * standard[2]

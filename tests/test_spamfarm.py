@@ -1,0 +1,199 @@
+"""Unit tests for the spam-farm generators (Section 2.3 structures)."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    BaseWebConfig,
+    WorldAssembler,
+    add_expired_domain_spam,
+    add_farm_alliance,
+    add_spam_farm,
+    generate_base_web,
+)
+from repro.synth.spamfarm import add_paid_links
+
+
+@pytest.fixture()
+def base_pair(rng):
+    asm = WorldAssembler()
+    base = generate_base_web(asm, rng, BaseWebConfig(2_000, mean_outdegree=8.0))
+    return asm, base
+
+
+def test_basic_farm_structure(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(asm, rng, base, 30, tag="farm:0")
+    world = asm.build()
+    g = world.graph
+    assert farm.size == 31
+    for booster in farm.boosters:
+        assert g.has_edge(int(booster), farm.target)
+        assert g.has_edge(farm.target, int(booster))  # links back by default
+    # all farm nodes are ground-truth spam
+    assert world.spam_mask[farm.target]
+    assert world.spam_mask[farm.boosters].all()
+    assert world.group("farm:0:target").tolist() == [farm.target]
+    assert farm.target in world.group("spam:targets")
+
+
+def test_farm_without_linkback(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(
+        asm, rng, base, 10, tag="farm:0", target_links_back=False
+    )
+    g = asm.build().graph
+    assert g.out_degree(farm.target) == 0
+
+
+def test_hijacked_links_from_good_hosts(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(
+        asm, rng, base, 20, tag="farm:0", hijacked_links=6
+    )
+    world = asm.build()
+    assert len(farm.hijacked_sources) >= 1
+    for src in farm.hijacked_sources:
+        assert world.graph.has_edge(int(src), farm.target)
+        assert not world.spam_mask[src]  # hijacked hosts stay good
+
+
+def test_honeypots_attract_good_links(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(
+        asm, rng, base, 15, tag="farm:0", num_honeypots=2, honeypot_inlinks=4
+    )
+    world = asm.build()
+    assert len(farm.honeypots) == 2
+    for pot in farm.honeypots:
+        in_neighbors = world.graph.in_neighbors(int(pot))
+        good_fans = [
+            j for j in in_neighbors if not world.spam_mask[int(j)]
+        ]
+        assert len(good_fans) >= 3  # dedup may collapse a duplicate fan
+    with pytest.raises(ValueError):
+        add_spam_farm(asm, rng, base, 5, num_honeypots=6)
+
+
+def test_two_tier_relay_farm(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(
+        asm,
+        rng,
+        base,
+        40,
+        tag="farm:0",
+        relay_nodes=3,
+        target_links_back=False,
+    )
+    world = asm.build()
+    g = world.graph
+    relays = world.group("farm:0:relays")
+    assert len(relays) == 3
+    # only relays link the target; ordinary boosters do not
+    in_neighbors = set(g.in_neighbors(farm.target).tolist())
+    assert in_neighbors == set(relays.tolist())
+    # feeders link relays
+    feeders = [b for b in farm.boosters if b not in set(relays.tolist())]
+    for f in feeders:
+        outs = set(g.out_neighbors(int(f)).tolist())
+        assert outs <= set(relays.tolist())
+    with pytest.raises(ValueError):
+        add_spam_farm(asm, rng, base, 3, relay_nodes=3)
+
+
+def test_regular_interlinked_farm_has_uniform_degree(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(
+        asm,
+        rng,
+        base,
+        25,
+        tag="farm:0",
+        booster_interlinks=4,
+        target_links_back=False,
+    )
+    g = asm.build().graph
+    degrees = {g.out_degree(int(b)) for b in farm.boosters}
+    assert degrees == {5}  # 1 target link + 4 ring links, all identical
+
+
+def test_leak_links_point_at_good_hosts(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(
+        asm, rng, base, 20, tag="farm:0", leak_links=10
+    )
+    world = asm.build()
+    g = world.graph
+    farm_nodes = set(farm.boosters.tolist()) | {farm.target}
+    leaked = [
+        (int(b), int(j))
+        for b in farm.boosters
+        for j in g.out_neighbors(int(b))
+        if int(j) not in farm_nodes
+    ]
+    assert leaked
+    for _, dest in leaked:
+        assert not world.spam_mask[dest]
+
+
+def test_alliance_cross_boosting(base_pair, rng):
+    asm, base = base_pair
+    farms = add_farm_alliance(
+        asm, rng, base, num_targets=3, boosters_per_target=10,
+        tag="alliance:0", share_fraction=1.0,
+    )
+    world = asm.build()
+    g = world.graph
+    targets = [f.target for f in farms]
+    assert world.group("alliance:0:targets").tolist() == sorted(targets)
+    # ring of targets
+    for a, b in zip(targets, targets[1:] + targets[:1]):
+        assert g.has_edge(a, b)
+    # with share_fraction=1 every booster links every target
+    for farm in farms:
+        for booster in farm.boosters:
+            for t in targets:
+                if t != farm.target:
+                    assert g.has_edge(int(booster), t)
+    with pytest.raises(ValueError):
+        add_farm_alliance(asm, rng, base, 1, 5)
+    with pytest.raises(ValueError):
+        add_farm_alliance(asm, rng, base, 2, 5, share_fraction=1.5)
+
+
+def test_expired_domain(base_pair, rng):
+    asm, base = base_pair
+    target = add_expired_domain_spam(asm, rng, base, lingering_links=10)
+    world = asm.build()
+    g = world.graph
+    assert world.spam_mask[target]
+    in_neighbors = g.in_neighbors(target)
+    assert len(in_neighbors) >= 2
+    # every lingering link is from a good host; no boosting structure
+    for j in in_neighbors:
+        assert not world.spam_mask[int(j)]
+    assert g.out_degree(target) == 0
+    assert target in world.group("expired:targets")
+    with pytest.raises(ValueError):
+        add_expired_domain_spam(asm, rng, base, lingering_links=0)
+
+
+def test_paid_links_relabel_customer(base_pair, rng):
+    asm, base = base_pair
+    farm = add_spam_farm(asm, rng, base, 20, tag="farm:0")
+    customer = int(base.connected[0])
+    sellers = add_paid_links(asm, rng, farm, customer, num_links=8)
+    world = asm.build()
+    assert world.spam_mask[customer]  # buying links makes it spam
+    assert customer in world.group("paid:customers")
+    for s in sellers:
+        assert world.graph.has_edge(int(s), customer)
+    with pytest.raises(ValueError):
+        add_paid_links(asm, rng, farm, customer, num_links=0)
+
+
+def test_farm_validation(base_pair, rng):
+    asm, base = base_pair
+    with pytest.raises(ValueError):
+        add_spam_farm(asm, rng, base, 0)

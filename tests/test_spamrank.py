@@ -1,0 +1,94 @@
+"""Unit tests for the SpamRank-style supporter-deviation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SupporterDeviationDetector, supporter_deviation_scores
+from repro.graph import WebGraph
+from repro.synth import (
+    BaseWebConfig,
+    WorldAssembler,
+    add_spam_farm,
+    generate_base_web,
+)
+
+
+def test_uniform_supporters_deviate(rng):
+    """A rank-recycling farm's boosters share one distinctive PageRank
+    bucket, so the target's supporter histogram deviates sharply from
+    the global supporter distribution."""
+    assembler = WorldAssembler()
+    base = generate_base_web(
+        assembler, rng, BaseWebConfig(3_000, mean_outdegree=8.0)
+    )
+    farm = add_spam_farm(
+        assembler, rng, base, 300, tag="farm:0", target_links_back=True
+    )
+    world = assembler.build()
+    scores = supporter_deviation_scores(world.graph, min_supporters=8)
+    # the farm target sticks out far above the typical organic host
+    organic = scores[base.connected]
+    assert scores[farm.target] > np.percentile(organic[organic > 0], 95)
+
+
+def test_leaf_pagerank_boosters_are_camouflaged(rng):
+    """Boosters with no inlinks share the global minimum PageRank — the
+    single most common supporter score on the web — so a farm built
+    from them hides inside the global mode.  A real limitation of the
+    supporter-distribution family the paper contrasts against."""
+    assembler = WorldAssembler()
+    base = generate_base_web(
+        assembler, rng, BaseWebConfig(3_000, mean_outdegree=8.0)
+    )
+    farm = add_spam_farm(
+        assembler, rng, base, 300, tag="farm:0", target_links_back=False
+    )
+    world = assembler.build()
+    scores = supporter_deviation_scores(world.graph, min_supporters=8)
+    assert scores[farm.target] < 0.5
+
+
+def test_detector_flags_farm_not_organic(rng):
+    assembler = WorldAssembler()
+    base = generate_base_web(
+        assembler, rng, BaseWebConfig(3_000, mean_outdegree=8.0)
+    )
+    farm = add_spam_farm(
+        assembler, rng, base, 400, tag="farm:0", target_links_back=True
+    )
+    world = assembler.build()
+    mask = SupporterDeviationDetector(threshold=0.85).detect(world.graph)
+    assert mask[farm.target]
+    # false-positive rate among connected organic hosts stays small
+    assert mask[base.connected].mean() < 0.05
+
+
+def test_min_supporters_gate(rng):
+    # below the evidence bar nodes score exactly 0; lowering the bar
+    # can only add scored nodes, never remove them
+    g = WebGraph.from_edges(4, [(1, 0), (2, 0), (3, 0)])
+    assert supporter_deviation_scores(g, min_supporters=8)[0] == 0.0
+    assembler = WorldAssembler()
+    base = generate_base_web(
+        assembler, rng, BaseWebConfig(2_000, mean_outdegree=8.0)
+    )
+    world = assembler.build()
+    high_bar = supporter_deviation_scores(world.graph, min_supporters=12)
+    low_bar = supporter_deviation_scores(world.graph, min_supporters=4)
+    assert ((high_bar > 0) <= (low_bar > 0)).all()
+    assert (low_bar > 0).sum() > (high_bar > 0).sum()
+
+
+def test_validation():
+    g = WebGraph.from_edges(2, [(0, 1)])
+    with pytest.raises(ValueError):
+        supporter_deviation_scores(g, num_buckets=1)
+    with pytest.raises(ValueError):
+        supporter_deviation_scores(g, np.ones(5))
+    with pytest.raises(ValueError):
+        SupporterDeviationDetector(threshold=0.0)
+
+
+def test_edgeless_graph_all_zero():
+    g = WebGraph.empty(10)
+    assert not supporter_deviation_scores(g).any()

@@ -1,0 +1,119 @@
+"""Tests for the temporal-stability experiment (Section 3.4's claim)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    resolve_hosts,
+    run_stability_experiment,
+    world_at_epoch,
+)
+from repro.synth import WorldConfig, default_good_core
+
+
+@pytest.fixture(scope="module")
+def config(tiny_config_module=None):
+    return WorldConfig(
+        seed=5,
+        num_base_hosts=1_500,
+        mean_outdegree=6.0,
+        directory_size=40,
+        gov_size=60,
+        edu_countries={"us": (5, 4), "it": (4, 3)},
+        portal_hosts=60,
+        blog_hosts=70,
+        uncovered_country_hosts=120,
+        uncovered_country_edu=15,
+        covered_country_hosts=100,
+        covered_country_edu=15,
+        num_cliques=2,
+        clique_size_range=(5, 12),
+        num_farms=12,
+        farm_boosters_range=(10, 60),
+        num_alliances=1,
+        alliance_targets=2,
+        alliance_boosters=15,
+        num_expired=2,
+        expired_links_range=(6, 15),
+        num_paid_customers=3,
+        paid_links_range=(3, 12),
+    )
+
+
+def test_epoch_zero_is_the_configured_world(config):
+    a = world_at_epoch(config, 0)
+    b = world_at_epoch(config, 0)
+    assert a.graph == b.graph
+    with pytest.raises(ValueError):
+        world_at_epoch(config, -1)
+
+
+def test_good_web_is_stable_across_epochs(config):
+    """Good hosts keep their ids and names; only the spam layer moves."""
+    w0 = world_at_epoch(config, 0)
+    w1 = world_at_epoch(config, 1)
+    assert w0.num_nodes == w1.num_nodes or True  # farm sizes may differ
+    good0 = {w0.graph.name_of(int(i)) for i in w0.good_nodes()}
+    good1 = {w1.graph.name_of(int(i)) for i in w1.good_nodes()}
+    # base + community hosts persist (paid-link customers may differ,
+    # as different good hosts get bought each epoch)
+    overlap = len(good0 & good1) / len(good0)
+    assert overlap > 0.98
+    # communities are bit-identical
+    assert np.array_equal(w0.group("directory"), w1.group("directory"))
+    assert np.array_equal(w0.group("gov"), w1.group("gov"))
+
+
+def test_spam_layer_churns(config):
+    w0 = world_at_epoch(config, 0)
+    w1 = world_at_epoch(config, 1)
+    spam0 = {w0.graph.name_of(int(i)) for i in w0.spam_nodes()}
+    spam1 = {w1.graph.name_of(int(i)) for i in w1.spam_nodes()}
+    # essentially disjoint spam host populations (paid customers are
+    # repurposed good hosts and may overlap)
+    overlap = len(spam0 & spam1) / len(spam0)
+    assert overlap < 0.05
+    # epochs differ from each other too
+    w2 = world_at_epoch(config, 2)
+    spam2 = {w2.graph.name_of(int(i)) for i in w2.spam_nodes()}
+    assert len(spam1 & spam2) / len(spam1) < 0.05
+
+
+def test_core_carries_over_by_name(config):
+    w0 = world_at_epoch(config, 0)
+    w1 = world_at_epoch(config, 1)
+    core0 = default_good_core(w0)
+    names = [w0.graph.name_of(int(i)) for i in core0]
+    resolved = resolve_hosts(w1, names)
+    assert len(resolved) == len(core0)
+    assert not w1.spam_mask[resolved].any()
+
+
+def test_resolve_drops_gone_hosts(config):
+    w1 = world_at_epoch(config, 1)
+    resolved = resolve_hosts(
+        w1, ["www.farm-0-beefed-d0.biz", w1.graph.name_of(0)]
+    )
+    assert len(resolved) == 1
+
+
+def test_stability_experiment_shape(config):
+    result = run_stability_experiment(config, epochs=3)
+    core_resolved = result.column("core resolved %")
+    black_resolved = result.column("blacklist resolved %")
+    white_prec = result.column("white prec")
+    black_recall = result.column("blacklist recall")
+    # the good core persists fully; the black-list evaporates
+    assert all(v == 100.0 for v in core_resolved)
+    assert black_resolved[0] == 100.0
+    assert all(v < 10.0 for v in black_resolved[1:])
+    # white-list detection quality is stable across epochs
+    assert max(white_prec) - min(white_prec) < 0.25
+    # black-list detection collapses after epoch 0
+    assert black_recall[0] > 0.2
+    assert all(v < 0.15 for v in black_recall[1:])
+
+
+def test_experiment_validation(config):
+    with pytest.raises(ValueError):
+        run_stability_experiment(config, epochs=0)

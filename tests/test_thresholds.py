@@ -1,0 +1,127 @@
+"""Tests for threshold selection and bootstrap uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EvaluationSample, LABEL_GOOD, LABEL_SPAM
+from repro.eval.thresholds import (
+    BootstrapInterval,
+    bootstrap_precision,
+    choose_tau,
+    detection_volume,
+)
+
+
+def make_sample():
+    """20 hosts: top mass decile pure spam, middle mixed, bottom good."""
+    nodes = np.arange(20)
+    mass = np.linspace(-1.0, 1.0, 20)
+    labels = []
+    for m in mass:
+        if m > 0.6:
+            labels.append(LABEL_SPAM)
+        elif m > 0.0:
+            labels.append(LABEL_SPAM if int(m * 100) % 2 else LABEL_GOOD)
+        else:
+            labels.append(LABEL_GOOD)
+    anomalous = np.zeros(20, dtype=bool)
+    return EvaluationSample(nodes, labels, anomalous), mass
+
+
+def test_choose_tau_meets_target():
+    sample, mass = make_sample()
+    chosen = choose_tau(sample, mass, target_precision=1.0, min_evidence=3)
+    assert chosen is not None
+    tau, point = chosen
+    assert point.precision == 1.0
+    # the loosest qualifying threshold is returned (max recall)
+    looser = [t for t in (0.0, 0.1, 0.23) if t < tau]
+    for t in looser:
+        from repro.eval import precision_at
+
+        assert precision_at(sample, mass, t).precision < 1.0
+
+
+def test_choose_tau_none_when_unreachable():
+    sample, mass = make_sample()
+    # demand perfect precision with overwhelming evidence
+    assert choose_tau(sample, mass, 1.0, min_evidence=15) is None
+
+
+def test_choose_tau_validation():
+    sample, mass = make_sample()
+    with pytest.raises(ValueError):
+        choose_tau(sample, mass, 0.0)
+
+
+def test_bootstrap_interval_contains_point(rng):
+    sample, mass = make_sample()
+    interval = bootstrap_precision(
+        sample, mass, tau=0.3, num_resamples=500, rng=rng
+    )
+    assert isinstance(interval, BootstrapInterval)
+    assert interval.contains(interval.point)
+    assert 0.0 <= interval.lower <= interval.upper <= 1.0
+    assert interval.width > 0  # finite evidence -> real uncertainty
+
+
+def test_bootstrap_narrows_with_more_evidence(rng):
+    """A sample 10x the size yields a much tighter interval."""
+
+    def big_sample(copies):
+        nodes = np.arange(20 * copies)
+        base_sample, base_mass = make_sample()
+        labels = list(base_sample.labels) * copies
+        mass = np.tile(base_mass, copies)
+        return (
+            EvaluationSample(
+                nodes, labels, np.zeros(20 * copies, dtype=bool)
+            ),
+            mass,
+        )
+
+    s1, m1 = big_sample(1)
+    s10, m10 = big_sample(10)
+    w1 = bootstrap_precision(s1, m1, 0.3, num_resamples=400, rng=rng).width
+    w10 = bootstrap_precision(s10, m10, 0.3, num_resamples=400, rng=rng).width
+    assert w10 < w1 / 2
+
+
+def test_bootstrap_validation(rng):
+    sample, mass = make_sample()
+    with pytest.raises(ValueError):
+        bootstrap_precision(sample, mass, 0.3, num_resamples=5, rng=rng)
+    with pytest.raises(ValueError):
+        bootstrap_precision(sample, mass, 0.3, level=1.5, rng=rng)
+
+
+def test_bootstrap_covers_population_value(small_ctx, rng):
+    """The CI from a half sample should (usually) cover the
+    full-population precision — checked at a mid threshold."""
+    from repro.eval import build_evaluation_sample, precision_at
+
+    tau = 0.45
+    population = precision_at(
+        small_ctx.sample, small_ctx.estimates.relative, tau
+    ).precision
+    eligible_nodes = np.flatnonzero(small_ctx.eligible_mask)
+    half = build_evaluation_sample(
+        small_ctx.world, eligible_nodes, rng, fraction=0.5
+    )
+    interval = bootstrap_precision(
+        half,
+        small_ctx.estimates.relative,
+        tau,
+        num_resamples=800,
+        rng=rng,
+    )
+    assert interval.contains(population)
+
+
+def test_detection_volume():
+    mass = np.array([0.99, 0.5, -1.0, 0.98])
+    eligible = np.array([True, True, True, False])
+    assert detection_volume(mass, eligible, 0.9) == 1
+    assert detection_volume(mass, eligible, 0.0) == 2
+    with pytest.raises(ValueError):
+        detection_volume(mass, eligible[:2], 0.5)

@@ -1,0 +1,111 @@
+"""Unit tests for the TrustRank baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    inverse_pagerank,
+    select_seed,
+    trustrank,
+    trustrank_detector,
+)
+from repro.core import pagerank
+from repro.datasets import figure2_graph
+from repro.graph import WebGraph
+
+
+def test_inverse_pagerank_ranks_broadcasters_high():
+    # 0 reaches everything (best seed candidate); 3 reaches nothing
+    g = WebGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    inv = inverse_pagerank(g)
+    assert inv[0] == max(inv)  # trust seeded at 0 would cover the web
+    assert inv[3] == min(inv)
+
+
+def test_select_seed_uses_oracle():
+    g = WebGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    selection = select_seed(g, lambda node: node != 3, seed_budget=2)
+    assert len(selection.inspected) == 2
+    assert 3 not in selection.seed
+    with pytest.raises(ValueError):
+        select_seed(g, lambda node: True, seed_budget=0)
+
+
+def test_trustrank_flows_from_seed():
+    example = figure2_graph()
+    result = trustrank(example.graph, lambda n: True, seed=example.good_core)
+    trust = result.trust
+    # seed members and their out-neighbours have trust; unreachable spam
+    # nodes have none
+    assert trust[example.id_of("g0")] > 0
+    assert trust[example.id_of("x")] > 0  # reachable via g0
+    assert trust[example.id_of("s0")] == pytest.approx(0.0, abs=1e-15)
+    assert trust[example.id_of("s1")] == pytest.approx(0.0, abs=1e-15)
+
+
+def test_trustrank_seed_is_normalized_jump():
+    """TrustRank uses a normalized jump over the seed (unlike the
+    deliberately unnormalized mass core)."""
+    example = figure2_graph()
+    result = trustrank(example.graph, lambda n: True, seed=example.good_core)
+    v = np.zeros(example.graph.num_nodes)
+    v[example.good_core] = 1.0 / len(example.good_core)
+    expected = pagerank(example.graph, v).scores
+    assert np.allclose(result.trust, expected)
+
+
+def test_trustrank_empty_seed_rejected():
+    g = WebGraph.from_edges(2, [(0, 1)])
+    with pytest.raises(ValueError, match="seed is empty"):
+        trustrank(g, lambda n: False, seed_budget=2)
+
+
+def test_trustrank_ranked_order():
+    example = figure2_graph()
+    result = trustrank(example.graph, lambda n: True, seed=example.good_core)
+    ranked = result.ranked()
+    assert result.trust[ranked[0]] >= result.trust[ranked[-1]]
+
+
+def test_trustrank_full_pipeline_on_world(tiny_world):
+    world = tiny_world
+    result = trustrank(
+        world.graph,
+        lambda node: not world.spam_mask[node],
+        seed_budget=50,
+    )
+    assert len(result.seed) > 0
+    assert len(result.seed) <= 50
+    # trust concentrates on good nodes: mean trust of good nodes beats
+    # mean trust of spam nodes
+    good_trust = result.trust[~world.spam_mask].mean()
+    spam_trust = result.trust[world.spam_mask].mean()
+    assert good_trust > spam_trust
+
+
+def test_trustrank_detector_flags_untrusted_high_pr(small_ctx):
+    trust = trustrank(
+        small_ctx.graph,
+        lambda node: not small_ctx.world.spam_mask[node],
+        seed_budget=100,
+    )
+    mask = trustrank_detector(
+        small_ctx.graph,
+        trust.trust,
+        small_ctx.estimates.pagerank,
+        rho=10.0,
+    )
+    # flags something, and spam is over-represented among the flags
+    assert mask.any()
+    flagged_spam_rate = small_ctx.world.spam_mask[mask].mean()
+    base_rate = small_ctx.world.spam_mask.mean()
+    assert flagged_spam_rate > base_rate
+
+
+def test_trustrank_detector_shape_check(small_ctx):
+    with pytest.raises(ValueError):
+        trustrank_detector(
+            small_ctx.graph,
+            np.ones(3),
+            small_ctx.estimates.pagerank,
+        )

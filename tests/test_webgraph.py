@@ -1,0 +1,170 @@
+"""Unit tests for the CSR web-graph model."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStats, WebGraph
+
+
+def test_from_edges_basic():
+    g = WebGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+    assert g.num_nodes == 4
+    assert g.num_edges == 4
+    assert list(g.out_neighbors(0)) == [1, 2]
+    assert list(g.out_neighbors(3)) == []
+
+
+def test_from_edges_drops_self_links():
+    g = WebGraph.from_edges(3, [(0, 0), (0, 1), (1, 1)])
+    assert g.num_edges == 1
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(0, 0)
+
+
+def test_from_edges_collapses_duplicates():
+    g = WebGraph.from_edges(2, [(0, 1), (0, 1), (0, 1)])
+    assert g.num_edges == 1
+
+
+def test_from_edges_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        WebGraph.from_edges(2, [(0, 5)])
+    with pytest.raises(ValueError):
+        WebGraph.from_edges(2, [(-1, 0)])
+
+
+def test_from_edges_rejects_negative_node_count():
+    with pytest.raises(ValueError):
+        WebGraph.from_edges(-1, [])
+
+
+def test_empty_graph():
+    g = WebGraph.empty(5)
+    assert g.num_nodes == 5
+    assert g.num_edges == 0
+    assert g.isolated_mask().all()
+
+
+def test_zero_node_graph():
+    g = WebGraph.empty(0)
+    assert g.num_nodes == 0
+    assert g.num_edges == 0
+    assert g.stats().num_nodes == 0
+
+
+def test_in_neighbors_and_degrees():
+    g = WebGraph.from_edges(4, [(0, 2), (1, 2), (3, 2), (2, 0)])
+    assert sorted(g.in_neighbors(2).tolist()) == [0, 1, 3]
+    assert g.in_degree(2) == 3
+    assert g.out_degree(2) == 1
+    assert g.in_degree(3) == 0
+    assert np.array_equal(g.out_degree(), [1, 1, 1, 1])
+
+
+def test_has_edge():
+    g = WebGraph.from_edges(3, [(0, 1), (1, 2)])
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(1, 0)
+    assert not g.has_edge(0, 2)
+
+
+def test_edges_iterator_roundtrip():
+    edges = [(0, 1), (0, 3), (2, 1), (3, 0)]
+    g = WebGraph.from_edges(4, edges)
+    assert sorted(g.edges()) == sorted(edges)
+
+
+def test_dangling_and_isolated_masks():
+    # 0 -> 1, 2 isolated; 1 dangling (in only)
+    g = WebGraph.from_edges(3, [(0, 1)])
+    assert list(g.dangling_mask()) == [False, True, True]
+    assert list(g.isolated_mask()) == [False, False, True]
+
+
+def test_transpose_roundtrip():
+    edges = [(0, 1), (1, 2), (2, 0), (0, 2)]
+    g = WebGraph.from_edges(3, edges)
+    t = g.transpose()
+    assert sorted(t.edges()) == sorted((v, u) for u, v in edges)
+    # transposing twice restores the original
+    assert t.transpose() == g
+
+
+def test_transpose_preserves_names():
+    g = WebGraph.from_edges(2, [(0, 1)], names=["a.com", "b.com"])
+    assert g.transpose().names == ("a.com", "b.com")
+
+
+def test_stats_match_paper_quantities():
+    # 4 nodes: 0->1; 2 has outlink to 1; 3 isolated
+    g = WebGraph.from_edges(4, [(0, 1), (2, 1)])
+    stats = g.stats()
+    assert isinstance(stats, GraphStats)
+    assert stats.num_nodes == 4
+    assert stats.num_edges == 2
+    assert stats.num_no_inlinks == 3  # 0, 2, 3
+    assert stats.num_no_outlinks == 2  # 1, 3
+    assert stats.num_isolated == 1  # 3
+    assert stats.frac_isolated == pytest.approx(0.25)
+    d = stats.as_dict()
+    assert d["num_edges"] == 2
+    assert d["frac_no_outlinks"] == pytest.approx(0.5)
+
+
+def test_names_access():
+    g = WebGraph.from_edges(2, [(0, 1)], names=["x.com", "y.com"])
+    assert g.name_of(0) == "x.com"
+    unnamed = WebGraph.from_edges(2, [(0, 1)])
+    assert unnamed.name_of(1) == "node1"
+
+
+def test_names_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        WebGraph.from_edges(2, [(0, 1)], names=["only-one.com"])
+
+
+def test_contains_and_len():
+    g = WebGraph.empty(3)
+    assert 0 in g and 2 in g
+    assert 3 not in g
+    assert "0" not in g
+    assert len(g) == 3
+
+
+def test_node_range_checks():
+    g = WebGraph.empty(2)
+    with pytest.raises(IndexError):
+        g.out_neighbors(2)
+    with pytest.raises(IndexError):
+        g.in_neighbors(-1)
+
+
+def test_validation_rejects_bad_csr():
+    with pytest.raises(ValueError):
+        WebGraph(np.array([0, 2]), np.array([1]))  # indptr[-1] mismatch
+    with pytest.raises(ValueError):
+        WebGraph(np.array([1, 1]), np.array([], dtype=np.int64))  # not 0-start
+    with pytest.raises(ValueError):
+        WebGraph(np.array([0, 1]), np.array([0]))  # self-link
+    with pytest.raises(ValueError):
+        WebGraph(np.array([0, 2]), np.array([1, 1]))  # duplicate in row
+
+
+def test_arrays_are_read_only():
+    g = WebGraph.from_edges(2, [(0, 1)])
+    with pytest.raises(ValueError):
+        g.indptr[0] = 5
+    with pytest.raises(ValueError):
+        g.indices[0] = 0
+    with pytest.raises(ValueError):
+        g.out_degree()[0] = 7
+
+
+def test_equality_and_hash():
+    a = WebGraph.from_edges(3, [(0, 1), (1, 2)])
+    b = WebGraph.from_edges(3, [(1, 2), (0, 1)])
+    c = WebGraph.from_edges(3, [(0, 1)])
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+    assert a != "not a graph"
