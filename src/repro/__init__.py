@@ -13,7 +13,11 @@ The library implements the paper's full stack:
 * :mod:`repro.eval` — sampling, grouping, precision curves and the
   experiment harness behind every table and figure;
 * :mod:`repro.analysis` — power-law fitting and mass distributions;
-* :mod:`repro.datasets` — the paper's worked example graphs.
+* :mod:`repro.datasets` — the paper's worked example graphs;
+* :mod:`repro.runtime` — the resilient execution layer: solver
+  checkpoint/resume, fallback chains with structured run reports,
+  wall-time budgets and deterministic fault injection (see
+  ``docs/runtime.md``).
 
 Quickstart::
 
@@ -42,12 +46,26 @@ from .core import (
     true_spam_mass,
 )
 from .datasets import figure1_graph, figure2_graph
+from .errors import (
+    CheckpointError,
+    ConvergenceError,
+    GraphFormatError,
+    GraphIOWarning,
+    ReproError,
+    TruncatedFileError,
+)
 from .graph import GraphBuilder, WebGraph
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "ReproError",
+    "ConvergenceError",
+    "CheckpointError",
+    "GraphFormatError",
+    "TruncatedFileError",
+    "GraphIOWarning",
     "DEFAULT_DAMPING",
     "DEFAULT_GAMMA",
     "WebGraph",

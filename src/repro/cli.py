@@ -23,6 +23,17 @@ on-disk formats of :mod:`repro.graph.io`:
     the reproduced table.
 
 Every command is deterministic given ``--seed``.
+
+Failure behavior
+----------------
+User-facing errors print a one-line message to stderr and exit with a
+distinct code (see the ``EXIT_*`` constants): 3 for missing/corrupt
+input files, 4 for solver non-convergence, 130 for interruption, 1 for
+anything unexpected.  ``--traceback`` opts back into the raw Python
+traceback for debugging.  Long solves accept ``--checkpoint-dir`` /
+``--resume`` (kill-and-resume), ``--time-budget`` (best-effort
+degradation) and ``--lenient`` (skip-and-warn on malformed input);
+see ``docs/runtime.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +47,12 @@ import numpy as np
 
 from . import __version__
 from .core import estimate_spam_mass, scale_scores
+from .errors import (
+    CheckpointError,
+    ConvergenceError,
+    GraphFormatError,
+    ReproError,
+)
 from .graph import (
     read_graph_bundle,
     read_host_list,
@@ -46,7 +63,16 @@ from .graph import (
 )
 from .synth import WorldConfig, build_world, default_good_core
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "run"]
+
+#: Distinct exit codes for the failure classes a pipeline operator
+#: scripts against (argparse itself uses 2 for usage errors).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_DATA = 3
+EXIT_CONVERGENCE = 4
+EXIT_INTERRUPTED = 130
 
 _SCALES = {
     "small": WorldConfig.small,
@@ -104,7 +130,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print graph statistics for a stored bundle."""
-    graph, labels, metadata = read_graph_bundle(args.world)
+    graph, labels, metadata = read_graph_bundle(
+        args.world, strict=not args.lenient
+    )
     stats = graph.stats()
     print(f"hosts:        {stats.num_nodes:,}")
     print(f"edges:        {stats.num_edges:,}")
@@ -134,15 +162,64 @@ def _core_ids(graph, core_path: Path) -> np.ndarray:
     return np.asarray([lookup[name] for name in names], dtype=np.int64)
 
 
+def _runtime_policy(args: argparse.Namespace):
+    """Build a RuntimePolicy from the estimate flags (or ``None``)."""
+    wants_runtime = (
+        args.checkpoint_dir is not None
+        or args.resume
+        or args.time_budget is not None
+    )
+    if not wants_runtime:
+        return None
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    from .runtime.resilient import RuntimePolicy
+
+    return RuntimePolicy(
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        time_budget=args.time_budget,
+    )
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Compute PageRank, core PageRank and mass estimates."""
-    graph, _, _ = read_graph_bundle(args.world)
+    graph, _, _ = read_graph_bundle(args.world, strict=not args.lenient)
     core_path = (
         Path(args.core) if args.core else Path(args.world) / "core.hosts"
     )
     core = _core_ids(graph, core_path)
     gamma = None if args.gamma <= 0 else args.gamma
-    estimates = estimate_spam_mass(graph, core, gamma=gamma)
+    policy = _runtime_policy(args)
+    # under a runtime policy the contract is graceful degradation: a
+    # budget that runs out yields best-effort vectors, reported below,
+    # instead of an exception
+    estimates = estimate_spam_mass(
+        graph, core, gamma=gamma, policy=policy, check=policy is None
+    )
+    exit_code = EXIT_OK
+    if estimates.reports:
+        for label, report in sorted(estimates.reports.items()):
+            if report is None:
+                continue
+            if report.resumed_from is not None:
+                print(
+                    f"[{label}] resumed from checkpoint at iteration "
+                    f"{report.resumed_from}"
+                )
+            escalations = report.escalations()
+            if len(escalations) > 1:
+                print(
+                    f"[{label}] solver escalated: {' -> '.join(escalations)}"
+                )
+            if report.outcome != "converged":
+                print(
+                    f"warning: [{label}] solve did not converge "
+                    f"(best-effort vector; {report.outcome})",
+                    file=sys.stderr,
+                )
+                exit_code = EXIT_CONVERGENCE
     prefix = Path(args.out_prefix)
     prefix.parent.mkdir(parents=True, exist_ok=True)
     write_scores(estimates.pagerank, f"{prefix}.pagerank.scores")
@@ -157,15 +234,16 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         f"{eligible:,} hosts pass scaled PageRank >= {args.rho:g}"
     )
     print(f"wrote {prefix}.{{pagerank,core,relative}}.scores")
-    return 0
+    return exit_code
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
     """Apply Algorithm 2 thresholds to stored scores."""
-    graph, labels, _ = read_graph_bundle(args.world)
+    strict = not args.lenient
+    graph, labels, _ = read_graph_bundle(args.world, strict=strict)
     prefix = args.scores_prefix
-    pagerank_scores = read_scores(f"{prefix}.pagerank.scores")
-    relative = read_scores(f"{prefix}.relative.scores")
+    pagerank_scores = read_scores(f"{prefix}.pagerank.scores", strict=strict)
+    relative = read_scores(f"{prefix}.relative.scores", strict=strict)
     if len(pagerank_scores) != graph.num_nodes:
         raise SystemExit("score files do not match the graph size")
     scaled = scale_scores(pagerank_scores, graph.num_nodes)
@@ -275,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    parser.add_argument(
+        "--traceback",
+        action="store_true",
+        help="print full Python tracebacks instead of one-line errors",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_gen = sub.add_parser(
@@ -290,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="print graph statistics")
     p_stats.add_argument("--world", required=True, help="bundle directory")
+    p_stats.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-warn on malformed input lines instead of failing",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_est = sub.add_parser(
@@ -311,6 +399,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument(
         "--out-prefix", required=True, help="prefix for the score files"
     )
+    p_est.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-warn on malformed input lines instead of failing",
+    )
+    p_est.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="snapshot solver iterates here (atomic write-rename); "
+        "enables the resilient fallback runtime",
+    )
+    p_est.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        help="checkpoint cadence in solver iterations (default 50)",
+    )
+    p_est.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest checkpoint in --checkpoint-dir "
+        "instead of starting at iteration 0",
+    )
+    p_est.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per solve; on expiry return the "
+        "best-effort vector (exit code 4) instead of running on",
+    )
     p_est.set_defaults(func=cmd_estimate)
 
     p_det = sub.add_parser("detect", help="apply Algorithm 2 thresholds")
@@ -330,6 +449,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="print contribution review sheets for the top N candidates",
+    )
+    p_det.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-warn on malformed input lines instead of failing",
     )
     p_det.set_defaults(func=cmd_detect)
 
@@ -353,11 +477,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run(args: argparse.Namespace) -> int:
+    """Dispatch a parsed namespace, mapping failures to exit codes.
+
+    Each user-facing failure class prints a single line to stderr and
+    returns its own code, so operators can script against the pipeline
+    (retry on 3, alert on 4, ...).  ``--traceback`` re-raises for
+    debugging.
+    """
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        if args.traceback:
+            raise
+        print("repro-spam: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ConvergenceError as exc:
+        if args.traceback:
+            raise
+        print(f"repro-spam: solver did not converge: {exc}", file=sys.stderr)
+        return EXIT_CONVERGENCE
+    except (FileNotFoundError, GraphFormatError, CheckpointError) as exc:
+        # GraphFormatError covers TruncatedFileError; these are all
+        # "your input files are missing or broken"
+        if args.traceback:
+            raise
+        print(f"repro-spam: {exc}", file=sys.stderr)
+        return EXIT_DATA
+    except (argparse.ArgumentTypeError, ValueError, ReproError) as exc:
+        if args.traceback:
+            raise
+        print(f"repro-spam: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-spam`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    return run(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

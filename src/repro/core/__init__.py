@@ -39,7 +39,7 @@ from .pagerank import (
     unscale_scores,
     uniform_jump_vector,
 )
-from .solvers import SOLVERS, SolverResult
+from .solvers import SOLVERS, ConvergenceError, SolverResult, solve
 
 __all__ = [
     "DEFAULT_DAMPING",
@@ -53,6 +53,8 @@ __all__ = [
     "scale_scores",
     "unscale_scores",
     "SolverResult",
+    "ConvergenceError",
+    "solve",
     "SOLVERS",
     "MonteCarloResult",
     "pagerank_montecarlo",

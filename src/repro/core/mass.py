@@ -87,6 +87,7 @@ class MassEstimates:
         "relative",
         "damping",
         "gamma",
+        "reports",
     )
 
     def __init__(
@@ -95,6 +96,7 @@ class MassEstimates:
         core_pagerank: np.ndarray,
         damping: float,
         gamma: Optional[float],
+        reports: Optional[dict] = None,
     ) -> None:
         if pagerank.shape != core_pagerank.shape:
             raise ValueError("score vectors must have identical shapes")
@@ -102,6 +104,10 @@ class MassEstimates:
         self.core_pagerank = core_pagerank
         self.damping = damping
         self.gamma = gamma
+        #: ``{"pagerank": RunReport, "core": RunReport}`` when the
+        #: estimates were produced under a resilient runtime policy;
+        #: ``None`` for plain solves.
+        self.reports = reports
         self.absolute = pagerank - core_pagerank
         with np.errstate(divide="ignore", invalid="ignore"):
             rel = 1.0 - core_pagerank / pagerank
@@ -181,6 +187,8 @@ def estimate_spam_mass(
     max_iter: int = 10_000,
     method: str = "jacobi",
     transition_t=None,
+    check: bool = True,
+    policy=None,
 ) -> MassEstimates:
     """Estimate spam mass from a good core (Definition 3 + Section 3.5).
 
@@ -201,6 +209,19 @@ def estimate_spam_mass(
         Optional pre-built ``Tᵀ`` in CSR form, for callers estimating
         against many cores on one graph (the Figure 5 sweep): building
         it once amortizes the dominant setup cost.
+    check:
+        Raise :class:`~repro.errors.ConvergenceError` if either
+        PageRank solve fails to converge — mass estimates computed from
+        an unconverged vector are garbage, so treating that silently is
+        opt-*out* (``check=False``), never the default.
+    policy:
+        Optional :class:`~repro.runtime.resilient.RuntimePolicy`.  When
+        given, both solves run under a :class:`FallbackSolver` —
+        divergence escalates down the method chain, budgets degrade to
+        best-effort vectors, and checkpoint/resume applies — and the
+        per-solve :class:`RunReport` diagnostics land in
+        ``MassEstimates.reports``.  ``check=True`` still raises if even
+        the fallback chain could not converge.
     """
     core_list = list(good_core)
     if not core_list:
@@ -208,27 +229,58 @@ def estimate_spam_mass(
     n = graph.num_nodes
     if transition_t is None:
         transition_t = transition_matrix(graph).T.tocsr()
-    p = pagerank_from_matrix(
-        transition_t,
-        uniform_jump_vector(n),
-        damping=damping,
-        tol=tol,
-        max_iter=max_iter,
-        method=method,
-    ).scores
     if gamma is None:
         w = core_jump_vector(n, core_list)
     else:
         w = scaled_core_jump_vector(n, core_list, gamma)
-    p_core = pagerank_from_matrix(
-        transition_t,
-        w,
-        damping=damping,
-        tol=tol,
-        max_iter=max_iter,
-        method=method,
-    ).scores
-    return MassEstimates(p, p_core, damping, gamma)
+
+    reports = None
+    if policy is not None:
+        results = {}
+        for label, jump in (
+            ("pagerank", uniform_jump_vector(n)),
+            ("core", w),
+        ):
+            solver = policy.make_solver(label, tol=tol, max_iter=max_iter)
+            results[label] = solver.solve(
+                transition_t, jump, damping=damping, resume=policy.resume
+            )
+        reports = {label: r.report for label, r in results.items()}
+        if check:
+            failed = [
+                label for label, r in results.items() if not r.converged
+            ]
+            if failed:
+                from ..errors import ConvergenceError
+
+                raise ConvergenceError(
+                    "resilient mass estimation did not converge for the "
+                    f"{' and '.join(failed)} solve(s); pass check=False "
+                    "to accept the best-effort vectors",
+                    result=results[failed[0]],
+                )
+        p = results["pagerank"].scores
+        p_core = results["core"].scores
+    else:
+        p = pagerank_from_matrix(
+            transition_t,
+            uniform_jump_vector(n),
+            damping=damping,
+            tol=tol,
+            max_iter=max_iter,
+            method=method,
+            raise_on_divergence=check,
+        ).scores
+        p_core = pagerank_from_matrix(
+            transition_t,
+            w,
+            damping=damping,
+            tol=tol,
+            max_iter=max_iter,
+            method=method,
+            raise_on_divergence=check,
+        ).scores
+    return MassEstimates(p, p_core, damping, gamma, reports=reports)
 
 
 def blacklist_mass(

@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Sequence, Union
 import numpy as np
 from scipy import sparse
 
+from ..errors import ConvergenceError
 from ..graph.ops import transition_matrix
 from ..graph.webgraph import WebGraph
 from .solvers import SolverResult, solve
@@ -134,6 +135,7 @@ def pagerank(
     max_iter: int = 10_000,
     method: str = "jacobi",
     raise_on_divergence: bool = True,
+    **solver_options,
 ) -> SolverResult:
     """Compute ``p = PR(v)`` for a web graph.
 
@@ -150,8 +152,13 @@ def pagerank(
     tol, max_iter, method:
         Solver controls; see :mod:`repro.core.solvers`.
     raise_on_divergence:
-        Raise ``RuntimeError`` when the solver fails to converge instead
-        of returning a non-converged result.
+        Raise :class:`~repro.errors.ConvergenceError` (a
+        ``RuntimeError`` subclass) when the solver fails to converge
+        instead of returning a non-converged result.
+    solver_options:
+        Forwarded to :func:`repro.core.solvers.solve` — e.g.
+        ``checkpoint=``/``resume=`` for kill-and-resume support, or
+        ``callback=`` for residual monitoring.
     """
     transition_t = transition_matrix(graph).T.tocsr()
     return pagerank_from_matrix(
@@ -162,6 +169,7 @@ def pagerank(
         max_iter=max_iter,
         method=method,
         raise_on_divergence=raise_on_divergence,
+        **solver_options,
     )
 
 
@@ -174,18 +182,36 @@ def pagerank_from_matrix(
     max_iter: int = 10_000,
     method: str = "jacobi",
     raise_on_divergence: bool = True,
+    **solver_options,
 ) -> SolverResult:
     """Compute PageRank from a pre-built ``Tᵀ`` (reuse across jump
-    vectors — the mass estimator computes two PageRanks on one matrix)."""
-    result = solve(
-        method, transition_t, v, damping=damping, tol=tol, max_iter=max_iter
-    )
-    if raise_on_divergence and not result.converged:
-        raise RuntimeError(
-            f"PageRank solver {method!r} failed to converge within "
-            f"{max_iter} iterations (residual {result.residual:.3e})"
+    vectors — the mass estimator computes two PageRanks on one matrix).
+
+    Non-convergence raises :class:`~repro.errors.ConvergenceError`
+    unless ``raise_on_divergence=False``; extra keyword arguments are
+    forwarded to :func:`repro.core.solvers.solve` (checkpointing,
+    warm starts, callbacks).
+    """
+    try:
+        return solve(
+            method,
+            transition_t,
+            v,
+            damping=damping,
+            tol=tol,
+            max_iter=max_iter,
+            check=raise_on_divergence,
+            **solver_options,
         )
-    return result
+    except ConvergenceError as exc:
+        residual = (
+            f"{exc.result.residual:.3e}" if exc.result is not None else "n/a"
+        )
+        raise ConvergenceError(
+            f"PageRank solver {method!r} failed to converge within "
+            f"{max_iter} iterations (residual {residual})",
+            result=exc.result,
+        ) from None
 
 
 def scale_scores(

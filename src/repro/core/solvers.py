@@ -38,14 +38,19 @@ pass silently.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
+from ..errors import ConvergenceError
+
 __all__ = [
     "SolverResult",
+    "ConvergenceError",
+    "IterationCallback",
     "jacobi",
     "gauss_seidel",
     "power_iteration",
@@ -54,6 +59,12 @@ __all__ = [
     "SOLVERS",
     "solve",
 ]
+
+#: Signature of the per-iteration hook accepted by the iterative
+#: solvers: ``callback(iteration, p, residual)``.  Raising from the
+#: callback aborts the solve — the resilient runtime layer uses this
+#: for divergence monitors, wall-time budgets and fault injection.
+IterationCallback = Callable[[int, np.ndarray, float], None]
 
 
 class SolverResult:
@@ -81,6 +92,7 @@ class SolverResult:
         "converged",
         "method",
         "residual_history",
+        "report",
     )
 
     def __init__(
@@ -98,6 +110,10 @@ class SolverResult:
         self.converged = converged
         self.method = method
         self.residual_history = residual_history
+        #: Populated by the resilient runtime layer
+        #: (:class:`repro.runtime.resilient.RunReport`); ``None`` for
+        #: plain single-method solves.
+        self.report = None
 
     def convergence_rate(self) -> float:
         """Empirical per-iteration residual contraction (geometric mean
@@ -153,6 +169,24 @@ def _validate_inputs(
         )
 
 
+def _initial_iterate(
+    v: np.ndarray, x0: Optional[np.ndarray], start_iteration: int
+) -> np.ndarray:
+    """Resolve the warm-start iterate (checkpoint resume support)."""
+    if start_iteration < 0:
+        raise ValueError("start_iteration must be non-negative")
+    if x0 is None:
+        if start_iteration != 0:
+            raise ValueError("start_iteration > 0 requires an x0 iterate")
+        return v.astype(np.float64, copy=True)
+    x0 = np.asarray(x0, dtype=np.float64)
+    if x0.shape != v.shape:
+        raise ValueError(
+            f"warm-start iterate has shape {x0.shape}, expected {v.shape}"
+        )
+    return x0.copy()
+
+
 def jacobi(
     transition_t: sparse.csr_matrix,
     v: np.ndarray,
@@ -160,6 +194,9 @@ def jacobi(
     tol: float = 1e-12,
     max_iter: int = 10_000,
     track_residuals: bool = False,
+    x0: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    callback: Optional[IterationCallback] = None,
 ) -> SolverResult:
     """Algorithm 1 of the paper (Jacobi iteration).
 
@@ -176,24 +213,36 @@ def jacobi(
     tol:
         Stop when ``‖p⁽ⁱ⁾ − p⁽ⁱ⁻¹⁾‖₁ < tol``.
     max_iter:
-        Safety bound on the number of iterations.
+        Safety bound on the number of iterations (absolute — a resumed
+        solve continues counting from ``start_iteration``).
+    x0, start_iteration:
+        Warm start: resume from a checkpointed iterate ``x0`` taken
+        after ``start_iteration`` iterations.  Jacobi is memoryless in
+        the iterate, so a resumed run reproduces the uninterrupted one
+        exactly.
+    callback:
+        Optional per-iteration hook ``callback(iteration, p, residual)``;
+        raising from it aborts the solve (see the resilient runtime).
     """
     _validate_inputs(transition_t, v, damping, tol)
-    p = v.astype(np.float64, copy=True)
+    p = _initial_iterate(v, x0, start_iteration)
     jump = (1.0 - damping) * v
     residual = np.inf
     history: Optional[List[float]] = [] if track_residuals else None
-    for iteration in range(1, max_iter + 1):
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, max_iter + 1):
         p_next = damping * (transition_t @ p) + jump
         residual = float(np.abs(p_next - p).sum())
         if history is not None:
             history.append(residual)
         p = p_next
+        if callback is not None:
+            callback(iteration, p, residual)
         if residual < tol:
             return SolverResult(
                 p, iteration, residual, True, "jacobi", history
             )
-    return SolverResult(p, max_iter, residual, False, "jacobi", history)
+    return SolverResult(p, iteration, residual, False, "jacobi", history)
 
 
 def gauss_seidel(
@@ -203,6 +252,9 @@ def gauss_seidel(
     tol: float = 1e-12,
     max_iter: int = 10_000,
     track_residuals: bool = False,
+    x0: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    callback: Optional[IterationCallback] = None,
 ) -> SolverResult:
     """Gauss–Seidel sweeps on ``(I − c Tᵀ) p = (1 − c) v``.
 
@@ -223,11 +275,12 @@ def gauss_seidel(
     system = sparse.identity(n, format="csr") - damping * transition_t.tocsr()
     lower = sparse.tril(system, k=0, format="csr")
     upper = sparse.triu(system, k=1, format="csr")
-    p = v.astype(np.float64, copy=True)
+    p = _initial_iterate(v, x0, start_iteration)
     jump = (1.0 - damping) * v
     residual = np.inf
     history: Optional[List[float]] = [] if track_residuals else None
-    for iteration in range(1, max_iter + 1):
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, max_iter + 1):
         rhs = jump - upper @ p
         p_next = sparse_linalg.spsolve_triangular(
             lower, rhs, lower=True, unit_diagonal=True
@@ -237,12 +290,14 @@ def gauss_seidel(
         if history is not None:
             history.append(residual)
         p = p_next
+        if callback is not None:
+            callback(iteration, p, residual)
         if residual < tol:
             return SolverResult(
                 p, iteration, residual, True, "gauss_seidel", history
             )
     return SolverResult(
-        p, max_iter, residual, False, "gauss_seidel", history
+        p, iteration, residual, False, "gauss_seidel", history
     )
 
 
@@ -253,6 +308,10 @@ def power_iteration(
     tol: float = 1e-12,
     max_iter: int = 10_000,
     dangling_mask: Optional[np.ndarray] = None,
+    track_residuals: bool = False,
+    x0: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    callback: Optional[IterationCallback] = None,
 ) -> SolverResult:
     """Power iteration on the augmented matrix ``T''`` of equation (1).
 
@@ -276,9 +335,11 @@ def power_iteration(
             transition_t.sum(axis=0)
         ).ravel()  # col x of T^T == row x of T
         dangling_mask = column_sums < 1e-12
-    p = v.astype(np.float64, copy=True)
+    p = _initial_iterate(v, x0, start_iteration)
     residual = np.inf
-    for iteration in range(1, max_iter + 1):
+    history: Optional[List[float]] = [] if track_residuals else None
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, max_iter + 1):
         dangling_weight = float(p[dangling_mask].sum())
         p_next = (
             damping * (transition_t @ p)
@@ -288,10 +349,14 @@ def power_iteration(
         # guard against floating-point drift off the simplex
         p_next /= p_next.sum()
         residual = float(np.abs(p_next - p).sum())
+        if history is not None:
+            history.append(residual)
         p = p_next
+        if callback is not None:
+            callback(iteration, p, residual)
         if residual < tol:
-            return SolverResult(p, iteration, residual, True, "power")
-    return SolverResult(p, max_iter, residual, False, "power")
+            return SolverResult(p, iteration, residual, True, "power", history)
+    return SolverResult(p, iteration, residual, False, "power", history)
 
 
 def direct(
@@ -300,8 +365,18 @@ def direct(
     damping: float = 0.85,
     tol: float = 1e-12,
     max_iter: int = 0,
+    track_residuals: bool = False,
+    x0: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    callback: Optional[IterationCallback] = None,
 ) -> SolverResult:
-    """Sparse LU solve of ``(I − c Tᵀ) p = (1 − c) v`` (test oracle)."""
+    """Sparse LU solve of ``(I − c Tᵀ) p = (1 − c) v`` (test oracle).
+
+    ``track_residuals``/``x0``/``start_iteration``/``callback`` are
+    accepted for signature uniformity with the iterative solvers (the
+    fallback chain dispatches blindly) and ignored — a direct solve has
+    no iterations to hook into.
+    """
     _validate_inputs(transition_t, v, damping, tol)
     n = transition_t.shape[0]
     system = sparse.identity(n, format="csc") - damping * transition_t.tocsc()
@@ -318,8 +393,16 @@ def bicgstab(
     damping: float = 0.85,
     tol: float = 1e-12,
     max_iter: int = 10_000,
+    track_residuals: bool = False,
+    x0: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    callback: Optional[IterationCallback] = None,
 ) -> SolverResult:
-    """BiCGSTAB Krylov solve of the linear PageRank system."""
+    """BiCGSTAB Krylov solve of the linear PageRank system.
+
+    ``x0`` warm-starts the Krylov iteration; the remaining uniformity
+    parameters are ignored (SciPy owns the iteration loop).
+    """
     _validate_inputs(transition_t, v, damping, tol)
     n = transition_t.shape[0]
     system = sparse.identity(n, format="csr") - damping * transition_t.tocsr()
@@ -327,7 +410,7 @@ def bicgstab(
     # note: seeding x0 = v invites an exact BiCGSTAB breakdown (rho = 0)
     # on symmetric-ish tiny systems; the default zero start is robust
     p, info = sparse_linalg.bicgstab(
-        system, rhs, rtol=0.0, atol=tol, maxiter=max_iter
+        system, rhs, x0=x0, rtol=0.0, atol=tol, maxiter=max_iter
     )
     p = np.asarray(p, dtype=np.float64).ravel()
     residual = float(np.abs(system @ p - rhs).sum())
@@ -350,12 +433,84 @@ def solve(
     damping: float = 0.85,
     tol: float = 1e-12,
     max_iter: int = 10_000,
+    *,
+    check: bool = False,
+    track_residuals: bool = False,
+    x0: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    callback: Optional[IterationCallback] = None,
+    checkpoint: Union[None, str, Path, "object"] = None,
+    resume: bool = False,
+    checkpoint_every: int = 50,
 ) -> SolverResult:
-    """Dispatch to a solver by name (see :data:`SOLVERS`)."""
+    """Dispatch to a solver by name (see :data:`SOLVERS`).
+
+    Robustness extensions
+    ---------------------
+    check:
+        Raise :class:`~repro.errors.ConvergenceError` (carrying the
+        best-effort result) when the stopping criterion was not met —
+        the exhaust-path otherwise returns ``converged=False`` silently
+        and nothing downstream is forced to look at the flag.
+    checkpoint, resume, checkpoint_every:
+        ``checkpoint`` is a directory path (or a pre-built
+        :class:`~repro.runtime.checkpoint.CheckpointManager`); the
+        iterate is snapshotted atomically every ``checkpoint_every``
+        iterations.  With ``resume=True`` the newest compatible
+        snapshot seeds ``x0``/``start_iteration``, so a killed run
+        restarts from the last checkpoint instead of iteration 0.
+        Snapshots record a problem fingerprint and refuse to resume
+        against a different matrix/jump vector.
+    x0, start_iteration, callback:
+        Warm start and per-iteration hook, forwarded to the solver.
+    """
     try:
         solver = SOLVERS[method]
     except KeyError:
         raise ValueError(
             f"unknown solver {method!r}; available: {sorted(SOLVERS)}"
         ) from None
-    return solver(transition_t, v, damping=damping, tol=tol, max_iter=max_iter)
+
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint directory")
+    if checkpoint is not None:
+        # lazy import: the runtime package sits above this module
+        from ..runtime.checkpoint import CheckpointManager, problem_fingerprint
+        from ..runtime.monitors import compose_callbacks
+
+        manager = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointManager)
+            else CheckpointManager(checkpoint, every=checkpoint_every)
+        )
+        fingerprint = problem_fingerprint(transition_t, v)
+        if resume:
+            restored = manager.load_latest(fingerprint=fingerprint)
+            if restored is not None:
+                x0 = restored.p
+                start_iteration = restored.iteration
+        callback = compose_callbacks(
+            callback,
+            manager.callback(method=method, fingerprint=fingerprint),
+        )
+
+    result = solver(
+        transition_t,
+        v,
+        damping=damping,
+        tol=tol,
+        max_iter=max_iter,
+        track_residuals=track_residuals,
+        x0=x0,
+        start_iteration=start_iteration,
+        callback=callback,
+    )
+    if check and not result.converged:
+        raise ConvergenceError(
+            f"solver {method!r} did not converge: residual "
+            f"{result.residual:.3e} after {result.iterations} iterations "
+            f"(tol {tol:g}); pass check=False for the best-effort vector "
+            "or use repro.runtime.FallbackSolver for graceful degradation",
+            result=result,
+        )
+    return result

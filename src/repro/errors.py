@@ -1,0 +1,100 @@
+"""Exception taxonomy shared across the library.
+
+A pipeline that a search engine re-runs continuously (Section 2.2's
+deployment story) fails in a handful of recurring ways: the numerics
+diverge, a checkpoint is unreadable, an edge file is truncated
+mid-transfer.  Each failure mode gets its own exception type so callers
+— the CLI in particular — can map them to distinct exit codes and
+one-line messages instead of tracebacks.
+
+The classes multiply-inherit from the builtin exceptions historically
+raised at the same sites (``RuntimeError`` for non-convergence,
+``ValueError`` for malformed files), so pre-existing ``except`` clauses
+keep working.
+
+This module imports nothing from the rest of the package and is safe to
+import from any layer.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConvergenceError",
+    "CheckpointError",
+    "GraphFormatError",
+    "TruncatedFileError",
+    "GraphIOWarning",
+    "SolverAbort",
+    "BudgetExceeded",
+    "InjectedFault",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach its tolerance.
+
+    Carries the offending :class:`~repro.core.solvers.SolverResult` in
+    ``result`` (when available) so callers can inspect the best-effort
+    vector even after opting into strict checking.
+    """
+
+    def __init__(self, message: str, result=None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or restored."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An on-disk graph artifact violates its format.
+
+    Subclasses ``ValueError`` because that is what the readers raised
+    before the strict/lenient split; existing handlers stay valid.
+    """
+
+
+class TruncatedFileError(GraphFormatError):
+    """A (gzip) file ended mid-stream — typically an interrupted copy."""
+
+
+class GraphIOWarning(UserWarning):
+    """Lenient-mode readers emit this when they skip malformed input.
+
+    The message always ends with a parenthesized per-category count
+    summary, e.g. ``(skipped: 2 malformed, 1 out-of-range)``, and the
+    warning instance carries the raw counts in ``counts``.
+    """
+
+    def __init__(self, message: str, counts=None) -> None:
+        super().__init__(message)
+        self.counts = dict(counts or {})
+
+
+class SolverAbort(ReproError):
+    """Internal control-flow signal: a residual monitor (or budget)
+    demands the current solve attempt stop immediately.
+
+    ``reason`` is a short machine-readable slug (``"nan"``,
+    ``"diverged"``, ``"stagnated"``, ``"time-budget"``).
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason
+
+
+class BudgetExceeded(SolverAbort):
+    """An iteration or wall-time budget ran out mid-solve."""
+
+
+class InjectedFault(ReproError):
+    """Raised by :mod:`repro.runtime.chaos` injectors — never in
+    production code paths.  Distinct type so tests can assert that a
+    failure was the planted one and not a genuine bug."""

@@ -146,6 +146,7 @@ class ReproductionContext:
         frac_unknown: float = 0.061,
         frac_nonexistent: float = 0.05,
         sample_seed: int = 23,
+        policy=None,
     ) -> "ReproductionContext":
         """Build a context following the paper's Section 4 procedure.
 
@@ -153,12 +154,21 @@ class ReproductionContext:
         ``sample_fraction=None`` inspects the *whole* filtered set
         (affordable at synthetic scale, and it removes sampling noise
         from reproduced curves — pass 0.001 for the paper's 0.1%).
+
+        ``policy`` optionally runs the two PageRank solves under a
+        resilient runtime
+        (:class:`~repro.runtime.resilient.RuntimePolicy`): checkpointed,
+        budgeted and with solver fallback — the CLI's
+        ``--checkpoint-dir``/``--resume``/``--time-budget`` flags end up
+        here.
         """
         world = build_world(config)
         core = default_good_core(
             world, uncovered_coverage=uncovered_coverage
         )
-        estimates = estimate_spam_mass(world.graph, core, gamma=gamma)
+        estimates = estimate_spam_mass(
+            world.graph, core, gamma=gamma, policy=policy
+        )
         scaled = estimates.scaled_pagerank()
         eligible_mask = scaled >= rho
         sample = build_evaluation_sample(

@@ -6,6 +6,7 @@ level, like the paper's experiments) plus the supporting machinery the
 rest of the library builds on.
 """
 
+from ..errors import GraphFormatError, GraphIOWarning, TruncatedFileError
 from .builder import GraphBuilder
 from .collapse import CollapseResult, collapse_by_key, collapse_page_graph
 from .components import (
@@ -46,6 +47,9 @@ from .webgraph import GraphStats, WebGraph
 __all__ = [
     "WebGraph",
     "GraphStats",
+    "GraphFormatError",
+    "TruncatedFileError",
+    "GraphIOWarning",
     "GraphBuilder",
     "HostName",
     "HostRegistry",

@@ -1,0 +1,91 @@
+"""Resilient execution layer: checkpoints, fallback chains, chaos.
+
+This package wraps the numerical core in the operational behaviors a
+continuously re-run pipeline needs (see ``docs/runtime.md``):
+
+* :mod:`repro.runtime.checkpoint` — atomic snapshot/restore of solver
+  iterates (kill-and-resume).
+* :mod:`repro.runtime.monitors` — mid-solve divergence/NaN/stagnation
+  detection and wall-clock deadlines.
+* :mod:`repro.runtime.resilient` — :class:`FallbackSolver` escalation
+  chains with structured :class:`RunReport` diagnostics, plus the
+  :class:`RuntimePolicy` object the CLI threads through the pipeline.
+* :mod:`repro.runtime.chaos` — deterministic fault injectors for the
+  resilience test-suite.
+* :mod:`repro.runtime.retry` — retry-with-backoff for transient I/O.
+
+The heavyweight :mod:`~repro.runtime.resilient` module (it pulls in the
+numerical core) is loaded lazily on first attribute access, so the
+light modules stay importable from low layers such as
+:mod:`repro.graph.io` without import cycles.
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    BudgetExceeded,
+    CheckpointError,
+    ConvergenceError,
+    GraphFormatError,
+    GraphIOWarning,
+    InjectedFault,
+    SolverAbort,
+    TruncatedFileError,
+)
+from .checkpoint import CheckpointManager, SolverCheckpoint, problem_fingerprint
+from .monitors import Deadline, ResidualMonitor, compose_callbacks
+from .retry import with_retries
+
+__all__ = [
+    # errors (re-exported for convenience)
+    "BudgetExceeded",
+    "CheckpointError",
+    "ConvergenceError",
+    "GraphFormatError",
+    "GraphIOWarning",
+    "InjectedFault",
+    "SolverAbort",
+    "TruncatedFileError",
+    # light modules
+    "CheckpointManager",
+    "SolverCheckpoint",
+    "problem_fingerprint",
+    "Deadline",
+    "ResidualMonitor",
+    "compose_callbacks",
+    "with_retries",
+    # lazy (resilient.py pulls in the numerical core)
+    "DEFAULT_CHAIN",
+    "AttemptRecord",
+    "RunReport",
+    "FallbackSolver",
+    "RuntimePolicy",
+    "resilient_solve",
+    "chaos",
+]
+
+_LAZY = {
+    "DEFAULT_CHAIN",
+    "AttemptRecord",
+    "RunReport",
+    "FallbackSolver",
+    "RuntimePolicy",
+    "resilient_solve",
+}
+
+
+def __getattr__(name: str):
+    # importlib.import_module, not ``from . import``: the latter ends in
+    # a getattr on this package and would re-enter this hook forever.
+    import importlib
+
+    if name in _LAZY:
+        resilient = importlib.import_module(f"{__name__}.resilient")
+        return getattr(resilient, name)
+    if name == "chaos":
+        return importlib.import_module(f"{__name__}.chaos")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():  # pragma: no cover - introspection aid
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,270 @@
+"""Deterministic fault injection for resilience testing.
+
+"The recovery path works" is an empirical claim; this module makes it
+testable.  Every injector is deterministic and seedable — a chaos test
+that fails must fail identically on re-run — and every planted failure
+raises (or plants data that leads to) a distinguishable condition, so
+tests can tell the planted fault from a genuine bug.
+
+Injectors
+---------
+* :func:`fault_at` / :func:`nan_poison_at` — solver iteration callbacks
+  that kill or poison a run at an exact iteration.
+* :func:`corrupt_edge_file` — byte- and line-level corruption of edge
+  files (truncation, garbage tokens, out-of-range ids, ...).
+* :class:`FlakyCalls` — wraps any callable to fail on a scripted
+  subset of its invocations (``OSError``, ``MemoryError``, ...); used
+  to exercise retry and fallback paths.
+* :func:`flaky_open` — an ``open``-compatible wrapper for
+  monkeypatching file-level failures into io code.
+
+None of this is imported by production code paths.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Callable, Dict, Optional, Type, Union
+
+import numpy as np
+
+from ..errors import InjectedFault
+
+__all__ = [
+    "fault_at",
+    "nan_poison_at",
+    "corrupt_edge_file",
+    "CORRUPTION_KINDS",
+    "FlakyCalls",
+    "flaky_open",
+]
+
+
+# ----------------------------------------------------------------------
+# solver-level injectors (iteration callbacks)
+# ----------------------------------------------------------------------
+
+
+def fault_at(
+    iteration: int,
+    exc_factory: Callable[[], BaseException] = None,
+) -> Callable[[int, np.ndarray, float], None]:
+    """Callback raising a fault when the solver reaches ``iteration``.
+
+    The default fault is :class:`~repro.errors.InjectedFault` — a stand-in
+    for "the process was killed here" in kill-and-resume tests.
+    """
+
+    def _inject(it: int, p: np.ndarray, residual: float) -> None:
+        if it == iteration:
+            exc = (
+                exc_factory()
+                if exc_factory is not None
+                else InjectedFault(f"injected crash at iteration {it}")
+            )
+            raise exc
+
+    return _inject
+
+
+def nan_poison_at(
+    iteration: int,
+    *,
+    fraction: float = 0.01,
+    seed: int = 0,
+    methods: Optional[tuple] = None,
+) -> Callable[[int, np.ndarray, float], None]:
+    """Callback that overwrites a deterministic subset of the iterate
+    with NaN at ``iteration`` — simulating in-memory corruption.
+
+    ``methods`` optionally restricts poisoning to attempts whose bound
+    ``method`` matches (see :class:`~repro.runtime.resilient.FallbackSolver`,
+    which exposes the active method on the callback's behalf via the
+    ``_chaos_method`` attribute it sets before each attempt).
+    """
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError("fraction must be in (0, 1]")
+
+    def _poison(it: int, p: np.ndarray, residual: float) -> None:
+        if it != iteration:
+            return
+        active = getattr(_poison, "_chaos_method", None)
+        if methods is not None and active is not None and active not in methods:
+            return
+        rng = np.random.default_rng(seed)
+        count = max(1, int(len(p) * fraction))
+        idx = rng.choice(len(p), size=count, replace=False)
+        p[idx] = np.nan
+
+    return _poison
+
+
+# ----------------------------------------------------------------------
+# file-level injectors
+# ----------------------------------------------------------------------
+
+CORRUPTION_KINDS = (
+    "truncate-bytes",
+    "garbage-line",
+    "bad-token",
+    "out-of-range",
+    "negative-id",
+    "duplicate-edge",
+    "drop-header",
+)
+
+
+def corrupt_edge_file(
+    path: Union[str, Path],
+    kind: str,
+    *,
+    seed: int = 0,
+) -> Path:
+    """Corrupt an edge file (plain or gzipped) in place, deterministically.
+
+    Kinds
+    -----
+    ``truncate-bytes``
+        Cut the file mid-stream.  For ``.gz`` files this yields a
+        truncated gzip member — the classic interrupted-transfer
+        artifact.
+    ``garbage-line`` / ``bad-token``
+        Insert a non-parsable line / replace one id with a non-integer
+        token.
+    ``out-of-range`` / ``negative-id``
+        Append an edge whose endpoint is ≥ ``num_nodes`` / negative.
+    ``duplicate-edge``
+        Duplicate an existing edge line.
+    ``drop-header``
+        Remove the node-count header line.
+    """
+    path = Path(path)
+    if kind not in CORRUPTION_KINDS:
+        raise ValueError(
+            f"unknown corruption {kind!r}; choose from {CORRUPTION_KINDS}"
+        )
+    rng = np.random.default_rng(seed)
+    gz = path.suffix == ".gz"
+
+    if kind == "truncate-bytes":
+        raw = path.read_bytes()
+        if len(raw) < 8:
+            raise ValueError(f"{path} too small to truncate meaningfully")
+        # keep at least the first few bytes (gzip magic survives, the
+        # stream does not), cut somewhere in the middle-to-late body
+        cut = int(len(raw) * (0.55 + 0.4 * rng.random()))
+        cut = max(6, min(cut, len(raw) - 2))
+        path.write_bytes(raw[:cut])
+        return path
+
+    opener = (lambda p, m: gzip.open(p, m + "t", encoding="utf-8")) if gz else (
+        lambda p, m: open(p, m, encoding="utf-8")
+    )
+    with opener(path, "r") as fh:
+        lines = fh.read().splitlines()
+    header_idx = next(
+        (
+            i
+            for i, line in enumerate(lines)
+            if line.strip() and not line.lstrip().startswith("#")
+        ),
+        None,
+    )
+    if header_idx is None:
+        raise ValueError(f"{path} has no content lines to corrupt")
+    num_nodes = int(lines[header_idx])
+    edge_indices = [
+        i
+        for i, line in enumerate(lines)
+        if i > header_idx and line.strip() and not line.lstrip().startswith("#")
+    ]
+
+    if kind == "garbage-line":
+        pos = (
+            int(rng.integers(header_idx + 1, len(lines) + 1))
+            if lines
+            else header_idx + 1
+        )
+        lines.insert(pos, "!!corrupt@@ line not an edge")
+    elif kind == "bad-token":
+        if not edge_indices:
+            raise ValueError(f"{path} has no edges to corrupt")
+        i = int(rng.choice(edge_indices))
+        src, dst = lines[i].split()
+        lines[i] = f"{src} x{dst}"
+    elif kind == "out-of-range":
+        lines.append(f"0 {num_nodes + int(rng.integers(1, 10))}")
+    elif kind == "negative-id":
+        lines.append(f"-{int(rng.integers(1, 10))} 0")
+    elif kind == "duplicate-edge":
+        if not edge_indices:
+            raise ValueError(f"{path} has no edges to duplicate")
+        lines.append(lines[int(rng.choice(edge_indices))])
+    elif kind == "drop-header":
+        del lines[header_idx]
+
+    with opener(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# call-level injectors
+# ----------------------------------------------------------------------
+
+
+class FlakyCalls:
+    """Wrap a callable to fail on a scripted subset of invocations.
+
+    ``plan`` maps 1-based call numbers to exception *types* (or
+    instances); unlisted calls pass through.  ``fail_first`` is the
+    shorthand for "the first N calls raise ``exc``" — the common
+    transient-failure script for retry tests.
+
+    >>> flaky = FlakyCalls(write_fn, fail_first=2, exc=OSError)
+    >>> flaky()   # raises OSError     (call 1)
+    >>> flaky()   # raises OSError     (call 2)
+    >>> flaky()   # delegates          (call 3)
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        plan: Optional[Dict[int, Union[Type[BaseException], BaseException]]] = None,
+        fail_first: int = 0,
+        exc: Type[BaseException] = OSError,
+    ) -> None:
+        self.fn = fn
+        self.plan = dict(plan or {})
+        for call in range(1, fail_first + 1):
+            self.plan.setdefault(call, exc)
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        fault = self.plan.get(self.calls)
+        if fault is not None:
+            raise fault if isinstance(fault, BaseException) else fault(
+                f"injected fault on call {self.calls}"
+            )
+        return self.fn(*args, **kwargs)
+
+
+def flaky_open(
+    *,
+    fail_first: int = 0,
+    exc: Type[BaseException] = OSError,
+    plan: Optional[Dict[int, Union[Type[BaseException], BaseException]]] = None,
+) -> FlakyCalls:
+    """An ``open``-compatible callable that fails on scripted calls.
+
+    Monkeypatch it over :func:`builtins.open` (or an io module's opener)
+    to simulate transient filesystem failures:
+
+    >>> monkeypatch.setattr("builtins.open", flaky_open(fail_first=1))
+    """
+    import builtins
+
+    return FlakyCalls(builtins.open, plan=plan, fail_first=fail_first, exc=exc)

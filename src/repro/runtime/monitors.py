@@ -1,0 +1,168 @@
+"""Residual monitors: detect a solve going wrong *while* it runs.
+
+Related work (Avrachenkov et al. on damping-factor conditioning) shows
+the PageRank iteration can converge badly or not at all when the
+system is ill-conditioned; NaN poisoning from corrupt input does the
+rest.  A monitor rides along as the solver's iteration callback and
+aborts the attempt — via :class:`~repro.errors.SolverAbort` — the
+moment the residual stream looks pathological, so the fallback chain
+can escalate instead of burning the whole iteration budget.
+
+Detected conditions
+-------------------
+``nan``
+    Non-finite residual, or non-finite entries in the iterate
+    (the iterate is scanned every ``check_every`` iterations — an
+    O(n) scan amortized away from the hot loop).
+``diverged``
+    Residual exceeds ``divergence_factor`` × the best residual seen
+    (after a grace period of ``min_iterations``).
+``stagnated``
+    Over a sliding window the residual improved by less than
+    ``stagnation_ratio`` while still above tolerance.
+``time-budget``
+    Wall-clock deadline passed (see :class:`Deadline`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import BudgetExceeded, SolverAbort
+
+__all__ = ["ResidualMonitor", "Deadline", "compose_callbacks"]
+
+
+class Deadline:
+    """Wall-clock budget shared across the attempts of one solve."""
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError("time budget must be positive")
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> Optional[float]:
+        if self.seconds is None:
+            return None
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.seconds is not None and self.elapsed() >= self.seconds
+
+    def check(self) -> None:
+        if self.expired():
+            raise BudgetExceeded(
+                "time-budget",
+                f"wall-time budget of {self.seconds:g}s exhausted "
+                f"after {self.elapsed():.2f}s",
+            )
+
+
+class ResidualMonitor:
+    """Iteration callback that aborts pathological solves.
+
+    Use as ``callback=monitor`` on any iterative solver; instances are
+    single-use (state accumulates across calls).
+    """
+
+    def __init__(
+        self,
+        *,
+        tol: float = 0.0,
+        check_every: int = 10,
+        min_iterations: int = 5,
+        divergence_factor: float = 1e6,
+        stagnation_window: int = 50,
+        stagnation_ratio: float = 0.999,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        if divergence_factor <= 1.0:
+            raise ValueError("divergence_factor must exceed 1")
+        if not (0.0 < stagnation_ratio <= 1.0):
+            raise ValueError("stagnation_ratio must be in (0, 1]")
+        self.tol = tol
+        self.check_every = check_every
+        self.min_iterations = min_iterations
+        self.divergence_factor = divergence_factor
+        self.stagnation_window = stagnation_window
+        self.stagnation_ratio = stagnation_ratio
+        self.deadline = deadline
+        self.best_residual = float("inf")
+        self.observed = 0
+        self._window: List[float] = []
+
+    def __call__(self, iteration: int, p: np.ndarray, residual: float) -> None:
+        self.observed += 1
+        if self.deadline is not None:
+            self.deadline.check()
+        if not np.isfinite(residual):
+            raise SolverAbort(
+                "nan", f"non-finite residual at iteration {iteration}"
+            )
+        if self.observed % self.check_every == 0 and not np.all(np.isfinite(p)):
+            raise SolverAbort(
+                "nan", f"non-finite iterate entries at iteration {iteration}"
+            )
+        if (
+            self.observed > self.min_iterations
+            and np.isfinite(self.best_residual)
+            and residual > self.divergence_factor * max(self.best_residual, 1e-300)
+        ):
+            raise SolverAbort(
+                "diverged",
+                f"residual {residual:.3e} exceeds {self.divergence_factor:g}x "
+                f"the best seen ({self.best_residual:.3e}) "
+                f"at iteration {iteration}",
+            )
+        self._window.append(residual)
+        if len(self._window) > self.stagnation_window:
+            oldest = self._window.pop(0)
+            if (
+                residual > self.tol
+                and oldest > 0
+                and residual > self.stagnation_ratio * oldest
+            ):
+                raise SolverAbort(
+                    "stagnated",
+                    f"residual improved by less than "
+                    f"{1 - self.stagnation_ratio:.2%} over the last "
+                    f"{self.stagnation_window} iterations "
+                    f"(now {residual:.3e} at iteration {iteration})",
+                )
+        self.best_residual = min(self.best_residual, residual)
+
+
+def compose_callbacks(
+    *callbacks: Optional[Callable[[int, np.ndarray, float], None]],
+) -> Optional[Callable[[int, np.ndarray, float], None]]:
+    """Chain iteration callbacks, skipping ``None`` entries.
+
+    Callbacks run in order; fault injectors that *mutate* the iterate
+    should come before monitors so the poison is seen the same
+    iteration it is planted.
+    """
+    active = [cb for cb in callbacks if cb is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+
+    def _chained(iteration: int, p: np.ndarray, residual: float) -> None:
+        for cb in active:
+            cb(iteration, p, residual)
+
+    return _chained

@@ -1,0 +1,545 @@
+"""Resilient PageRank solving: fallback chains, budgets, checkpoints.
+
+The paper's pipeline (Algorithm 2) is something a search engine re-runs
+forever; a production run must *finish with its best answer* rather
+than die with a traceback.  :class:`FallbackSolver` wraps the solvers
+of :mod:`repro.core.solvers` in that contract:
+
+* each attempt runs under a :class:`~repro.runtime.monitors.ResidualMonitor`
+  that aborts on NaN, divergence or stagnation;
+* a failed attempt **escalates** down a method chain (default
+  ``gauss_seidel → jacobi → power → direct``, fancy-but-fragile first,
+  slow-but-robust last);
+* iteration and wall-time budgets convert "would run forever" into a
+  best-effort vector flagged ``converged=False`` — never an exception;
+* optional checkpointing snapshots the iterate so a killed run resumes
+  from the last snapshot instead of iteration 0;
+* everything that happened is recorded in a structured
+  :class:`RunReport` attached to the returned ``SolverResult``.
+
+Genuine kills (``KeyboardInterrupt``, and the chaos stand-in
+:class:`~repro.errors.InjectedFault`) are *not* swallowed — they
+propagate so the process can die, which is exactly what the
+checkpoint/resume path is for.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.solvers import SOLVERS, SolverResult
+from ..errors import BudgetExceeded, InjectedFault, SolverAbort
+from .checkpoint import CheckpointManager, problem_fingerprint
+from .monitors import Deadline, ResidualMonitor, compose_callbacks
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "AttemptRecord",
+    "RunReport",
+    "FallbackSolver",
+    "RuntimePolicy",
+    "resilient_solve",
+]
+
+#: Escalation order: the methods that converge fastest on healthy input
+#: first, the unconditionally-robust direct solve last.
+DEFAULT_CHAIN = ("gauss_seidel", "jacobi", "power", "direct")
+
+#: Exceptions a solver attempt may raise that the chain treats as
+#: "this method failed here, try the next one".  Process-kill stand-ins
+#: (InjectedFault, KeyboardInterrupt) are deliberately absent.
+RECOVERABLE = (
+    MemoryError,
+    OSError,
+    ArithmeticError,  # FloatingPointError, ZeroDivisionError, OverflowError
+    np.linalg.LinAlgError,
+    ValueError,
+)
+
+
+class AttemptRecord:
+    """One solver attempt inside a fallback chain."""
+
+    __slots__ = (
+        "method",
+        "outcome",
+        "iterations",
+        "residual",
+        "wall_time",
+        "detail",
+    )
+
+    def __init__(
+        self,
+        method: str,
+        outcome: str,
+        iterations: int = 0,
+        residual: float = float("inf"),
+        wall_time: float = 0.0,
+        detail: str = "",
+    ) -> None:
+        self.method = method
+        self.outcome = outcome
+        self.iterations = iterations
+        self.residual = residual
+        self.wall_time = wall_time
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "outcome": self.outcome,
+            "iterations": self.iterations,
+            "residual": self.residual,
+            "wall_time": self.wall_time,
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttemptRecord({self.method!r}, {self.outcome!r})"
+
+
+class RunReport:
+    """Structured diagnostics for one resilient solve.
+
+    Attributes
+    ----------
+    attempts:
+        Per-method :class:`AttemptRecord` list, in execution order.
+    outcome:
+        ``"converged"`` or ``"best-effort"``.
+    resumed_from:
+        Iteration restored from a checkpoint, or ``None``.
+    checkpoints_written:
+        Snapshots saved during this solve.
+    wall_time:
+        Total seconds across the chain.
+    """
+
+    __slots__ = (
+        "attempts",
+        "outcome",
+        "resumed_from",
+        "checkpoints_written",
+        "wall_time",
+        "time_budget",
+    )
+
+    def __init__(self) -> None:
+        self.attempts: List[AttemptRecord] = []
+        self.outcome = "best-effort"
+        self.resumed_from: Optional[int] = None
+        self.checkpoints_written = 0
+        self.wall_time = 0.0
+        self.time_budget: Optional[float] = None
+
+    def escalations(self) -> List[str]:
+        """Methods actually *run* (skipped entries excluded), in order."""
+        return [
+            a.method
+            for a in self.attempts
+            if not a.outcome.startswith("skipped")
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "resumed_from": self.resumed_from,
+            "checkpoints_written": self.checkpoints_written,
+            "wall_time": self.wall_time,
+            "time_budget": self.time_budget,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    def render(self) -> str:
+        """Human-readable one-paragraph summary (CLI verbose output)."""
+        lines = [f"resilient solve: {self.outcome} in {self.wall_time:.2f}s"]
+        if self.resumed_from is not None:
+            lines.append(f"  resumed from checkpoint at iteration {self.resumed_from}")
+        if self.checkpoints_written:
+            lines.append(f"  wrote {self.checkpoints_written} checkpoint(s)")
+        for a in self.attempts:
+            extra = f" — {a.detail}" if a.detail else ""
+            lines.append(
+                f"  {a.method}: {a.outcome} "
+                f"({a.iterations} it, residual {a.residual:.3e}, "
+                f"{a.wall_time:.2f}s){extra}"
+            )
+        return "\n".join(lines)
+
+
+class FallbackSolver:
+    """Run a solver chain with monitoring, budgets and checkpoints.
+
+    Parameters
+    ----------
+    chain:
+        Method names from :data:`repro.core.solvers.SOLVERS`, tried in
+        order.  ``power`` is skipped (and recorded as skipped) when the
+        jump vector is unnormalized, since the eigenvector formulation
+        requires ``‖v‖₁ = 1``.
+    tol, max_iter:
+        Per-attempt stopping controls.
+    time_budget:
+        Wall-clock seconds across the *whole chain*; when it expires the
+        best finite iterate seen so far is returned with
+        ``converged=False``.
+    checkpoint:
+        A :class:`CheckpointManager`, a directory path, or ``None``.
+    checkpoint_every:
+        Snapshot cadence when ``checkpoint`` is a path.
+    monitor_options:
+        Extra keyword arguments for :class:`ResidualMonitor`.
+    """
+
+    def __init__(
+        self,
+        chain: Sequence[str] = DEFAULT_CHAIN,
+        *,
+        tol: float = 1e-12,
+        max_iter: int = 10_000,
+        time_budget: Optional[float] = None,
+        checkpoint: Union[None, str, Path, CheckpointManager] = None,
+        checkpoint_every: int = 50,
+        monitor_options: Optional[dict] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not chain:
+            raise ValueError("fallback chain must not be empty")
+        unknown = [m for m in chain if m not in SOLVERS]
+        if unknown:
+            raise ValueError(
+                f"unknown solver(s) {unknown} in chain; "
+                f"available: {sorted(SOLVERS)}"
+            )
+        self.chain = tuple(chain)
+        self.tol = tol
+        self.max_iter = max_iter
+        self.time_budget = time_budget
+        self.monitor_options = dict(monitor_options or {})
+        self.clock = clock
+        if checkpoint is None or isinstance(checkpoint, CheckpointManager):
+            self.checkpoints = checkpoint
+        else:
+            self.checkpoints = CheckpointManager(
+                checkpoint, every=checkpoint_every
+            )
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        transition_t,
+        v: np.ndarray,
+        *,
+        damping: float = 0.85,
+        resume: bool = False,
+        inject: Optional[Callable[[int, np.ndarray, float], None]] = None,
+    ) -> SolverResult:
+        """Solve the PageRank system, never raising on numerical failure.
+
+        Returns a :class:`SolverResult` whose ``report`` attribute holds
+        the :class:`RunReport`.  ``inject`` is a chaos hook (an extra
+        iteration callback, run before monitoring) used by the fault
+        injection test-suite.
+        """
+        report = RunReport()
+        report.time_budget = self.time_budget
+        deadline = Deadline(self.time_budget, clock=self.clock)
+        fingerprint = problem_fingerprint(transition_t, v)
+        ckpt_saves_before = (
+            self.checkpoints.saves if self.checkpoints is not None else 0
+        )
+
+        x0: Optional[np.ndarray] = None
+        start_iteration = 0
+        if resume and self.checkpoints is not None:
+            restored = self.checkpoints.load_latest(fingerprint=fingerprint)
+            if restored is not None:
+                x0 = restored.p
+                start_iteration = restored.iteration
+                report.resumed_from = restored.iteration
+
+        normalized = abs(float(v.sum()) - 1.0) <= 1e-9
+        # best finite iterate across all attempts: (residual, p, method, its)
+        best: Optional[Tuple[float, np.ndarray, str, int]] = None
+        final: Optional[SolverResult] = None
+
+        for position, method in enumerate(self.chain):
+            if deadline.expired():
+                break
+            if method == "power" and not normalized:
+                report.attempts.append(
+                    AttemptRecord(
+                        method,
+                        "skipped:unnormalized-v",
+                        detail="power iteration requires ||v||_1 = 1",
+                    )
+                )
+                continue
+
+            monitor = ResidualMonitor(
+                tol=self.tol, deadline=deadline, **self.monitor_options
+            )
+            history: List[float] = []
+            last_seen = {"p": None, "residual": float("inf"), "iteration": 0}
+
+            def _record(it: int, p: np.ndarray, residual: float) -> None:
+                history.append(residual)
+                last_seen["p"] = p
+                last_seen["residual"] = residual
+                last_seen["iteration"] = it
+
+            ckpt_cb = None
+            if self.checkpoints is not None:
+                ckpt_cb = self.checkpoints.callback(
+                    method=method, fingerprint=fingerprint, history=history
+                )
+            if inject is not None:
+                try:
+                    inject._chaos_method = method
+                except AttributeError:  # pragma: no cover - exotic callables
+                    pass
+            # injection first (it mutates the iterate), then recording,
+            # then monitoring (may abort), then checkpointing — so a
+            # pathological iteration is never snapshotted.
+            callback = compose_callbacks(inject, _record, monitor, ckpt_cb)
+
+            attempt_start = self.clock()
+            iterative = method not in ("direct", "bicgstab")
+            try:
+                result = SOLVERS[method](
+                    transition_t,
+                    v,
+                    damping=damping,
+                    tol=self.tol,
+                    max_iter=self.max_iter,
+                    callback=callback,
+                    x0=x0 if iterative else None,
+                    start_iteration=start_iteration if iterative else 0,
+                )
+            except BudgetExceeded as exc:
+                report.attempts.append(
+                    AttemptRecord(
+                        method,
+                        "aborted:time-budget",
+                        last_seen["iteration"],
+                        last_seen["residual"],
+                        self.clock() - attempt_start,
+                        str(exc),
+                    )
+                )
+                best = _fold_best(best, last_seen, method)
+                break  # budget is global: stop escalating
+            except SolverAbort as exc:
+                report.attempts.append(
+                    AttemptRecord(
+                        method,
+                        f"aborted:{exc.reason}",
+                        last_seen["iteration"],
+                        last_seen["residual"],
+                        self.clock() - attempt_start,
+                        str(exc),
+                    )
+                )
+                if exc.reason == "stagnated":
+                    # a stagnated iterate is still the best answer so far
+                    best = _fold_best(best, last_seen, method)
+            except RECOVERABLE as exc:
+                report.attempts.append(
+                    AttemptRecord(
+                        method,
+                        f"error:{type(exc).__name__}",
+                        last_seen["iteration"],
+                        last_seen["residual"],
+                        self.clock() - attempt_start,
+                        str(exc),
+                    )
+                )
+            else:
+                elapsed = self.clock() - attempt_start
+                if result.converged:
+                    report.attempts.append(
+                        AttemptRecord(
+                            method,
+                            "converged",
+                            result.iterations,
+                            result.residual,
+                            elapsed,
+                        )
+                    )
+                    final = result
+                    break
+                report.attempts.append(
+                    AttemptRecord(
+                        method,
+                        "exhausted",
+                        result.iterations,
+                        result.residual,
+                        elapsed,
+                        f"hit max_iter={self.max_iter} above tol",
+                    )
+                )
+                if np.all(np.isfinite(result.scores)):
+                    candidate = {
+                        "p": result.scores,
+                        "residual": result.residual,
+                        "iteration": result.iterations,
+                    }
+                    best = _fold_best(best, candidate, method)
+            finally:
+                if inject is not None and hasattr(inject, "_chaos_method"):
+                    try:
+                        del inject._chaos_method
+                    except AttributeError:  # pragma: no cover
+                        pass
+            # after the first attempt, never reuse a failed method's
+            # iterate: subsequent methods start fresh from v
+            x0 = None
+            start_iteration = 0
+
+        report.wall_time = deadline.elapsed()
+        if self.checkpoints is not None:
+            report.checkpoints_written = (
+                self.checkpoints.saves - ckpt_saves_before
+            )
+
+        if final is None:
+            final = self._best_effort(v, best)
+            report.outcome = "best-effort"
+        else:
+            report.outcome = "converged"
+        final.report = report
+        return final
+
+    @staticmethod
+    def _best_effort(
+        v: np.ndarray,
+        best: Optional[Tuple[float, np.ndarray, str, int]],
+    ) -> SolverResult:
+        """The never-raise terminal state: lowest-residual finite iterate
+        seen anywhere in the chain, or the jump vector itself."""
+        if best is not None:
+            residual, p, method, iterations = best
+            return SolverResult(
+                np.array(p, dtype=np.float64, copy=True),
+                iterations,
+                residual,
+                False,
+                method,
+            )
+        return SolverResult(
+            v.astype(np.float64, copy=True), 0, float("inf"), False, "none"
+        )
+
+
+def _fold_best(
+    best: Optional[Tuple[float, np.ndarray, str, int]],
+    seen: dict,
+    method: str,
+) -> Optional[Tuple[float, np.ndarray, str, int]]:
+    """Keep the finite iterate with the lowest residual."""
+    p = seen.get("p")
+    residual = float(seen.get("residual", float("inf")))
+    if p is None or not np.isfinite(residual) or not np.all(np.isfinite(p)):
+        return best
+    if best is None or residual < best[0]:
+        return (residual, p, method, int(seen.get("iteration", 0)))
+    return best
+
+
+class RuntimePolicy:
+    """Bundle of resilience settings threaded through the pipeline.
+
+    The CLI builds one of these from ``--checkpoint-dir``, ``--resume``
+    and ``--time-budget``;
+    :func:`repro.core.mass.estimate_spam_mass` and
+    :meth:`repro.eval.experiment.ReproductionContext.build` accept it as
+    ``policy=``.  ``checkpoint_dir`` is a *base* directory: each solve
+    in a multi-solve computation gets its own labeled subdirectory
+    (e.g. ``<dir>/pagerank``, ``<dir>/core``) so resumes never mix
+    iterates from different jump vectors.
+    """
+
+    __slots__ = (
+        "chain",
+        "time_budget",
+        "checkpoint_dir",
+        "checkpoint_every",
+        "resume",
+        "monitor_options",
+    )
+
+    def __init__(
+        self,
+        *,
+        chain: Sequence[str] = DEFAULT_CHAIN,
+        time_budget: Optional[float] = None,
+        checkpoint_dir: Union[None, str, Path] = None,
+        checkpoint_every: int = 50,
+        resume: bool = False,
+        monitor_options: Optional[dict] = None,
+    ) -> None:
+        self.chain = tuple(chain)
+        self.time_budget = time_budget
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.monitor_options = dict(monitor_options or {})
+        if resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
+
+    def make_solver(
+        self,
+        label: str = "",
+        *,
+        tol: float = 1e-12,
+        max_iter: int = 10_000,
+    ) -> FallbackSolver:
+        """Build the :class:`FallbackSolver` for one labeled solve."""
+        checkpoint = None
+        if self.checkpoint_dir is not None:
+            directory = (
+                self.checkpoint_dir / label if label else self.checkpoint_dir
+            )
+            checkpoint = CheckpointManager(
+                directory, every=self.checkpoint_every
+            )
+        return FallbackSolver(
+            self.chain,
+            tol=tol,
+            max_iter=max_iter,
+            time_budget=self.time_budget,
+            checkpoint=checkpoint,
+            monitor_options=self.monitor_options,
+        )
+
+
+def resilient_solve(
+    transition_t,
+    v: np.ndarray,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-12,
+    max_iter: int = 10_000,
+    chain: Sequence[str] = DEFAULT_CHAIN,
+    time_budget: Optional[float] = None,
+    checkpoint: Union[None, str, Path, CheckpointManager] = None,
+    resume: bool = False,
+    inject: Optional[Callable[[int, np.ndarray, float], None]] = None,
+) -> SolverResult:
+    """One-call convenience wrapper around :class:`FallbackSolver`."""
+    solver = FallbackSolver(
+        chain,
+        tol=tol,
+        max_iter=max_iter,
+        time_budget=time_budget,
+        checkpoint=checkpoint,
+    )
+    return solver.solve(transition_t, v, damping=damping, resume=resume, inject=inject)

@@ -1,0 +1,60 @@
+"""Retry-with-backoff for transient failures (I/O, mostly).
+
+Kept dependency-free (no imports from the rest of the package) so any
+layer — including :mod:`repro.graph.io`, which sits below the runtime
+package — can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple, Type, TypeVar
+
+__all__ = ["with_retries"]
+
+T = TypeVar("T")
+
+
+def with_retries(
+    fn: Callable[[], T],
+    *,
+    retries: int = 3,
+    backoff: float = 0.05,
+    factor: float = 2.0,
+    exceptions: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` up to ``1 + retries`` times with exponential backoff.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; must be safe to re-run (the io writers
+        re-open and rewrite the whole file on each attempt).
+    retries:
+        Number of *re*-tries after the first attempt; 0 disables
+        retrying entirely.
+    backoff:
+        Sleep before the first retry, in seconds; each subsequent retry
+        multiplies it by ``factor``.
+    exceptions:
+        Exception types considered transient.  Anything else propagates
+        immediately.
+    sleep:
+        Injection point for tests (and for event-loop integration).
+
+    The final failure propagates unchanged, so callers see the genuine
+    exception once the budget is exhausted.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    delay = backoff
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except exceptions:
+            if attempt == retries:
+                raise
+            sleep(delay)
+            delay *= factor
+    raise AssertionError("unreachable")  # pragma: no cover

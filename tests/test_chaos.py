@@ -1,0 +1,356 @@
+"""Fault-injection (chaos) tests for the resilient runtime.
+
+Every fault here is planted deterministically via ``repro.runtime.chaos``;
+the suite asserts the *recovery paths* of the pipeline — checkpoint
+resume, fallback escalation, lenient I/O, write retries — actually
+recover, not just that the happy path works.
+"""
+
+import gzip
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    GraphIOWarning,
+    InjectedFault,
+    TruncatedFileError,
+)
+from repro.graph import (
+    WebGraph,
+    read_edge_list,
+    transition_matrix,
+    write_edge_list,
+)
+from repro.core.solvers import solve
+from repro.runtime import CheckpointManager
+from repro.runtime import chaos
+from repro.runtime.resilient import FallbackSolver, resilient_solve
+
+TOL = 1e-10
+
+
+@pytest.fixture()
+def system():
+    graph = WebGraph.from_edges(
+        8,
+        [
+            (0, 1), (1, 2), (2, 0), (0, 3), (3, 4),
+            (4, 5), (5, 0), (5, 6), (6, 7), (7, 0),
+        ],
+    )
+    tt = transition_matrix(graph).T.tocsr()
+    v = np.full(8, 1.0 / 8.0)
+    return tt, v
+
+
+@pytest.fixture()
+def edge_graph():
+    return WebGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+
+
+# ----------------------------------------------------------------------
+# acceptance criterion 1: kill-and-resume
+# ----------------------------------------------------------------------
+
+
+def test_kill_and_resume_solve(tmp_path, system):
+    """A checkpointed solve killed at iteration k resumes from the last
+    snapshot (not iteration 0) and matches the uninterrupted answer."""
+    tt, v = system
+    ckpt_dir = tmp_path / "ckpt"
+    uninterrupted = solve("jacobi", tt, v, tol=TOL)
+
+    kill_at = 30
+    with pytest.raises(InjectedFault):
+        solve(
+            "jacobi",
+            tt,
+            v,
+            tol=TOL,
+            checkpoint=ckpt_dir,
+            checkpoint_every=10,
+            callback=chaos.fault_at(kill_at),
+        )
+    # the crash left snapshots behind, none at-or-after the fault
+    manager = CheckpointManager(ckpt_dir)
+    restored = manager.load_latest()
+    assert restored is not None
+    assert 0 < restored.iteration < kill_at
+
+    resumed = solve(
+        "jacobi",
+        tt,
+        v,
+        tol=TOL,
+        checkpoint=ckpt_dir,
+        checkpoint_every=10,
+        resume=True,
+    )
+    assert resumed.converged
+    # resumed run did NOT restart from iteration 0: it converges at the
+    # same total iteration count as the uninterrupted run (the iterate
+    # is memoryless, so the trajectory is identical)
+    assert resumed.iterations == uninterrupted.iterations
+    assert np.abs(resumed.scores - uninterrupted.scores).sum() <= TOL
+
+
+def test_kill_and_resume_fallback_solver(tmp_path, system):
+    """Same criterion through the FallbackSolver front-door, with the
+    resume recorded in the RunReport."""
+    tt, v = system
+    ckpt_dir = tmp_path / "ckpt"
+    baseline = resilient_solve(tt, v, tol=TOL)
+
+    kill_at = 40
+    with pytest.raises(InjectedFault):
+        FallbackSolver(
+            ("jacobi",), tol=TOL, checkpoint=ckpt_dir, checkpoint_every=10
+        ).solve(tt, v, inject=chaos.fault_at(kill_at))
+
+    solver = FallbackSolver(
+        ("jacobi",), tol=TOL, checkpoint=ckpt_dir, checkpoint_every=10
+    )
+    resumed = solver.solve(tt, v, resume=True)
+    assert resumed.converged
+    assert resumed.report.resumed_from is not None
+    assert 0 < resumed.report.resumed_from < kill_at
+    assert np.abs(resumed.scores - baseline.scores).sum() <= TOL
+
+
+def test_resume_refuses_checkpoint_from_other_problem(tmp_path, system):
+    tt, v = system
+    other_graph = WebGraph.from_edges(8, [(0, 1), (1, 0)])
+    other_tt = transition_matrix(other_graph).T.tocsr()
+    with pytest.raises(InjectedFault):
+        solve(
+            "jacobi",
+            other_tt,
+            v,
+            tol=TOL,
+            checkpoint=tmp_path,
+            checkpoint_every=1,
+            callback=chaos.fault_at(2),
+        )
+    from repro.errors import CheckpointError
+
+    with pytest.raises(CheckpointError):
+        solve("jacobi", tt, v, tol=TOL, checkpoint=tmp_path, resume=True)
+
+
+# ----------------------------------------------------------------------
+# acceptance criterion 2: NaN-poisoned run escalates the chain
+# ----------------------------------------------------------------------
+
+
+def test_nan_poison_escalates_chain(system):
+    """A NaN-poisoned gauss_seidel attempt aborts and escalates down the
+    chain; the final SolverResult is usable and the escalation is in
+    the RunReport."""
+    tt, v = system
+    poison = chaos.nan_poison_at(5, fraction=0.5, methods=("gauss_seidel",))
+    solver = FallbackSolver(
+        ("gauss_seidel", "jacobi", "power", "direct"),
+        tol=TOL,
+        monitor_options={"check_every": 1},
+    )
+    result = solver.solve(tt, v, inject=poison)
+
+    # usable result from a later method in the chain
+    assert result.converged
+    assert result.method != "gauss_seidel"
+    assert np.all(np.isfinite(result.scores))
+    clean = resilient_solve(tt, v, tol=TOL)
+    assert np.abs(result.scores - clean.scores).sum() <= 10 * TOL
+
+    # the escalation is recorded
+    report = result.report
+    assert report.outcome == "converged"
+    assert report.escalations()[0] == "gauss_seidel"
+    assert len(report.escalations()) >= 2
+    first = report.attempts[0]
+    assert first.method == "gauss_seidel"
+    assert first.outcome == "aborted:nan"
+
+
+def test_nan_poison_every_iterative_method_falls_through_to_direct(system):
+    tt, v = system
+    poison = chaos.nan_poison_at(3, fraction=1.0)  # poisons every method
+    solver = FallbackSolver(
+        ("gauss_seidel", "jacobi", "direct"),
+        tol=TOL,
+        monitor_options={"check_every": 1},
+    )
+    result = solver.solve(tt, v, inject=poison)
+    assert result.converged
+    assert result.method == "direct"
+    outcomes = [a.outcome for a in result.report.attempts]
+    assert outcomes == ["aborted:nan", "aborted:nan", "converged"]
+
+
+def test_poisoned_iterate_is_never_checkpointed(tmp_path, system):
+    """The monitor aborts before the checkpoint callback runs, so a
+    poisoned iterate can never be snapshotted and later resumed."""
+    tt, v = system
+    poison = chaos.nan_poison_at(10, fraction=1.0, methods=("jacobi",))
+    solver = FallbackSolver(
+        ("jacobi", "direct"),
+        tol=TOL,
+        checkpoint=tmp_path,
+        checkpoint_every=5,  # a snapshot is due exactly at iteration 10
+        monitor_options={"check_every": 1},
+    )
+    result = solver.solve(tt, v, inject=poison)
+    assert result.converged
+    restored = CheckpointManager(tmp_path).load_latest()
+    if restored is not None:  # snapshots before the poison are fine
+        assert np.all(np.isfinite(restored.p))
+        assert restored.iteration < 10
+
+
+def test_injected_memoryerror_escalates(system):
+    """fault_at fires at iteration 2 of *every* iterative attempt, so
+    both iterative methods OOM and the chain lands on ``direct``
+    (which has no iterations for the injector to hit)."""
+    tt, v = system
+    result = FallbackSolver(("gauss_seidel", "jacobi", "direct"), tol=TOL).solve(
+        tt,
+        v,
+        inject=chaos.fault_at(2, exc_factory=lambda: MemoryError("boom")),
+    )
+    assert result.converged
+    assert result.method == "direct"
+    outcomes = [a.outcome for a in result.report.attempts]
+    assert outcomes == ["error:MemoryError", "error:MemoryError", "converged"]
+
+
+# ----------------------------------------------------------------------
+# file-level chaos: corrupted edge files
+# ----------------------------------------------------------------------
+
+
+def test_truncated_gzip_raises_typed_error(tmp_path, edge_graph):
+    path = tmp_path / "g.edges.gz"
+    write_edge_list(edge_graph, path)
+    chaos.corrupt_edge_file(path, "truncate-bytes", seed=1)
+    with pytest.raises(TruncatedFileError):
+        read_edge_list(path)
+    # lenient mode must NOT mask truncation: the data is incomplete
+    with pytest.raises(TruncatedFileError):
+        read_edge_list(path, strict=False)
+
+
+@pytest.mark.parametrize("kind", ["garbage-line", "bad-token", "out-of-range", "negative-id"])
+def test_corruption_strict_raises_lenient_recovers(tmp_path, edge_graph, kind):
+    path = tmp_path / "g.edges"
+    write_edge_list(edge_graph, path)
+    chaos.corrupt_edge_file(path, kind, seed=2)
+    with pytest.raises(ValueError):
+        read_edge_list(path)  # strict default
+    with pytest.warns(GraphIOWarning):
+        recovered = read_edge_list(path, strict=False)
+    assert recovered.num_nodes == edge_graph.num_nodes
+    # lenient recovery only ever drops lines, never invents edges
+    assert set(recovered.edges()) <= set(edge_graph.edges())
+    assert recovered.num_edges >= edge_graph.num_edges - 1
+
+
+def test_duplicate_edge_lenient_dedupes(tmp_path, edge_graph):
+    path = tmp_path / "g.edges"
+    write_edge_list(edge_graph, path)
+    chaos.corrupt_edge_file(path, "duplicate-edge", seed=3)
+    with pytest.warns(GraphIOWarning) as record:
+        recovered = read_edge_list(path, strict=False)
+    assert recovered == edge_graph
+    counts = record[0].message.counts
+    assert counts.get("duplicate", 0) == 1
+
+
+def test_drop_header_always_raises(tmp_path, edge_graph):
+    path = tmp_path / "g.edges"
+    write_edge_list(edge_graph, path)
+    chaos.corrupt_edge_file(path, "drop-header", seed=4)
+    with pytest.raises(ValueError):
+        read_edge_list(path)
+    with pytest.raises(ValueError):
+        read_edge_list(path, strict=False)  # header damage is not recoverable
+
+
+def test_corruption_is_deterministic(tmp_path, edge_graph):
+    a, b = tmp_path / "a.edges", tmp_path / "b.edges"
+    write_edge_list(edge_graph, a)
+    write_edge_list(edge_graph, b)
+    chaos.corrupt_edge_file(a, "bad-token", seed=7)
+    chaos.corrupt_edge_file(b, "bad-token", seed=7)
+    assert a.read_bytes() == b.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# write-path chaos: transient filesystem failures are retried
+# ----------------------------------------------------------------------
+
+
+def test_edge_write_retries_transient_oserror(tmp_path, edge_graph, monkeypatch):
+    import repro.graph.io as io_mod
+
+    flaky = chaos.FlakyCalls(os.replace, fail_first=1, exc=OSError)
+    monkeypatch.setattr(io_mod.os, "replace", flaky)
+    path = tmp_path / "g.edges"
+    write_edge_list(edge_graph, path)
+    monkeypatch.undo()
+    assert flaky.calls >= 2
+    assert read_edge_list(path) == edge_graph
+
+
+def test_checkpoint_write_retries_flaky_replace(tmp_path, system, monkeypatch):
+    import repro.runtime.checkpoint as ckpt_mod
+
+    tt, v = system
+    flaky = chaos.FlakyCalls(os.replace, plan={1: OSError, 3: OSError})
+    monkeypatch.setattr(ckpt_mod.os, "replace", flaky)
+    solver = FallbackSolver(
+        ("jacobi",),
+        tol=TOL,
+        checkpoint=CheckpointManager(
+            tmp_path, every=20, backoff=0.0, sleep=lambda _: None
+        ),
+    )
+    result = solver.solve(tt, v)
+    monkeypatch.undo()
+    assert result.converged
+    assert result.report.checkpoints_written > 0
+    restored = CheckpointManager(tmp_path).load_latest()
+    assert restored is not None
+
+
+# ----------------------------------------------------------------------
+# budget chaos: runs that would never finish degrade, never hang/raise
+# ----------------------------------------------------------------------
+
+
+def test_time_budget_degrades_to_best_effort(system):
+    tt, v = system
+    ticks = iter(float(i) * 0.5 for i in range(100_000))
+    result = FallbackSolver(
+        ("jacobi", "gauss_seidel"),
+        tol=1e-16,  # unreachable
+        time_budget=3.0,
+        clock=lambda: next(ticks),
+    ).solve(tt, v)
+    assert not result.converged
+    assert result.report.outcome == "best-effort"
+    assert np.all(np.isfinite(result.scores))
+    assert result.report.attempts[0].outcome == "aborted:time-budget"
+
+
+def test_flaky_open_scripts_failures(tmp_path):
+    target = tmp_path / "x.txt"
+    target.write_text("payload")
+    opener = chaos.flaky_open(fail_first=2, exc=OSError)
+    with pytest.raises(OSError):
+        opener(target)
+    with pytest.raises(OSError):
+        opener(target)
+    with opener(target) as fh:
+        assert fh.read() == "payload"

@@ -186,3 +186,158 @@ def test_detect_with_explanations(world_dir, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "review sheets" in out
     assert "core (known good):" in out
+
+
+# ----------------------------------------------------------------------
+# error dispatch: one-line stderr + distinct exit codes
+# ----------------------------------------------------------------------
+
+
+def test_missing_world_exits_with_data_code(tmp_path, capsys):
+    from repro.cli import EXIT_DATA
+
+    code = main(["stats", "--world", str(tmp_path / "nope")])
+    assert code == EXIT_DATA
+    err = capsys.readouterr().err
+    assert err.startswith("repro-spam:")
+    assert err.count("\n") == 1  # exactly one line, no traceback
+
+
+def test_corrupt_world_exits_with_data_code(tmp_path, capsys):
+    from repro.cli import EXIT_DATA
+
+    out = tmp_path / "world"
+    assert main(["generate", "--scale", "small", "--seed", "5", "--out", str(out)]) == 0
+    capsys.readouterr()
+    edges = out / "graph.edges"
+    edges.write_text(edges.read_text() + "garbage line!\n")
+    code = main(["stats", "--world", str(out)])
+    assert code == EXIT_DATA
+    assert "repro-spam:" in capsys.readouterr().err
+    # --lenient recovers from the same damage
+    with pytest.warns(Warning):
+        assert main(["stats", "--world", str(out), "--lenient"]) == 0
+
+
+def test_traceback_flag_reraises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["--traceback", "stats", "--world", str(tmp_path / "nope")])
+
+
+def test_resume_without_checkpoint_dir_is_usage_error(world_dir, tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "estimate",
+                "--world",
+                str(world_dir),
+                "--out-prefix",
+                str(tmp_path / "x"),
+                "--resume",
+            ]
+        )
+
+
+def test_estimate_checkpoint_and_resume(world_dir, tmp_path, capsys):
+    ckpt = tmp_path / "ckpt"
+    prefix = tmp_path / "scores" / "run"
+    args = [
+        "estimate",
+        "--world",
+        str(world_dir),
+        "--out-prefix",
+        str(prefix),
+        "--checkpoint-dir",
+        str(ckpt),
+        "--checkpoint-every",
+        "20",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    # labeled per-solve subdirectories with atomic snapshots
+    snaps = list(ckpt.glob("*/ckpt-*.npz"))
+    assert snaps
+    assert {p.parent.name for p in snaps} <= {"pagerank", "core"}
+
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed from checkpoint at iteration" in out
+    # resumed output matches the from-scratch scores
+    baseline = read_scores(f"{prefix}.relative.scores")
+    assert baseline.size > 0
+
+
+def test_estimate_time_budget_degrades_with_exit_code(world_dir, tmp_path, capsys):
+    from repro.cli import EXIT_CONVERGENCE
+
+    prefix = tmp_path / "s" / "budget"
+    code = main(
+        [
+            "estimate",
+            "--world",
+            str(world_dir),
+            "--out-prefix",
+            str(prefix),
+            "--time-budget",
+            "1e-6",
+        ]
+    )
+    assert code == EXIT_CONVERGENCE
+    captured = capsys.readouterr()
+    assert "did not converge" in captured.err
+    # best-effort score files are still written
+    assert read_scores(f"{prefix}.relative.scores").size > 0
+
+
+def test_estimate_convergence_failure_exit_code(world_dir, tmp_path, capsys):
+    """Without a runtime policy, check=True maps exhaustion to exit 4."""
+    from repro.cli import EXIT_CONVERGENCE
+    from repro.core.solvers import SolverResult
+    import repro.core.mass as mass_mod
+    from repro.errors import ConvergenceError
+
+    def fail(*a, **k):
+        raise ConvergenceError("injected non-convergence", result=None)
+
+    original = mass_mod.estimate_spam_mass
+    import repro.cli as cli_mod
+
+    cli_mod_orig = cli_mod.estimate_spam_mass
+    cli_mod.estimate_spam_mass = fail
+    try:
+        code = main(
+            [
+                "estimate",
+                "--world",
+                str(world_dir),
+                "--out-prefix",
+                str(tmp_path / "x"),
+            ]
+        )
+    finally:
+        cli_mod.estimate_spam_mass = cli_mod_orig
+        mass_mod.estimate_spam_mass = original
+    assert code == EXIT_CONVERGENCE
+    assert "did not converge" in capsys.readouterr().err
+
+
+def test_exit_code_constants_are_distinct():
+    from repro.cli import (
+        EXIT_CONVERGENCE,
+        EXIT_DATA,
+        EXIT_ERROR,
+        EXIT_INTERRUPTED,
+        EXIT_OK,
+        EXIT_USAGE,
+    )
+
+    codes = [
+        EXIT_OK,
+        EXIT_ERROR,
+        EXIT_USAGE,
+        EXIT_DATA,
+        EXIT_CONVERGENCE,
+        EXIT_INTERRUPTED,
+    ]
+    assert len(set(codes)) == len(codes)
+    assert EXIT_OK == 0 and all(c != 0 for c in codes[1:])

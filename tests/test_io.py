@@ -149,3 +149,161 @@ def test_npz_without_names(tmp_path):
     loaded = read_npz(path)
     assert loaded == g
     assert loaded.names is None
+
+
+# ----------------------------------------------------------------------
+# corrupted input: strict raises typed errors, lenient skips + warns
+# ----------------------------------------------------------------------
+
+
+def test_truncated_gzip_edge_list_raises_typed_error(tmp_path, sample_graph):
+    from repro.graph import GraphFormatError, TruncatedFileError
+
+    path = tmp_path / "g.edges.gz"
+    write_edge_list(sample_graph, path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(TruncatedFileError):
+        read_edge_list(path)
+    # truncation is unrecoverable: lenient mode raises too
+    with pytest.raises(TruncatedFileError):
+        read_edge_list(path, strict=False)
+    # and the typed error is still a GraphFormatError/ValueError
+    assert issubclass(TruncatedFileError, GraphFormatError)
+    assert issubclass(TruncatedFileError, ValueError)
+
+
+def test_truncated_npz_raises_typed_error(tmp_path, sample_graph):
+    from repro.graph import TruncatedFileError, read_npz, write_npz
+
+    path = tmp_path / "g.npz"
+    write_npz(sample_graph, path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(TruncatedFileError):
+        read_npz(path)
+
+
+def test_edge_list_non_integer_tokens(tmp_path):
+    from repro.graph import GraphFormatError, GraphIOWarning
+
+    path = tmp_path / "g.edges"
+    path.write_text("4\n0 1\n1 x2\n2 3\n")
+    with pytest.raises(GraphFormatError, match="non-integer"):
+        read_edge_list(path)
+    with pytest.warns(GraphIOWarning) as record:
+        g = read_edge_list(path, strict=False)
+    assert g.num_nodes == 4
+    assert sorted(g.edges()) == [(0, 1), (2, 3)]
+    assert record[0].message.counts["malformed"] == 1
+
+
+def test_edge_list_id_out_of_range(tmp_path):
+    from repro.graph import GraphFormatError, GraphIOWarning
+
+    path = tmp_path / "g.edges"
+    path.write_text("3\n0 1\n1 3\n2 0\n")  # id 3 >= num_nodes 3
+    with pytest.raises(GraphFormatError, match="out of range"):
+        read_edge_list(path)
+    with pytest.warns(GraphIOWarning) as record:
+        g = read_edge_list(path, strict=False)
+    assert sorted(g.edges()) == [(0, 1), (2, 0)]
+    assert record[0].message.counts["out-of-range"] == 1
+
+
+def test_edge_list_negative_ids(tmp_path):
+    from repro.graph import GraphFormatError, GraphIOWarning
+
+    path = tmp_path / "g.edges"
+    path.write_text("3\n0 1\n-1 2\n")
+    with pytest.raises(GraphFormatError):
+        read_edge_list(path)
+    with pytest.warns(GraphIOWarning):
+        g = read_edge_list(path, strict=False)
+    assert sorted(g.edges()) == [(0, 1)]
+
+
+def test_edge_list_empty_file(tmp_path):
+    from repro.graph import GraphFormatError
+
+    path = tmp_path / "empty.edges"
+    path.write_text("")
+    with pytest.raises(GraphFormatError, match="header"):
+        read_edge_list(path)
+    # the header is structural: lenient mode cannot invent one
+    with pytest.raises(GraphFormatError, match="header"):
+        read_edge_list(path, strict=False)
+
+
+def test_edge_list_lenient_counts_duplicates(tmp_path):
+    from repro.graph import GraphIOWarning
+
+    path = tmp_path / "g.edges"
+    path.write_text("3\n0 1\n0 1\n1 1\n1 2\n")
+    with pytest.warns(GraphIOWarning) as record:
+        g = read_edge_list(path, strict=False)
+    counts = record[0].message.counts
+    assert counts["duplicate"] == 1
+    assert counts["self-link"] == 1
+    assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+
+def test_edge_list_strict_is_the_default(tmp_path):
+    path = tmp_path / "g.edges"
+    path.write_text("2\n0 zzz\n")
+    with pytest.raises(ValueError):  # backward-compatible type
+        read_edge_list(path)
+
+
+def test_labels_lenient_skips_and_warns(tmp_path):
+    from repro.graph import GraphFormatError, GraphIOWarning
+
+    path = tmp_path / "l.labels"
+    path.write_text("0 good\nbroken line here\n2 spam\n-1 spam\n")
+    with pytest.raises(GraphFormatError):
+        read_labels(path)
+    with pytest.warns(GraphIOWarning) as record:
+        labels = read_labels(path, strict=False)
+    assert labels == {0: "good", 2: "spam"}
+    assert record[0].message.counts["malformed"] == 2
+
+
+def test_scores_lenient_skips_and_warns(tmp_path):
+    from repro.graph import GraphFormatError, GraphIOWarning
+
+    path = tmp_path / "s.scores"
+    path.write_text("0 0.5\n1 not-a-float\n2 0.25\n")
+    with pytest.raises(GraphFormatError):
+        read_scores(path)
+    with pytest.warns(GraphIOWarning):
+        scores = read_scores(path, strict=False)
+    assert scores[0] == 0.5 and scores[2] == 0.25
+
+
+def test_write_failure_leaves_no_partial_file(tmp_path, sample_graph, monkeypatch):
+    import repro.graph.io as io_mod
+
+    def always_fail(src, dst):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(io_mod.os, "replace", always_fail)
+    monkeypatch.setattr(io_mod, "with_retries", lambda fn, **kw: fn())
+    path = tmp_path / "g.edges"
+    with pytest.raises(OSError):
+        write_edge_list(sample_graph, path)
+    monkeypatch.undo()
+    # neither the final file nor a stale tmp survives the failed write
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_bundle_lenient_mode_threads_through(tmp_path, sample_graph):
+    from repro.graph import GraphFormatError, GraphIOWarning
+
+    out = write_graph_bundle(sample_graph, tmp_path / "bundle")
+    edges = out / "graph.edges"
+    edges.write_text(edges.read_text() + "bad line!\n")
+    with pytest.raises(GraphFormatError):
+        read_graph_bundle(out)
+    with pytest.warns(GraphIOWarning):
+        graph, _, _ = read_graph_bundle(out, strict=False)
+    assert graph == sample_graph

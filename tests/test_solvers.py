@@ -184,3 +184,84 @@ def test_residual_tracking_and_convergence_rate(rng):
     untracked = jacobi(tt, v, tol=1e-12)
     assert untracked.residual_history is None
     assert untracked.convergence_rate() != untracked.convergence_rate()
+
+
+# ----------------------------------------------------------------------
+# robustness extensions: check=, warm starts, iteration callbacks
+# ----------------------------------------------------------------------
+
+
+def test_check_true_raises_convergence_error(small_system):
+    from repro.errors import ConvergenceError
+
+    _, tt, v = small_system
+    with pytest.raises(ConvergenceError) as excinfo:
+        solve("jacobi", tt, v, tol=1e-15, max_iter=3, check=True)
+    # the best-effort result rides on the exception
+    partial = excinfo.value.result
+    assert partial is not None
+    assert not partial.converged
+    assert partial.iterations == 3
+    # backward compatible: still a RuntimeError
+    assert isinstance(excinfo.value, RuntimeError)
+
+
+def test_check_false_keeps_silent_exhaust_path(small_system):
+    _, tt, v = small_system
+    result = solve("jacobi", tt, v, tol=1e-15, max_iter=3)
+    assert not result.converged  # no exception
+
+
+def test_warm_start_matches_cold_run(small_system):
+    """Stopping at iteration k and restarting from (p_k, k) reproduces
+    the uninterrupted trajectory exactly — the solvers are memoryless."""
+    _, tt, v = small_system
+    for method in (jacobi, gauss_seidel):
+        cold = method(tt, v, tol=1e-13)
+        partial = method(tt, v, tol=1e-13, max_iter=10)
+        assert not partial.converged
+        resumed = method(
+            tt, v, tol=1e-13, x0=partial.scores, start_iteration=10
+        )
+        assert resumed.converged
+        assert resumed.iterations == cold.iterations
+        np.testing.assert_allclose(resumed.scores, cold.scores, atol=1e-15)
+
+
+def test_warm_start_requires_x0(small_system):
+    _, tt, v = small_system
+    with pytest.raises(ValueError):
+        jacobi(tt, v, start_iteration=5)
+
+
+def test_warm_start_rejects_bad_shape(small_system):
+    _, tt, v = small_system
+    with pytest.raises(ValueError):
+        jacobi(tt, v, x0=np.ones(7), start_iteration=1)
+
+
+def test_iteration_callback_sees_every_iteration(small_system):
+    _, tt, v = small_system
+    seen = []
+    result = jacobi(
+        tt, v, tol=1e-10, callback=lambda it, p, r: seen.append((it, r))
+    )
+    assert result.converged
+    iterations = [it for it, _ in seen]
+    assert iterations == list(range(1, result.iterations + 1))
+    assert seen[-1][1] == pytest.approx(result.residual)
+
+
+def test_callback_numbering_continues_after_warm_start(small_system):
+    _, tt, v = small_system
+    partial = jacobi(tt, v, tol=1e-13, max_iter=5)
+    seen = []
+    jacobi(
+        tt,
+        v,
+        tol=1e-13,
+        x0=partial.scores,
+        start_iteration=5,
+        callback=lambda it, p, r: seen.append(it),
+    )
+    assert seen[0] == 6  # not 1: iteration numbering is global
