@@ -183,6 +183,13 @@ def _runtime_policy(args: argparse.Namespace):
     )
 
 
+def _build_engine(args: argparse.Namespace):
+    """A :class:`~repro.perf.PagerankEngine` per the perf flags."""
+    from .perf import PagerankEngine
+
+    return PagerankEngine(args.cache_size, workers=args.workers)
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Compute PageRank, core PageRank and mass estimates."""
     graph, _, _ = read_graph_bundle(args.world, strict=not args.lenient)
@@ -195,9 +202,44 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     # under a runtime policy the contract is graceful degradation: a
     # budget that runs out yields best-effort vectors, reported below,
     # instead of an exception
-    estimates = estimate_spam_mass(
-        graph, core, gamma=gamma, policy=policy, check=policy is None
-    )
+    if args.engine == "legacy":
+        # pre-engine behavior: build the operator here, solve the two
+        # vectors sequentially (an explicit transition_t opts out of
+        # the batched kernel and the operator cache)
+        from .graph.ops import transition_matrix
+
+        estimates = estimate_spam_mass(
+            graph,
+            core,
+            gamma=gamma,
+            policy=policy,
+            check=policy is None,
+            transition_t=transition_matrix(graph).T.tocsr(),
+        )
+    else:
+        estimates = estimate_spam_mass(
+            graph,
+            core,
+            gamma=gamma,
+            policy=policy,
+            check=policy is None,
+            engine=_build_engine(args),
+        )
+    if args.mc_walks > 0:
+        from .perf import pagerank_montecarlo_parallel
+
+        mc = pagerank_montecarlo_parallel(
+            graph,
+            num_walks=args.mc_walks,
+            workers=args.workers,
+            seed=args.seed,
+        )
+        deviation = float(np.abs(mc.scores - estimates.pagerank).sum())
+        print(
+            f"Monte-Carlo cross-check ({args.mc_walks:,} walks, "
+            f"workers={args.workers or 1}): L1 deviation from the "
+            f"linear PageRank {deviation:.3e}"
+        )
     exit_code = EXIT_OK
     if estimates.reports:
         for label, report in sorted(estimates.reports.items()):
@@ -310,12 +352,13 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             f"{', '.join(known)} or 'all'"
         )
 
+    engine = _build_engine(args)
     ctx = None
     results = []
     for exp_id in ids:
         if is_contextual(exp_id) and ctx is None:
             print(f"building the {args.scale} context ...", flush=True)
-            ctx = ReproductionContext.build(config)
+            ctx = ReproductionContext.build(config, engine=engine)
         result = run_experiment(exp_id, ctx=ctx, config=config)
         results.append(result)
         print(result.to_ascii())
@@ -405,6 +448,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip-and-warn on malformed input lines instead of failing",
     )
     p_est.add_argument(
+        "--engine",
+        choices=("batched", "legacy"),
+        default="batched",
+        help="'batched' (default) solves p and p' as one block iteration "
+        "over the cached operator; 'legacy' rebuilds the operator and "
+        "solves the two vectors sequentially (pre-engine behavior)",
+    )
+    p_est.add_argument(
+        "--cache-size",
+        type=int,
+        default=8,
+        help="bound of the operator LRU cache (graphs, default 8)",
+    )
+    p_est.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for Monte-Carlo sampling (--mc-walks); "
+        "results are identical for any worker count",
+    )
+    p_est.add_argument(
+        "--mc-walks",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cross-check the linear PageRank against an N-walk "
+        "Monte-Carlo estimate (0 = off); parallelized over --workers",
+    )
+    p_est.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for the Monte-Carlo cross-check",
+    )
+    p_est.add_argument(
         "--checkpoint-dir",
         default=None,
         help="snapshot solver iterates here (atomic write-rename); "
@@ -467,6 +545,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--scale", default="small", choices=sorted(_SCALES))
     p_rep.add_argument("--seed", type=int, default=7)
+    p_rep.add_argument(
+        "--cache-size",
+        type=int,
+        default=8,
+        help="bound of the operator LRU cache used by the solves",
+    )
+    p_rep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for Monte-Carlo stages (deterministic for "
+        "any worker count)",
+    )
     p_rep.add_argument(
         "--out",
         default=None,

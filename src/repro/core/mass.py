@@ -35,7 +35,6 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..graph.ops import transition_matrix
 from ..graph.webgraph import WebGraph
 from .contribution import contribution_vector
 from .pagerank import (
@@ -189,6 +188,7 @@ def estimate_spam_mass(
     transition_t=None,
     check: bool = True,
     policy=None,
+    engine=None,
 ) -> MassEstimates:
     """Estimate spam mass from a good core (Definition 3 + Section 3.5).
 
@@ -206,9 +206,14 @@ def estimate_spam_mass(
         Section 3.4 estimator (useful to demonstrate the ``‖p'‖ ≪ ‖p‖``
         failure mode; see the γ-scaling ablation).
     transition_t:
-        Optional pre-built ``Tᵀ`` in CSR form, for callers estimating
-        against many cores on one graph (the Figure 5 sweep): building
-        it once amortizes the dominant setup cost.
+        Optional pre-built ``Tᵀ`` in CSR form.  Rarely needed anymore:
+        without it the solves go through the perf engine, whose
+        operator cache already builds ``Tᵀ`` once per graph, and whose
+        ``solve_many`` computes ``p`` and ``p'`` in a single batched
+        block iteration.  Passing an explicit matrix opts out of both.
+    engine:
+        Optional :class:`~repro.perf.PagerankEngine`; defaults to the
+        process-wide shared engine (:func:`repro.perf.get_engine`).
     check:
         Raise :class:`~repro.errors.ConvergenceError` if either
         PageRank solve fails to converge — mass estimates computed from
@@ -227,18 +232,61 @@ def estimate_spam_mass(
     if not core_list:
         raise ValueError("good core must not be empty")
     n = graph.num_nodes
-    if transition_t is None:
-        transition_t = transition_matrix(graph).T.tocsr()
     if gamma is None:
         w = core_jump_vector(n, core_list)
     else:
         w = scaled_core_jump_vector(n, core_list, gamma)
+    u = uniform_jump_vector(n)
+
+    if transition_t is None:
+        # the engine path: shared cached operator, and (for the default
+        # Jacobi) both vectors solved in one batched block iteration
+        if engine is None:
+            from ..perf import get_engine
+
+            engine = get_engine()
+        if policy is not None:
+            batch = engine.solve_many(
+                graph,
+                np.stack([u, w], axis=1),
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+                check=check,
+                labels=("pagerank", "core"),
+                policy=policy,
+            )
+            return MassEstimates(
+                batch.scores[:, 0].copy(),
+                batch.scores[:, 1].copy(),
+                damping,
+                gamma,
+                reports=batch.reports,
+            )
+        if method == "jacobi":
+            batch = engine.solve_many(
+                graph,
+                np.stack([u, w], axis=1),
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+                check=check,
+                labels=("pagerank", "core"),
+            )
+            return MassEstimates(
+                batch.scores[:, 0].copy(),
+                batch.scores[:, 1].copy(),
+                damping,
+                gamma,
+            )
+        # non-default solver: sequential solves, cached operator
+        transition_t = engine.operator(graph)
 
     reports = None
     if policy is not None:
         results = {}
         for label, jump in (
-            ("pagerank", uniform_jump_vector(n)),
+            ("pagerank", u),
             ("core", w),
         ):
             solver = policy.make_solver(label, tol=tol, max_iter=max_iter)
@@ -264,7 +312,7 @@ def estimate_spam_mass(
     else:
         p = pagerank_from_matrix(
             transition_t,
-            uniform_jump_vector(n),
+            u,
             damping=damping,
             tol=tol,
             max_iter=max_iter,
@@ -310,7 +358,9 @@ def blacklist_mass(
         if not (0.0 <= gamma < 1.0):
             raise ValueError(f"gamma must be in [0, 1), got {gamma}")
         v = scaled_core_jump_vector(n, core_list, 1.0 - gamma)
-    transition_t = transition_matrix(graph).T.tocsr()
+    from ..perf import get_engine
+
+    transition_t = get_engine().operator(graph)
     return pagerank_from_matrix(
         transition_t,
         v,

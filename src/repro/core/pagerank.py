@@ -26,7 +26,6 @@ import numpy as np
 from scipy import sparse
 
 from ..errors import ConvergenceError
-from ..graph.ops import transition_matrix
 from ..graph.webgraph import WebGraph
 from .solvers import SolverResult, solve
 
@@ -159,8 +158,16 @@ def pagerank(
         Forwarded to :func:`repro.core.solvers.solve` — e.g.
         ``checkpoint=``/``resume=`` for kill-and-resume support, or
         ``callback=`` for residual monitoring.
+
+    The transition operator ``Tᵀ`` comes from the process-wide
+    :class:`~repro.perf.OperatorCache` (built once per graph, shared by
+    every caller); pass ``transition_t=`` to supply your own instead.
     """
-    transition_t = transition_matrix(graph).T.tocsr()
+    transition_t = solver_options.pop("transition_t", None)
+    if transition_t is None:
+        from ..perf import get_engine  # deferred: perf imports this module
+
+        transition_t = get_engine().operator(graph)
     return pagerank_from_matrix(
         transition_t,
         _resolve_jump(graph.num_nodes, v),

@@ -25,7 +25,6 @@ from typing import List, Sequence
 
 from ..core.detector import MassDetector
 from ..core.mass import estimate_spam_mass
-from ..graph.ops import transition_matrix
 from .metrics import detection_metrics
 from .results import TableResult
 
@@ -43,14 +42,13 @@ def run_gamma_sensitivity(
     ``ctx`` is a :class:`~repro.eval.experiment.ReproductionContext`;
     the true good fraction of its world is reported for reference.
     """
-    transition_t = transition_matrix(ctx.graph).T.tocsr()
     spam_mask = ctx.world.spam_mask
     true_gamma = float((~spam_mask).sum() / ctx.world.num_nodes)
     rows: List[list] = []
     for gamma in gammas:
-        estimates = estimate_spam_mass(
-            ctx.graph, ctx.core, gamma=gamma, transition_t=transition_t
-        )
+        # operator comes from the shared engine cache — built once for
+        # the whole sweep; each γ's (p, p′) pair solves as one batch
+        estimates = estimate_spam_mass(ctx.graph, ctx.core, gamma=gamma)
         result = MassDetector(tau=tau, rho=ctx.rho).detect(estimates)
         metrics = detection_metrics(
             result.candidate_mask,

@@ -1,0 +1,55 @@
+"""Performance engine: operator caching, batched solves, parallel MC.
+
+The hot path of every experiment in this repository is repeated
+PageRank solves against one graph's transition operator.  This package
+makes that path fast without changing any numerical semantics:
+
+* :mod:`repro.perf.cache` — build ``Tᵀ`` once per graph, keep it in a
+  bounded LRU keyed by a structural fingerprint;
+* :mod:`repro.perf.engine` — :class:`PagerankEngine`, whose
+  ``solve_many`` runs stacked jump vectors as one dangling-restricted
+  block Jacobi iteration (``p`` and ``p′`` in a single pass);
+* :mod:`repro.perf.parallel` — process-parallel Monte-Carlo sampling
+  with deterministic, scheduling-independent results.
+
+``get_engine()`` returns the process-wide shared engine that the core
+APIs (:func:`repro.core.pagerank.pagerank`,
+:func:`repro.core.mass.estimate_spam_mass`, the experiment runners)
+route through by default.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_SIZE,
+    OperatorBundle,
+    OperatorCache,
+    graph_fingerprint,
+)
+from .engine import (
+    DEFAULT_CHECK_EVERY,
+    BatchResult,
+    PagerankEngine,
+    configure_engine,
+    get_engine,
+    set_engine,
+)
+from .parallel import (
+    DEFAULT_CHUNKS,
+    pagerank_montecarlo_parallel,
+    plan_chunks,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_CHECK_EVERY",
+    "DEFAULT_CHUNKS",
+    "BatchResult",
+    "OperatorBundle",
+    "OperatorCache",
+    "PagerankEngine",
+    "configure_engine",
+    "get_engine",
+    "graph_fingerprint",
+    "pagerank_montecarlo_parallel",
+    "plan_chunks",
+    "set_engine",
+]

@@ -1,0 +1,240 @@
+"""Operator caching: build each graph's transition operator once.
+
+Every PageRank-family computation in this codebase reduces to solves
+against the same sparse operator, the transposed substochastic
+transition matrix ``Tᵀ`` of Section 2.2.  Before the perf engine
+existed, each call to :func:`repro.core.pagerank.pagerank` rebuilt and
+re-transposed that matrix — the single dominant setup cost when an
+experiment performs dozens of solves on one graph (the Figure 5 core
+sweep, the γ sweep, the threshold ablations).
+
+:class:`OperatorCache` is a bounded LRU keyed by a structural *graph
+fingerprint*.  A cache entry is an :class:`OperatorBundle` that carries
+``Tᵀ`` plus the derived sub-operators of the dangling restriction used
+by the batched kernel (built lazily, cached alongside):
+
+* ``S`` — the non-dangling nodes.  Because columns of ``Tᵀ`` indexed by
+  dangling nodes are identically zero, the Jacobi iterate restricted to
+  ``S`` evolves autonomously: ``p_S = c (Tᵀ)_{SS} p_S + (1−c) v_S``.
+* ``(Tᵀ)_{SS}`` — the restricted operator the block iteration runs on.
+* ``(Tᵀ)_{DS}`` — the dangling rows, applied once at the end to expand
+  the converged restricted iterate back to the full vector (and during
+  residual checks, to account for the dangling component of the true
+  full-vector residual).
+
+On paper-shaped graphs (66.4% of hosts dangling, Section 4.1) the
+restriction shrinks the dense vector work by ~2/3 and the matvec by the
+fraction of edges that point at dangling hosts — this is where most of
+the engine's measured speedup comes from.
+
+Fingerprint semantics
+---------------------
+The key is *structural*: node count, edge count and order-sensitive
+checksums of the CSR arrays (see :func:`graph_fingerprint`).  Two graph
+objects with identical link structure share an entry, regardless of
+object identity or host names (names never enter the operator).  The
+fingerprint is the same family of cheap non-cryptographic checksum used
+by :func:`repro.runtime.checkpoint.problem_fingerprint` to guard
+checkpoint resumes — collisions require identical ``(n, nnz, Σindptr·i,
+Σindices·i)``, which no graph mutation this codebase can express
+produces by accident.  :class:`~repro.graph.webgraph.WebGraph` is
+immutable, so entries can never go stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..graph.ops import transition_matrix
+from ..graph.webgraph import WebGraph
+
+__all__ = ["graph_fingerprint", "OperatorBundle", "OperatorCache"]
+
+#: Default number of graphs whose operators are kept alive.  Each entry
+#: holds O(edges) memory (the CSR arrays plus the two sub-operators), so
+#: the default stays small; experiment suites touch a handful of graphs
+#: (world, its transpose for TrustRank seeding, the paper examples).
+DEFAULT_CACHE_SIZE = 8
+
+
+def graph_fingerprint(graph: WebGraph) -> str:
+    """Structural fingerprint of a graph's link structure.
+
+    Combines node/edge counts with position-weighted checksums of the
+    CSR arrays, so permuting edges between rows changes the key.  Host
+    names are deliberately excluded — they do not affect the operator.
+    """
+    indptr = np.asarray(graph.indptr, dtype=np.int64)
+    indices = np.asarray(graph.indices, dtype=np.int64)
+    n = int(graph.num_nodes)
+    nnz = int(graph.num_edges)
+    # position-weighted sums make the checksum order-sensitive
+    ip = int((indptr * np.arange(1, len(indptr) + 1, dtype=np.int64)).sum())
+    if nnz:
+        ix = int(
+            (indices * (np.arange(nnz, dtype=np.int64) % 8191 + 1)).sum()
+        )
+    else:
+        ix = 0
+    return f"g:n={n};e={nnz};ip={ip};ix={ix}"
+
+
+class OperatorBundle:
+    """The cached per-graph operators.
+
+    Attributes
+    ----------
+    transition_t:
+        ``Tᵀ`` in CSR form — the operator every solver consumes.
+    dangling_mask:
+        Boolean mask of dangling (zero out-degree) nodes.
+    non_dangling, dangling:
+        Index arrays ``S`` and ``D`` (``int64``).
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "num_nodes",
+        "transition_t",
+        "dangling_mask",
+        "non_dangling",
+        "dangling",
+        "_tt_ss",
+        "_tt_ds",
+        "_lock",
+    )
+
+    def __init__(self, graph: WebGraph, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self.num_nodes = graph.num_nodes
+        self.transition_t = transition_matrix(graph).T.tocsr()
+        self.dangling_mask = graph.dangling_mask()
+        self.non_dangling = np.flatnonzero(~self.dangling_mask)
+        self.dangling = np.flatnonzero(self.dangling_mask)
+        self._tt_ss: Optional[sparse.csr_matrix] = None
+        self._tt_ds: Optional[sparse.csr_matrix] = None
+        self._lock = threading.Lock()
+
+    # -- restricted sub-operators (built on first batched solve) -------
+
+    def _build_restriction(self) -> None:
+        with self._lock:
+            if self._tt_ss is not None:
+                return
+            s = self.non_dangling
+            d = self.dangling
+            tt = self.transition_t
+            self._tt_ss = tt[s][:, s].tocsr()
+            self._tt_ds = tt[d][:, s].tocsr()
+
+    @property
+    def tt_ss(self) -> sparse.csr_matrix:
+        """``(Tᵀ)_{SS}``: the autonomous non-dangling subsystem."""
+        if self._tt_ss is None:
+            self._build_restriction()
+        return self._tt_ss
+
+    @property
+    def tt_ds(self) -> sparse.csr_matrix:
+        """``(Tᵀ)_{DS}``: dangling rows, for residuals and expansion."""
+        if self._tt_ds is None:
+            self._build_restriction()
+        return self._tt_ds
+
+    def nbytes(self) -> int:
+        """Approximate resident size of the bundle (diagnostics)."""
+        total = 0
+        for mat in (self.transition_t, self._tt_ss, self._tt_ds):
+            if mat is not None:
+                total += mat.data.nbytes + mat.indices.nbytes + mat.indptr.nbytes
+        total += self.dangling_mask.nbytes
+        total += self.non_dangling.nbytes + self.dangling.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OperatorBundle(n={self.num_nodes}, "
+            f"nnz={self.transition_t.nnz}, "
+            f"dangling={len(self.dangling)})"
+        )
+
+
+class OperatorCache:
+    """Bounded LRU of :class:`OperatorBundle` keyed by graph fingerprint.
+
+    Thread-safe; hits move the entry to the most-recently-used end, and
+    inserting past ``maxsize`` evicts the least-recently-used bundle.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, OperatorBundle]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def bundle_for(self, graph: WebGraph) -> OperatorBundle:
+        """Return the graph's bundle, building it on first sight."""
+        key = graph_fingerprint(graph)
+        with self._lock:
+            bundle = self._entries.get(key)
+            if bundle is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return bundle
+            self.misses += 1
+        # build outside the lock: O(edges) work
+        bundle = OperatorBundle(graph, key)
+        with self._lock:
+            # a racing builder may have inserted meanwhile; keep the
+            # first one so callers share a single operator
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = bundle
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return bundle
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, graph: object) -> bool:
+        if not isinstance(graph, WebGraph):
+            return False
+        with self._lock:
+            return graph_fingerprint(graph) in self._entries
+
+    def clear(self) -> None:
+        """Drop every cached operator (does not reset the counters)."""
+        with self._lock:
+            self._entries.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        """``{"hits", "misses", "evictions", "size", "maxsize"}``."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.cache_info()
+        return (
+            f"OperatorCache(size={info['size']}/{info['maxsize']}, "
+            f"hits={info['hits']}, misses={info['misses']})"
+        )

@@ -1,0 +1,571 @@
+"""The batched multi-vector PageRank engine.
+
+Spam-mass estimation is a *multi-solve* workload: Algorithm 2 needs the
+uniform-jump PageRank ``p`` and the core-jump PageRank ``p′`` over the
+same operator, and the evaluation suites re-solve that operator dozens
+of times (threshold sweeps, core-size ablations, γ studies).
+:class:`PagerankEngine` amortizes everything the solves share:
+
+* the CSR operator ``Tᵀ`` is built **once** per graph and held in a
+  bounded LRU (:class:`~repro.perf.cache.OperatorCache`);
+* :meth:`PagerankEngine.solve_many` runs stacked jump vectors as a
+  single dense-block Jacobi iteration on the **dangling-restricted**
+  subsystem (see :mod:`repro.perf.cache`), with per-column convergence
+  freezing and periodic residual checks — one matrix traversal per
+  iteration serves every column;
+* Monte-Carlo endpoint sampling parallelizes across processes with
+  deterministic per-worker RNG streams
+  (:func:`~repro.perf.parallel.pagerank_montecarlo_parallel`).
+
+The block iteration is algebraically the plain Jacobi of Algorithm 1:
+columns of ``Tᵀ`` indexed by dangling nodes are zero, so the iterate
+restricted to the non-dangling set ``S`` evolves autonomously,
+
+.. math:: p_S^{(i)} = c\\,(T^T)_{SS}\\, p_S^{(i-1)} + (1-c)\\, v_S ,
+
+and the dangling components follow in closed form once ``p_S`` has
+converged: ``p_D = c (Tᵀ)_{DS} p_S + (1−c) v_D``.  The reported
+residual is the *full-vector* L1 change ``‖p⁽ⁱ⁾ − p⁽ⁱ⁻¹⁾‖₁`` (the
+restricted change plus the induced dangling change), i.e. exactly the
+stopping criterion of :func:`repro.core.solvers.jacobi` — the batched
+kernel converges to the same vectors within the same tolerance.
+
+Runtime policies (PR 1) are preserved **per column**: pass ``policy=``
+and each stacked vector is solved through its own
+:class:`~repro.runtime.resilient.FallbackSolver` with its own labeled
+checkpoint directory, exactly as the sequential path would.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..core.solvers import SolverResult, solve as dispatch_solve
+from ..core.pagerank import _resolve_jump  # single source of jump semantics
+from ..graph.webgraph import WebGraph
+from .cache import DEFAULT_CACHE_SIZE, OperatorBundle, OperatorCache
+
+__all__ = [
+    "BatchResult",
+    "PagerankEngine",
+    "get_engine",
+    "set_engine",
+    "configure_engine",
+]
+
+#: Cadence of residual checks inside the block iteration.  Between
+#: checks the loop performs pure fused update steps (one sparse matmul,
+#: two in-place vector ops); the L1-change reduction — as expensive as
+#: the matvec itself on thin blocks — runs only every ``CHECK_EVERY``-th
+#: iteration, so reported iteration counts may exceed the sequential
+#: solver's by up to ``CHECK_EVERY − 1``.
+DEFAULT_CHECK_EVERY = 8
+
+JumpLike = Union[None, np.ndarray, Sequence[int]]
+
+
+class BatchResult:
+    """Outcome of a stacked multi-vector solve.
+
+    Attributes
+    ----------
+    scores:
+        ``(n, k)`` array; column ``j`` solves ``(I − c Tᵀ) p = (1−c) vⱼ``.
+    iterations, residuals, converged:
+        Per-column diagnostics (``int64`` / ``float64`` / ``bool``).
+    method:
+        ``"batched_jacobi"`` for the block kernel, the underlying
+        solver name for loop fallbacks, ``"fallback_chain"`` under a
+        runtime policy.
+    labels:
+        Per-column labels (used for checkpoint directories and report
+        keys under a policy).
+    reports:
+        ``{label: RunReport}`` when solved under a runtime policy,
+        otherwise ``None``.
+    """
+
+    __slots__ = (
+        "scores",
+        "iterations",
+        "residuals",
+        "converged",
+        "method",
+        "labels",
+        "reports",
+    )
+
+    def __init__(
+        self,
+        scores: np.ndarray,
+        iterations: np.ndarray,
+        residuals: np.ndarray,
+        converged: np.ndarray,
+        method: str,
+        labels: Sequence[str],
+        reports: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.scores = scores
+        self.iterations = iterations
+        self.residuals = residuals
+        self.converged = converged
+        self.method = method
+        self.labels = list(labels)
+        self.reports = reports
+
+    @property
+    def num_columns(self) -> int:
+        return self.scores.shape[1]
+
+    def column(self, j: int) -> SolverResult:
+        """View column ``j`` as a standard :class:`SolverResult`."""
+        return SolverResult(
+            self.scores[:, j].copy(),
+            int(self.iterations[j]),
+            float(self.residuals[j]),
+            bool(self.converged[j]),
+            self.method,
+        )
+
+    def columns(self) -> List[SolverResult]:
+        """All columns as :class:`SolverResult` objects, in order."""
+        return [self.column(j) for j in range(self.num_columns)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ok = int(self.converged.sum())
+        return (
+            f"BatchResult({self.method}, {ok}/{self.num_columns} columns "
+            f"converged, max {int(self.iterations.max(initial=0))} iters)"
+        )
+
+
+def _validate_block(vectors: np.ndarray, damping: float, tol: float) -> None:
+    if vectors.ndim != 2:
+        raise ValueError("stacked jump vectors must form an (n, k) array")
+    if vectors.shape[1] == 0:
+        raise ValueError("solve_many needs at least one jump vector")
+    if not (0.0 < damping < 1.0):
+        raise ValueError(f"damping factor must be in (0, 1), got {damping}")
+    if tol <= 0.0:
+        raise ValueError("tolerance must be positive")
+    if np.any(vectors < 0):
+        raise ValueError("random-jump vectors must be non-negative")
+    norms = vectors.sum(axis=0)
+    if np.any(norms <= 0.0):
+        raise ValueError("every random-jump vector needs positive L1 norm")
+    if np.any(norms > 1.0 + 1e-9):
+        raise ValueError(
+            "random-jump vector norms exceed 1 (paper requires "
+            "0 < ||v|| <= 1 per column)"
+        )
+
+
+class PagerankEngine:
+    """Caching, batching PageRank solver (see the module docstring).
+
+    Parameters
+    ----------
+    cache_size:
+        Bound of the operator LRU (graphs, not bytes).
+    method:
+        Default single-solve method (block solves are always Jacobi —
+        the only iteration whose stacked form is a pure sparse matmul).
+    check_every:
+        Residual-check cadence of the block kernel.
+    workers:
+        Default process count for Monte-Carlo sampling (``None`` =
+        serial in-process execution).
+    """
+
+    def __init__(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        *,
+        method: str = "jacobi",
+        check_every: int = DEFAULT_CHECK_EVERY,
+        workers: Optional[int] = None,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.cache = OperatorCache(cache_size)
+        self.method = method
+        self.check_every = check_every
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+    # operator access
+    # ------------------------------------------------------------------
+
+    def bundle(self, graph: WebGraph) -> OperatorBundle:
+        """The graph's cached operator bundle (built on first sight)."""
+        return self.cache.bundle_for(graph)
+
+    def operator(self, graph: WebGraph):
+        """The graph's ``Tᵀ`` in CSR form, from the cache."""
+        return self.bundle(graph).transition_t
+
+    # ------------------------------------------------------------------
+    # single solves
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        graph: WebGraph,
+        v: JumpLike = None,
+        *,
+        damping: float = 0.85,
+        tol: float = 1e-12,
+        max_iter: int = 10_000,
+        method: Optional[str] = None,
+        check: bool = False,
+        **solver_options,
+    ) -> SolverResult:
+        """One PageRank solve against the cached operator.
+
+        Semantically identical to
+        :func:`repro.core.pagerank.pagerank`, minus the per-call
+        operator rebuild.  Extra options go to
+        :func:`repro.core.solvers.solve` (checkpoints, warm starts,
+        callbacks).
+        """
+        bundle = self.bundle(graph)
+        jump = _resolve_jump(graph.num_nodes, v)
+        return dispatch_solve(
+            method or self.method,
+            bundle.transition_t,
+            jump,
+            damping=damping,
+            tol=tol,
+            max_iter=max_iter,
+            check=check,
+            **solver_options,
+        )
+
+    # ------------------------------------------------------------------
+    # stacked solves
+    # ------------------------------------------------------------------
+
+    def solve_many(
+        self,
+        graph: WebGraph,
+        vectors: Union[np.ndarray, Sequence[JumpLike]],
+        *,
+        damping: float = 0.85,
+        tol: float = 1e-12,
+        max_iter: int = 10_000,
+        check: bool = True,
+        labels: Optional[Sequence[str]] = None,
+        policy=None,
+    ) -> BatchResult:
+        """Solve ``k`` stacked jump vectors in one batched pass.
+
+        Parameters
+        ----------
+        vectors:
+            An ``(n, k)`` array whose columns are jump vectors, or a
+            sequence of jump specs (``None`` → uniform, arrays, node-id
+            iterables — the same convention as
+            :func:`~repro.core.pagerank.pagerank`).
+        check:
+            Raise :class:`~repro.errors.ConvergenceError` if any column
+            fails to converge (the default — a silently unconverged
+            column poisons the mass estimates downstream).
+        labels:
+            Per-column names; under a ``policy`` they key checkpoint
+            subdirectories and the ``reports`` dict.
+        policy:
+            Optional :class:`~repro.runtime.resilient.RuntimePolicy`.
+            Each column then runs through its own labeled
+            :class:`FallbackSolver` — checkpoint/resume, escalation and
+            budgets apply per column, exactly as in the sequential
+            pipeline of PR 1.
+        """
+        n = graph.num_nodes
+        if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
+            stacked = np.array(vectors, dtype=np.float64, copy=True)
+            if stacked.shape[0] != n:
+                raise ValueError(
+                    f"stacked vectors have {stacked.shape[0]} rows, "
+                    f"expected {n}"
+                )
+        else:
+            columns = [_resolve_jump(n, spec) for spec in vectors]
+            stacked = np.stack(columns, axis=1).astype(np.float64)
+        _validate_block(stacked, damping, tol)
+        k = stacked.shape[1]
+        if labels is None:
+            labels = [f"col{j}" for j in range(k)]
+        elif len(labels) != k:
+            raise ValueError(
+                f"{len(labels)} labels for {k} stacked vectors"
+            )
+        bundle = self.bundle(graph)
+
+        if policy is not None:
+            return self._solve_with_policy(
+                bundle, stacked, labels, damping, tol, max_iter, check,
+                policy,
+            )
+
+        result = _block_jacobi(
+            bundle,
+            stacked,
+            damping=damping,
+            tol=tol,
+            max_iter=max_iter,
+            check_every=self.check_every,
+            labels=labels,
+        )
+        if check and not bool(result.converged.all()):
+            bad = [
+                labels[j]
+                for j in range(k)
+                if not result.converged[j]
+            ]
+            raise ConvergenceError(
+                f"batched solve did not converge for column(s) "
+                f"{', '.join(bad)} within {max_iter} iterations; pass "
+                "check=False for best-effort vectors or a runtime "
+                "policy for per-column fallback",
+                result=result.column(labels.index(bad[0])),
+            )
+        return result
+
+    def _solve_with_policy(
+        self,
+        bundle: OperatorBundle,
+        stacked: np.ndarray,
+        labels: Sequence[str],
+        damping: float,
+        tol: float,
+        max_iter: int,
+        check: bool,
+        policy,
+    ) -> BatchResult:
+        """Per-column resilient solves sharing the cached operator."""
+        n, k = stacked.shape
+        scores = np.empty_like(stacked)
+        iterations = np.zeros(k, dtype=np.int64)
+        residuals = np.full(k, np.inf)
+        converged = np.zeros(k, dtype=bool)
+        reports: Dict[str, object] = {}
+        for j, label in enumerate(labels):
+            solver = policy.make_solver(label, tol=tol, max_iter=max_iter)
+            result = solver.solve(
+                bundle.transition_t,
+                stacked[:, j],
+                damping=damping,
+                resume=policy.resume,
+            )
+            scores[:, j] = result.scores
+            iterations[j] = result.iterations
+            residuals[j] = result.residual
+            converged[j] = result.converged
+            reports[label] = result.report
+        batch = BatchResult(
+            scores, iterations, residuals, converged,
+            "fallback_chain", labels, reports=reports,
+        )
+        if check and not bool(converged.all()):
+            bad = [labels[j] for j in range(k) if not converged[j]]
+            raise ConvergenceError(
+                "resilient batched solve did not converge for the "
+                f"{' and '.join(bad)} column(s); pass check=False to "
+                "accept the best-effort vectors",
+                result=batch.column(labels.index(bad[0])),
+            )
+        return batch
+
+    # ------------------------------------------------------------------
+    # Monte Carlo
+    # ------------------------------------------------------------------
+
+    def montecarlo(
+        self,
+        graph: WebGraph,
+        v: Optional[np.ndarray] = None,
+        *,
+        damping: float = 0.85,
+        num_walks: int = 100_000,
+        workers: Optional[int] = None,
+        seed: int = 0,
+        max_walk_length: int = 1_000,
+    ):
+        """Parallel Monte-Carlo PageRank (deterministic in ``seed`` and
+        ``workers``); see
+        :func:`repro.perf.parallel.pagerank_montecarlo_parallel`."""
+        from .parallel import pagerank_montecarlo_parallel
+
+        return pagerank_montecarlo_parallel(
+            graph,
+            v,
+            damping=damping,
+            num_walks=num_walks,
+            workers=workers if workers is not None else self.workers,
+            seed=seed,
+            max_walk_length=max_walk_length,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PagerankEngine(cache={self.cache!r}, "
+            f"method={self.method!r}, check_every={self.check_every})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the block kernel
+# ----------------------------------------------------------------------
+
+
+def _block_jacobi(
+    bundle: OperatorBundle,
+    vectors: np.ndarray,
+    *,
+    damping: float,
+    tol: float,
+    max_iter: int,
+    check_every: int,
+    labels: Sequence[str],
+) -> BatchResult:
+    """Dangling-restricted block Jacobi over stacked jump vectors."""
+    c = damping
+    n, k = vectors.shape
+    jump = (1.0 - c) * vectors
+    s = bundle.non_dangling
+    d = bundle.dangling
+    scores = np.empty_like(vectors)
+    iterations = np.zeros(k, dtype=np.int64)
+    residuals = np.full(k, np.inf)
+    converged = np.zeros(k, dtype=bool)
+
+    if len(s) == 0:
+        # edgeless graph: (I - cTᵀ) = I, the solution is the jump term,
+        # reached exactly after one formal iteration
+        scores[:] = jump
+        iterations[:] = 1
+        residuals[:] = 0.0
+        converged[:] = True
+        return BatchResult(
+            scores, iterations, residuals, converged,
+            "batched_jacobi", labels,
+        )
+
+    tt_ss = bundle.tt_ss
+    tt_ds = bundle.tt_ds
+    b_s = np.ascontiguousarray(jump[s, :])
+    z = np.array(vectors[s, :], dtype=np.float64)  # p⁽⁰⁾ = v, as in jacobi()
+    active = np.arange(k)
+
+    def _freeze(cols_in_active: np.ndarray, res: np.ndarray, it: int,
+                ok: bool) -> None:
+        cols = active[cols_in_active]
+        z_cols = z[:, cols_in_active]
+        scores[np.ix_(s, cols)] = z_cols
+        expanded = tt_ds @ z_cols
+        expanded *= c
+        expanded += jump[np.ix_(d, cols)]
+        scores[np.ix_(d, cols)] = expanded
+        iterations[cols] = it
+        residuals[cols] = res[cols_in_active]
+        converged[cols] = ok
+
+    it = 0
+    while it < max_iter and len(active):
+        # fused update steps, no residual bookkeeping
+        plain_steps = min(check_every, max_iter - it) - 1
+        for _ in range(plain_steps):
+            z_next = tt_ss @ z
+            z_next *= c
+            z_next += b_s
+            z = z_next
+            it += 1
+        # measured step: full-vector L1 change = restricted change plus
+        # the dangling change it induces through (Tᵀ)_DS
+        z_prev = z
+        z = tt_ss @ z
+        z *= c
+        z += b_s
+        it += 1
+        dz = z - z_prev
+        res = np.abs(dz).sum(axis=0)
+        if len(d):
+            res = res + c * np.abs(tt_ds @ dz).sum(axis=0)
+        done = res < tol
+        if done.any():
+            _freeze(np.flatnonzero(done), res, it, True)
+            keep = ~done
+            if not keep.any():
+                active = active[:0]
+                break
+            active = active[keep]
+            z = np.ascontiguousarray(z[:, keep])
+            b_s = np.ascontiguousarray(b_s[:, keep])
+        elif it >= max_iter:
+            _freeze(np.arange(len(active)), res, it, False)
+            active = active[:0]
+
+    if len(active):  # pragma: no cover - defensive (loop always drains)
+        _freeze(np.arange(len(active)), np.full(len(active), np.inf),
+                it, False)
+
+    return BatchResult(
+        scores, iterations, residuals, converged, "batched_jacobi", labels,
+    )
+
+
+# ----------------------------------------------------------------------
+# the shared default engine
+# ----------------------------------------------------------------------
+
+_default_engine: Optional[PagerankEngine] = None
+_engine_lock = threading.Lock()
+
+
+def get_engine() -> PagerankEngine:
+    """The process-wide shared engine (created on first use).
+
+    Every internal caller — :func:`repro.core.pagerank.pagerank`,
+    :func:`repro.core.mass.estimate_spam_mass`, the experiment runners,
+    TrustRank — routes through this instance unless handed an explicit
+    engine, so one graph's operator is built once per process.
+    """
+    global _default_engine
+    with _engine_lock:
+        if _default_engine is None:
+            _default_engine = PagerankEngine()
+        return _default_engine
+
+
+def set_engine(engine: Optional[PagerankEngine]) -> Optional[PagerankEngine]:
+    """Replace the shared engine; returns the previous one.
+
+    Pass ``None`` to reset (a fresh default engine is created on the
+    next :func:`get_engine` call).
+    """
+    global _default_engine
+    with _engine_lock:
+        previous = _default_engine
+        _default_engine = engine
+        return previous
+
+
+def configure_engine(
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    *,
+    method: str = "jacobi",
+    check_every: int = DEFAULT_CHECK_EVERY,
+    workers: Optional[int] = None,
+) -> PagerankEngine:
+    """Build a fresh engine with the given knobs and install it as the
+    shared default (the CLI's ``--cache-size``/``--workers`` end up
+    here).  Returns the new engine."""
+    engine = PagerankEngine(
+        cache_size, method=method, check_every=check_every, workers=workers
+    )
+    set_engine(engine)
+    return engine

@@ -1,0 +1,162 @@
+"""Deterministic parallel Monte-Carlo PageRank.
+
+Random-walk simulation is embarrassingly parallel — walks never
+interact — but naive parallelization trades away reproducibility: the
+estimate would depend on how walks were sharded and which worker drew
+which random numbers.  This module keeps the estimator exactly
+reproducible by fixing both degrees of freedom *before* any process
+starts:
+
+* the walk budget is split into a **fixed chunk plan** that depends only
+  on ``num_walks`` (never on the worker count), and
+* each chunk gets its own :class:`numpy.random.SeedSequence` child
+  spawned from the caller's seed, so chunk ``i`` simulates the same
+  walks no matter which process runs it or in what order chunks finish.
+
+Chunk estimates combine linearly: each chunk of ``Rᵢ`` walks returns
+``scoresᵢ = (1−c)·visitsᵢ/Rᵢ``, and the pooled estimator over
+``R = ΣRᵢ`` walks is ``Σ scoresᵢ·Rᵢ/R`` (accumulated in chunk order, so
+even float rounding is fixed).  Consequently
+
+``pagerank_montecarlo_parallel(graph, v, num_walks=N, seed=s)``
+
+returns **bitwise-identical** scores for ``workers=1``, ``workers=8``,
+or the in-process fallback — the worker count only changes wall time.
+
+If a process pool cannot be created or dies mid-run (sandboxes without
+``fork``, memory pressure), the function falls back to running the same
+chunk plan sequentially in-process and emits a warning; results are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.montecarlo import MonteCarloResult, pagerank_montecarlo
+from ..core.pagerank import DEFAULT_DAMPING
+from ..graph.webgraph import WebGraph
+
+__all__ = ["plan_chunks", "pagerank_montecarlo_parallel"]
+
+#: Number of independent walk chunks the budget is split into.  Fixed —
+#: deliberately NOT derived from the worker count — so the estimate is a
+#: pure function of ``(graph, v, damping, num_walks, seed)``.  Eight
+#: chunks keep any sensible local worker count busy while adding
+#: negligible per-chunk overhead.
+DEFAULT_CHUNKS = 8
+
+
+def plan_chunks(num_walks: int, chunks: int = DEFAULT_CHUNKS) -> List[int]:
+    """Split a walk budget into a deterministic chunk plan.
+
+    Near-equal integer shares; the first ``num_walks % chunks`` chunks
+    take one extra walk.  Chunks never exceed the budget (small budgets
+    produce fewer, single-walk chunks).
+    """
+    if num_walks < 1:
+        raise ValueError("num_walks must be positive")
+    if chunks < 1:
+        raise ValueError("chunks must be positive")
+    chunks = min(chunks, num_walks)
+    base, extra = divmod(num_walks, chunks)
+    return [base + (1 if i < extra else 0) for i in range(chunks)]
+
+
+def _simulate_chunk(
+    graph: WebGraph,
+    v: Optional[np.ndarray],
+    damping: float,
+    chunk_walks: int,
+    seed_seq: np.random.SeedSequence,
+    max_walk_length: int,
+) -> Tuple[np.ndarray, int, int]:
+    """One chunk's walks (module-level so process pools can pickle it)."""
+    result = pagerank_montecarlo(
+        graph,
+        v,
+        damping=damping,
+        num_walks=chunk_walks,
+        rng=np.random.default_rng(seed_seq),
+        max_walk_length=max_walk_length,
+    )
+    return result.scores, result.num_walks, result.total_steps
+
+
+def pagerank_montecarlo_parallel(
+    graph: WebGraph,
+    v: Optional[np.ndarray] = None,
+    *,
+    damping: float = DEFAULT_DAMPING,
+    num_walks: int = 100_000,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    chunks: int = DEFAULT_CHUNKS,
+    max_walk_length: int = 1_000,
+) -> MonteCarloResult:
+    """Monte-Carlo PageRank over a process pool, reproducibly.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None``, ``0`` or ``1`` runs the chunk plan
+        in-process (no pool); higher values fan chunks out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.  The returned
+        scores are identical either way.
+    seed:
+        Root of the per-chunk RNG streams
+        (``SeedSequence(seed).spawn(...)``).
+    chunks:
+        Chunk-plan width; leave at the default unless you need more
+        than :data:`DEFAULT_CHUNKS`-way parallelism.  Changing it
+        changes the (equally valid) estimate.
+
+    See :func:`repro.core.montecarlo.pagerank_montecarlo` for the
+    estimator itself and the remaining parameters.
+    """
+    plan = plan_chunks(num_walks, chunks)
+    streams = np.random.SeedSequence(seed).spawn(len(plan))
+    tasks = list(zip(plan, streams))
+
+    outputs: Optional[List[Tuple[np.ndarray, int, int]]] = None
+    if workers is not None and workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _simulate_chunk,
+                        graph, v, damping, chunk_walks, stream,
+                        max_walk_length,
+                    )
+                    for chunk_walks, stream in tasks
+                ]
+                outputs = [f.result() for f in futures]
+        except Exception as exc:  # pool creation or worker death
+            warnings.warn(
+                f"Monte-Carlo process pool failed ({exc!r}); rerunning "
+                "the same chunk plan sequentially in-process — results "
+                "are unaffected, only wall time.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            outputs = None
+    if outputs is None:
+        outputs = [
+            _simulate_chunk(
+                graph, v, damping, chunk_walks, stream, max_walk_length
+            )
+            for chunk_walks, stream in tasks
+        ]
+
+    # pooled estimator: Σ scoresᵢ·Rᵢ/R, accumulated in chunk order so
+    # float rounding is scheduling-independent
+    scores = np.zeros(graph.num_nodes, dtype=np.float64)
+    total_steps = 0
+    for chunk_scores, chunk_walks, chunk_steps in outputs:
+        scores += chunk_scores * (chunk_walks / num_walks)
+        total_steps += chunk_steps
+    return MonteCarloResult(scores, num_walks, total_steps)

@@ -1,0 +1,4 @@
+"""Maintenance tools (fixture regeneration, repo chores).
+
+Run as modules: ``python -m repro.tools.regen_golden``.
+"""

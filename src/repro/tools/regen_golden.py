@@ -1,0 +1,127 @@
+"""Regenerate the golden regression fixtures under ``tests/golden/``.
+
+Two fixtures pin the numerical behavior of the whole pipeline:
+
+``table1.json``
+    The Table 1 worked example (Figure 2 graph, unscaled core jump):
+    scaled PageRank, scaled core PageRank, scaled estimated absolute
+    mass, and estimated relative mass per named node, at full float
+    precision.  These values are analytically known (see
+    ``repro.datasets.table1_expected``), so a drift here means the
+    solvers — not the fixture — are wrong.
+
+``world_small.npz``
+    The ``p``/``p′`` vectors and the good core of the stock
+    ``WorldConfig.small(seed=7)`` world with the default γ = 0.85.
+    This pins the synthesizer + core assembly + estimator end to end.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.regen_golden [--out DIR]
+
+Regenerate ONLY when an intentional numerical change lands (e.g. a new
+default tolerance); commit the diff together with the change that
+caused it, and say why in the commit message.  A surprise diff from
+this script is a regression, not a fixture update.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_OUT = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+#: Parameters the fixtures are generated with; the regression test
+#: recomputes with exactly these.
+WORLD_SEED = 7
+GAMMA = 0.85
+TOL = 1e-12
+
+
+def build_table1_fixture() -> dict:
+    from ..core.mass import estimate_spam_mass
+    from ..datasets import figure2_graph
+
+    example = figure2_graph()
+    est = estimate_spam_mass(
+        example.graph, example.good_core, gamma=None, tol=TOL
+    )
+    scaled_p = est.scaled_pagerank()
+    scaled_core = est.scaled_core_pagerank()
+    scaled_abs = est.scaled_absolute()
+    nodes = {}
+    for name in example.names_in_order():
+        i = example.id_of(name)
+        nodes[name] = {
+            "p": scaled_p[i],
+            "p_core": scaled_core[i],
+            "M_est": scaled_abs[i],
+            "m_est": est.relative[i],
+        }
+    return {
+        "description": "Table 1 worked example (Figure 2 graph, "
+        "unscaled core jump), scaled by n/(1-c)",
+        "damping": est.damping,
+        "gamma": None,
+        "tol": TOL,
+        "nodes": nodes,
+    }
+
+
+def build_world_small_fixture() -> dict:
+    from ..core.mass import estimate_spam_mass
+    from ..synth.scenario import (
+        WorldConfig,
+        build_world,
+        default_good_core,
+    )
+
+    world = build_world(WorldConfig.small(seed=WORLD_SEED))
+    core = default_good_core(world)
+    est = estimate_spam_mass(world.graph, core, gamma=GAMMA, tol=TOL)
+    return {
+        "pagerank": est.pagerank,
+        "core_pagerank": est.core_pagerank,
+        "core": np.asarray(core, dtype=np.int64),
+        "seed": np.int64(WORLD_SEED),
+        "gamma": np.float64(GAMMA),
+        "tol": np.float64(TOL),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the golden fixtures in tests/golden/"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        help=f"output directory (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    table1 = build_table1_fixture()
+    table1_path = out / "table1.json"
+    table1_path.write_text(
+        json.dumps(table1, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {table1_path}")
+
+    world = build_world_small_fixture()
+    world_path = out / "world_small.npz"
+    np.savez_compressed(world_path, **world)
+    print(
+        f"wrote {world_path} "
+        f"({len(world['pagerank']):,} nodes, core {len(world['core']):,})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

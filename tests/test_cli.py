@@ -341,3 +341,99 @@ def test_exit_code_constants_are_distinct():
     ]
     assert len(set(codes)) == len(codes)
     assert EXIT_OK == 0 and all(c != 0 for c in codes[1:])
+
+
+# ----------------------------------------------------------------------
+# perf engine flags
+# ----------------------------------------------------------------------
+
+
+def test_estimate_engine_flags_agree(world_dir, tmp_path, capsys):
+    """--engine batched and --engine legacy write the same scores."""
+    batched = tmp_path / "b" / "r"
+    legacy = tmp_path / "l" / "r"
+    assert (
+        main(
+            [
+                "estimate",
+                "--world",
+                str(world_dir),
+                "--out-prefix",
+                str(batched),
+                "--engine",
+                "batched",
+                "--cache-size",
+                "2",
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "estimate",
+                "--world",
+                str(world_dir),
+                "--out-prefix",
+                str(legacy),
+                "--engine",
+                "legacy",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    for suffix in ("pagerank", "core", "relative"):
+        a = read_scores(f"{batched}.{suffix}.scores")
+        b = read_scores(f"{legacy}.{suffix}.scores")
+        assert abs(a - b).sum() < 1e-8
+
+
+def test_estimate_montecarlo_cross_check(world_dir, tmp_path, capsys):
+    code = main(
+        [
+            "estimate",
+            "--world",
+            str(world_dir),
+            "--out-prefix",
+            str(tmp_path / "mc" / "r"),
+            "--mc-walks",
+            "5000",
+            "--workers",
+            "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Monte-Carlo cross-check" in out
+    assert "L1 deviation" in out
+
+
+def test_estimate_invalid_cache_size_is_error(world_dir, tmp_path, capsys):
+    from repro.cli import EXIT_ERROR
+
+    code = main(
+        [
+            "estimate",
+            "--world",
+            str(world_dir),
+            "--out-prefix",
+            str(tmp_path / "x"),
+            "--cache-size",
+            "0",
+        ]
+    )
+    assert code == EXIT_ERROR
+    assert "maxsize" in capsys.readouterr().err
+
+
+def test_parser_engine_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["estimate", "--world", "w", "--out-prefix", "p"])
+    assert args.engine == "batched"
+    assert args.cache_size == 8
+    assert args.workers is None
+    assert args.mc_walks == 0
+    rep = parser.parse_args(["reproduce", "--experiment", "T1"])
+    assert rep.cache_size == 8
+    assert rep.workers is None

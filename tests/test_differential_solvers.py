@@ -1,0 +1,169 @@
+"""Differential tests: every solver backend computes the same PageRank.
+
+The repo carries five ways to solve ``(I − c Tᵀ) p = (1 − c) v`` —
+Jacobi, Gauss–Seidel, the power method, a direct sparse solve,
+BiCGSTAB — plus the batched block kernel of :mod:`repro.perf.engine`.
+The paper's guarantees (Theorems 1–3, the mass identities) hold for
+*the* solution, so the backends must agree with each other to solver
+tolerance on any graph.  These tests pin that agreement on a seeded zoo
+of synthetic graphs chosen to hit the structural regimes of Section
+4.1: dangling-heavy (the paper's host graph has 66.4% hosts without
+outlinks), isolated-heavy, cyclic, star-shaped, and edgeless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pagerank import (
+    pagerank,
+    scaled_core_jump_vector,
+    uniform_jump_vector,
+)
+from repro.core.solvers import solve
+from repro.graph.ops import transition_matrix
+from repro.graph.webgraph import WebGraph
+from repro.perf import PagerankEngine
+
+DAMPING = 0.85
+TOL = 1e-12
+AGREEMENT = 1e-8
+
+
+def _random_graph(
+    seed: int,
+    n: int,
+    num_edges: int,
+    *,
+    dangling_frac: float = 0.0,
+    isolated_frac: float = 0.0,
+) -> WebGraph:
+    """A seeded random graph with forced dangling/isolated fractions."""
+    rng = np.random.default_rng(seed)
+    nodes = np.arange(n)
+    isolated = rng.choice(
+        nodes, size=int(isolated_frac * n), replace=False
+    )
+    allowed = np.setdiff1d(nodes, isolated)
+    dangling = rng.choice(
+        allowed,
+        size=min(int(dangling_frac * n), max(len(allowed) - 2, 0)),
+        replace=False,
+    )
+    sources = np.setdiff1d(allowed, dangling)
+    if len(sources) == 0 or len(allowed) == 0:
+        return WebGraph.from_edges(n, [])
+    edges = zip(
+        rng.choice(sources, size=num_edges),
+        rng.choice(allowed, size=num_edges),
+    )
+    return WebGraph.from_edges(n, list(edges))
+
+
+def _graph_zoo():
+    """~10 seeded graphs spanning the structural regimes."""
+    zoo = {
+        "plain-sparse": _random_graph(11, 300, 900),
+        "plain-dense": _random_graph(12, 150, 2_500),
+        "dangling-heavy": _random_graph(13, 300, 700, dangling_frac=0.7),
+        "dangling-extreme": _random_graph(14, 200, 300, dangling_frac=0.9),
+        "isolated-heavy": _random_graph(
+            15, 300, 500, isolated_frac=0.4
+        ),
+        "mixed-pathological": _random_graph(
+            16, 250, 400, dangling_frac=0.4, isolated_frac=0.3
+        ),
+        "tiny": _random_graph(17, 8, 14),
+        "cycle": WebGraph.from_edges(
+            60, [(i, (i + 1) % 60) for i in range(60)]
+        ),
+        "star": WebGraph.from_edges(80, [(i, 0) for i in range(1, 80)]),
+        "edgeless": WebGraph.from_edges(40, []),
+    }
+    return sorted(zoo.items())
+
+
+ZOO = _graph_zoo()
+
+
+@pytest.fixture(scope="module", params=[name for name, _ in ZOO])
+def zoo_graph(request):
+    return dict(ZOO)[request.param]
+
+
+@pytest.fixture(scope="module")
+def oracle(zoo_graph):
+    """The direct sparse solve — exact up to linear-algebra round-off."""
+    return pagerank(zoo_graph, method="direct", tol=TOL).scores
+
+
+@pytest.mark.parametrize("method", ["jacobi", "gauss_seidel", "bicgstab"])
+def test_iterative_solvers_match_direct(zoo_graph, oracle, method):
+    scores = pagerank(zoo_graph, method=method, tol=TOL).scores
+    assert np.abs(scores - oracle).sum() < AGREEMENT
+
+
+def test_power_matches_normalized_direct(zoo_graph, oracle):
+    # the power method iterates the eigenvector formulation, whose
+    # fixed point is the *normalized* linear solution
+    scores = pagerank(zoo_graph, method="power", tol=TOL).scores
+    assert np.abs(
+        scores / scores.sum() - oracle / oracle.sum()
+    ).sum() < AGREEMENT
+
+
+def test_batched_engine_matches_direct(zoo_graph, oracle):
+    engine = PagerankEngine()
+    batch = engine.solve_many(zoo_graph, [None], damping=DAMPING, tol=TOL)
+    assert batch.converged.all()
+    assert np.abs(batch.scores[:, 0] - oracle).sum() < AGREEMENT
+
+
+def test_solve_many_columns_match_single_solves(zoo_graph):
+    n = zoo_graph.num_nodes
+    rng = np.random.default_rng(99)
+    arbitrary = rng.random(n)
+    arbitrary /= arbitrary.sum() * 2.0  # unnormalized, norm 0.5
+    vectors = [
+        uniform_jump_vector(n),
+        scaled_core_jump_vector(n, [0, 1, 2], gamma=0.85),
+        arbitrary,
+    ]
+    engine = PagerankEngine()
+    batch = engine.solve_many(
+        zoo_graph, np.stack(vectors, axis=1), damping=DAMPING, tol=TOL
+    )
+    transition_t = engine.operator(zoo_graph)
+    for j, v in enumerate(vectors):
+        single = solve(
+            "jacobi", transition_t, v, damping=DAMPING, tol=TOL
+        )
+        assert np.abs(batch.scores[:, j] - single.scores).sum() < AGREEMENT
+        # same convergence verdict, same residual scale
+        assert bool(batch.converged[j]) == single.converged
+
+
+def test_solve_many_agrees_across_jump_scales(zoo_graph):
+    # the kernel must be exactly linear: solving kv equals k * solve(v)
+    n = zoo_graph.num_nodes
+    v = uniform_jump_vector(n)
+    engine = PagerankEngine()
+    batch = engine.solve_many(
+        zoo_graph, np.stack([v, 0.25 * v], axis=1), tol=TOL
+    )
+    assert np.abs(
+        batch.scores[:, 1] - 0.25 * batch.scores[:, 0]
+    ).sum() < AGREEMENT
+
+
+def test_engine_single_solve_equals_pagerank(zoo_graph):
+    engine = PagerankEngine()
+    via_engine = engine.solve(zoo_graph, tol=TOL)
+    via_api = pagerank(zoo_graph, tol=TOL)
+    assert np.array_equal(via_engine.scores, via_api.scores)
+
+
+def test_operator_cache_returns_equivalent_matrix(zoo_graph):
+    engine = PagerankEngine()
+    cached = engine.operator(zoo_graph)
+    rebuilt = transition_matrix(zoo_graph).T.tocsr()
+    assert (cached != rebuilt).nnz == 0

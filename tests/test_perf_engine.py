@@ -1,0 +1,280 @@
+"""Unit tests for the perf engine: cache behavior, batched-solve
+mechanics, runtime-policy integration, and parallel Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.core.mass import estimate_spam_mass
+from repro.core.pagerank import pagerank, uniform_jump_vector
+from repro.errors import ConvergenceError
+from repro.graph.webgraph import WebGraph
+from repro.perf import (
+    OperatorCache,
+    PagerankEngine,
+    get_engine,
+    graph_fingerprint,
+    pagerank_montecarlo_parallel,
+    plan_chunks,
+    set_engine,
+)
+
+
+@pytest.fixture()
+def chain_graph():
+    return WebGraph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+def _ring(n, offset=0):
+    return WebGraph.from_edges(
+        n, [((i + offset) % n, (i + offset + 1) % n) for i in range(n)]
+    )
+
+
+# ----------------------------------------------------------------------
+# fingerprint + cache
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_ignores_names():
+    edges = [(0, 1), (1, 2)]
+    bare = WebGraph.from_edges(3, edges)
+    named = WebGraph.from_edges(3, edges, names=["a", "b", "c"])
+    assert graph_fingerprint(bare) == graph_fingerprint(named)
+
+
+def test_fingerprint_sensitive_to_structure():
+    a = WebGraph.from_edges(4, [(0, 1), (2, 3)])
+    b = WebGraph.from_edges(4, [(0, 3), (2, 1)])  # same counts, moved
+    c = WebGraph.from_edges(5, [(0, 1), (2, 3)])  # extra node
+    assert graph_fingerprint(a) != graph_fingerprint(b)
+    assert graph_fingerprint(a) != graph_fingerprint(c)
+
+
+def test_cache_hits_and_structural_sharing(chain_graph):
+    cache = OperatorCache(maxsize=4)
+    first = cache.bundle_for(chain_graph)
+    # a structurally identical but distinct object shares the entry
+    clone = WebGraph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    second = cache.bundle_for(clone)
+    assert second is first
+    info = cache.cache_info()
+    assert info == {
+        "hits": 1,
+        "misses": 1,
+        "evictions": 0,
+        "size": 1,
+        "maxsize": 4,
+    }
+
+
+def test_cache_lru_eviction():
+    cache = OperatorCache(maxsize=2)
+    g1, g2, g3 = _ring(5), _ring(6), _ring(7)
+    b1 = cache.bundle_for(g1)
+    cache.bundle_for(g2)
+    cache.bundle_for(g1)  # refresh g1 → g2 becomes LRU
+    cache.bundle_for(g3)  # evicts g2
+    assert g1 in cache and g3 in cache and g2 not in cache
+    assert cache.bundle_for(g1) is b1
+    assert cache.cache_info()["evictions"] == 1
+
+
+def test_cache_rejects_zero_size():
+    with pytest.raises(ValueError, match="maxsize"):
+        OperatorCache(maxsize=0)
+
+
+def test_bundle_restriction_partitions_nodes(chain_graph):
+    bundle = OperatorCache().bundle_for(chain_graph)
+    # nodes 4 and 5 have no outlinks
+    assert set(bundle.dangling.tolist()) == {4, 5}
+    assert set(bundle.non_dangling.tolist()) == {0, 1, 2, 3}
+    assert bundle.tt_ss.shape == (4, 4)
+    assert bundle.tt_ds.shape == (2, 4)
+    assert bundle.nbytes() > 0
+
+
+# ----------------------------------------------------------------------
+# engine mechanics
+# ----------------------------------------------------------------------
+
+
+def test_solve_many_input_validation(chain_graph):
+    engine = PagerankEngine()
+    n = chain_graph.num_nodes
+    v = uniform_jump_vector(n)
+    with pytest.raises(ValueError, match="at least one"):
+        engine.solve_many(chain_graph, np.empty((n, 0)))
+    with pytest.raises(ValueError, match="rows"):
+        engine.solve_many(chain_graph, np.ones((n + 1, 2)) / (n + 1))
+    with pytest.raises(ValueError, match="norm"):
+        engine.solve_many(chain_graph, np.stack([v, v * 0.0], axis=1))
+    with pytest.raises(ValueError, match="exceed"):
+        engine.solve_many(chain_graph, np.stack([v, v * n], axis=1))
+    with pytest.raises(ValueError, match="labels"):
+        engine.solve_many(chain_graph, [v, v], labels=["only-one"])
+    with pytest.raises(ValueError, match="check_every"):
+        PagerankEngine(check_every=0)
+
+
+def test_solve_many_edgeless_graph():
+    graph = WebGraph.from_edges(5, [])
+    engine = PagerankEngine()
+    batch = engine.solve_many(graph, [None], damping=0.85)
+    # (I - cT^T) = I: the solution is the jump term
+    expected = 0.15 * uniform_jump_vector(5)
+    assert np.allclose(batch.scores[:, 0], expected)
+    assert batch.converged.all()
+
+
+def test_solve_many_raises_on_iteration_exhaustion(chain_graph):
+    engine = PagerankEngine()
+    with pytest.raises(ConvergenceError, match="col0"):
+        engine.solve_many(chain_graph, [None], tol=1e-15, max_iter=2)
+    batch = engine.solve_many(
+        chain_graph, [None], tol=1e-15, max_iter=2, check=False
+    )
+    assert not batch.converged[0]
+    assert batch.iterations[0] == 2
+
+
+def test_batch_result_columns_roundtrip(chain_graph):
+    engine = PagerankEngine()
+    batch = engine.solve_many(chain_graph, [None, [0, 1]], tol=1e-12)
+    columns = batch.columns()
+    assert len(columns) == batch.num_columns == 2
+    for j, column in enumerate(columns):
+        assert np.array_equal(column.scores, batch.scores[:, j])
+        assert column.converged
+        assert column.method == "batched_jacobi"
+
+
+def test_default_engine_is_shared_and_replaceable():
+    previous = set_engine(None)
+    try:
+        a = get_engine()
+        assert get_engine() is a
+        mine = PagerankEngine(cache_size=2)
+        assert set_engine(mine) is a
+        assert get_engine() is mine
+    finally:
+        set_engine(previous)
+
+
+def test_pagerank_populates_shared_cache(chain_graph):
+    previous = set_engine(None)
+    try:
+        pagerank(chain_graph, tol=1e-12)
+        info = get_engine().cache.cache_info()
+        assert info["misses"] == 1
+        pagerank(chain_graph, [0, 1], tol=1e-12)
+        assert get_engine().cache.cache_info()["hits"] >= 1
+    finally:
+        set_engine(previous)
+
+
+# ----------------------------------------------------------------------
+# runtime-policy integration (PR 1 semantics, per column)
+# ----------------------------------------------------------------------
+
+
+def test_solve_many_under_policy_reports_per_column(tmp_path, chain_graph):
+    from repro.runtime.resilient import RuntimePolicy
+
+    policy = RuntimePolicy(checkpoint_dir=tmp_path, checkpoint_every=1)
+    engine = PagerankEngine()
+    batch = engine.solve_many(
+        chain_graph,
+        [None, [0, 1]],
+        tol=1e-12,
+        labels=("pagerank", "core"),
+        policy=policy,
+    )
+    assert batch.method == "fallback_chain"
+    assert batch.converged.all()
+    assert set(batch.reports) == {"pagerank", "core"}
+    for report in batch.reports.values():
+        assert report.outcome == "converged"
+    # per-column labeled checkpoint directories, as in PR 1
+    assert (tmp_path / "pagerank").is_dir()
+    assert (tmp_path / "core").is_dir()
+
+
+def test_estimate_spam_mass_policy_via_engine(tmp_path, chain_graph):
+    from repro.runtime.resilient import RuntimePolicy
+
+    policy = RuntimePolicy(checkpoint_dir=tmp_path)
+    est = estimate_spam_mass(chain_graph, [0, 1], policy=policy)
+    assert set(est.reports) == {"pagerank", "core"}
+    plain = estimate_spam_mass(chain_graph, [0, 1])
+    assert np.abs(est.pagerank - plain.pagerank).sum() < 1e-8
+    assert np.abs(est.core_pagerank - plain.core_pagerank).sum() < 1e-8
+
+
+def test_estimate_spam_mass_non_jacobi_uses_cached_operator(chain_graph):
+    engine = PagerankEngine()
+    est = estimate_spam_mass(
+        chain_graph, [0, 1], method="gauss_seidel", engine=engine
+    )
+    assert engine.cache.cache_info()["misses"] == 1
+    batched = estimate_spam_mass(chain_graph, [0, 1], engine=engine)
+    assert np.abs(est.pagerank - batched.pagerank).sum() < 1e-8
+
+
+# ----------------------------------------------------------------------
+# parallel Monte Carlo
+# ----------------------------------------------------------------------
+
+
+def test_plan_chunks_partitions_budget():
+    assert sum(plan_chunks(100)) == 100
+    assert plan_chunks(10, chunks=4) == [3, 3, 2, 2]
+    assert plan_chunks(3, chunks=8) == [1, 1, 1]
+    with pytest.raises(ValueError):
+        plan_chunks(0)
+
+
+def test_montecarlo_deterministic_across_worker_counts(chain_graph):
+    kwargs = dict(num_walks=5_000, seed=11)
+    serial = pagerank_montecarlo_parallel(chain_graph, workers=None, **kwargs)
+    one = pagerank_montecarlo_parallel(chain_graph, workers=1, **kwargs)
+    two = pagerank_montecarlo_parallel(chain_graph, workers=2, **kwargs)
+    assert np.array_equal(serial.scores, one.scores)
+    assert np.array_equal(serial.scores, two.scores)
+    assert serial.num_walks == 5_000
+
+
+def test_montecarlo_approximates_linear_pagerank():
+    graph = _ring(12)
+    exact = pagerank(graph, tol=1e-12).scores
+    mc = pagerank_montecarlo_parallel(graph, num_walks=200_000, seed=3)
+    assert np.abs(mc.scores - exact).sum() < 0.01
+
+
+def test_montecarlo_pool_failure_falls_back(monkeypatch, chain_graph):
+    import repro.perf.parallel as parallel_mod
+
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+    monkeypatch.setattr(
+        parallel_mod, "ProcessPoolExecutor", ExplodingPool
+    )
+    reference = pagerank_montecarlo_parallel(
+        chain_graph, num_walks=2_000, workers=None, seed=5
+    )
+    with pytest.warns(RuntimeWarning, match="sequentially"):
+        degraded = pagerank_montecarlo_parallel(
+            chain_graph, num_walks=2_000, workers=4, seed=5
+        )
+    assert np.array_equal(degraded.scores, reference.scores)
+
+
+def test_engine_montecarlo_uses_default_workers(chain_graph):
+    engine = PagerankEngine(workers=1)
+    result = engine.montecarlo(chain_graph, num_walks=1_000, seed=2)
+    direct = pagerank_montecarlo_parallel(
+        chain_graph, num_walks=1_000, workers=1, seed=2
+    )
+    assert np.array_equal(result.scores, direct.scores)
