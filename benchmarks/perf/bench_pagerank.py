@@ -22,11 +22,17 @@ is the regression baseline.  Typical usage::
     PYTHONPATH=src python benchmarks/perf/bench_pagerank.py \
         --out benchmarks/perf/BENCH_pagerank.json
 
-    # CI gate: fail on >2x slowdown vs the committed baseline or on
-    # the batched path losing its edge over the sequential one
+    # CI gate: fail on >2x slowdown vs the committed baseline, on the
+    # batched path losing its edge over the sequential one, or on
+    # telemetry costing more than its <5% budget when enabled
     PYTHONPATH=src python benchmarks/perf/bench_pagerank.py \
         --check benchmarks/perf/BENCH_pagerank.json \
-        --factor 2.0 --min-speedup 1.5
+        --factor 2.0 --min-speedup 1.5 --max-overhead 1.05
+
+Each preset also times the warm batched solve twice more — telemetry
+disabled (the process default) and enabled with an in-memory sink —
+and records the ratio under ``telemetry.overhead_ratio``; see
+``docs/observability.md``.
 
 Wall-clock numbers move with hardware; the regression gate is a
 *ratio* against the baseline recorded on the same runner class, and
@@ -107,6 +113,21 @@ def bench_preset(name, config, *, repeats, mc_walks):
 
     warm_seconds, warm_batch = _best_of(repeats, run_warm)
 
+    # telemetry overhead: the same warm solve with telemetry disabled
+    # (the default) vs enabled with an in-memory sink, measured
+    # back-to-back so thermal/cache state is comparable.  The enabled
+    # path must stay within the documented <5% budget (CI gates it via
+    # --max-overhead on the medium preset).
+    from repro.obs import MemorySink, Telemetry, set_telemetry
+
+    tele_off_seconds, _ = _best_of(repeats, run_warm)
+    telemetry = Telemetry(sink=MemorySink())
+    previous = set_telemetry(telemetry)
+    try:
+        tele_on_seconds, _ = _best_of(repeats, run_warm)
+    finally:
+        set_telemetry(previous)
+
     deviation = float(
         np.abs(cold_batch.scores[:, 0] - seq_r1.scores).sum()
         + np.abs(cold_batch.scores[:, 1] - seq_r2.scores).sum()
@@ -147,12 +168,18 @@ def bench_preset(name, config, *, repeats, mc_walks):
         "speedup_warm": round(seq_seconds / warm_seconds, 3),
         "solves_per_sec_warm": round(2.0 / warm_seconds, 2),
         "l1_deviation_vs_sequential": float(f"{deviation:.3e}"),
+        "telemetry": {
+            "disabled_seconds": round(tele_off_seconds, 4),
+            "enabled_seconds": round(tele_on_seconds, 4),
+            "overhead_ratio": round(tele_on_seconds / tele_off_seconds, 3),
+        },
         "montecarlo": mc,
     }
 
 
 def check_regression(report, baseline_path, factor, min_speedup,
-                     speedup_presets=("medium",)):
+                     speedup_presets=("medium",), max_overhead=None,
+                     overhead_presets=("medium",)):
     """Return a list of failure messages (empty = pass)."""
     failures = []
     baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
@@ -180,6 +207,21 @@ def check_regression(report, baseline_path, factor, min_speedup,
                     f"{name}: batched cold speedup "
                     f"{preset['speedup_cold']:.2f}x is below the "
                     f"required {min_speedup:g}x"
+                )
+    if max_overhead is not None:
+        # the telemetry budget is gated on presets whose solve is long
+        # enough that the ratio measures instrumentation, not timer
+        # noise (tiny graphs finish in microseconds)
+        for name in overhead_presets:
+            preset = report["presets"].get(name)
+            if preset is None or "telemetry" not in preset:
+                continue
+            ratio = preset["telemetry"]["overhead_ratio"]
+            if ratio > max_overhead:
+                failures.append(
+                    f"{name}: telemetry-enabled warm solve is "
+                    f"{ratio:.3f}x the disabled one, above the "
+                    f"allowed {max_overhead:g}x"
                 )
     return failures
 
@@ -230,6 +272,20 @@ def main(argv=None):
         default="medium",
         help="comma-separated presets the --min-speedup floor applies "
         "to (default: medium — large enough to amortize setup)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        help="fail if the telemetry-enabled warm solve exceeds this "
+        "ratio of the disabled one (e.g. 1.05 for the <5%% budget)",
+    )
+    parser.add_argument(
+        "--overhead-presets",
+        default="medium",
+        help="comma-separated presets the --max-overhead ceiling "
+        "applies to (default: medium — long enough to beat timer "
+        "noise)",
     )
     args = parser.parse_args(argv)
 
@@ -298,6 +354,12 @@ def main(argv=None):
             speedup_presets=tuple(
                 p.strip()
                 for p in args.speedup_presets.split(",")
+                if p.strip()
+            ),
+            max_overhead=args.max_overhead,
+            overhead_presets=tuple(
+                p.strip()
+                for p in args.overhead_presets.split(",")
                 if p.strip()
             ),
         )

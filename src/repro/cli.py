@@ -401,6 +401,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print full Python tracebacks instead of one-line errors",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and write the span/event stream as JSON "
+        "lines to FILE (a <FILE>.manifest.json summary is written next "
+        "to it); see docs/observability.md",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and write the final metrics snapshot "
+        "(counters, gauges, histograms) as JSON to FILE",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="force telemetry off even when --trace-out/--metrics-out "
+        "are given (the default without those flags is already off)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_gen = sub.add_parser(
@@ -602,11 +623,68 @@ def run(args: argparse.Namespace) -> int:
         return EXIT_ERROR
 
 
+def _run_traced(args: argparse.Namespace, argv: Sequence[str]) -> int:
+    """Run one command under an enabled telemetry, then persist it.
+
+    The whole command executes inside a ``cli:<command>`` root span; on
+    the way out the trace is flushed, the manifest is written next to it
+    and the metrics snapshot (if requested) is dumped as JSON.  Telemetry
+    failures never mask the command's own exit code.
+    """
+    import json
+
+    from .obs import (
+        JsonlSink,
+        Telemetry,
+        manifest_path_for,
+        set_telemetry,
+        write_manifest,
+    )
+
+    trace_path: Optional[Path] = None
+    sink = None
+    if args.trace_out:
+        trace_path = Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        sink = JsonlSink(trace_path)
+    telemetry = Telemetry(sink=sink)
+    previous = set_telemetry(telemetry)
+    code = EXIT_ERROR
+    try:
+        with telemetry.span(f"cli:{args.command}"):
+            code = run(args)
+        return code
+    finally:
+        set_telemetry(previous)
+        if trace_path is not None:
+            write_manifest(
+                telemetry,
+                manifest_path_for(trace_path),
+                argv=list(argv),
+                exit_code=code,
+                trace_path=trace_path,
+            )
+        if args.metrics_out:
+            metrics_path = Path(args.metrics_out)
+            metrics_path.parent.mkdir(parents=True, exist_ok=True)
+            metrics_path.write_text(
+                json.dumps(telemetry.snapshot(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+        telemetry.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-spam`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return run(args)
+    wants_telemetry = (
+        not args.no_telemetry
+        and (args.trace_out is not None or args.metrics_out is not None)
+    )
+    if not wants_telemetry:
+        return run(args)
+    return _run_traced(args, argv if argv is not None else sys.argv[1:])
 
 
 if __name__ == "__main__":  # pragma: no cover

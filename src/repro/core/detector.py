@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..graph.webgraph import WebGraph
+from ..obs import get_telemetry
 from .mass import DEFAULT_GAMMA, MassEstimates, estimate_spam_mass
 from .pagerank import DEFAULT_DAMPING
 
@@ -117,15 +118,22 @@ class MassDetector:
 
     def detect(self, estimates: MassEstimates) -> DetectionResult:
         """Apply the thresholds to precomputed mass estimates."""
-        if self.scaled_rho:
-            scores = estimates.scaled_pagerank()
-        else:
-            scores = estimates.pagerank
-        eligible = scores >= self.rho
-        candidates = eligible & (estimates.relative >= self.tau)
-        return DetectionResult(
-            candidates, eligible, self.tau, self.rho, estimates
-        )
+        tele = get_telemetry()
+        with tele.span("detect", tau=self.tau, rho=self.rho) as sp:
+            if self.scaled_rho:
+                scores = estimates.scaled_pagerank()
+            else:
+                scores = estimates.pagerank
+            eligible = scores >= self.rho
+            candidates = eligible & (estimates.relative >= self.tau)
+            result = DetectionResult(
+                candidates, eligible, self.tau, self.rho, estimates
+            )
+            if tele.enabled:
+                sp.set("candidates", result.num_candidates)
+                sp.set("eligible", result.num_eligible)
+                tele.set_gauge("detect.candidates", result.num_candidates)
+            return result
 
     def detect_on_graph(
         self,

@@ -36,6 +36,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from ..graph.webgraph import WebGraph
+from ..obs import get_telemetry
 from .contribution import contribution_vector
 from .pagerank import (
     DEFAULT_DAMPING,
@@ -231,6 +232,42 @@ def estimate_spam_mass(
     core_list = list(good_core)
     if not core_list:
         raise ValueError("good core must not be empty")
+    tele = get_telemetry()
+    if not tele.enabled:
+        return _estimate_spam_mass(
+            graph, core_list, damping=damping, gamma=gamma, tol=tol,
+            max_iter=max_iter, method=method, transition_t=transition_t,
+            check=check, policy=policy, engine=engine, tele=tele,
+        )
+    with tele.span(
+        "mass-estimate",
+        core_size=len(core_list),
+        gamma=gamma,
+        method=method,
+    ):
+        return _estimate_spam_mass(
+            graph, core_list, damping=damping, gamma=gamma, tol=tol,
+            max_iter=max_iter, method=method, transition_t=transition_t,
+            check=check, policy=policy, engine=engine, tele=tele,
+        )
+
+
+def _estimate_spam_mass(
+    graph: WebGraph,
+    core_list: list,
+    *,
+    damping: float,
+    gamma: Optional[float],
+    tol: float,
+    max_iter: int,
+    method: str,
+    transition_t,
+    check: bool,
+    policy,
+    engine,
+    tele,
+) -> MassEstimates:
+    """The untraced core of :func:`estimate_spam_mass`."""
     n = graph.num_nodes
     if gamma is None:
         w = core_jump_vector(n, core_list)
@@ -310,24 +347,28 @@ def estimate_spam_mass(
         p = results["pagerank"].scores
         p_core = results["core"].scores
     else:
-        p = pagerank_from_matrix(
-            transition_t,
-            u,
-            damping=damping,
-            tol=tol,
-            max_iter=max_iter,
-            method=method,
-            raise_on_divergence=check,
-        ).scores
-        p_core = pagerank_from_matrix(
-            transition_t,
-            w,
-            damping=damping,
-            tol=tol,
-            max_iter=max_iter,
-            method=method,
-            raise_on_divergence=check,
-        ).scores
+        # legacy sequential path: two separate solves, spanned apart so
+        # traces distinguish p from p′
+        with tele.span("solve:p", method=method):
+            p = pagerank_from_matrix(
+                transition_t,
+                u,
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+                method=method,
+                raise_on_divergence=check,
+            ).scores
+        with tele.span("solve:p_prime", method=method):
+            p_core = pagerank_from_matrix(
+                transition_t,
+                w,
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+                method=method,
+                raise_on_divergence=check,
+            ).scores
     return MassEstimates(p, p_core, damping, gamma, reports=reports)
 
 

@@ -32,6 +32,7 @@ from ..core.mass import (
 )
 from ..core.combined import combine_average, combine_weighted
 from ..core.pagerank import DEFAULT_DAMPING, pagerank, scale_scores
+from ..obs import get_telemetry
 from ..datasets.paper_graphs import (
     figure1_graph,
     figure1_pagerank_x,
@@ -168,24 +169,32 @@ class ReproductionContext:
         the process-wide shared engine, so ``p`` and ``p'`` come out of
         one batched block iteration over the cached operator.
         """
-        world = build_world(config)
-        core = default_good_core(
-            world, uncovered_coverage=uncovered_coverage
-        )
-        estimates = estimate_spam_mass(
-            world.graph, core, gamma=gamma, policy=policy, engine=engine
-        )
-        scaled = estimates.scaled_pagerank()
-        eligible_mask = scaled >= rho
-        sample = build_evaluation_sample(
-            world,
-            np.flatnonzero(eligible_mask),
-            np.random.default_rng(sample_seed),
-            fraction=sample_fraction,
-            frac_unknown=frac_unknown,
-            frac_nonexistent=frac_nonexistent,
-        )
-        return cls(world, core, estimates, rho, eligible_mask, sample, gamma)
+        tele = get_telemetry()
+        with tele.span("context-build", rho=rho, gamma=gamma) as sp:
+            world = build_world(config)
+            core = default_good_core(
+                world, uncovered_coverage=uncovered_coverage
+            )
+            estimates = estimate_spam_mass(
+                world.graph, core, gamma=gamma, policy=policy, engine=engine
+            )
+            scaled = estimates.scaled_pagerank()
+            eligible_mask = scaled >= rho
+            sample = build_evaluation_sample(
+                world,
+                np.flatnonzero(eligible_mask),
+                np.random.default_rng(sample_seed),
+                fraction=sample_fraction,
+                frac_unknown=frac_unknown,
+                frac_nonexistent=frac_nonexistent,
+            )
+            if tele.enabled:
+                sp.set("nodes", world.graph.num_nodes)
+                sp.set("core_size", len(core))
+                sp.set("eligible", int(eligible_mask.sum()))
+            return cls(
+                world, core, estimates, rho, eligible_mask, sample, gamma
+            )
 
     @property
     def graph(self) -> WebGraph:

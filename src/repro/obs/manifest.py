@@ -1,0 +1,93 @@
+"""Per-run manifest: one JSON document summarizing a traced run.
+
+The manifest is the operator-facing index of a telemetry capture: what
+ran, with which arguments, how it ended, how many events of each kind
+were emitted and the final metrics snapshot.  The CLI writes it next to
+the ``--trace-out`` file (``<trace>.manifest.json``) so a trace on disk
+is always self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+import uuid
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .events import JsonlSink, MemorySink
+from .telemetry import Telemetry
+
+__all__ = ["build_manifest", "write_manifest", "manifest_path_for"]
+
+MANIFEST_SCHEMA = 1
+
+
+def manifest_path_for(trace_path: Union[str, Path]) -> Path:
+    """The manifest path paired with a trace file.
+
+    ``run.trace.jsonl`` → ``run.trace.manifest.json`` (the trace suffix,
+    whatever it is, is replaced).
+    """
+    trace_path = Path(trace_path)
+    return trace_path.with_suffix(".manifest.json")
+
+
+def build_manifest(
+    telemetry: Telemetry,
+    *,
+    argv: Optional[Sequence[str]] = None,
+    exit_code: Optional[int] = None,
+    trace_path: Optional[Union[str, Path]] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble the manifest dict for one run.
+
+    Event counts come from the sink when it can report them (memory and
+    JSONL sinks can); the metrics snapshot always comes from the
+    registry.
+    """
+    sink = telemetry.sink
+    events_by_kind: dict = {}
+    events_total: Optional[int] = None
+    if isinstance(sink, MemorySink):
+        events_total = len(sink)
+        for event in sink.events:
+            events_by_kind[event.kind] = events_by_kind.get(event.kind, 0) + 1
+    elif isinstance(sink, JsonlSink):
+        events_total = sink.emitted
+        events_by_kind = dict(sink.emitted_by_kind)
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": str(uuid.uuid4()),
+        "timestamp": time.time(),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "argv": list(argv) if argv is not None else None,
+        "exit_code": exit_code,
+        "trace_file": str(trace_path) if trace_path is not None else None,
+        "events_total": events_total,
+        "events_by_kind": events_by_kind or None,
+        "metrics": telemetry.snapshot(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(
+    telemetry: Telemetry,
+    path: Union[str, Path],
+    **kwargs,
+) -> Path:
+    """Build and write the manifest as pretty JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(telemetry, **kwargs)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -52,6 +52,7 @@ from scipy import sparse
 
 from ..graph.ops import transition_matrix
 from ..graph.webgraph import WebGraph
+from ..obs import get_telemetry
 
 __all__ = ["graph_fingerprint", "OperatorBundle", "OperatorCache"]
 
@@ -183,16 +184,25 @@ class OperatorCache:
 
     def bundle_for(self, graph: WebGraph) -> OperatorBundle:
         """Return the graph's bundle, building it on first sight."""
+        tele = get_telemetry()
         key = graph_fingerprint(graph)
         with self._lock:
             bundle = self._entries.get(key)
             if bundle is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
+                tele.inc("opcache.hits")
                 return bundle
             self.misses += 1
+        tele.inc("opcache.misses")
         # build outside the lock: O(edges) work
-        bundle = OperatorBundle(graph, key)
+        if tele.enabled:
+            with tele.span(
+                "operator-build", nodes=graph.num_nodes, edges=graph.num_edges
+            ):
+                bundle = OperatorBundle(graph, key)
+        else:
+            bundle = OperatorBundle(graph, key)
         with self._lock:
             # a racing builder may have inserted meanwhile; keep the
             # first one so callers share a single operator

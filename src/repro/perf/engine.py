@@ -47,6 +47,7 @@ from ..errors import ConvergenceError
 from ..core.solvers import SolverResult, solve as dispatch_solve
 from ..core.pagerank import _resolve_jump  # single source of jump semantics
 from ..graph.webgraph import WebGraph
+from ..obs import get_telemetry
 from .cache import DEFAULT_CACHE_SIZE, OperatorBundle, OperatorCache
 
 __all__ = [
@@ -305,6 +306,44 @@ class PagerankEngine:
             )
         bundle = self.bundle(graph)
 
+        tele = get_telemetry()
+        if not tele.enabled:
+            return self._run_batch(
+                bundle, stacked, labels, damping, tol, max_iter, check,
+                policy,
+            )
+        with tele.span("solve:batch", columns=k) as sp:
+            result = self._run_batch(
+                bundle, stacked, labels, damping, tol, max_iter, check,
+                policy,
+            )
+            tele.inc("engine.batched_solves")
+            tele.inc("engine.columns", k)
+            for j, label in enumerate(labels):
+                tele.event(
+                    "solver.column",
+                    label=label,
+                    iterations=int(result.iterations[j]),
+                    converged=bool(result.converged[j]),
+                    method=result.method,
+                )
+            sp.set("method", result.method)
+            sp.set("max_iterations", int(result.iterations.max(initial=0)))
+            return result
+
+    def _run_batch(
+        self,
+        bundle: OperatorBundle,
+        stacked: np.ndarray,
+        labels: Sequence[str],
+        damping: float,
+        tol: float,
+        max_iter: int,
+        check: bool,
+        policy,
+    ) -> BatchResult:
+        """The untraced core of :meth:`solve_many`."""
+        k = stacked.shape[1]
         if policy is not None:
             return self._solve_with_policy(
                 bundle, stacked, labels, damping, tol, max_iter, check,

@@ -40,6 +40,7 @@ import numpy as np
 from ..core.montecarlo import MonteCarloResult, pagerank_montecarlo
 from ..core.pagerank import DEFAULT_DAMPING
 from ..graph.webgraph import WebGraph
+from ..obs import get_telemetry
 
 __all__ = ["plan_chunks", "pagerank_montecarlo_parallel"]
 
@@ -159,4 +160,14 @@ def pagerank_montecarlo_parallel(
     for chunk_scores, chunk_walks, chunk_steps in outputs:
         scores += chunk_scores * (chunk_walks / num_walks)
         total_steps += chunk_steps
+    tele = get_telemetry()
+    if tele.enabled:
+        tele.inc("mc.walks", num_walks)
+        tele.event(
+            "mc.run",
+            walks=num_walks,
+            chunks=len(plan),
+            steps=total_steps,
+            workers=workers or 0,
+        )
     return MonteCarloResult(scores, num_walks, total_steps)

@@ -41,6 +41,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from ..errors import CheckpointError
+from ..obs import get_telemetry
 from .retry import with_retries
 
 __all__ = ["SolverCheckpoint", "CheckpointManager", "problem_fingerprint"]
@@ -192,6 +193,15 @@ class CheckpointManager:
                 except OSError:  # pragma: no cover - best effort
                     pass
         self.saves += 1
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.inc("checkpoint.writes")
+            tele.event(
+                "checkpoint.write",
+                iteration=int(iteration),
+                method=method,
+                path=final.name,
+            )
         self._prune()
         return final
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.solvers import SOLVERS, SolverResult
 from ..errors import BudgetExceeded, InjectedFault, SolverAbort
+from ..obs import get_telemetry
 from .checkpoint import CheckpointManager, problem_fingerprint
 from .monitors import Deadline, ResidualMonitor, compose_callbacks
 
@@ -246,7 +247,37 @@ class FallbackSolver:
         the :class:`RunReport`.  ``inject`` is a chaos hook (an extra
         iteration callback, run before monitoring) used by the fault
         injection test-suite.
+
+        When telemetry is enabled (see :mod:`repro.obs`) the solve is
+        wrapped in a ``fallback-solve`` span and every attempt,
+        escalation and checkpoint resume is emitted as an event — the
+        chaos suite asserts these against injected faults.
         """
+        tele = get_telemetry()
+        if not tele.enabled:
+            return self._solve_traced(
+                transition_t, v, damping=damping, resume=resume,
+                inject=inject, tele=tele,
+            )
+        with tele.span("fallback-solve", chain=list(self.chain)) as sp:
+            result = self._solve_traced(
+                transition_t, v, damping=damping, resume=resume,
+                inject=inject, tele=tele,
+            )
+            sp.set("outcome", result.report.outcome)
+            sp.set("method", result.method)
+            return result
+
+    def _solve_traced(
+        self,
+        transition_t,
+        v: np.ndarray,
+        *,
+        damping: float,
+        resume: bool,
+        inject: Optional[Callable[[int, np.ndarray, float], None]],
+        tele,
+    ) -> SolverResult:
         report = RunReport()
         report.time_budget = self.time_budget
         deadline = Deadline(self.time_budget, clock=self.clock)
@@ -263,17 +294,35 @@ class FallbackSolver:
                 x0 = restored.p
                 start_iteration = restored.iteration
                 report.resumed_from = restored.iteration
+                if tele.enabled:
+                    tele.inc("solver.resumes")
+                    tele.event("solver.resumed", iteration=restored.iteration)
+
+        def _note(record: AttemptRecord, curve=None) -> None:
+            """Record one attempt and mirror it onto the telemetry bus."""
+            report.attempts.append(record)
+            if tele.enabled:
+                tele.event(
+                    "solver.attempt",
+                    method=record.method,
+                    outcome=record.outcome,
+                    iterations=record.iterations,
+                )
+                tele.observe("solver.iterations", record.iterations)
+                if curve:
+                    tele.observe_many("solver.residual_curve", curve)
 
         normalized = abs(float(v.sum()) - 1.0) <= 1e-9
         # best finite iterate across all attempts: (residual, p, method, its)
         best: Optional[Tuple[float, np.ndarray, str, int]] = None
         final: Optional[SolverResult] = None
+        last_run: Optional[str] = None
 
         for position, method in enumerate(self.chain):
             if deadline.expired():
                 break
             if method == "power" and not normalized:
-                report.attempts.append(
+                _note(
                     AttemptRecord(
                         method,
                         "skipped:unnormalized-v",
@@ -281,6 +330,15 @@ class FallbackSolver:
                     )
                 )
                 continue
+            if tele.enabled:
+                tele.inc("solver.attempts")
+                if last_run is not None:
+                    tele.inc("solver.escalations")
+                    tele.event(
+                        "solver.escalation",
+                        **{"from": last_run, "to": method},
+                    )
+            last_run = method
 
             monitor = ResidualMonitor(
                 tol=self.tol, deadline=deadline, **self.monitor_options
@@ -323,7 +381,7 @@ class FallbackSolver:
                     start_iteration=start_iteration if iterative else 0,
                 )
             except BudgetExceeded as exc:
-                report.attempts.append(
+                _note(
                     AttemptRecord(
                         method,
                         "aborted:time-budget",
@@ -331,12 +389,13 @@ class FallbackSolver:
                         last_seen["residual"],
                         self.clock() - attempt_start,
                         str(exc),
-                    )
+                    ),
+                    history,
                 )
                 best = _fold_best(best, last_seen, method)
                 break  # budget is global: stop escalating
             except SolverAbort as exc:
-                report.attempts.append(
+                _note(
                     AttemptRecord(
                         method,
                         f"aborted:{exc.reason}",
@@ -344,13 +403,14 @@ class FallbackSolver:
                         last_seen["residual"],
                         self.clock() - attempt_start,
                         str(exc),
-                    )
+                    ),
+                    history,
                 )
                 if exc.reason == "stagnated":
                     # a stagnated iterate is still the best answer so far
                     best = _fold_best(best, last_seen, method)
             except RECOVERABLE as exc:
-                report.attempts.append(
+                _note(
                     AttemptRecord(
                         method,
                         f"error:{type(exc).__name__}",
@@ -358,23 +418,25 @@ class FallbackSolver:
                         last_seen["residual"],
                         self.clock() - attempt_start,
                         str(exc),
-                    )
+                    ),
+                    history,
                 )
             else:
                 elapsed = self.clock() - attempt_start
                 if result.converged:
-                    report.attempts.append(
+                    _note(
                         AttemptRecord(
                             method,
                             "converged",
                             result.iterations,
                             result.residual,
                             elapsed,
-                        )
+                        ),
+                        history,
                     )
                     final = result
                     break
-                report.attempts.append(
+                _note(
                     AttemptRecord(
                         method,
                         "exhausted",
@@ -382,7 +444,8 @@ class FallbackSolver:
                         result.residual,
                         elapsed,
                         f"hit max_iter={self.max_iter} above tol",
-                    )
+                    ),
+                    history,
                 )
                 if np.all(np.isfinite(result.scores)):
                     candidate = {

@@ -1,8 +1,9 @@
 """Retry-with-backoff for transient failures (I/O, mostly).
 
-Kept dependency-free (no imports from the rest of the package) so any
-layer — including :mod:`repro.graph.io`, which sits below the runtime
-package — can use it without import cycles.
+Kept dependency-free at module import time (the only intra-package
+import is a lazy one of :mod:`repro.obs`, itself stdlib-only, on the
+rare retry path) so any layer — including :mod:`repro.graph.io`, which
+sits below the runtime package — can use it without import cycles.
 """
 
 from __future__ import annotations
@@ -52,9 +53,20 @@ def with_retries(
     for attempt in range(retries + 1):
         try:
             return fn()
-        except exceptions:
+        except exceptions as exc:
             if attempt == retries:
                 raise
+            from ..obs import get_telemetry
+
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.inc("retry.attempts")
+                tele.event(
+                    "retry",
+                    attempt=attempt + 1,
+                    error=type(exc).__name__,
+                    delay=delay,
+                )
             sleep(delay)
             delay *= factor
     raise AssertionError("unreachable")  # pragma: no cover

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs import get_telemetry
 from .assembler import SyntheticWorld, WorldAssembler
 from .communities import (
     add_blog_community,
@@ -229,6 +230,20 @@ def build_world(config: Optional[WorldConfig] = None) -> SyntheticWorld:
     """Build the full synthetic world described by ``config``."""
     if config is None:
         config = WorldConfig()
+    tele = get_telemetry()
+    if not tele.enabled:
+        return _build_world(config)
+    with tele.span(
+        "graph-gen", seed=config.seed, base_hosts=config.num_base_hosts
+    ) as sp:
+        world = _build_world(config)
+        sp.set("nodes", world.graph.num_nodes)
+        sp.set("edges", world.graph.num_edges)
+        return world
+
+
+def _build_world(config: WorldConfig) -> SyntheticWorld:
+    """The untraced core of :func:`build_world`."""
     streams = RngStreams(config.seed)
     # the spam layer draws from its own seed space so that "the web a
     # year later" — same good web, new crop of spammers — is one knob

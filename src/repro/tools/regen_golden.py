@@ -1,6 +1,6 @@
 """Regenerate the golden regression fixtures under ``tests/golden/``.
 
-Two fixtures pin the numerical behavior of the whole pipeline:
+Three fixtures pin the behavior of the whole pipeline:
 
 ``table1.json``
     The Table 1 worked example (Figure 2 graph, unscaled core jump):
@@ -14,6 +14,14 @@ Two fixtures pin the numerical behavior of the whole pipeline:
     The ``p``/``p′`` vectors and the good core of the stock
     ``WorldConfig.small(seed=7)`` world with the default γ = 0.85.
     This pins the synthesizer + core assembly + estimator end to end.
+
+``telemetry_world_small.json``
+    The *normalized* telemetry event stream (kinds, names, ordering and
+    the stable ``label``/``status`` attributes — no timings, no
+    iteration counts) of one full pipeline pass over the same small
+    world, run against a fresh engine.  This pins the observability
+    contract: which stages are spanned, how they nest and in what
+    order, independent of host speed or library version.
 
 Usage::
 
@@ -40,6 +48,9 @@ DEFAULT_OUT = Path(__file__).resolve().parents[3] / "tests" / "golden"
 WORLD_SEED = 7
 GAMMA = 0.85
 TOL = 1e-12
+#: Algorithm 2 thresholds used by the telemetry fixture's detect stage.
+TAU = 0.98
+RHO = 10.0
 
 
 def build_table1_fixture() -> dict:
@@ -93,6 +104,45 @@ def build_world_small_fixture() -> dict:
     }
 
 
+def build_telemetry_fixture() -> dict:
+    """The normalized event stream of one traced small-world pipeline.
+
+    A *fresh* :class:`~repro.perf.PagerankEngine` is mandatory: the
+    shared engine may already hold the world's operator, which would
+    (correctly) drop the ``operator-build`` span from the stream and
+    make the fixture depend on whatever ran earlier in the process.
+    """
+    from ..core.detector import MassDetector
+    from ..core.mass import estimate_spam_mass
+    from ..obs import capture
+    from ..perf import PagerankEngine
+    from ..synth.scenario import (
+        WorldConfig,
+        build_world,
+        default_good_core,
+    )
+
+    with capture() as tele:
+        world = build_world(WorldConfig.small(seed=WORLD_SEED))
+        core = default_good_core(world)
+        engine = PagerankEngine()
+        est = estimate_spam_mass(
+            world.graph, core, gamma=GAMMA, tol=TOL, engine=engine
+        )
+        MassDetector(TAU, RHO).detect(est)
+    return {
+        "description": "normalized (timings stripped) telemetry event "
+        "stream of a full small-world pipeline pass against a fresh "
+        "engine; pins span kinds, names and ordering",
+        "seed": WORLD_SEED,
+        "gamma": GAMMA,
+        "tol": TOL,
+        "tau": TAU,
+        "rho": RHO,
+        "events": tele.sink.normalized(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="regenerate the golden fixtures in tests/golden/"
@@ -119,6 +169,15 @@ def main(argv=None) -> int:
     print(
         f"wrote {world_path} "
         f"({len(world['pagerank']):,} nodes, core {len(world['core']):,})"
+    )
+
+    telemetry = build_telemetry_fixture()
+    telemetry_path = out / "telemetry_world_small.json"
+    telemetry_path.write_text(
+        json.dumps(telemetry, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"wrote {telemetry_path} ({len(telemetry['events'])} events)"
     )
     return 0
 

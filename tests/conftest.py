@@ -10,6 +10,7 @@ import pytest
 
 from repro.datasets import figure1_graph, figure2_graph
 from repro.eval import ReproductionContext
+from repro.obs import MemorySink, Telemetry, set_telemetry
 from repro.synth import WorldConfig, build_world, default_good_core
 
 
@@ -77,3 +78,22 @@ def small_ctx():
 def rng():
     """A fresh deterministic generator per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def telemetry():
+    """In-process telemetry capture for behavioural assertions.
+
+    Installs a fresh enabled :class:`~repro.obs.Telemetry` backed by a
+    :class:`~repro.obs.MemorySink` as the process default, yields it,
+    and restores the previous telemetry afterwards — so instrumented
+    code under test emits into the fixture and nothing leaks across
+    tests.  Assert on ``telemetry.sink`` (events, ``span_count``,
+    ``named``) and ``telemetry.metrics`` (``value``, ``snapshot``).
+    """
+    tele = Telemetry(sink=MemorySink())
+    previous = set_telemetry(tele)
+    try:
+        yield tele
+    finally:
+        set_telemetry(previous)

@@ -1,0 +1,122 @@
+"""Unit tests for the event record and the sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import Event, JsonlSink, MemorySink, NullSink, TeeSink
+
+
+def test_event_carries_kind_name_attrs_and_timestamp():
+    event = Event("event", "solver.escalation", {"from": "a", "to": "b"})
+    assert event.kind == "event"
+    assert event.name == "solver.escalation"
+    assert event.attrs == {"from": "a", "to": "b"}
+    assert event.ts > 0
+    as_dict = event.to_dict()
+    assert set(as_dict) == {"ts", "kind", "name", "attrs"}
+
+
+def test_event_accepts_explicit_timestamp():
+    event = Event("event", "x", ts=123.5)
+    assert event.ts == 123.5
+
+
+def test_null_sink_swallows():
+    sink = NullSink()
+    sink.emit(Event("event", "x"))
+    sink.close()  # idempotent, no error
+
+
+class TestMemorySink:
+    def test_stores_in_order(self):
+        sink = MemorySink()
+        sink.emit(Event("span_start", "a"))
+        sink.emit(Event("span_end", "a"))
+        assert len(sink) == 2
+        assert [e.kind for e in sink.events] == ["span_start", "span_end"]
+
+    def test_queries(self):
+        sink = MemorySink()
+        sink.emit(Event("span_start", "solve"))
+        sink.emit(Event("event", "solver.attempt"))
+        sink.emit(Event("event", "solver.attempt"))
+        sink.emit(Event("span_end", "solve"))
+        assert sink.span_names() == ["solve"]
+        assert sink.span_count("solve") == 1
+        assert sink.span_count("missing") == 0
+        assert len(sink.of_kind("event")) == 2
+        assert len(sink.named("solver.attempt")) == 2
+        assert len(sink.named("solver.attempt", kind="span_end")) == 0
+
+    def test_normalized_strips_volatile_attrs(self):
+        sink = MemorySink()
+        sink.emit(
+            Event(
+                "span_end",
+                "solve",
+                {"duration": 0.123, "status": "ok", "depth": 1},
+            )
+        )
+        sink.emit(
+            Event("event", "solver.column", {"label": "core", "iterations": 42})
+        )
+        normalized = sink.normalized()
+        assert normalized == [
+            {"kind": "span_end", "name": "solve", "status": "ok"},
+            {"kind": "event", "name": "solver.column", "label": "core"},
+        ]
+
+    def test_clear(self):
+        sink = MemorySink()
+        sink.emit(Event("event", "x"))
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def test_writes_one_valid_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(Event("span_start", "solve", {"depth": 0}))
+        sink.emit(Event("span_end", "solve", {"status": "ok"}))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "span_start"
+        assert records[1]["attrs"]["status"] == "ok"
+
+    def test_counts_emitted_events_by_kind(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit(Event("span_start", "a"))
+        sink.emit(Event("span_end", "a"))
+        sink.emit(Event("event", "b"))
+        sink.close()
+        assert sink.emitted == 3
+        assert sink.emitted_by_kind == {
+            "span_start": 1,
+            "span_end": 1,
+            "event": 1,
+        }
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(Event("event", "x"))
+        sink.close()
+        assert path.exists()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+def test_tee_sink_fans_out(tmp_path):
+    mem_a, mem_b = MemorySink(), MemorySink()
+    tee = TeeSink(mem_a, mem_b, None)  # None entries are dropped
+    tee.emit(Event("event", "x"))
+    assert len(mem_a) == 1
+    assert len(mem_b) == 1
+    tee.close()

@@ -1,0 +1,86 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_holds_last_set_value(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        h = Histogram("x")
+        h.observe(2.0)
+        h.observe(8.0)
+        h.observe(5.0)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 8.0
+        assert h.last == 5.0
+        assert h.mean == 5.0
+
+    def test_observe_many(self):
+        h = Histogram("x")
+        h.observe_many([1.0, 2.0, 3.0])
+        assert h.count == 3
+        assert h.max == 3.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_touch_then_reuse(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits")
+        b = reg.counter("hits")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_wrong_type_reuse_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_value_lookup_with_default(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        assert reg.value("hits") == 3
+        assert reg.value("absent") == 0
+        assert reg.value("absent", default=None) is None
+        assert "hits" in reg
+        assert "absent" not in reg
+
+    def test_snapshot_is_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b.counter").inc(2)
+        reg.gauge("a.gauge").set(1.5)
+        reg.histogram("c.hist").observe_many([1.0, 3.0])
+        snap = reg.snapshot()
+        assert list(snap) == ["a.gauge", "b.counter", "c.hist"]
+        assert snap["a.gauge"] == {"type": "gauge", "value": 1.5}
+        assert snap["b.counter"] == {"type": "counter", "value": 2}
+        hist = snap["c.hist"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 2
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0

@@ -1,0 +1,99 @@
+"""The disabled path must be free: zero events, zero retained memory.
+
+The tentpole contract is that leaving the instrumentation hooks in
+production code costs nothing while telemetry is off.  Two independent
+proofs here:
+
+* a sink that raises on any emission is installed behind a *disabled*
+  telemetry and a real pipeline pass runs clean — no event object was
+  ever constructed, no sink method ever called;
+* a tracemalloc diff across many disabled facade calls shows no
+  retained allocations (the no-op span is a shared singleton, counters
+  and histograms are never created).
+"""
+
+import tracemalloc
+
+import numpy as np
+
+from repro.core.detector import MassDetector
+from repro.core.mass import estimate_spam_mass
+from repro.obs import NOOP_SPAN, EventSink, Telemetry, get_telemetry, set_telemetry
+from repro.perf import PagerankEngine
+from repro.synth import build_world, default_good_core
+
+
+class RaisingSink(EventSink):
+    """Fails the test if the disabled path ever touches the sink."""
+
+    def emit(self, event):
+        raise AssertionError(
+            f"disabled telemetry emitted an event: {event!r}"
+        )
+
+
+def test_disabled_pipeline_emits_no_events_and_no_metrics(tiny_config):
+    tele = Telemetry(sink=RaisingSink(), enabled=False)
+    previous = set_telemetry(tele)
+    try:
+        world = build_world(tiny_config)
+        core = default_good_core(world)
+        engine = PagerankEngine()
+        estimates = estimate_spam_mass(world.graph, core, engine=engine)
+        MassDetector(0.98, 10.0).detect(estimates)
+    finally:
+        set_telemetry(previous)
+    assert len(tele.metrics) == 0  # not a single metric was registered
+
+
+def test_disabled_span_is_the_shared_singleton():
+    tele = Telemetry(sink=RaisingSink(), enabled=False)
+    assert tele.span("a") is NOOP_SPAN
+    assert tele.span("b", attr=1) is NOOP_SPAN  # same object every call
+
+
+def test_process_default_telemetry_is_shared_and_disabled():
+    # the module-level default is what pool workers inherit: it must be
+    # off, so child processes never double-emit
+    default = get_telemetry()
+    assert default.enabled is False
+    assert get_telemetry() is default
+
+
+def test_disabled_facade_retains_no_allocations():
+    """A tracemalloc diff over many disabled calls stays flat.
+
+    Transient kwargs dicts are freed immediately; nothing may be
+    *retained* — no Event objects, no metrics, no span instances.
+    """
+    tele = Telemetry(enabled=False)
+    values = np.linspace(0.0, 1.0, 8)
+
+    def burst(n: int) -> None:
+        for i in range(n):
+            with tele.span("stage", index=i) as sp:
+                sp.set("key", i)
+            tele.event("occurrence", index=i)
+            tele.inc("counter")
+            tele.set_gauge("gauge", i)
+            tele.observe("hist", float(i))
+            tele.observe_many("hist", values)
+
+    burst(50)  # warm up caches (method wrappers, small-int pools)
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        burst(2000)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    growth = sum(
+        stat.size_diff
+        for stat in after.compare_to(before, "lineno")
+        if stat.size_diff > 0
+    )
+    # 2000 iterations x ~6 calls; any per-call retention would show up
+    # as hundreds of kilobytes.  The allowance covers tracemalloc's own
+    # bookkeeping noise.
+    assert growth < 16_384, f"disabled telemetry retained {growth} bytes"
+    assert len(tele.metrics) == 0

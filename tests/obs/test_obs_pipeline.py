@@ -1,0 +1,224 @@
+"""Behavioural telemetry invariants of the instrumented pipeline.
+
+These tests run real pipeline stages under the ``telemetry`` fixture
+(in-process :class:`~repro.obs.MemorySink` capture) and assert the
+*shape* of what was emitted: every stage spanned exactly once, correct
+span nesting, counters agreeing with the components' own reports, and
+recovery events appearing under injected faults.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.detector import MassDetector
+from repro.core.mass import estimate_spam_mass
+from repro.graph import WebGraph, transition_matrix
+from repro.perf import PagerankEngine, pagerank_montecarlo_parallel
+from repro.runtime import CheckpointManager, chaos
+from repro.runtime.resilient import FallbackSolver
+from repro.synth import build_world, default_good_core
+
+TOL = 1e-10
+
+STAGES = (
+    "graph-gen",
+    "operator-build",
+    "solve:batch",
+    "mass-estimate",
+    "detect",
+)
+
+
+@pytest.fixture()
+def system():
+    graph = WebGraph.from_edges(
+        8,
+        [
+            (0, 1), (1, 2), (2, 0), (0, 3), (3, 4),
+            (4, 5), (5, 0), (5, 6), (6, 7), (7, 0),
+        ],
+    )
+    tt = transition_matrix(graph).T.tocsr()
+    v = np.full(8, 1.0 / 8.0)
+    return tt, v
+
+
+def test_every_stage_spanned_exactly_once(telemetry, tiny_config):
+    """One full pipeline pass emits each stage span exactly once.
+
+    A *fresh* engine is required: the shared engine may already hold the
+    graph's operator, which would (correctly) suppress the
+    ``operator-build`` span behind a cache hit.
+    """
+    world = build_world(tiny_config)
+    core = default_good_core(world)
+    engine = PagerankEngine()
+    estimates = estimate_spam_mass(world.graph, core, engine=engine)
+    MassDetector(0.98, 10.0).detect(estimates)
+
+    sink = telemetry.sink
+    for stage in STAGES:
+        assert sink.span_count(stage) == 1, f"{stage} spanned != once"
+    # every span completed ok
+    for end in sink.of_kind("span_end"):
+        assert end.attrs["status"] == "ok"
+
+
+def test_span_nesting_reflects_the_pipeline_structure(telemetry, tiny_config):
+    world = build_world(tiny_config)
+    core = default_good_core(world)
+    estimates = estimate_spam_mass(world.graph, core, engine=PagerankEngine())
+    MassDetector(0.98, 10.0).detect(estimates)
+
+    sink = telemetry.sink
+    for child, parent in (
+        ("operator-build", "mass-estimate"),
+        ("solve:batch", "mass-estimate"),
+    ):
+        start = sink.named(child, "span_start")[0]
+        assert start.attrs["parent"] == parent
+    assert sink.named("graph-gen", "span_start")[0].attrs["parent"] is None
+
+
+def test_batch_solve_emits_per_column_events(telemetry, tiny_world):
+    engine = PagerankEngine()
+    engine.solve_many(tiny_world.graph, [None, None], labels=("p", "p_prime"))
+    columns = telemetry.sink.named("solver.column")
+    assert [e.attrs["label"] for e in columns] == ["p", "p_prime"]
+    assert all(e.attrs["converged"] for e in columns)
+    assert telemetry.metrics.value("engine.batched_solves") == 1
+    assert telemetry.metrics.value("engine.columns") == 2
+
+
+def test_cache_counters_match_engine_reports(telemetry, tiny_world):
+    """The telemetry counters and OperatorCache.cache_info agree."""
+    engine = PagerankEngine()
+    graph = tiny_world.graph
+    engine.solve(graph)  # miss: builds the bundle
+    engine.solve(graph)  # hit
+    engine.solve(graph)  # hit
+    info = engine.cache.cache_info()
+    assert info == {
+        "hits": 2,
+        "misses": 1,
+        "evictions": 0,
+        "size": 1,
+        "maxsize": 8,
+    }
+    assert telemetry.metrics.value("opcache.hits") == info["hits"]
+    assert telemetry.metrics.value("opcache.misses") == info["misses"]
+    assert telemetry.sink.span_count("operator-build") == 1
+
+
+def test_legacy_path_spans_p_and_p_prime_separately(telemetry, tiny_world):
+    """An explicit transition matrix opts into the sequential path,
+    which spans the two solves apart."""
+    graph = tiny_world.graph
+    core = default_good_core(tiny_world)
+    tt = transition_matrix(graph).T.tocsr()
+    estimate_spam_mass(graph, core, transition_t=tt)
+    sink = telemetry.sink
+    assert sink.span_count("solve:p") == 1
+    assert sink.span_count("solve:p_prime") == 1
+    assert sink.span_count("solve:batch") == 0
+    assert sink.named("solve:p", "span_start")[0].attrs["parent"] == (
+        "mass-estimate"
+    )
+
+
+def test_fallback_escalation_emits_events_in_chain_order(telemetry, system):
+    tt, v = system
+    poison = chaos.nan_poison_at(5, fraction=0.5, methods=("gauss_seidel",))
+    solver = FallbackSolver(
+        ("gauss_seidel", "jacobi", "power", "direct"),
+        tol=TOL,
+        monitor_options={"check_every": 1},
+    )
+    result = solver.solve(tt, v, inject=poison)
+    assert result.converged
+
+    sink = telemetry.sink
+    escalations = sink.named("solver.escalation")
+    assert escalations, "no escalation events under an injected fault"
+    assert escalations[0].attrs["from"] == "gauss_seidel"
+    assert escalations[0].attrs["to"] == "jacobi"
+    # one solver.attempt event per recorded attempt, same outcomes
+    attempts = sink.named("solver.attempt")
+    assert [e.attrs["outcome"] for e in attempts] == [
+        a.outcome for a in result.report.attempts
+    ]
+    assert telemetry.metrics.value("solver.escalations") == len(escalations)
+    # the fallback-solve span carries the final outcome
+    end = sink.named("fallback-solve", "span_end")[0]
+    assert end.attrs["outcome"] == "converged"
+    assert end.attrs["method"] != "gauss_seidel"
+
+
+def test_attempt_events_feed_iteration_and_residual_histograms(
+    telemetry, system
+):
+    tt, v = system
+    FallbackSolver(("jacobi",), tol=TOL).solve(tt, v)
+    iters = telemetry.metrics.histogram("solver.iterations")
+    assert iters.count == 1
+    assert iters.last > 0
+    curve = telemetry.metrics.histogram("solver.residual_curve")
+    assert curve.count > 0
+    assert curve.min < curve.max  # residuals actually decreased
+
+
+def test_checkpoint_writes_and_resume_are_reported(
+    telemetry, system, tmp_path
+):
+    tt, v = system
+    kill_at = 40
+    with pytest.raises(chaos.InjectedFault):
+        FallbackSolver(
+            ("jacobi",), tol=TOL, checkpoint=tmp_path, checkpoint_every=10
+        ).solve(tt, v, inject=chaos.fault_at(kill_at))
+    writes = telemetry.sink.named("checkpoint.write")
+    assert writes
+    assert telemetry.metrics.value("checkpoint.writes") == len(writes)
+    assert all(e.attrs["iteration"] < kill_at for e in writes)
+
+    result = FallbackSolver(
+        ("jacobi",), tol=TOL, checkpoint=tmp_path, checkpoint_every=10
+    ).solve(tt, v, resume=True)
+    assert result.converged
+    resumed = telemetry.sink.named("solver.resumed")
+    assert len(resumed) == 1
+    assert resumed[0].attrs["iteration"] == result.report.resumed_from
+    assert telemetry.metrics.value("solver.resumes") == 1
+
+
+def test_transient_write_failure_emits_retry_events(
+    telemetry, system, tmp_path, monkeypatch
+):
+    import repro.runtime.checkpoint as ckpt_mod
+
+    tt, v = system
+    flaky = chaos.FlakyCalls(os.replace, plan={1: OSError})
+    monkeypatch.setattr(ckpt_mod.os, "replace", flaky)
+    manager = CheckpointManager(
+        tmp_path, every=20, backoff=0.0, sleep=lambda _: None
+    )
+    FallbackSolver(("jacobi",), tol=TOL, checkpoint=manager).solve(tt, v)
+    monkeypatch.undo()
+    retries = telemetry.sink.named("retry")
+    assert len(retries) == 1
+    assert retries[0].attrs["error"] == "OSError"
+    assert retries[0].attrs["attempt"] == 1
+    assert telemetry.metrics.value("retry.attempts") == 1
+
+
+def test_montecarlo_reports_walk_counts(telemetry, tiny_world):
+    result = pagerank_montecarlo_parallel(
+        tiny_world.graph, num_walks=500, workers=None, seed=3
+    )
+    assert telemetry.metrics.value("mc.walks") == result.num_walks == 500
+    runs = telemetry.sink.named("mc.run")
+    assert len(runs) == 1
+    assert runs[0].attrs["walks"] == 500
+    assert runs[0].attrs["steps"] == result.total_steps

@@ -1,0 +1,131 @@
+"""Unit tests for the telemetry facade, capture scoping and manifests."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    NOOP_SPAN,
+    Telemetry,
+    build_manifest,
+    capture,
+    get_telemetry,
+    manifest_path_for,
+    set_telemetry,
+    write_manifest,
+)
+
+
+def test_default_telemetry_is_disabled():
+    assert get_telemetry().enabled is False
+
+
+def test_enabled_facade_routes_to_sink_and_metrics():
+    tele = Telemetry(sink=MemorySink())
+    with tele.span("solve"):
+        tele.event("solver.attempt", method="jacobi")
+        tele.inc("solver.attempts")
+        tele.observe("solver.iterations", 42)
+        tele.set_gauge("detect.candidates", 7)
+        tele.observe_many("solver.residual_curve", [0.5, 0.25])
+    assert tele.sink.span_count("solve") == 1
+    assert len(tele.sink.named("solver.attempt")) == 1
+    assert tele.metrics.value("solver.attempts") == 1
+    assert tele.metrics.value("detect.candidates") == 7
+    assert tele.metrics.histogram("solver.iterations").last == 42.0
+    assert tele.metrics.histogram("solver.residual_curve").count == 2
+    # completed spans feed the duration histogram
+    assert tele.metrics.histogram("span.duration.solve").count == 1
+
+
+def test_disabled_facade_hands_out_the_noop_singleton():
+    tele = Telemetry(sink=MemorySink(), enabled=False)
+    assert tele.span("anything", key=1) is NOOP_SPAN
+    tele.event("x")
+    tele.inc("c")
+    tele.observe("h", 1.0)
+    tele.observe_many("h", [1.0])
+    tele.set_gauge("g", 1)
+    assert len(tele.sink) == 0
+    assert len(tele.metrics) == 0
+
+
+def test_set_telemetry_returns_previous_and_none_restores_disabled():
+    mine = Telemetry(sink=MemorySink())
+    previous = set_telemetry(mine)
+    try:
+        assert get_telemetry() is mine
+    finally:
+        restored = set_telemetry(previous)
+        assert restored is mine
+    assert get_telemetry() is previous
+    # None resets to the shared disabled default
+    old = set_telemetry(None)
+    try:
+        assert get_telemetry().enabled is False
+    finally:
+        set_telemetry(old)
+
+
+def test_capture_installs_and_restores():
+    before = get_telemetry()
+    with capture() as tele:
+        assert get_telemetry() is tele
+        assert tele.enabled
+        tele.event("x")
+        assert len(tele.sink) == 1
+    assert get_telemetry() is before
+
+
+def test_capture_restores_on_exception():
+    before = get_telemetry()
+    with pytest.raises(RuntimeError):
+        with capture():
+            raise RuntimeError("boom")
+    assert get_telemetry() is before
+
+
+class TestManifest:
+    def test_manifest_path_pairs_with_trace(self, tmp_path):
+        assert manifest_path_for(tmp_path / "run.trace.jsonl").name == (
+            "run.trace.manifest.json"
+        )
+
+    def test_build_manifest_from_memory_sink(self):
+        tele = Telemetry(sink=MemorySink())
+        with tele.span("solve"):
+            tele.event("solver.attempt")
+        manifest = build_manifest(
+            tele, argv=["estimate"], exit_code=0, trace_path="t.jsonl"
+        )
+        assert manifest["schema"] == 1
+        assert manifest["exit_code"] == 0
+        assert manifest["argv"] == ["estimate"]
+        assert manifest["events_total"] == 3
+        assert manifest["events_by_kind"] == {
+            "span_start": 1,
+            "span_end": 1,
+            "event": 1,
+        }
+        assert "span.duration.solve" in manifest["metrics"]
+
+    def test_build_manifest_from_jsonl_sink(self, tmp_path):
+        tele = Telemetry(sink=JsonlSink(tmp_path / "t.jsonl"))
+        with tele.span("solve"):
+            pass
+        tele.close()
+        manifest = build_manifest(tele)
+        assert manifest["events_total"] == 2
+        assert manifest["events_by_kind"] == {"span_start": 1, "span_end": 1}
+
+    def test_write_manifest_round_trips(self, tmp_path):
+        tele = Telemetry(sink=MemorySink())
+        tele.event("x")
+        path = write_manifest(
+            tele, tmp_path / "out" / "run.manifest.json", exit_code=4
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["exit_code"] == 4
+        assert loaded["events_total"] == 1

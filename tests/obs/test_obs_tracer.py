@@ -1,0 +1,114 @@
+"""Unit tests for the span tracer: nesting, status, thread isolation."""
+
+import threading
+
+import pytest
+
+from repro.obs import NOOP_SPAN, Event, MemorySink, NoopSpan, Tracer
+
+
+@pytest.fixture()
+def traced():
+    sink = MemorySink()
+    return Tracer(sink.emit), sink
+
+
+def test_span_emits_start_and_end(traced):
+    tracer, sink = traced
+    with tracer.span("solve", {"method": "jacobi"}):
+        pass
+    assert [e.kind for e in sink.events] == ["span_start", "span_end"]
+    start, end = sink.events
+    assert start.name == end.name == "solve"
+    assert start.attrs["method"] == "jacobi"
+    assert end.attrs["status"] == "ok"
+    assert end.attrs["duration"] >= 0.0
+
+
+def test_nesting_records_parent_and_depth(traced):
+    tracer, sink = traced
+    with tracer.span("outer"):
+        assert tracer.current().name == "outer"
+        with tracer.span("inner"):
+            assert tracer.current().name == "inner"
+    assert tracer.current() is None
+    inner_start = sink.named("inner", "span_start")[0]
+    assert inner_start.attrs["parent"] == "outer"
+    assert inner_start.attrs["depth"] == 1
+    outer_start = sink.named("outer", "span_start")[0]
+    assert outer_start.attrs["parent"] is None
+    assert outer_start.attrs["depth"] == 0
+    # inner completes before outer
+    assert sink.span_names() == ["inner", "outer"]
+
+
+def test_exception_marks_error_status_and_propagates(traced):
+    tracer, sink = traced
+    with pytest.raises(ValueError):
+        with tracer.span("solve"):
+            raise ValueError("boom")
+    end = sink.named("solve", "span_end")[0]
+    assert end.attrs["status"] == "error"
+    assert end.attrs["error"] == "ValueError"
+    assert tracer.current() is None  # stack unwound
+
+
+def test_set_attribute_lands_on_span_end(traced):
+    tracer, sink = traced
+    with tracer.span("solve") as sp:
+        sp.set("converged", True)
+    start = sink.named("solve", "span_start")[0]
+    end = sink.named("solve", "span_end")[0]
+    assert "converged" not in start.attrs
+    assert end.attrs["converged"] is True
+
+
+def test_on_close_hook_receives_finished_span():
+    closed = []
+    sink = MemorySink()
+    tracer = Tracer(sink.emit, on_close=closed.append)
+    with tracer.span("solve"):
+        pass
+    assert len(closed) == 1
+    assert closed[0].name == "solve"
+    assert closed[0].duration >= 0.0
+
+
+def test_span_stacks_are_per_thread():
+    sink = MemorySink()
+    lock = threading.Lock()
+
+    def emit(event: Event) -> None:
+        with lock:
+            sink.emit(event)
+
+    tracer = Tracer(emit)
+    barrier = threading.Barrier(2)
+    parents = {}
+
+    def worker(name: str) -> None:
+        with tracer.span(name):
+            barrier.wait()  # both threads hold their span concurrently
+            parents[name] = tracer.current().name
+            barrier.wait()
+
+    threads = [
+        threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # each thread saw its own span, not the other thread's
+    assert parents == {"t0": "t0", "t1": "t1"}
+    for name in ("t0", "t1"):
+        start = sink.named(name, "span_start")[0]
+        assert start.attrs["parent"] is None
+        assert start.attrs["depth"] == 0
+
+
+def test_noop_span_is_a_shared_inert_singleton():
+    assert isinstance(NOOP_SPAN, NoopSpan)
+    with NOOP_SPAN as sp:
+        sp.set("anything", 1)
+    assert not hasattr(NOOP_SPAN, "__dict__")  # __slots__: allocates nothing

@@ -354,3 +354,106 @@ def test_flaky_open_scripts_failures(tmp_path):
         opener(target)
     with opener(target) as fh:
         assert fh.read() == "payload"
+
+
+# ----------------------------------------------------------------------
+# telemetry under chaos: recovery paths leave an assertable event trail
+# ----------------------------------------------------------------------
+
+
+def test_tracer_records_escalations_in_chain_order(telemetry, system):
+    """Under a deterministic NaN fault the tracer records the full
+    escalation walk down the chain, in order, matching the RunReport."""
+    tt, v = system
+    poison = chaos.nan_poison_at(3, fraction=1.0)  # poisons every method
+    solver = FallbackSolver(
+        ("gauss_seidel", "jacobi", "direct"),
+        tol=TOL,
+        monitor_options={"check_every": 1},
+    )
+    result = solver.solve(tt, v, inject=poison)
+    assert result.method == "direct"
+
+    sink = telemetry.sink
+    escalations = sink.named("solver.escalation")
+    assert [(e.attrs["from"], e.attrs["to"]) for e in escalations] == [
+        ("gauss_seidel", "jacobi"),
+        ("jacobi", "direct"),
+    ]
+    # attempt events mirror the report, in the same order
+    attempts = sink.named("solver.attempt")
+    assert [e.attrs["method"] for e in attempts] == [
+        a.method for a in result.report.attempts
+    ]
+    assert [e.attrs["outcome"] for e in attempts] == [
+        "aborted:nan",
+        "aborted:nan",
+        "converged",
+    ]
+    # interleaving: each escalation event sits between the failed
+    # attempt and the next method's attempt
+    stream = [
+        (e.name, e.attrs.get("method") or e.attrs.get("to"))
+        for e in sink.events
+        if e.name in ("solver.attempt", "solver.escalation")
+    ]
+    assert stream == [
+        ("solver.attempt", "gauss_seidel"),
+        ("solver.escalation", "jacobi"),
+        ("solver.attempt", "jacobi"),
+        ("solver.escalation", "direct"),
+        ("solver.attempt", "direct"),
+    ]
+
+
+def test_tracer_records_retries_under_flaky_checkpoint_writes(
+    telemetry, tmp_path, system, monkeypatch
+):
+    """The scripted flaky os.replace plan {1: OSError, 3: OSError}
+    surfaces as exactly two retry events, in write order."""
+    import repro.runtime.checkpoint as ckpt_mod
+
+    tt, v = system
+    flaky = chaos.FlakyCalls(os.replace, plan={1: OSError, 3: OSError})
+    monkeypatch.setattr(ckpt_mod.os, "replace", flaky)
+    solver = FallbackSolver(
+        ("jacobi",),
+        tol=TOL,
+        checkpoint=CheckpointManager(
+            tmp_path, every=20, backoff=0.0, sleep=lambda _: None
+        ),
+    )
+    result = solver.solve(tt, v)
+    monkeypatch.undo()
+    assert result.converged
+
+    sink = telemetry.sink
+    retries = sink.named("retry")
+    assert len(retries) == 2
+    assert all(e.attrs["error"] == "OSError" for e in retries)
+    # both failures were first attempts of their respective writes
+    assert [e.attrs["attempt"] for e in retries] == [1, 1]
+    writes = sink.named("checkpoint.write")
+    assert len(writes) == result.report.checkpoints_written
+    assert telemetry.metrics.value("retry.attempts") == 2
+    # ordering: a retry always precedes the successful write it rescued
+    kinds = [
+        e.name for e in sink.events if e.name in ("retry", "checkpoint.write")
+    ]
+    assert kinds[0] == "retry"
+    assert kinds.count("checkpoint.write") == len(writes)
+
+
+def test_budget_exhaustion_is_visible_on_the_span(telemetry, system):
+    tt, v = system
+    ticks = iter(float(i) * 0.5 for i in range(100_000))
+    FallbackSolver(
+        ("jacobi", "gauss_seidel"),
+        tol=1e-16,  # unreachable
+        time_budget=3.0,
+        clock=lambda: next(ticks),
+    ).solve(tt, v)
+    end = telemetry.sink.named("fallback-solve", "span_end")[0]
+    assert end.attrs["outcome"] == "best-effort"
+    attempts = telemetry.sink.named("solver.attempt")
+    assert attempts[0].attrs["outcome"] == "aborted:time-budget"

@@ -1,0 +1,149 @@
+"""Subprocess smoke matrix for the CLI.
+
+Unlike ``test_cli.py`` (which drives ``main()`` in-process), these tests
+spawn real interpreter subprocesses — exercising the console entry
+point, argument plumbing, exit codes and on-disk outputs exactly as an
+operator would.  The matrix crosses the small preset with both engines
+and with tracing on/off; each cell asserts exit 0, valid JSON outputs
+and a parseable trace.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def run_cli(*argv, cwd):
+    """Run ``repro-spam`` in a subprocess; returns CompletedProcess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_world_dir(tmp_path_factory):
+    """A persisted small world, generated once by a real subprocess."""
+    out = tmp_path_factory.mktemp("smoke") / "world"
+    proc = run_cli(
+        "generate",
+        "--scale", "small",
+        "--out", str(out),
+        cwd=out.parent,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert (out / "core.hosts").exists()
+    return out
+
+
+@pytest.mark.parametrize("engine", ["batched", "legacy"])
+@pytest.mark.parametrize("traced", [False, True], ids=["untraced", "traced"])
+def test_estimate_matrix(small_world_dir, tmp_path, engine, traced):
+    """{small} x {--engine batched,legacy} x {--trace-out on,off}."""
+    prefix = tmp_path / "est" / "run"
+    trace = tmp_path / "run.trace.jsonl"
+    metrics = tmp_path / "run.metrics.json"
+    argv = []
+    if traced:
+        argv += ["--trace-out", str(trace), "--metrics-out", str(metrics)]
+    argv += [
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(prefix),
+        "--engine", engine,
+    ]
+    proc = run_cli(*argv, cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "estimated mass" in proc.stdout
+
+    # score outputs exist for every cell
+    for kind in ("pagerank", "core", "relative"):
+        assert Path(f"{prefix}.{kind}.scores").exists()
+
+    if not traced:
+        assert not trace.exists()
+        assert not metrics.exists()
+        return
+
+    # every trace line is valid JSON with the event schema
+    lines = trace.read_text().splitlines()
+    assert lines
+    records = [json.loads(line) for line in lines]
+    for record in records:
+        assert set(record) == {"ts", "kind", "name", "attrs"}
+        assert record["kind"] in ("span_start", "span_end", "event")
+    names = {r["name"] for r in records}
+    assert "cli:estimate" in names
+    assert "mass-estimate" in names
+    if engine == "batched":
+        assert "solve:batch" in names
+    else:
+        assert {"solve:p", "solve:p_prime"} <= names
+        assert "solve:batch" not in names
+
+    # the manifest pairs with the trace and is internally consistent
+    manifest = json.loads(
+        trace.with_suffix(".manifest.json").read_text()
+    )
+    assert manifest["exit_code"] == 0
+    assert manifest["events_total"] == len(records)
+    assert sum(manifest["events_by_kind"].values()) == len(records)
+    assert manifest["trace_file"] == str(trace)
+
+    # the metrics snapshot is valid JSON with typed entries
+    snapshot = json.loads(metrics.read_text())
+    assert "span.duration.cli:estimate" in snapshot
+    for entry in snapshot.values():
+        assert entry["type"] in ("counter", "gauge", "histogram")
+
+
+def test_no_telemetry_flag_suppresses_outputs(small_world_dir, tmp_path):
+    trace = tmp_path / "run.trace.jsonl"
+    proc = run_cli(
+        "--trace-out", str(trace),
+        "--no-telemetry",
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "run"),
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert not trace.exists()
+
+
+def test_detect_smoke_over_traced_estimate(small_world_dir, tmp_path):
+    """estimate → detect round trip through real subprocesses."""
+    prefix = tmp_path / "run"
+    est = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(prefix),
+        cwd=tmp_path,
+    )
+    assert est.returncode == 0, est.stderr
+    det = run_cli(
+        "--trace-out", str(tmp_path / "detect.trace.jsonl"),
+        "detect",
+        "--world", str(small_world_dir),
+        "--scores-prefix", str(prefix),
+        cwd=tmp_path,
+    )
+    assert det.returncode == 0, det.stderr
+    assert "spam candidates" in det.stdout
+    records = [
+        json.loads(line)
+        for line in (tmp_path / "detect.trace.jsonl").read_text().splitlines()
+    ]
+    assert {r["name"] for r in records} >= {"cli:detect"}

@@ -22,10 +22,12 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core.detector import MassDetector
 from repro.core.mass import estimate_spam_mass
 from repro.datasets import figure2_graph
+from repro.perf import PagerankEngine
 from repro.synth import WorldConfig, build_world, default_good_core
-from repro.tools.regen_golden import GAMMA, TOL, WORLD_SEED
+from repro.tools.regen_golden import GAMMA, RHO, TAU, TOL, WORLD_SEED
 
 GOLDEN = Path(__file__).parent / "golden"
 
@@ -37,6 +39,7 @@ ATOL = 1e-10
 def test_golden_fixtures_are_committed():
     assert (GOLDEN / "table1.json").is_file()
     assert (GOLDEN / "world_small.npz").is_file()
+    assert (GOLDEN / "telemetry_world_small.json").is_file()
 
 
 def test_table1_matches_golden():
@@ -103,3 +106,42 @@ def test_world_small_golden_is_self_consistent(world_small_fixture):
     assert p_core.min() >= 0.0
     # relative mass stays <= 1 wherever PageRank is positive
     assert np.all(1.0 - p_core / p <= 1.0 + 1e-9)
+
+
+def test_telemetry_stream_matches_golden(telemetry):
+    """The normalized event stream of a full pipeline pass is pinned.
+
+    Reruns the fixture's pipeline — small world, fresh engine, default
+    thresholds — under the ``telemetry`` capture fixture and compares
+    the timing-stripped stream (kinds, names, ordering, stable attrs)
+    against ``tests/golden/telemetry_world_small.json``.  A surprise
+    diff means an instrumentation contract change: a stage gained or
+    lost its span, nesting order moved, or a span started erroring.
+
+    To update after an *intentional* instrumentation change::
+
+        PYTHONPATH=src python -m repro.tools.regen_golden
+    """
+    fixture = json.loads(
+        (GOLDEN / "telemetry_world_small.json").read_text("utf-8")
+    )
+    assert fixture["seed"] == WORLD_SEED
+    assert fixture["gamma"] == GAMMA
+    assert fixture["tau"] == TAU
+
+    world = build_world(WorldConfig.small(seed=fixture["seed"]))
+    core = default_good_core(world)
+    # a fresh engine, exactly as regen_golden uses: the shared engine
+    # may hold a cached operator, which would drop the operator-build
+    # span and desync the stream
+    engine = PagerankEngine()
+    est = estimate_spam_mass(
+        world.graph,
+        core,
+        gamma=fixture["gamma"],
+        tol=fixture["tol"],
+        engine=engine,
+    )
+    MassDetector(fixture["tau"], fixture["rho"]).detect(est)
+
+    assert telemetry.sink.normalized() == fixture["events"]
