@@ -1,0 +1,417 @@
+#!/usr/bin/env python
+"""Benchmark: incremental push updates vs a cold batched re-solve.
+
+The deployment story of the incremental engine (``docs/perf.md``) is a
+mass-estimation service tracking an evolving host graph: between two
+crawls a small fraction of edges changes, and the service re-ranks by
+warm-starting from yesterday's converged ``(p, p')`` pair instead of
+re-solving from scratch.  This bench reproduces that loop on the
+synthetic presets:
+
+1. Solve the base graph cold (the state a service holds in memory).
+2. For each of ``--events`` independent churn events, materialize an
+   edge delta sized to ``--churn`` of the edge count, in two flavors:
+
+   ``farm``
+       Spam-farm appearance: previously link-less hosts sprout ~20
+       outlinks each, pointing at other link-less leaves — doorway
+       pages linking up content leaves, the canonical link-spam event
+       the paper's detector exists to catch.  The perturbation stays
+       local (leaf targets absorb mass without scattering), which is
+       exactly the regime push updates are built for.
+   ``diffuse``
+       The same sources pointing at uniformly random targets.  The
+       residual reaches well-connected hosts and diffuses graph-wide,
+       so the push kernel escapes to the cold block kernel (see
+       ``docs/perf.md``) and only the warm-start advantage survives.
+
+3. Time, per event, a cold ``solve_many`` on the mutated graph (fresh
+   engine: operator build + block solve, what a re-run pays) against
+   ``update_many`` on an engine holding the *base* operator (operator
+   splice + residual push, what the service pays).
+4. Verify per event that the incremental scores match the cold ones to
+   ``10 * tol`` per node, and report the median speedup per flavor.
+
+Two tolerance scenarios run back-to-back: ``default`` (``1e-12``, the
+reproduction default — the incremental solver runs at the same ``tol``
+as the cold solve) is the one the CI speedup gate applies to, on the
+``farm`` flavor; ``relaxed`` (``1e-8``, plenty for a threshold
+detector at ``tau = 0.98``) is reported for reference.  The edge
+*grows* with precision: a leaf-local push converges in a couple of
+sweeps regardless of ``tol`` while the cold solve pays ~60% more
+iterations going from 1e-8 to 1e-12.  The ``diffuse`` flavor is never
+gated — its honest speedup is ~1.1-1.3x, from the warm start alone.
+
+Typical usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_incremental.py \
+        --out benchmarks/perf/BENCH_incremental.json
+
+    # CI gate: >=5x median farm-flavor speedup at 1% churn on the
+    # medium preset, and no >4x slowdown vs the committed baseline
+    PYTHONPATH=src python benchmarks/perf/bench_incremental.py \
+        --check benchmarks/perf/BENCH_incremental.json \
+        --factor 4.0 --min-speedup 5.0
+
+This is a plain script, not a pytest module — ``benchmarks/`` is
+excluded from test collection and the bench must run standalone in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import emit_report, median, new_report, split_csv  # noqa: E402
+
+#: Outlinks each appearing farm host sprouts; ~the size of the alliance
+#: rings in the synthetic worlds.
+LINKS_PER_HOST = 20
+
+SCENARIOS = (
+    {"name": "default", "tol": 1e-12, "gated": True},
+    {"name": "relaxed", "tol": 1e-8, "gated": False},
+)
+
+#: The CI speedup floor applies to this churn flavor only.
+GATED_FLAVOR = "farm"
+
+
+def churn_delta(graph, *, churn, rng, flavor):
+    """An insertion-only delta: link-less hosts sprout outlinks.
+
+    Sized to ``churn * num_edges`` new edges, spread over hosts that
+    currently have no outlinks (so every insertion is guaranteed
+    fresh).  The ``farm`` flavor points them at other link-less leaves
+    — doorway pages linking up content leaves, a new spam farm
+    lighting up between crawls; ``diffuse`` points them at uniformly
+    random hosts, the worst case for push locality.
+    """
+    from repro.graph import GraphDelta
+
+    n = graph.num_nodes
+    out_degree = np.diff(graph.indptr)
+    silent = np.flatnonzero(out_degree == 0)
+    budget = max(1, int(round(churn * graph.num_edges)))
+    num_farms = max(1, min(len(silent), budget // LINKS_PER_HOST))
+    sources = rng.choice(silent, size=num_farms, replace=False)
+    insertions = []
+    for src in sources:
+        if flavor == "farm":
+            pool = silent[silent != src]
+            targets = rng.choice(pool, size=LINKS_PER_HOST, replace=False)
+        else:
+            targets = rng.choice(n - 1, size=LINKS_PER_HOST, replace=False)
+            # shift past src so no self-link is drawn
+            targets = np.where(targets >= src, targets + 1, targets)
+        insertions.extend((int(src), int(t)) for t in targets)
+    return GraphDelta(insertions=insertions)
+
+
+def bench_preset(config, *, repeats, events, churn, seed):
+    from repro.core.pagerank import (
+        scaled_core_jump_vector,
+        uniform_jump_vector,
+    )
+    from repro.perf import PagerankEngine
+    from repro.synth.scenario import build_world, default_good_core
+
+    world = build_world(config)
+    graph = world.graph
+    core = default_good_core(world)
+    n = graph.num_nodes
+    stacked = np.stack(
+        [
+            uniform_jump_vector(n),
+            scaled_core_jump_vector(n, core, gamma=0.85),
+        ],
+        axis=1,
+    )
+
+    rng = np.random.default_rng(seed)
+    flavors = {
+        flavor: [
+            churn_delta(graph, churn=churn, rng=rng, flavor=flavor)
+            for _ in range(events)
+        ]
+        for flavor in ("farm", "diffuse")
+    }
+    applications = {
+        flavor: [delta.apply(graph) for delta in deltas]
+        for flavor, deltas in flavors.items()
+    }
+
+    preset = {
+        "num_nodes": n,
+        "num_edges": graph.num_edges,
+        "dangling_frac": round(float(graph.dangling_mask().mean()), 4),
+        "churn": {
+            "fraction": churn,
+            "events": events,
+            "insertions_per_event": len(flavors["farm"][0]),
+            "links_per_host": LINKS_PER_HOST,
+        },
+        "scenarios": {},
+    }
+
+    for scenario in SCENARIOS:
+        tol = scenario["tol"]
+        # the state a long-running service holds: the base solution and
+        # the base operator (solved once, outside any timed region)
+        base_engine = PagerankEngine()
+        base = base_engine.solve_many(graph, stacked, tol=tol)
+
+        flavor_blocks = {}
+        for flavor, apps in applications.items():
+            event_rows = []
+            for application in apps:
+                cold_best = float("inf")
+                cold_result = None
+                for _ in range(repeats):
+                    engine = PagerankEngine()  # cold: pays operator build
+                    start = time.perf_counter()
+                    cold_result = engine.solve_many(
+                        application.after, stacked, tol=tol
+                    )
+                    cold_best = min(cold_best, time.perf_counter() - start)
+
+                inc_best = float("inf")
+                inc_result = None
+                for _ in range(repeats):
+                    engine = PagerankEngine()
+                    engine.cache.bundle_for(graph)  # untimed: service state
+                    start = time.perf_counter()
+                    inc_result = engine.update_many(
+                        application, base, stacked, tol=tol
+                    )
+                    inc_best = min(inc_best, time.perf_counter() - start)
+
+                deviation = float(
+                    np.abs(inc_result.scores - cold_result.scores).max()
+                )
+                event_rows.append(
+                    {
+                        "cold_seconds": round(cold_best, 4),
+                        "incremental_seconds": round(inc_best, 4),
+                        "speedup": round(cold_best / inc_best, 2),
+                        "max_abs_deviation": float(f"{deviation:.3e}"),
+                        "sweeps": inc_result.stats.sweeps,
+                        "pushes": inc_result.stats.pushes,
+                        "max_frontier": inc_result.stats.max_frontier,
+                    }
+                )
+
+            speedups = [row["speedup"] for row in event_rows]
+            flavor_blocks[flavor] = {
+                "gated": scenario["gated"] and flavor == GATED_FLAVOR,
+                "cold_seconds_median": round(
+                    median(row["cold_seconds"] for row in event_rows), 4
+                ),
+                "incremental_seconds_median": round(
+                    median(
+                        row["incremental_seconds"] for row in event_rows
+                    ),
+                    4,
+                ),
+                "speedup_median": round(median(speedups), 2),
+                "speedup_min": round(min(speedups), 2),
+                "max_abs_deviation": max(
+                    row["max_abs_deviation"] for row in event_rows
+                ),
+                "events": event_rows,
+            }
+
+        preset["scenarios"][scenario["name"]] = {
+            "tol": tol,
+            "deviation_bound": 10.0 * tol,
+            "flavors": flavor_blocks,
+        }
+    return preset
+
+
+def verify_deviations(report):
+    """Correctness failures (incremental drifted past ``10 * tol``)."""
+    failures = []
+    for name, preset in report["presets"].items():
+        for sname, scenario in preset["scenarios"].items():
+            for fname, flavor in scenario["flavors"].items():
+                if flavor["max_abs_deviation"] > scenario[
+                    "deviation_bound"
+                ]:
+                    failures.append(
+                        f"{name}/{sname}/{fname}: incremental scores "
+                        f"deviate {flavor['max_abs_deviation']:.3e} from "
+                        f"the cold solve, above the 10*tol bound "
+                        f"{scenario['deviation_bound']:.1e}"
+                    )
+    return failures
+
+
+def check_regression(report, baseline_path, factor, min_speedup):
+    """Return a list of failure messages (empty = pass).
+
+    The speedup floor and the slowdown factor both apply to *gated*
+    flavor blocks only (``farm`` at the reproduction tolerance).  The
+    ``diffuse`` flavor's speedup comes from the warm start alone
+    (~1.1-1.3x) and the ``relaxed`` scenario's cold solve is itself
+    cheap, so neither carries a meaningful floor — machine noise would
+    dominate the gate.
+    """
+    failures = []
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    for name, preset in report["presets"].items():
+        base_preset = baseline.get("presets", {}).get(name)
+        for sname, scenario in preset["scenarios"].items():
+            for fname, flavor in scenario["flavors"].items():
+                if not flavor["gated"]:
+                    continue
+                if min_speedup is not None and (
+                    flavor["speedup_median"] < min_speedup
+                ):
+                    failures.append(
+                        f"{name}/{sname}/{fname}: median incremental "
+                        f"speedup {flavor['speedup_median']:.2f}x is "
+                        f"below the required {min_speedup:g}x"
+                    )
+                base_flavor = None
+                if base_preset:
+                    base_flavor = (
+                        base_preset.get("scenarios", {})
+                        .get(sname, {})
+                        .get("flavors", {})
+                        .get(fname)
+                    )
+                if base_flavor is None:
+                    continue
+                current = flavor["incremental_seconds_median"]
+                reference = base_flavor["incremental_seconds_median"]
+                if reference > 0 and current > factor * reference:
+                    failures.append(
+                        f"{name}/{sname}/{fname}: incremental median "
+                        f"{current:.4f}s is more than {factor:g}x the "
+                        f"baseline {reference:.4f}s"
+                    )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--presets",
+        default="medium",
+        help="comma-separated subset of small,medium,large",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing (default 3)"
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=5,
+        help="independent churn events per preset (median over them)",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=0.01,
+        help="fraction of the edge count inserted per event (default 1%%)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON report here (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_incremental.json and "
+        "exit non-zero on regression",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=4.0,
+        help="max allowed slowdown vs the baseline (default 4.0)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail if the gated median speedup drops below this ratio",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.synth.scenario import WorldConfig
+
+    factories = {
+        "small": WorldConfig.small,
+        "medium": WorldConfig.medium,
+        "large": WorldConfig.large,
+    }
+    names = split_csv(args.presets)
+    unknown = sorted(set(names) - set(factories))
+    if unknown:
+        parser.error(f"unknown presets: {', '.join(unknown)}")
+
+    report = new_report(
+        "incremental_pagerank",
+        {
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "events": args.events,
+            "churn": args.churn,
+            "gamma": 0.85,
+        },
+    )
+    for name in names:
+        print(f"benchmarking preset {name} ...", file=sys.stderr, flush=True)
+        report["presets"][name] = bench_preset(
+            factories[name](args.seed),
+            repeats=args.repeats,
+            events=args.events,
+            churn=args.churn,
+            seed=args.seed,
+        )
+
+    emit_report(report, args.out)
+
+    for name, preset in report["presets"].items():
+        for sname, scenario in preset["scenarios"].items():
+            for fname, flavor in scenario["flavors"].items():
+                print(
+                    f"{name}/{sname}/{fname} (tol={scenario['tol']:g}): "
+                    f"cold {flavor['cold_seconds_median']}s, incremental "
+                    f"{flavor['incremental_seconds_median']}s "
+                    f"({flavor['speedup_median']}x median, "
+                    f"{flavor['speedup_min']}x min), max deviation "
+                    f"{flavor['max_abs_deviation']:.2e}",
+                    file=sys.stderr,
+                )
+
+    failures = verify_deviations(report)
+    if args.check:
+        failures.extend(
+            check_regression(
+                report, args.check, args.factor, args.min_speedup
+            )
+        )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("regression check passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

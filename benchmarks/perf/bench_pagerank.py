@@ -48,23 +48,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
-import scipy
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-def _best_of(repeats, fn):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+from _harness import best_of as _best_of  # noqa: E402
+from _harness import emit_report, new_report, split_csv  # noqa: E402
 
 
 def bench_preset(name, config, *, repeats, mc_walks):
@@ -296,27 +288,20 @@ def main(argv=None):
         "medium": WorldConfig.medium,
         "large": WorldConfig.large,
     }
-    names = [p.strip() for p in args.presets.split(",") if p.strip()]
+    names = split_csv(args.presets)
     unknown = sorted(set(names) - set(factories))
     if unknown:
         parser.error(f"unknown presets: {', '.join(unknown)}")
 
-    report = {
-        "schema": 1,
-        "benchmark": "pagerank_engine",
-        "versions": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "scipy": scipy.__version__,
-        },
-        "parameters": {
+    report = new_report(
+        "pagerank_engine",
+        {
             "seed": args.seed,
             "repeats": args.repeats,
             "tol": 1e-12,
             "gamma": 0.85,
         },
-        "presets": {},
-    }
+    )
     for name in names:
         print(f"benchmarking preset {name} ...", file=sys.stderr, flush=True)
         report["presets"][name] = bench_preset(
@@ -326,14 +311,7 @@ def main(argv=None):
             mc_walks=args.mc_walks,
         )
 
-    payload = json.dumps(report, indent=2, sort_keys=False) + "\n"
-    if args.out:
-        out = Path(args.out)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(payload, encoding="utf-8")
-        print(f"wrote {out}", file=sys.stderr)
-    else:
-        print(payload, end="")
+    emit_report(report, args.out)
 
     for name, preset in report["presets"].items():
         print(
@@ -351,17 +329,9 @@ def main(argv=None):
             args.check,
             args.factor,
             args.min_speedup,
-            speedup_presets=tuple(
-                p.strip()
-                for p in args.speedup_presets.split(",")
-                if p.strip()
-            ),
+            speedup_presets=tuple(split_csv(args.speedup_presets)),
             max_overhead=args.max_overhead,
-            overhead_presets=tuple(
-                p.strip()
-                for p in args.overhead_presets.split(",")
-                if p.strip()
-            ),
+            overhead_presets=tuple(split_csv(args.overhead_presets)),
         )
         if failures:
             for failure in failures:

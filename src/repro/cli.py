@@ -50,6 +50,7 @@ from .core import estimate_spam_mass, scale_scores
 from .errors import (
     CheckpointError,
     ConvergenceError,
+    DeltaError,
     GraphFormatError,
     ReproError,
 )
@@ -79,6 +80,27 @@ _SCALES = {
     "medium": WorldConfig.medium,
     "large": WorldConfig.large,
 }
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer.
+
+    Guards the knobs where zero or a negative value is never meaningful
+    (cache bounds, worker counts, walk counts, checkpoint cadence) so a
+    fat-fingered ``--workers 0`` fails at parse time with a usage error
+    (exit code 2) instead of surfacing later as an obscure solver or
+    multiprocessing failure.  Note argparse only applies ``type=`` to
+    strings, so non-string defaults (``None``, ``0``) are unaffected.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def _config_for(scale: str, seed: int) -> WorldConfig:
@@ -267,6 +289,24 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     write_scores(estimates.pagerank, f"{prefix}.pagerank.scores")
     write_scores(estimates.core_pagerank, f"{prefix}.core.scores")
     write_scores(estimates.relative, f"{prefix}.relative.scores")
+    if args.checkpoint_dir is not None and exit_code == EXIT_OK:
+        # persist the converged pair so a later `repro-spam update` can
+        # warm-start the incremental engine instead of solving cold (a
+        # best-effort vector is deliberately not saved: the push update
+        # assumes the stored scores solve the base graph exactly)
+        from .runtime.checkpoint import save_solution
+
+        save_solution(
+            args.checkpoint_dir,
+            np.stack([estimates.pagerank, estimates.core_pagerank], axis=1),
+            fingerprint=graph.structural_fingerprint(),
+            extra={
+                "damping": estimates.damping,
+                "gamma": gamma,
+                "labels": ["pagerank", "core"],
+            },
+        )
+        print(f"saved converged solution to {args.checkpoint_dir}")
     eligible = int(
         (estimates.scaled_pagerank() >= args.rho).sum()
     )
@@ -277,6 +317,95 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     )
     print(f"wrote {prefix}.{{pagerank,core,relative}}.scores")
     return exit_code
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    """Incrementally re-estimate mass after an edge delta.
+
+    Consumes the graph a previous ``estimate --checkpoint-dir`` run was
+    computed on, the converged solution it saved, and an edge-delta
+    file; applies the delta, warm-starts the push solver at the stored
+    solution, and writes the same three score files ``estimate`` would
+    have produced for the mutated graph — typically orders of magnitude
+    faster than a cold re-solve (see ``docs/perf.md``).
+    """
+    from .core import MassEstimates
+    from .graph import read_delta
+    from .runtime.checkpoint import load_solution, save_solution
+
+    graph, labels, metadata = read_graph_bundle(
+        args.world, strict=not args.lenient
+    )
+    core_path = (
+        Path(args.core) if args.core else Path(args.world) / "core.hosts"
+    )
+    core = _core_ids(graph, core_path)
+    gamma = None if args.gamma <= 0 else args.gamma
+    delta = read_delta(args.delta)
+    snapshot = load_solution(
+        args.checkpoint_dir, fingerprint=graph.structural_fingerprint()
+    )
+    stored_gamma = snapshot.meta.get("gamma")
+    if stored_gamma != gamma:
+        raise SystemExit(
+            f"stored solution used gamma={stored_gamma}, requested "
+            f"gamma={gamma}; re-run the cold estimate"
+        )
+    damping = float(snapshot.meta.get("damping", 0.85))
+    previous = MassEstimates(
+        snapshot.scores[:, 0].copy(),
+        snapshot.scores[:, 1].copy(),
+        damping,
+        gamma,
+    )
+    application = delta.apply(graph)
+    estimates = estimate_spam_mass(
+        application,
+        core,
+        damping=damping,
+        gamma=gamma,
+        previous=previous,
+        engine=_build_engine(args),
+    )
+    prefix = Path(args.out_prefix)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    write_scores(estimates.pagerank, f"{prefix}.pagerank.scores")
+    write_scores(estimates.core_pagerank, f"{prefix}.core.scores")
+    write_scores(estimates.relative, f"{prefix}.relative.scores")
+    save_solution(
+        args.checkpoint_dir,
+        np.stack([estimates.pagerank, estimates.core_pagerank], axis=1),
+        fingerprint=application.after.structural_fingerprint(),
+        extra={
+            "damping": damping,
+            "gamma": gamma,
+            "labels": ["pagerank", "core"],
+        },
+    )
+    if args.write_world:
+        out_world = Path(args.write_world)
+        write_graph_bundle(
+            application.after,
+            out_world,
+            labels=labels,
+            metadata=metadata,
+        )
+        # carry the good core over so the mutated directory is a
+        # complete world (estimate/update default --core to it)
+        write_host_list(
+            [application.after.name_of(int(i)) for i in core],
+            out_world / "core.hosts",
+        )
+        print(f"wrote the mutated graph bundle to {out_world}")
+    eligible = int((estimates.scaled_pagerank() >= args.rho).sum())
+    print(
+        f"applied {delta.num_insertions:,}+/{delta.num_deletions:,}- edge "
+        f"delta touching {len(application.touched_nodes):,} hosts; "
+        f"{eligible:,} hosts pass scaled PageRank >= {args.rho:g}"
+    )
+    print(f"wrote {prefix}.{{pagerank,core,relative}}.scores")
+    print(f"saved updated solution to {args.checkpoint_dir}")
+    return EXIT_OK
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -478,24 +607,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_est.add_argument(
         "--cache-size",
-        type=int,
+        type=_positive_int,
         default=8,
         help="bound of the operator LRU cache (graphs, default 8)",
     )
     p_est.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="process count for Monte-Carlo sampling (--mc-walks); "
         "results are identical for any worker count",
     )
     p_est.add_argument(
         "--mc-walks",
-        type=int,
+        type=_positive_int,
         default=0,
         metavar="N",
         help="cross-check the linear PageRank against an N-walk "
-        "Monte-Carlo estimate (0 = off); parallelized over --workers",
+        "Monte-Carlo estimate (default off); parallelized over --workers",
     )
     p_est.add_argument(
         "--seed",
@@ -511,7 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_est.add_argument(
         "--checkpoint-every",
-        type=int,
+        type=_positive_int,
         default=50,
         help="checkpoint cadence in solver iterations (default 50)",
     )
@@ -530,6 +659,69 @@ def build_parser() -> argparse.ArgumentParser:
         "best-effort vector (exit code 4) instead of running on",
     )
     p_est.set_defaults(func=cmd_estimate)
+
+    p_upd = sub.add_parser(
+        "update",
+        help="incrementally re-estimate mass after an edge delta",
+    )
+    p_upd.add_argument(
+        "--world",
+        required=True,
+        help="bundle directory of the graph the stored solution was "
+        "computed on (the *pre*-delta graph)",
+    )
+    p_upd.add_argument(
+        "--delta",
+        required=True,
+        help="edge-delta file ('+ u v' / '- u v' lines; see docs/cli.md)",
+    )
+    p_upd.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory a previous 'estimate --checkpoint-dir' saved "
+        "its converged solution to; updated in place on success",
+    )
+    p_upd.add_argument(
+        "--core",
+        default=None,
+        help="core host list (default: <world>/core.hosts)",
+    )
+    p_upd.add_argument(
+        "--gamma",
+        type=float,
+        default=0.85,
+        help="good-fraction scaling; must match the stored solution",
+    )
+    p_upd.add_argument("--rho", type=float, default=10.0)
+    p_upd.add_argument(
+        "--out-prefix", required=True, help="prefix for the score files"
+    )
+    p_upd.add_argument(
+        "--write-world",
+        default=None,
+        metavar="DIR",
+        help="also write the mutated graph as a bundle (labels and "
+        "metadata carried over) so 'detect' can run against it",
+    )
+    p_upd.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-warn on malformed input lines instead of failing",
+    )
+    p_upd.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=8,
+        help="bound of the operator LRU cache (graphs, default 8)",
+    )
+    p_upd.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="unused by the push solver; accepted for flag parity with "
+        "'estimate'",
+    )
+    p_upd.set_defaults(func=cmd_update)
 
     p_det = sub.add_parser("detect", help="apply Algorithm 2 thresholds")
     p_det.add_argument("--world", required=True)
@@ -568,13 +760,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--seed", type=int, default=7)
     p_rep.add_argument(
         "--cache-size",
-        type=int,
+        type=_positive_int,
         default=8,
         help="bound of the operator LRU cache used by the solves",
     )
     p_rep.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="process count for Monte-Carlo stages (deterministic for "
         "any worker count)",
@@ -609,7 +801,12 @@ def run(args: argparse.Namespace) -> int:
             raise
         print(f"repro-spam: solver did not converge: {exc}", file=sys.stderr)
         return EXIT_CONVERGENCE
-    except (FileNotFoundError, GraphFormatError, CheckpointError) as exc:
+    except (
+        FileNotFoundError,
+        GraphFormatError,
+        DeltaError,
+        CheckpointError,
+    ) as exc:
         # GraphFormatError covers TruncatedFileError; these are all
         # "your input files are missing or broken"
         if args.traceback:

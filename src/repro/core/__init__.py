@@ -17,7 +17,12 @@ from .contribution import (
     walk_contribution,
     walk_weight,
 )
-from .detector import DetectionResult, MassDetector, detect_spam
+from .detector import (
+    DetectionResult,
+    DetectionUpdate,
+    MassDetector,
+    detect_spam,
+)
 from .mass import (
     DEFAULT_GAMMA,
     MassEstimates,
@@ -76,6 +81,7 @@ __all__ = [
     "blacklist_mass",
     "MassDetector",
     "DetectionResult",
+    "DetectionUpdate",
     "detect_spam",
     "CombinedEstimates",
     "combine_average",

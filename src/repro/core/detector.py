@@ -26,7 +26,12 @@ from ..obs import get_telemetry
 from .mass import DEFAULT_GAMMA, MassEstimates, estimate_spam_mass
 from .pagerank import DEFAULT_DAMPING
 
-__all__ = ["DetectionResult", "MassDetector", "detect_spam"]
+__all__ = [
+    "DetectionResult",
+    "DetectionUpdate",
+    "MassDetector",
+    "detect_spam",
+]
 
 
 class DetectionResult:
@@ -87,6 +92,48 @@ class DetectionResult:
         )
 
 
+class DetectionUpdate:
+    """Result of an incremental re-labeling pass.
+
+    Attributes
+    ----------
+    result:
+        The post-update :class:`DetectionResult` — identical, node for
+        node, to a fresh :meth:`MassDetector.detect` on the new
+        estimates.
+    newly_flagged:
+        Node ids that crossed *into* the candidate set.
+    newly_cleared:
+        Node ids that crossed *out* of it.
+    relabeled:
+        Total number of label flips (``len(newly_flagged) +
+        len(newly_cleared)``).
+    """
+
+    __slots__ = ("result", "newly_flagged", "newly_cleared")
+
+    def __init__(
+        self,
+        result: DetectionResult,
+        newly_flagged: np.ndarray,
+        newly_cleared: np.ndarray,
+    ) -> None:
+        self.result = result
+        self.newly_flagged = newly_flagged
+        self.newly_cleared = newly_cleared
+
+    @property
+    def relabeled(self) -> int:
+        return len(self.newly_flagged) + len(self.newly_cleared)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DetectionUpdate(+{len(self.newly_flagged)}, "
+            f"-{len(self.newly_cleared)}, "
+            f"candidates={self.result.num_candidates})"
+        )
+
+
 class MassDetector:
     """Algorithm 2: label spam candidates by estimated relative mass.
 
@@ -134,6 +181,56 @@ class MassDetector:
                 sp.set("eligible", result.num_eligible)
                 tele.set_gauge("detect.candidates", result.num_candidates)
             return result
+
+    def update(
+        self, previous: DetectionResult, estimates: MassEstimates
+    ) -> DetectionUpdate:
+        """Re-label only the nodes whose thresholds were crossed.
+
+        Starts from ``previous``'s labeling and flips exactly the nodes
+        whose eligibility (``p ≥ ρ``) or relative mass (``m̃ ≥ τ``)
+        crossed a threshold under the new ``estimates`` — the usual
+        case after an incremental mass update, where the vast majority
+        of nodes kept their labels.  The produced labeling is identical
+        to a fresh :meth:`detect` (the update tests pin this), but the
+        result also reports *which* nodes flipped, which is the signal
+        a deployment actually acts on between crawls.
+        """
+        if estimates.num_nodes != len(previous.candidate_mask):
+            raise ValueError(
+                f"estimates cover {estimates.num_nodes} nodes, previous "
+                f"labeling covers {len(previous.candidate_mask)}"
+            )
+        tele = get_telemetry()
+        with tele.span(
+            "detect:update", tau=self.tau, rho=self.rho
+        ) as sp:
+            if self.scaled_rho:
+                scores = estimates.scaled_pagerank()
+            else:
+                scores = estimates.pagerank
+            eligible = scores >= self.rho
+            should_flag = eligible & (estimates.relative >= self.tau)
+            crossed = should_flag != previous.candidate_mask
+            candidate_mask = previous.candidate_mask.copy()
+            candidate_mask[crossed] = should_flag[crossed]
+            newly_flagged = np.flatnonzero(
+                crossed & ~previous.candidate_mask
+            )
+            newly_cleared = np.flatnonzero(
+                crossed & previous.candidate_mask
+            )
+            result = DetectionResult(
+                candidate_mask, eligible, self.tau, self.rho, estimates
+            )
+            update = DetectionUpdate(result, newly_flagged, newly_cleared)
+            if tele.enabled:
+                sp.set("candidates", result.num_candidates)
+                sp.set("newly_flagged", len(newly_flagged))
+                sp.set("newly_cleared", len(newly_cleared))
+                tele.set_gauge("detect.candidates", result.num_candidates)
+                tele.inc("detect.relabeled", update.relabeled)
+            return update
 
     def detect_on_graph(
         self,

@@ -35,6 +35,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..graph.delta import DeltaApplication
 from ..graph.webgraph import WebGraph
 from ..obs import get_telemetry
 from .contribution import contribution_vector
@@ -190,13 +191,17 @@ def estimate_spam_mass(
     check: bool = True,
     policy=None,
     engine=None,
+    previous: Optional[MassEstimates] = None,
 ) -> MassEstimates:
     """Estimate spam mass from a good core (Definition 3 + Section 3.5).
 
     Parameters
     ----------
     graph:
-        The web graph.
+        The web graph — or, for incremental re-estimation, a
+        :class:`~repro.graph.delta.DeltaApplication` pairing the graph
+        the ``previous`` estimates were computed on with its mutated
+        successor.
     good_core:
         Node ids of the known-good core ``Ṽ⁺``.  The paper's guidance:
         as large as possible and as broad as possible (orders of
@@ -228,27 +233,64 @@ def estimate_spam_mass(
         per-solve :class:`RunReport` diagnostics land in
         ``MassEstimates.reports``.  ``check=True`` still raises if even
         the fallback chain could not converge.
+    previous:
+        Optional :class:`MassEstimates` from the graph *before* the
+        delta.  Requires ``graph`` to be a
+        :class:`~repro.graph.delta.DeltaApplication`; the two PageRank
+        vectors are then *updated* by Gauss–Southwell residual pushes
+        seeded at the touched nodes
+        (:meth:`~repro.perf.engine.PagerankEngine.update_many`) instead
+        of re-solved from scratch, converging to the same ``tol``.
     """
     core_list = list(good_core)
     if not core_list:
         raise ValueError("good core must not be empty")
+    application = None
+    if isinstance(graph, DeltaApplication):
+        application = graph
+        graph = application.after
+    if previous is not None:
+        if application is None:
+            raise ValueError(
+                "previous= needs a DeltaApplication (pairing the old "
+                "graph with the mutated one), not a bare WebGraph"
+            )
+        if policy is not None or transition_t is not None:
+            raise ValueError(
+                "previous= uses the incremental engine path and cannot "
+                "be combined with policy= or transition_t="
+            )
+        if previous.num_nodes != graph.num_nodes:
+            raise ValueError(
+                f"previous estimates cover {previous.num_nodes} nodes, "
+                f"graph has {graph.num_nodes}"
+            )
+        if previous.damping != damping or previous.gamma != gamma:
+            raise ValueError(
+                "previous estimates were computed with different "
+                f"parameters (c={previous.damping}, γ={previous.gamma}) "
+                f"than requested (c={damping}, γ={gamma})"
+            )
     tele = get_telemetry()
     if not tele.enabled:
         return _estimate_spam_mass(
             graph, core_list, damping=damping, gamma=gamma, tol=tol,
             max_iter=max_iter, method=method, transition_t=transition_t,
             check=check, policy=policy, engine=engine, tele=tele,
+            application=application, previous=previous,
         )
     with tele.span(
         "mass-estimate",
         core_size=len(core_list),
         gamma=gamma,
         method=method,
+        incremental=previous is not None,
     ):
         return _estimate_spam_mass(
             graph, core_list, damping=damping, gamma=gamma, tol=tol,
             max_iter=max_iter, method=method, transition_t=transition_t,
             check=check, policy=policy, engine=engine, tele=tele,
+            application=application, previous=previous,
         )
 
 
@@ -266,6 +308,8 @@ def _estimate_spam_mass(
     policy,
     engine,
     tele,
+    application=None,
+    previous: Optional[MassEstimates] = None,
 ) -> MassEstimates:
     """The untraced core of :func:`estimate_spam_mass`."""
     n = graph.num_nodes
@@ -274,6 +318,28 @@ def _estimate_spam_mass(
     else:
         w = scaled_core_jump_vector(n, core_list, gamma)
     u = uniform_jump_vector(n)
+
+    if previous is not None:
+        if engine is None:
+            from ..perf import get_engine
+
+            engine = get_engine()
+        batch = engine.update_many(
+            application,
+            np.stack([previous.pagerank, previous.core_pagerank], axis=1),
+            np.stack([u, w], axis=1),
+            damping=damping,
+            tol=tol,
+            max_iter=max_iter,
+            check=check,
+            labels=("pagerank", "core"),
+        )
+        return MassEstimates(
+            batch.scores[:, 0].copy(),
+            batch.scores[:, 1].copy(),
+            damping,
+            gamma,
+        )
 
     if transition_t is None:
         # the engine path: shared cached operator, and (for the default

@@ -25,6 +25,7 @@ __all__ = [
     "GraphFormatError",
     "TruncatedFileError",
     "GraphIOWarning",
+    "DeltaError",
     "SolverAbort",
     "BudgetExceeded",
     "InjectedFault",
@@ -62,6 +63,16 @@ class GraphFormatError(ReproError, ValueError):
 
 class TruncatedFileError(GraphFormatError):
     """A (gzip) file ended mid-stream — typically an interrupted copy."""
+
+
+class DeltaError(ReproError, ValueError):
+    """An edge delta is malformed or inconsistent with its base graph.
+
+    Raised for self-links or duplicates inside a delta, insertions of
+    edges that already exist, and deletions of edges that do not —
+    applying such a delta silently would desynchronize the incremental
+    solver's residual bookkeeping from the actual graph mutation.
+    """
 
 
 class GraphIOWarning(UserWarning):

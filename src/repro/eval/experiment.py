@@ -205,6 +205,72 @@ class ReproductionContext:
         """Size of the filtered set ``T``."""
         return int(self.eligible_mask.sum())
 
+    def updated(
+        self,
+        delta,
+        *,
+        engine=None,
+        sample_seed: int = 23,
+        sample_fraction: Optional[float] = None,
+        frac_unknown: float = 0.061,
+        frac_nonexistent: float = 0.05,
+    ) -> "ReproductionContext":
+        """Re-derive the context after an edge delta, incrementally.
+
+        Accepts a :class:`~repro.graph.delta.GraphDelta` (applied to the
+        current graph) or a ready
+        :class:`~repro.graph.delta.DeltaApplication`.  The two PageRank
+        vectors are *updated* from this context's estimates by residual
+        pushes seeded at the touched nodes (``previous=`` path of
+        :func:`~repro.core.mass.estimate_spam_mass`), then the
+        eligibility filter and evaluation sample are re-derived.  The
+        good core, thresholds and γ carry over unchanged.
+        """
+        from ..graph.delta import GraphDelta
+
+        if isinstance(delta, GraphDelta):
+            application = delta.apply(self.graph)
+        else:
+            application = delta
+        tele = get_telemetry()
+        with tele.span(
+            "context-update", delta=len(application.delta)
+        ) as sp:
+            estimates = estimate_spam_mass(
+                application,
+                self.core,
+                gamma=self.gamma,
+                previous=self.estimates,
+                engine=engine,
+            )
+            scaled = estimates.scaled_pagerank()
+            eligible_mask = scaled >= self.rho
+            world = SyntheticWorld(
+                application.after,
+                self.world.spam_mask,
+                self.world.groups,
+                self.world.metadata,
+            )
+            sample = build_evaluation_sample(
+                world,
+                np.flatnonzero(eligible_mask),
+                np.random.default_rng(sample_seed),
+                fraction=sample_fraction,
+                frac_unknown=frac_unknown,
+                frac_nonexistent=frac_nonexistent,
+            )
+            if tele.enabled:
+                sp.set("eligible", int(eligible_mask.sum()))
+            return ReproductionContext(
+                world,
+                self.core,
+                estimates,
+                self.rho,
+                eligible_mask,
+                sample,
+                self.gamma,
+            )
+
 
 # ----------------------------------------------------------------------
 # T1 / F1 / F2 — the worked examples

@@ -6,8 +6,14 @@ level, like the paper's experiments) plus the supporting machinery the
 rest of the library builds on.
 """
 
-from ..errors import GraphFormatError, GraphIOWarning, TruncatedFileError
+from ..errors import (
+    DeltaError,
+    GraphFormatError,
+    GraphIOWarning,
+    TruncatedFileError,
+)
 from .builder import GraphBuilder
+from .delta import DeltaApplication, GraphDelta, read_delta, write_delta
 from .collapse import CollapseResult, collapse_by_key, collapse_page_graph
 from .components import (
     component_sizes,
@@ -47,6 +53,11 @@ from .webgraph import GraphStats, WebGraph
 __all__ = [
     "WebGraph",
     "GraphStats",
+    "GraphDelta",
+    "DeltaApplication",
+    "read_delta",
+    "write_delta",
+    "DeltaError",
     "GraphFormatError",
     "TruncatedFileError",
     "GraphIOWarning",

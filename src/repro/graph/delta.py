@@ -1,0 +1,350 @@
+"""Edge deltas over immutable web graphs.
+
+The paper's deployment story (Section 5) is a crawl that keeps moving:
+between two rankings only a sliver of the host graph changes — a spam
+farm appears, a re-crawled hub gains and loses a few links.  This module
+models that sliver as a first-class value, :class:`GraphDelta`: a set of
+edge insertions and deletions over a fixed node universe.  Applying a
+delta to a :class:`~repro.graph.webgraph.WebGraph` splices a brand-new
+CSR (the base graph stays immutable) and reports exactly which nodes
+were structurally touched, which is the seed set the incremental
+PageRank solver (:mod:`repro.perf.incremental`) pushes from.
+
+Two design points matter downstream:
+
+* **Strictness.**  Inserting an edge that already exists or deleting one
+  that does not is rejected (:class:`~repro.errors.DeltaError`) rather
+  than ignored — a silently-collapsed delta would desynchronize the
+  residual seeding from the actual structural change.
+* **Fingerprint derivation.**  A graph's structural fingerprint is a
+  commutative sum of per-edge hashes
+  (:func:`~repro.graph.webgraph.edge_digest`), so the mutated graph's
+  fingerprint is derived in O(|delta|) from the parent's and stamped on
+  the new instance — bit-identical to recomputing from the full CSR,
+  which the property tests pin.
+
+File format (``.delta``)::
+
+    # comment lines start with '#'
+    + <src> <dst>      (insertion)
+    - <src> <dst>      (deletion)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import DeltaError, GraphFormatError
+from .io import _open_text, _write_atomic
+from .webgraph import WebGraph, compose_fingerprint, _mix_edge_keys
+
+__all__ = ["GraphDelta", "DeltaApplication", "read_delta", "write_delta"]
+
+PathLike = Union[str, Path]
+
+
+def _as_edge_array(edges, what: str) -> np.ndarray:
+    """Normalize an edge collection to a (m, 2) int64 array."""
+    if isinstance(edges, np.ndarray):
+        array = np.asarray(edges, dtype=np.int64)
+    else:
+        array = np.asarray(list(edges), dtype=np.int64)
+    if array.size == 0:
+        return array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise DeltaError(f"{what} must be (source, destination) pairs")
+    return array
+
+
+class GraphDelta:
+    """An immutable set of edge insertions and deletions.
+
+    Parameters
+    ----------
+    insertions, deletions:
+        Iterables of ``(source, destination)`` pairs.  Within each list
+        duplicates are rejected, as are self-links and negative node
+        ids; an edge may not appear in both lists (the composition is
+        ambiguous).  Node-range and existence checks happen at
+        :meth:`apply` time, against the concrete base graph.
+    """
+
+    __slots__ = ("_insertions", "_deletions")
+
+    def __init__(
+        self,
+        insertions: Iterable[Tuple[int, int]] = (),
+        deletions: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        ins = _as_edge_array(insertions, "insertions")
+        dels = _as_edge_array(deletions, "deletions")
+        for what, array in (("insertion", ins), ("deletion", dels)):
+            if len(array) == 0:
+                continue
+            if array.min() < 0:
+                raise DeltaError(f"negative node id in {what}s")
+            if np.any(array[:, 0] == array[:, 1]):
+                bad = array[array[:, 0] == array[:, 1]][0]
+                raise DeltaError(
+                    f"self-link ({bad[0]}, {bad[1]}) in {what}s is not allowed"
+                )
+        # canonical order: sort by (source, destination); detect duplicates
+        ins = self._canonical(ins, "insertions")
+        dels = self._canonical(dels, "deletions")
+        if len(ins) and len(dels):
+            merged = np.concatenate([ins, dels])
+            uniq = np.unique(merged, axis=0)
+            if len(uniq) != len(merged):
+                raise DeltaError(
+                    "an edge appears in both insertions and deletions"
+                )
+        self._insertions = ins
+        self._insertions.setflags(write=False)
+        self._deletions = dels
+        self._deletions.setflags(write=False)
+
+    @staticmethod
+    def _canonical(array: np.ndarray, what: str) -> np.ndarray:
+        if len(array) == 0:
+            return array
+        order = np.lexsort((array[:, 1], array[:, 0]))
+        array = array[order]
+        if np.any(np.all(array[1:] == array[:-1], axis=1)):
+            raise DeltaError(f"duplicate edge in {what}")
+        return array
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def insertions(self) -> np.ndarray:
+        """Read-only ``(m, 2)`` array of inserted edges, sorted."""
+        return self._insertions
+
+    @property
+    def deletions(self) -> np.ndarray:
+        """Read-only ``(m, 2)`` array of deleted edges, sorted."""
+        return self._deletions
+
+    @property
+    def num_insertions(self) -> int:
+        return len(self._insertions)
+
+    @property
+    def num_deletions(self) -> int:
+        return len(self._deletions)
+
+    def __len__(self) -> int:
+        """Total number of edge changes."""
+        return len(self._insertions) + len(self._deletions)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def touched_sources(self) -> np.ndarray:
+        """Sorted unique source nodes of all changed edges.
+
+        These are the nodes whose transition-matrix *rows* change — the
+        exact seed set for residual-push updates.
+        """
+        return np.unique(
+            np.concatenate([self._insertions[:, 0], self._deletions[:, 0]])
+        ).astype(np.int64)
+
+    def touched_nodes(self) -> np.ndarray:
+        """Sorted unique endpoints (sources and targets) of all changes."""
+        return np.unique(
+            np.concatenate([self._insertions.ravel(), self._deletions.ravel()])
+        ).astype(np.int64)
+
+    def inverse(self) -> "GraphDelta":
+        """The delta that undoes this one (swap insertions/deletions)."""
+        return GraphDelta(self._deletions.copy(), self._insertions.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphDelta(+{self.num_insertions}, -{self.num_deletions})"
+        )
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+
+    def derive_fingerprint(self, graph: WebGraph) -> str:
+        """O(|delta|) fingerprint of ``apply(graph).after``.
+
+        Adds the per-edge hashes of the insertions to the parent digest
+        and subtracts those of the deletions (mod 2^64); commutativity
+        of the sum makes the result equal to hashing the spliced CSR
+        from scratch.
+        """
+        parent = graph.structural_fingerprint()
+        digest = int(parent.rsplit("h=", 1)[1], 16)
+        n = np.uint64(graph.num_nodes)
+        for sign, edges in ((1, self._insertions), (-1, self._deletions)):
+            if len(edges) == 0:
+                continue
+            keys = edges[:, 0].astype(np.uint64) * n + edges[:, 1].astype(
+                np.uint64
+            )
+            mixed = int(_mix_edge_keys(keys).sum(dtype=np.uint64))
+            digest = (digest + sign * mixed) & 0xFFFFFFFFFFFFFFFF
+        num_edges = graph.num_edges + self.num_insertions - self.num_deletions
+        return compose_fingerprint(graph.num_nodes, num_edges, int(digest))
+
+    def apply(self, graph: WebGraph) -> "DeltaApplication":
+        """Splice this delta into ``graph``'s CSR; return the application.
+
+        The base graph is untouched; the result carries the new
+        :class:`WebGraph` (with a derived fingerprint stamped on it) and
+        the touched-node sets.  Raises :class:`DeltaError` when an
+        endpoint is out of range, an insertion already exists, or a
+        deletion does not.
+        """
+        n = graph.num_nodes
+        for what, edges in (
+            ("insertion", self._insertions),
+            ("deletion", self._deletions),
+        ):
+            if len(edges) and edges.max() >= n:
+                raise DeltaError(
+                    f"{what} endpoint out of range for n={n}"
+                )
+        indptr = graph.indptr
+        indices = graph.indices
+        sources = np.repeat(
+            np.arange(n, dtype=np.int64), graph.out_degree()
+        )
+        # global keys u*n+v are strictly increasing over the whole CSR,
+        # so membership and splice positions are binary searches
+        keys = sources * n + indices
+        counts = np.zeros(n, dtype=np.int64)
+
+        if len(self._deletions):
+            del_keys = self._deletions[:, 0] * n + self._deletions[:, 1]
+            pos = np.searchsorted(keys, del_keys)
+            if len(keys):
+                present = (pos < len(keys)) & (
+                    keys[np.minimum(pos, len(keys) - 1)] == del_keys
+                )
+            else:
+                present = np.zeros(len(del_keys), dtype=bool)
+            if not present.all():
+                bad = self._deletions[~present][0]
+                raise DeltaError(
+                    f"cannot delete edge ({bad[0]}, {bad[1]}): not present"
+                )
+            keep = np.ones(len(keys), dtype=bool)
+            keep[pos] = False
+            keys = keys[keep]
+            np.subtract.at(counts, self._deletions[:, 0], 1)
+
+        if len(self._insertions):
+            ins_keys = self._insertions[:, 0] * n + self._insertions[:, 1]
+            pos = np.searchsorted(keys, ins_keys)
+            if len(keys):
+                exists = (pos < len(keys)) & (
+                    keys[np.minimum(pos, len(keys) - 1)] == ins_keys
+                )
+                if exists.any():
+                    bad = self._insertions[exists][0]
+                    raise DeltaError(
+                        f"cannot insert edge ({bad[0]}, {bad[1]}): "
+                        "already present"
+                    )
+            keys = np.insert(keys, pos, ins_keys)
+            np.add.at(counts, self._insertions[:, 0], 1)
+
+        new_indptr = np.zeros(n + 1, dtype=np.int64)
+        new_indptr[1:] = np.cumsum(graph.out_degree() + counts)
+        new_indices = keys % n
+        after = WebGraph(new_indptr, new_indices, graph.names, validate=False)
+        after._stamp_fingerprint(self.derive_fingerprint(graph))
+        return DeltaApplication(graph, after, self)
+
+
+class DeltaApplication:
+    """The result of applying a :class:`GraphDelta` to a base graph.
+
+    Bundles the ``before``/``after`` graphs with the delta itself and
+    the touched-node sets; this is the unit the incremental solver and
+    the operator cache consume (both need the *pair* of graphs, not just
+    the mutated one).
+    """
+
+    __slots__ = ("before", "after", "delta")
+
+    def __init__(
+        self, before: WebGraph, after: WebGraph, delta: GraphDelta
+    ) -> None:
+        self.before = before
+        self.after = after
+        self.delta = delta
+
+    @property
+    def touched_sources(self) -> np.ndarray:
+        """Nodes whose out-rows changed (residual seed set)."""
+        return self.delta.touched_sources()
+
+    @property
+    def touched_nodes(self) -> np.ndarray:
+        """All endpoints involved in the change."""
+        return self.delta.touched_nodes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaApplication({self.delta!r}, "
+            f"n={self.after.num_nodes}, e={self.after.num_edges})"
+        )
+
+
+# ----------------------------------------------------------------------
+# file I/O
+# ----------------------------------------------------------------------
+
+
+def write_delta(delta: GraphDelta, path: PathLike) -> None:
+    """Write a delta file (atomic; ``+``/``-`` prefixed edge lines)."""
+
+    def _body(fh: IO[str]) -> None:
+        fh.write("# edge delta: '+ src dst' inserts, '- src dst' deletes\n")
+        for u, v in delta.insertions:
+            fh.write(f"+ {u} {v}\n")
+        for u, v in delta.deletions:
+            fh.write(f"- {u} {v}\n")
+
+    _write_atomic(path, _body)
+
+
+def read_delta(path: PathLike) -> GraphDelta:
+    """Read a delta file written by :func:`write_delta`.
+
+    Malformed lines raise :class:`~repro.errors.GraphFormatError` naming
+    the file and line; semantic problems (duplicates, self-links) raise
+    :class:`~repro.errors.DeltaError`.
+    """
+    insertions: List[Tuple[int, int]] = []
+    deletions: List[Tuple[int, int]] = []
+    with _open_text(path, "r") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in ("+", "-"):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected '+|- <src> <dst>', "
+                    f"got {line!r}"
+                )
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer node id in {line!r}"
+                ) from exc
+            (insertions if parts[0] == "+" else deletions).append((u, v))
+    return GraphDelta(insertions, deletions)

@@ -28,6 +28,45 @@ import numpy as np
 __all__ = ["WebGraph", "GraphStats"]
 
 
+# Constants of the splitmix64 finalizer — a cheap, well-mixed 64-bit hash.
+_MIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix_edge_keys(keys: np.ndarray) -> np.ndarray:
+    """splitmix64-finalize an array of uint64 edge keys (wraparound)."""
+    x = keys.astype(np.uint64, copy=True)
+    x += _MIX_GAMMA
+    x ^= x >> np.uint64(30)
+    x *= _MIX_M1
+    x ^= x >> np.uint64(27)
+    x *= _MIX_M2
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def edge_digest(num_nodes: int, sources: np.ndarray, dests: np.ndarray) -> int:
+    """Commutative digest of an edge set: sum of per-edge mixes mod 2^64.
+
+    Because the per-edge hashes are *summed*, the digest of a mutated
+    graph is derivable in O(|delta|) from the parent digest (add the
+    mixes of inserted edges, subtract those of deleted edges) and is
+    bit-identical to recomputing from scratch.
+    """
+    if len(sources) == 0:
+        return 0
+    keys = sources.astype(np.uint64) * np.uint64(num_nodes) + dests.astype(
+        np.uint64
+    )
+    return int(_mix_edge_keys(keys).sum(dtype=np.uint64))
+
+
+def compose_fingerprint(num_nodes: int, num_edges: int, digest: int) -> str:
+    """Render the canonical structural-fingerprint string."""
+    return f"g:n={num_nodes};e={num_edges};h={digest & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
 class GraphStats:
     """Aggregate statistics of a :class:`WebGraph`.
 
@@ -136,7 +175,12 @@ class WebGraph:
         "_t_indptr",
         "_t_indices",
         "_stats",
+        "_fingerprint",
     )
+
+    #: Number of from-scratch fingerprint computations (cache-hit probe
+    #: for tests; derived fingerprints stamped by deltas do not count).
+    fingerprint_computations = 0
 
     def __init__(
         self,
@@ -167,6 +211,7 @@ class WebGraph:
         self._t_indptr: Optional[np.ndarray] = None
         self._t_indices: Optional[np.ndarray] = None
         self._stats: Optional[GraphStats] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -395,6 +440,42 @@ class WebGraph:
                 ),
             )
         return self._stats
+
+    # ------------------------------------------------------------------
+    # structural fingerprint
+    # ------------------------------------------------------------------
+
+    def structural_fingerprint(self) -> str:
+        """Content fingerprint of the CSR structure (names excluded).
+
+        Computed once and cached on the instance — graphs are immutable,
+        so repeated operator-cache lookups never rehash ``indptr`` /
+        ``indices``.  The digest is a commutative sum of per-edge hashes
+        (see :func:`edge_digest`), which lets
+        :class:`~repro.graph.delta.GraphDelta` derive a mutated graph's
+        fingerprint in O(|delta|) and stamp it via
+        :meth:`_stamp_fingerprint`.
+        """
+        if self._fingerprint is None:
+            WebGraph.fingerprint_computations += 1
+            sources = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), self._out_degree
+            )
+            digest = edge_digest(self.num_nodes, sources, self._indices)
+            self._fingerprint = compose_fingerprint(
+                self.num_nodes, self.num_edges, digest
+            )
+        return self._fingerprint
+
+    def _stamp_fingerprint(self, fingerprint: str) -> None:
+        """Install a fingerprint derived externally (delta application).
+
+        The caller guarantees the value equals what
+        :meth:`structural_fingerprint` would compute — the commutative
+        digest makes the derived and recomputed values bit-identical,
+        and the property tests pin that equality.
+        """
+        self._fingerprint = fingerprint
 
     # ------------------------------------------------------------------
     # dunder / comparison

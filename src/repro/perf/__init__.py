@@ -32,6 +32,12 @@ from .engine import (
     get_engine,
     set_engine,
 )
+from .incremental import (
+    IncrementalResult,
+    PushStats,
+    push_update,
+    seed_residual,
+)
 from .parallel import (
     DEFAULT_CHUNKS,
     pagerank_montecarlo_parallel,
@@ -43,9 +49,13 @@ __all__ = [
     "DEFAULT_CHECK_EVERY",
     "DEFAULT_CHUNKS",
     "BatchResult",
+    "IncrementalResult",
     "OperatorBundle",
     "OperatorCache",
     "PagerankEngine",
+    "PushStats",
+    "push_update",
+    "seed_residual",
     "configure_engine",
     "get_engine",
     "graph_fingerprint",

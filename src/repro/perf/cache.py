@@ -29,16 +29,18 @@ the engine's measured speedup comes from.
 
 Fingerprint semantics
 ---------------------
-The key is *structural*: node count, edge count and order-sensitive
-checksums of the CSR arrays (see :func:`graph_fingerprint`).  Two graph
-objects with identical link structure share an entry, regardless of
-object identity or host names (names never enter the operator).  The
-fingerprint is the same family of cheap non-cryptographic checksum used
-by :func:`repro.runtime.checkpoint.problem_fingerprint` to guard
-checkpoint resumes — collisions require identical ``(n, nnz, Σindptr·i,
-Σindices·i)``, which no graph mutation this codebase can express
-produces by accident.  :class:`~repro.graph.webgraph.WebGraph` is
-immutable, so entries can never go stale.
+The key is *structural*: node count, edge count and a commutative sum
+of per-edge splitmix64 hashes, computed once per graph and cached on
+the (immutable) :class:`~repro.graph.webgraph.WebGraph` instance — see
+:meth:`WebGraph.structural_fingerprint`.  Two graph objects with
+identical link structure share an entry, regardless of object identity
+or host names (names never enter the operator).  Commutativity is what
+makes the cache *delta-aware*: when a graph is mutated through a
+:class:`~repro.graph.delta.GraphDelta`, the child fingerprint is
+derived from the parent's in O(|delta|) instead of rehashing the full
+CSR, and :meth:`OperatorCache.derive_for` splices the child operator
+from the parent by rewriting only the touched columns of ``Tᵀ`` (the
+out-rows of touched sources) rather than re-transposing the graph.
 """
 
 from __future__ import annotations
@@ -66,23 +68,13 @@ DEFAULT_CACHE_SIZE = 8
 def graph_fingerprint(graph: WebGraph) -> str:
     """Structural fingerprint of a graph's link structure.
 
-    Combines node/edge counts with position-weighted checksums of the
-    CSR arrays, so permuting edges between rows changes the key.  Host
-    names are deliberately excluded — they do not affect the operator.
+    Delegates to :meth:`WebGraph.structural_fingerprint`, which caches
+    the digest on the instance — graphs are immutable, so repeated
+    ``bundle_for`` calls on a large graph hash its CSR arrays exactly
+    once.  Host names are deliberately excluded — they do not affect
+    the operator.
     """
-    indptr = np.asarray(graph.indptr, dtype=np.int64)
-    indices = np.asarray(graph.indices, dtype=np.int64)
-    n = int(graph.num_nodes)
-    nnz = int(graph.num_edges)
-    # position-weighted sums make the checksum order-sensitive
-    ip = int((indptr * np.arange(1, len(indptr) + 1, dtype=np.int64)).sum())
-    if nnz:
-        ix = int(
-            (indices * (np.arange(nnz, dtype=np.int64) % 8191 + 1)).sum()
-        )
-    else:
-        ix = 0
-    return f"g:n={n};e={nnz};ip={ip};ix={ix}"
+    return graph.structural_fingerprint()
 
 
 class OperatorBundle:
@@ -110,10 +102,18 @@ class OperatorBundle:
         "_lock",
     )
 
-    def __init__(self, graph: WebGraph, fingerprint: str) -> None:
+    def __init__(
+        self,
+        graph: WebGraph,
+        fingerprint: str,
+        transition_t: Optional[sparse.csr_matrix] = None,
+    ) -> None:
         self.fingerprint = fingerprint
         self.num_nodes = graph.num_nodes
-        self.transition_t = transition_matrix(graph).T.tocsr()
+        # a pre-spliced operator (delta derivation) skips the transpose
+        if transition_t is None:
+            transition_t = transition_matrix(graph).T.tocsr()
+        self.transition_t = transition_t
         self.dangling_mask = graph.dangling_mask()
         self.non_dangling = np.flatnonzero(~self.dangling_mask)
         self.dangling = np.flatnonzero(self.dangling_mask)
@@ -165,6 +165,60 @@ class OperatorBundle:
         )
 
 
+def _splice_transition_t(
+    parent_tt: sparse.csr_matrix, application
+) -> sparse.csr_matrix:
+    """Derive the child ``Tᵀ`` by rewriting only the touched columns.
+
+    Column ``s`` of ``Tᵀ`` is the out-row of source ``s`` with weight
+    ``1/outdeg(s)``; an edge delta changes exactly the columns of its
+    touched sources.  Entries of untouched sources are carried over
+    verbatim (data included), so the splice is O(nnz) index work with no
+    re-transpose (the argsort that dominates a cold operator build).
+    """
+    after = application.after
+    touched = application.touched_sources
+    n = after.num_nodes
+    rows = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(parent_tt.indptr)
+    )
+    # membership via a lookup table: O(nnz) gather, no sort (np.isin
+    # pays an (nnz + m)·log m sort that dominates the whole splice)
+    touched_mask = np.zeros(n, dtype=bool)
+    touched_mask[touched] = True
+    keep = ~touched_mask[parent_tt.indices]
+    keys = rows[keep] * n + parent_tt.indices[keep]
+    data = parent_tt.data[keep]
+    # fresh entries: the touched sources' out-rows on the mutated graph
+    deg = after.out_degree()[touched]
+    live = deg > 0
+    srcs = touched[live]
+    counts = deg[live]
+    if len(srcs):
+        starts = after.indptr[srcs]
+        gather = np.repeat(starts, counts) + (
+            np.arange(int(counts.sum())) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+        )
+        targets = after.indices[gather]
+        cols = np.repeat(srcs, counts)
+        vals = np.repeat(1.0 / counts, counts)
+        new_keys = targets * n + cols
+        order = np.argsort(new_keys)
+        new_keys = new_keys[order]
+        vals = vals[order]
+        pos = np.searchsorted(keys, new_keys)
+        keys = np.insert(keys, pos, new_keys)
+        data = np.insert(data, pos, vals)
+    indptr = np.zeros(n + 1, dtype=parent_tt.indptr.dtype)
+    indptr[1:] = np.cumsum(np.bincount(keys // n, minlength=n))
+    return sparse.csr_matrix(
+        (data, (keys % n).astype(parent_tt.indices.dtype), indptr),
+        shape=(n, n),
+    )
+
+
 class OperatorCache:
     """Bounded LRU of :class:`OperatorBundle` keyed by graph fingerprint.
 
@@ -181,6 +235,7 @@ class OperatorCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.derives = 0
 
     def bundle_for(self, graph: WebGraph) -> OperatorBundle:
         """Return the graph's bundle, building it on first sight."""
@@ -216,6 +271,53 @@ class OperatorCache:
                 self.evictions += 1
         return bundle
 
+    def derive_for(self, application) -> OperatorBundle:
+        """Return the bundle for ``application.after``, derived cheaply.
+
+        When the parent graph's bundle is cached, the child operator is
+        spliced from it (touched columns only) and the child fingerprint
+        comes from the O(|delta|) derivation stamped by
+        :meth:`~repro.graph.delta.GraphDelta.apply` — the full CSR is
+        never rehashed or re-transposed.  Falls back to a cold
+        :meth:`bundle_for` build when the parent is not resident.
+        """
+        tele = get_telemetry()
+        child_key = graph_fingerprint(application.after)
+        with self._lock:
+            bundle = self._entries.get(child_key)
+            if bundle is not None:
+                self.hits += 1
+                self._entries.move_to_end(child_key)
+                tele.inc("opcache.hits")
+                return bundle
+            parent = self._entries.get(
+                graph_fingerprint(application.before)
+            )
+        if parent is None:
+            return self.bundle_for(application.after)
+        self.derives += 1
+        tele.inc("opcache.derives")
+        if tele.enabled:
+            with tele.span(
+                "operator-derive",
+                touched=len(application.touched_sources),
+                edges=application.after.num_edges,
+            ):
+                tt = _splice_transition_t(parent.transition_t, application)
+        else:
+            tt = _splice_transition_t(parent.transition_t, application)
+        bundle = OperatorBundle(application.after, child_key, transition_t=tt)
+        with self._lock:
+            existing = self._entries.get(child_key)
+            if existing is not None:
+                return existing
+            self._entries[child_key] = bundle
+            self._entries.move_to_end(child_key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return bundle
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -232,12 +334,13 @@ class OperatorCache:
             self._entries.clear()
 
     def cache_info(self) -> Dict[str, int]:
-        """``{"hits", "misses", "evictions", "size", "maxsize"}``."""
+        """``{"hits", "misses", "evictions", "derives", "size", "maxsize"}``."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "derives": self.derives,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
             }

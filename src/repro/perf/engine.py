@@ -420,6 +420,124 @@ class PagerankEngine:
         return batch
 
     # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+
+    def update_many(
+        self,
+        application,
+        previous: Union[BatchResult, np.ndarray],
+        vectors: Union[np.ndarray, Sequence[JumpLike]],
+        *,
+        damping: float = 0.85,
+        tol: float = 1e-12,
+        max_iter: int = 10_000,
+        check: bool = True,
+        labels: Optional[Sequence[str]] = None,
+    ):
+        """Warm-start a batched solve from a previous solution.
+
+        Instead of iterating from the jump vector, seed the residual of
+        the mutated system at ``previous`` (supported only on the
+        delta's touched out-rows) and run Gauss–Southwell residual
+        pushes until the global residual meets the same ``tol`` as a
+        cold solve — see :mod:`repro.perf.incremental`.
+
+        Parameters
+        ----------
+        application:
+            A :class:`~repro.graph.delta.DeltaApplication` pairing the
+            previous graph with the mutated one.  The operator bundle
+            for the mutated graph is *derived* from the cached parent
+            bundle when possible (touched columns respliced, child
+            fingerprint derived in O(|delta|)).
+        previous:
+            The converged :class:`BatchResult` of the same ``vectors``
+            on ``application.before``, or a bare ``(n, k)`` score
+            array.
+        vectors:
+            Same conventions as :meth:`solve_many`; must be the jump
+            vectors the previous solution was computed with.
+        """
+        from .incremental import push_update
+
+        n = application.after.num_nodes
+        if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
+            stacked = np.array(vectors, dtype=np.float64, copy=True)
+        else:
+            stacked = np.stack(
+                [_resolve_jump(n, spec) for spec in vectors], axis=1
+            ).astype(np.float64)
+        _validate_block(stacked, damping, tol)
+        k = stacked.shape[1]
+        prev_iterations = None
+        if isinstance(previous, BatchResult):
+            prev_scores = previous.scores
+            prev_iterations = previous.iterations
+        else:
+            prev_scores = np.asarray(previous, dtype=np.float64)
+        if prev_scores.shape != (n, k):
+            raise ValueError(
+                f"previous scores have shape {prev_scores.shape}, "
+                f"expected {(n, k)}"
+            )
+        if labels is None:
+            labels = [f"col{j}" for j in range(k)]
+        elif len(labels) != k:
+            raise ValueError(f"{len(labels)} labels for {k} stacked vectors")
+        bundle = self.cache.derive_for(application)
+
+        tele = get_telemetry()
+        if tele.enabled:
+            with tele.span(
+                "solve:incremental",
+                columns=k,
+                touched=len(application.touched_sources),
+                delta=len(application.delta),
+            ) as sp:
+                result = push_update(
+                    bundle, application, prev_scores, stacked,
+                    damping=damping, tol=tol, max_iter=max_iter,
+                    labels=labels, prev_iterations=prev_iterations,
+                )
+                tele.inc("engine.incremental_updates")
+                tele.inc("incremental.pushes", result.stats.pushes)
+                tele.inc("incremental.sweeps", result.stats.sweeps)
+                tele.event(
+                    "incremental.update",
+                    sweeps=result.stats.sweeps,
+                    pushes=result.stats.pushes,
+                    max_frontier=result.stats.max_frontier,
+                    speedup_estimate=round(
+                        result.stats.speedup_estimate, 2
+                    ),
+                )
+                sp.set("sweeps", result.stats.sweeps)
+                sp.set("pushes", result.stats.pushes)
+                sp.set("max_frontier", result.stats.max_frontier)
+                sp.set(
+                    "speedup_estimate",
+                    round(result.stats.speedup_estimate, 2),
+                )
+        else:
+            result = push_update(
+                bundle, application, prev_scores, stacked,
+                damping=damping, tol=tol, max_iter=max_iter,
+                labels=labels, prev_iterations=prev_iterations,
+            )
+        if check and not bool(result.converged.all()):
+            bad = [
+                labels[j] for j in range(k) if not result.converged[j]
+            ]
+            raise ConvergenceError(
+                f"incremental update did not converge for column(s) "
+                f"{', '.join(bad)} within {max_iter} sweeps; re-run a "
+                "cold solve_many on the mutated graph",
+                result=result.column(labels.index(bad[0])),
+            )
+        return result
+
+    # ------------------------------------------------------------------
     # Monte Carlo
     # ------------------------------------------------------------------
 

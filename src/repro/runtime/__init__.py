@@ -32,7 +32,14 @@ from ..errors import (
     SolverAbort,
     TruncatedFileError,
 )
-from .checkpoint import CheckpointManager, SolverCheckpoint, problem_fingerprint
+from .checkpoint import (
+    CheckpointManager,
+    SolutionSnapshot,
+    SolverCheckpoint,
+    load_solution,
+    problem_fingerprint,
+    save_solution,
+)
 from .monitors import Deadline, ResidualMonitor, compose_callbacks
 from .retry import with_retries
 
@@ -49,7 +56,10 @@ __all__ = [
     # light modules
     "CheckpointManager",
     "SolverCheckpoint",
+    "SolutionSnapshot",
     "problem_fingerprint",
+    "save_solution",
+    "load_solution",
     "Deadline",
     "ResidualMonitor",
     "compose_callbacks",

@@ -44,7 +44,14 @@ from ..errors import CheckpointError
 from ..obs import get_telemetry
 from .retry import with_retries
 
-__all__ = ["SolverCheckpoint", "CheckpointManager", "problem_fingerprint"]
+__all__ = [
+    "SolverCheckpoint",
+    "CheckpointManager",
+    "problem_fingerprint",
+    "SolutionSnapshot",
+    "save_solution",
+    "load_solution",
+]
 
 _CKPT_RE = re.compile(r"^ckpt-(\d{9})\.npz$")
 
@@ -313,3 +320,165 @@ class CheckpointManager:
                 )
 
         return _on_iteration
+
+
+# ----------------------------------------------------------------------
+# converged-solution snapshots (resume-as-previous)
+# ----------------------------------------------------------------------
+
+SOLUTION_FILENAME = "solution.npz"
+
+
+class SolutionSnapshot:
+    """A restored *converged* multi-vector solution.
+
+    Unlike :class:`SolverCheckpoint` — a mid-flight iterate used to
+    resume an interrupted solve — a solution snapshot is the terminal
+    state of a successful run, kept so the *next* run on a mutated graph
+    can warm-start the incremental engine
+    (:meth:`~repro.perf.engine.PagerankEngine.update_many`) instead of
+    solving cold.
+    """
+
+    __slots__ = ("scores", "iterations", "residuals", "meta", "path")
+
+    def __init__(
+        self,
+        scores: np.ndarray,
+        iterations: np.ndarray,
+        residuals: np.ndarray,
+        meta: dict,
+        path: Optional[Path] = None,
+    ) -> None:
+        self.scores = scores
+        self.iterations = iterations
+        self.residuals = residuals
+        self.meta = meta
+        self.path = path
+
+    @property
+    def fingerprint(self) -> str:
+        """Structural fingerprint of the graph the solution solves."""
+        return str(self.meta.get("fingerprint", ""))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SolutionSnapshot(shape={self.scores.shape}, "
+            f"fingerprint={self.fingerprint!r})"
+        )
+
+
+def save_solution(
+    directory: Union[str, Path],
+    scores: np.ndarray,
+    *,
+    fingerprint: str,
+    iterations: Optional[np.ndarray] = None,
+    residuals: Optional[np.ndarray] = None,
+    extra: Optional[dict] = None,
+    retries: int = 3,
+    backoff: float = 0.02,
+) -> Path:
+    """Atomically write ``solution.npz`` into ``directory``.
+
+    ``fingerprint`` must be the graph's structural fingerprint
+    (:meth:`~repro.graph.webgraph.WebGraph.structural_fingerprint`) so a
+    later :func:`load_solution` can refuse to warm-start an update
+    against the wrong base graph.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = directory / SOLUTION_FILENAME
+    tmp = final.with_suffix(".npz.tmp")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("solution scores must be an (n, k) array")
+    k = scores.shape[1]
+    meta = {"fingerprint": fingerprint, "columns": k}
+    if extra:
+        meta.update(extra)
+
+    def _write() -> None:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                scores=scores,
+                iterations=np.asarray(
+                    iterations if iterations is not None else np.zeros(k),
+                    dtype=np.int64,
+                ),
+                residuals=np.asarray(
+                    residuals if residuals is not None else np.zeros(k),
+                    dtype=np.float64,
+                ),
+                meta=np.asarray(json.dumps(meta)),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+
+    try:
+        with_retries(_write, retries=retries, backoff=backoff)
+    except OSError as exc:
+        raise CheckpointError(
+            f"could not write solution snapshot {final}: {exc}"
+        ) from exc
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass
+    tele = get_telemetry()
+    if tele.enabled:
+        tele.inc("checkpoint.solution_writes")
+        tele.event(
+            "checkpoint.solution_write",
+            columns=k,
+            fingerprint=fingerprint,
+        )
+    return final
+
+
+def load_solution(
+    directory: Union[str, Path],
+    *,
+    fingerprint: str = "",
+) -> SolutionSnapshot:
+    """Read ``solution.npz`` back; guard against graph mismatch.
+
+    When ``fingerprint`` is given and the snapshot was written for a
+    different graph, raises :class:`~repro.errors.CheckpointError` —
+    warm-starting a push update from the wrong base would silently
+    converge to a wrong vector (the residual seeding assumes the stored
+    scores solve the *before* graph exactly).
+    """
+    path = Path(directory) / SOLUTION_FILENAME
+    if not path.exists():
+        raise CheckpointError(
+            f"no solution snapshot at {path}; run a cold estimate with "
+            "--checkpoint-dir first"
+        )
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            scores = np.asarray(data["scores"], dtype=np.float64)
+            iterations = np.asarray(data["iterations"], dtype=np.int64)
+            residuals = np.asarray(data["residuals"], dtype=np.float64)
+            meta = json.loads(str(data["meta"]))
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+            json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"solution snapshot {path} is unreadable: {exc}"
+        ) from exc
+    if not np.all(np.isfinite(scores)):
+        raise CheckpointError(
+            f"solution snapshot {path} contains non-finite values"
+        )
+    stored = str(meta.get("fingerprint", ""))
+    if fingerprint and stored not in ("", fingerprint):
+        raise CheckpointError(
+            f"solution snapshot {path} was computed on a different graph "
+            f"(stored fingerprint {stored!r}, expected {fingerprint!r}); "
+            "re-run the cold estimate"
+        )
+    return SolutionSnapshot(scores, iterations, residuals, meta, path)

@@ -104,6 +104,7 @@ def test_cache_counters_match_engine_reports(telemetry, tiny_world):
         "hits": 2,
         "misses": 1,
         "evictions": 0,
+        "derives": 0,
         "size": 1,
         "maxsize": 8,
     }

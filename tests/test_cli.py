@@ -409,22 +409,26 @@ def test_estimate_montecarlo_cross_check(world_dir, tmp_path, capsys):
     assert "L1 deviation" in out
 
 
-def test_estimate_invalid_cache_size_is_error(world_dir, tmp_path, capsys):
-    from repro.cli import EXIT_ERROR
-
-    code = main(
-        [
-            "estimate",
-            "--world",
-            str(world_dir),
-            "--out-prefix",
-            str(tmp_path / "x"),
-            "--cache-size",
-            "0",
-        ]
-    )
-    assert code == EXIT_ERROR
-    assert "maxsize" in capsys.readouterr().err
+def test_estimate_invalid_cache_size_is_usage_error(
+    world_dir, tmp_path, capsys
+):
+    # validated at argparse level since the incremental-engine PR:
+    # non-positive numeric flags are usage errors (exit 2), caught
+    # before any file or solver work starts
+    with pytest.raises(SystemExit) as excinfo:
+        main(
+            [
+                "estimate",
+                "--world",
+                str(world_dir),
+                "--out-prefix",
+                str(tmp_path / "x"),
+                "--cache-size",
+                "0",
+            ]
+        )
+    assert excinfo.value.code == 2
+    assert "must be a positive integer" in capsys.readouterr().err
 
 
 def test_parser_engine_defaults():

@@ -1,0 +1,390 @@
+"""Differential and integration tests for the incremental engine.
+
+The contract under test: a Gauss–Southwell residual-push update runs at
+the *same tolerance* as a cold solve and agrees with it to ``10 * tol``
+per node — for both the uniform-jump ``p`` and the core-jump ``p′`` —
+across the solver-zoo regimes, for insertion-, deletion- and mixed
+deltas, chained updates, and the layers stacked on top (operator
+splicing, ``estimate_spam_mass(previous=)``, ``MassDetector.update``,
+``ReproductionContext.updated``, solution checkpoints).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import MassDetector
+from repro.core.mass import estimate_spam_mass
+from repro.core.pagerank import (
+    scaled_core_jump_vector,
+    uniform_jump_vector,
+)
+from repro.errors import CheckpointError
+from repro.graph import GraphDelta
+from repro.graph.webgraph import WebGraph
+from repro.perf import OperatorCache, PagerankEngine
+from repro.runtime import load_solution, save_solution
+from test_differential_solvers import _random_graph
+
+TOL = 1e-12
+BOUND = 10 * TOL
+
+
+def _edge_set(graph):
+    sources = np.repeat(np.arange(graph.num_nodes), graph.out_degree())
+    return set(zip(sources.tolist(), graph.indices.tolist()))
+
+
+def _random_delta(graph, rng, num_ins, num_del):
+    n = graph.num_nodes
+    existing = _edge_set(graph)
+    insertions = set()
+    attempts = 0
+    while len(insertions) < num_ins and attempts < 50 * num_ins:
+        attempts += 1
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v and (u, v) not in existing and (u, v) not in insertions:
+            insertions.add((u, v))
+    deletions = []
+    if existing and num_del:
+        pool = sorted(existing)
+        idx = rng.choice(len(pool), size=min(num_del, len(pool)),
+                         replace=False)
+        deletions = [pool[i] for i in idx]
+    return GraphDelta(insertions=sorted(insertions), deletions=deletions)
+
+
+def _stacked_jumps(graph, rng):
+    """The spam-mass pair: uniform jump and a γ-scaled core jump."""
+    n = graph.num_nodes
+    core = np.sort(rng.choice(n, size=max(5, n // 10), replace=False))
+    return np.stack(
+        [uniform_jump_vector(n), scaled_core_jump_vector(n, core, 0.85)],
+        axis=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# zoo differential: incremental vs cold at the same tol
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n=300, num_edges=1800),
+        dict(n=300, num_edges=900, dangling_frac=0.5),
+        dict(n=300, num_edges=700, isolated_frac=0.4),
+        dict(n=350, num_edges=1000, dangling_frac=0.3, isolated_frac=0.2),
+    ],
+    ids=["plain", "dangling-heavy", "isolated-heavy", "mixed"],
+)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_update_matches_cold_solve_on_zoo(kwargs, seed):
+    graph = _random_graph(seed, **kwargs)
+    rng = np.random.default_rng(100 + seed)
+    stacked = _stacked_jumps(graph, rng)
+    delta = _random_delta(graph, rng, num_ins=30, num_del=15)
+    application = delta.apply(graph)
+
+    engine = PagerankEngine()
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    inc = engine.update_many(application, base, stacked, tol=TOL)
+    cold = PagerankEngine().solve_many(application.after, stacked, tol=TOL)
+
+    assert inc.converged.all()
+    assert np.abs(inc.scores - cold.scores).max() <= BOUND
+
+
+def test_update_matches_cold_on_deletion_heavy_delta():
+    graph = _random_graph(3, n=250, num_edges=1500)
+    rng = np.random.default_rng(9)
+    stacked = _stacked_jumps(graph, rng)
+    delta = _random_delta(graph, rng, num_ins=0, num_del=60)
+    application = delta.apply(graph)
+
+    engine = PagerankEngine()
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    inc = engine.update_many(application, base, stacked, tol=TOL)
+    cold = PagerankEngine().solve_many(application.after, stacked, tol=TOL)
+    assert np.abs(inc.scores - cold.scores).max() <= BOUND
+
+
+def test_empty_delta_returns_previous_scores_in_zero_sweeps():
+    graph = _random_graph(4, n=200, num_edges=1200)
+    rng = np.random.default_rng(4)
+    stacked = _stacked_jumps(graph, rng)
+    engine = PagerankEngine()
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    inc = engine.update_many(
+        GraphDelta().apply(graph), base, stacked, tol=TOL
+    )
+    assert inc.converged.all()
+    assert inc.stats.sweeps == 0
+    assert np.abs(inc.scores - base.scores).max() <= BOUND
+
+
+def test_chained_updates_track_the_cold_solution():
+    graph = _random_graph(5, n=250, num_edges=1400, dangling_frac=0.3)
+    rng = np.random.default_rng(5)
+    stacked = _stacked_jumps(graph, rng)
+    engine = PagerankEngine()
+    current = engine.solve_many(graph, stacked, tol=TOL)
+    for step in range(3):
+        delta = _random_delta(graph, rng, num_ins=20, num_del=8)
+        application = delta.apply(graph)
+        current = engine.update_many(application, current, stacked, tol=TOL)
+        graph = application.after
+    cold = PagerankEngine().solve_many(graph, stacked, tol=TOL)
+    assert np.abs(current.scores - cold.scores).max() <= BOUND
+
+
+def test_update_many_validates_previous_shape():
+    graph = WebGraph.from_edges(5, [(0, 1), (1, 2)])
+    application = GraphDelta(insertions=[(2, 3)]).apply(graph)
+    engine = PagerankEngine()
+    with pytest.raises(ValueError, match="previous scores"):
+        engine.update_many(
+            application, np.zeros((5, 3)), [None, [0, 1]], tol=TOL
+        )
+
+
+# ----------------------------------------------------------------------
+# operator splice
+# ----------------------------------------------------------------------
+
+
+def test_derived_operator_is_bit_identical_to_cold_build():
+    graph = _random_graph(6, n=200, num_edges=1200, dangling_frac=0.4)
+    rng = np.random.default_rng(6)
+    delta = _random_delta(graph, rng, num_ins=25, num_del=10)
+    application = delta.apply(graph)
+
+    cache = OperatorCache()
+    cache.bundle_for(graph)  # parent resident
+    spliced = cache.derive_for(application).transition_t
+    cold = OperatorCache().bundle_for(application.after).transition_t
+
+    assert np.array_equal(spliced.indptr, cold.indptr)
+    assert np.array_equal(spliced.indices, cold.indices)
+    assert np.array_equal(spliced.data, cold.data)
+    assert cache.derives == 1
+    # the derived child is registered: a second request is a cache hit
+    hits_before = cache.hits
+    cache.derive_for(application)
+    assert cache.hits == hits_before + 1
+
+
+def test_derive_falls_back_to_cold_build_without_parent():
+    graph = _random_graph(7, n=100, num_edges=500)
+    rng = np.random.default_rng(7)
+    application = _random_delta(graph, rng, 10, 5).apply(graph)
+    cache = OperatorCache()  # parent never built
+    bundle = cache.derive_for(application)
+    assert cache.derives == 0
+    cold = OperatorCache().bundle_for(application.after)
+    assert np.array_equal(
+        bundle.transition_t.data, cold.transition_t.data
+    )
+
+
+# ----------------------------------------------------------------------
+# estimate_spam_mass(previous=) and the detector update
+# ----------------------------------------------------------------------
+
+
+def _small_world_delta(graph, rng):
+    return _random_delta(graph, rng, num_ins=25, num_del=10)
+
+
+def test_estimate_previous_path_matches_cold_estimate():
+    graph = _random_graph(8, n=300, num_edges=1500, dangling_frac=0.4)
+    rng = np.random.default_rng(8)
+    core = np.sort(rng.choice(300, size=30, replace=False))
+    previous = estimate_spam_mass(graph, core, gamma=0.85)
+    application = _small_world_delta(graph, rng).apply(graph)
+
+    updated = estimate_spam_mass(
+        application, core, gamma=0.85, previous=previous
+    )
+    cold = estimate_spam_mass(application.after, core, gamma=0.85)
+    assert np.abs(updated.pagerank - cold.pagerank).max() <= BOUND
+    assert np.abs(updated.core_pagerank - cold.core_pagerank).max() <= BOUND
+
+
+def test_estimate_previous_path_validates_inputs():
+    graph = _random_graph(9, n=50, num_edges=200)
+    rng = np.random.default_rng(9)
+    core = [0, 1, 2]
+    previous = estimate_spam_mass(graph, core, gamma=0.85)
+    application = _random_delta(graph, rng, 5, 2).apply(graph)
+    with pytest.raises(ValueError, match="DeltaApplication"):
+        estimate_spam_mass(graph, core, gamma=0.85, previous=previous)
+    with pytest.raises(ValueError, match="different"):
+        estimate_spam_mass(
+            application, core, gamma=0.5, previous=previous
+        )
+    with pytest.raises(ValueError, match="incremental engine"):
+        estimate_spam_mass(
+            application,
+            core,
+            gamma=0.85,
+            previous=previous,
+            transition_t=object(),
+        )
+
+
+def test_detector_update_equals_fresh_detect():
+    graph = _random_graph(10, n=300, num_edges=1500, dangling_frac=0.4)
+    rng = np.random.default_rng(10)
+    core = np.sort(rng.choice(300, size=30, replace=False))
+    previous = estimate_spam_mass(graph, core, gamma=0.85)
+    detector = MassDetector(tau=0.5, rho=2.0)
+    baseline = detector.detect(previous)
+
+    application = _small_world_delta(graph, rng).apply(graph)
+    updated_est = estimate_spam_mass(
+        application, core, gamma=0.85, previous=previous
+    )
+    update = detector.update(baseline, updated_est)
+    fresh = detector.detect(updated_est)
+
+    assert np.array_equal(
+        update.result.candidate_mask, fresh.candidate_mask
+    )
+    assert np.array_equal(
+        update.result.eligible_mask, fresh.eligible_mask
+    )
+    flipped = np.flatnonzero(
+        fresh.candidate_mask != baseline.candidate_mask
+    )
+    assert set(update.newly_flagged) | set(update.newly_cleared) == set(
+        flipped
+    )
+    assert update.relabeled == len(flipped)
+
+
+def test_detector_update_rejects_size_mismatch():
+    graph = _random_graph(11, n=40, num_edges=150)
+    est = estimate_spam_mass(graph, [0, 1, 2], gamma=0.85)
+    detector = MassDetector(tau=0.5, rho=2.0)
+    baseline = detector.detect(est)
+    other = estimate_spam_mass(
+        _random_graph(11, n=41, num_edges=150), [0, 1, 2], gamma=0.85
+    )
+    with pytest.raises(ValueError, match="nodes"):
+        detector.update(baseline, other)
+
+
+def test_reproduction_context_updated(small_ctx):
+    rng = np.random.default_rng(21)
+    delta = _random_delta(small_ctx.graph, rng, num_ins=40, num_del=15)
+    ctx = small_ctx.updated(delta)
+
+    assert ctx is not small_ctx
+    assert ctx.gamma == small_ctx.gamma and ctx.rho == small_ctx.rho
+    assert np.array_equal(ctx.core, small_ctx.core)
+    assert ctx.graph.num_edges == small_ctx.graph.num_edges + 25
+
+    cold = estimate_spam_mass(
+        ctx.graph, ctx.core, gamma=ctx.gamma
+    )
+    assert np.abs(ctx.estimates.pagerank - cold.pagerank).max() <= BOUND
+    expected_eligible = cold.scaled_pagerank() >= ctx.rho
+    assert np.array_equal(ctx.eligible_mask, expected_eligible)
+
+
+# ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+
+
+def test_update_emits_incremental_telemetry(telemetry):
+    graph = _random_graph(12, n=150, num_edges=800)
+    rng = np.random.default_rng(12)
+    stacked = _stacked_jumps(graph, rng)
+    engine = PagerankEngine()
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    application = _random_delta(graph, rng, 15, 5).apply(graph)
+    result = engine.update_many(application, base, stacked, tol=TOL)
+
+    sink = telemetry.sink
+    assert sink.span_count("solve:incremental") == 1
+    assert sink.span_count("operator-derive") == 1
+    events = sink.named("incremental.update")
+    assert len(events) == 1
+    assert events[0].attrs["sweeps"] == result.stats.sweeps
+    assert events[0].attrs["pushes"] == result.stats.pushes
+    assert telemetry.metrics.value("engine.incremental_updates") == 1
+    assert telemetry.metrics.value("opcache.derives") == 1
+    assert (
+        telemetry.metrics.value("incremental.pushes")
+        == result.stats.pushes
+    )
+
+
+def test_detector_update_emits_relabel_metrics(telemetry):
+    graph = _random_graph(13, n=150, num_edges=800)
+    rng = np.random.default_rng(13)
+    core = np.sort(rng.choice(150, size=15, replace=False))
+    est = estimate_spam_mass(graph, core, gamma=0.85)
+    detector = MassDetector(tau=0.5, rho=2.0)
+    baseline = detector.detect(est)
+    application = _random_delta(graph, rng, 15, 5).apply(graph)
+    updated_est = estimate_spam_mass(
+        application, core, gamma=0.85, previous=est
+    )
+    update = detector.update(baseline, updated_est)
+    assert telemetry.sink.span_count("detect:update") == 1
+    assert (
+        telemetry.metrics.value("detect.relabeled") == update.relabeled
+    )
+
+
+# ----------------------------------------------------------------------
+# solution checkpoints (resume-as-previous)
+# ----------------------------------------------------------------------
+
+
+def test_solution_snapshot_round_trip(tmp_path):
+    graph = _random_graph(14, n=80, num_edges=300)
+    rng = np.random.default_rng(14)
+    stacked = _stacked_jumps(graph, rng)
+    batch = PagerankEngine().solve_many(graph, stacked, tol=TOL)
+    fingerprint = graph.structural_fingerprint()
+
+    path = save_solution(
+        tmp_path,
+        batch.scores,
+        fingerprint=fingerprint,
+        iterations=batch.iterations,
+        extra={"labels": ["pagerank", "core"]},
+    )
+    assert path.name == "solution.npz"
+
+    snap = load_solution(tmp_path, fingerprint=fingerprint)
+    assert np.array_equal(snap.scores, batch.scores)
+    assert np.array_equal(snap.iterations, batch.iterations)
+    assert snap.fingerprint == fingerprint
+    assert snap.meta["labels"] == ["pagerank", "core"]
+
+
+def test_solution_snapshot_fingerprint_guard(tmp_path):
+    graph = _random_graph(15, n=60, num_edges=250)
+    rng = np.random.default_rng(15)
+    stacked = _stacked_jumps(graph, rng)
+    batch = PagerankEngine().solve_many(graph, stacked, tol=TOL)
+    save_solution(
+        tmp_path,
+        batch.scores,
+        fingerprint=graph.structural_fingerprint(),
+    )
+    mutated = GraphDelta(insertions=[(0, 59)]).apply(graph).after
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        load_solution(
+            tmp_path, fingerprint=mutated.structural_fingerprint()
+        )
+
+
+def test_solution_snapshot_missing_file(tmp_path):
+    with pytest.raises(CheckpointError, match="no solution snapshot"):
+        load_solution(tmp_path)

@@ -50,6 +50,24 @@ def test_fingerprint_sensitive_to_structure():
     assert graph_fingerprint(a) != graph_fingerprint(c)
 
 
+def test_fingerprint_is_cached_on_the_instance():
+    graph = _ring(40)
+    baseline = WebGraph.fingerprint_computations
+    first = graph.structural_fingerprint()
+    assert WebGraph.fingerprint_computations == baseline + 1
+    # repeated cache keying never rehashes the CSR
+    cache = OperatorCache()
+    cache.bundle_for(graph)
+    cache.bundle_for(graph)
+    assert graph.structural_fingerprint() == first
+    assert WebGraph.fingerprint_computations == baseline + 1
+    # a distinct (if identical) object pays its own single computation
+    clone = _ring(40)
+    clone.structural_fingerprint()
+    clone.structural_fingerprint()
+    assert WebGraph.fingerprint_computations == baseline + 2
+
+
 def test_cache_hits_and_structural_sharing(chain_graph):
     cache = OperatorCache(maxsize=4)
     first = cache.bundle_for(chain_graph)
@@ -62,6 +80,7 @@ def test_cache_hits_and_structural_sharing(chain_graph):
         "hits": 1,
         "misses": 1,
         "evictions": 0,
+        "derives": 0,
         "size": 1,
         "maxsize": 4,
     }
