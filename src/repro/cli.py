@@ -18,6 +18,10 @@ on-disk formats of :mod:`repro.graph.io`:
 ``repro-spam detect``
     Apply Algorithm 2's thresholds to stored scores and list the spam
     candidates (with ground-truth annotation when labels are present).
+``repro-spam audit-core``
+    Re-estimate mass for a stored graph and core, then audit the core
+    for Section 4.4-style anomalies (spam-labeled members, members the
+    estimates refuse to support); exit 5 when the core is dirty.
 ``repro-spam reproduce``
     Re-run one of the paper's experiments (by DESIGN.md id) and print
     the reproduced table.
@@ -28,8 +32,8 @@ Failure behavior
 ----------------
 User-facing errors print a one-line message to stderr and exit with a
 distinct code (see the ``EXIT_*`` constants): 3 for missing/corrupt
-input files, 4 for solver non-convergence, 130 for interruption, 1 for
-anything unexpected.  ``--traceback`` opts back into the raw Python
+input files, 4 for solver non-convergence, 5 for a dirty good core,
+130 for interruption, 1 for anything unexpected.  ``--traceback`` opts back into the raw Python
 traceback for debugging.  Long solves accept ``--checkpoint-dir`` /
 ``--resume`` (kill-and-resume), ``--time-budget`` (best-effort
 degradation) and ``--lenient`` (skip-and-warn on malformed input);
@@ -73,6 +77,7 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 EXIT_DATA = 3
 EXIT_CONVERGENCE = 4
+EXIT_AUDIT = 5
 EXIT_INTERRUPTED = 130
 
 _SCALES = {
@@ -99,6 +104,34 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (retry budgets, where 0 means
+    "no retries" and is a legitimate hardening choice)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive finite float (deadlines,
+    thresholds)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not np.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text}"
         )
     return value
 
@@ -212,6 +245,34 @@ def _build_engine(args: argparse.Namespace):
     return PagerankEngine(args.cache_size, workers=args.workers)
 
 
+def _supervisor_policy(args: argparse.Namespace):
+    """Build a SupervisorPolicy from the supervision flags (or ``None``).
+
+    ``None`` lets the supervised call sites use their defaults, so the
+    flags only override behavior when the operator actually sets them.
+    """
+    wants_supervision = (
+        getattr(args, "max_task_retries", None) is not None
+        or getattr(args, "task_timeout", None) is not None
+        or getattr(args, "no_degrade", False)
+    )
+    if not wants_supervision:
+        return None
+    from .runtime.supervisor import SupervisorPolicy
+
+    defaults = SupervisorPolicy()
+    retries = (
+        defaults.max_task_retries
+        if args.max_task_retries is None
+        else args.max_task_retries
+    )
+    return SupervisorPolicy(
+        max_task_retries=retries,
+        task_timeout=args.task_timeout,
+        allow_degrade=not args.no_degrade,
+    )
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Compute PageRank, core PageRank and mass estimates."""
     graph, _, _ = read_graph_bundle(args.world, strict=not args.lenient)
@@ -255,6 +316,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
             num_walks=args.mc_walks,
             workers=args.workers,
             seed=args.seed,
+            supervisor=_supervisor_policy(args),
         )
         deviation = float(np.abs(mc.scores - estimates.pagerank).sum())
         print(
@@ -459,6 +521,43 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_audit_core(args: argparse.Namespace) -> int:
+    """Audit a stored good core for Section 4.4-style anomalies."""
+    from .eval.audit import audit_core
+
+    strict = not args.lenient
+    graph, labels, _ = read_graph_bundle(args.world, strict=strict)
+    core_path = (
+        Path(args.core) if args.core else Path(args.world) / "core.hosts"
+    )
+    core = _core_ids(graph, core_path)
+    gamma = None if args.gamma <= 0 else args.gamma
+    estimates = estimate_spam_mass(
+        graph, core, gamma=gamma, engine=_build_engine(args)
+    )
+    report = audit_core(
+        labels,
+        estimates,
+        core,
+        relative_mass_threshold=args.threshold,
+    )
+    print(report.summary())
+    for finding in report.findings:
+        name = graph.name_of(finding.node)
+        print(f"  {name:<42} {finding.describe()}")
+    if report.clean:
+        return EXIT_OK
+    if args.repaired_core_out:
+        out_path = Path(args.repaired_core_out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        write_host_list(
+            [graph.name_of(int(n)) for n in report.repaired_core],
+            out_path,
+        )
+        print(f"wrote repaired core to {out_path}")
+    return EXIT_AUDIT
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """Re-run a paper experiment by its DESIGN.md id."""
     from .eval.experiment import ReproductionContext
@@ -633,6 +732,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seed for the Monte-Carlo cross-check",
     )
     p_est.add_argument(
+        "--max-task-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="per-task retry budget for supervised fan-out work "
+        "(Monte-Carlo chunks); 0 disables retries (default: "
+        "supervisor default)",
+    )
+    p_est.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline for supervised fan-out work; a hung "
+        "worker is abandoned at the deadline and its chunk re-executed "
+        "in-process (default: no deadline)",
+    )
+    p_est.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail fast instead of degrading the process pool to "
+        "in-process serial execution when the circuit breaker trips",
+    )
+    p_est.add_argument(
         "--checkpoint-dir",
         default=None,
         help="snapshot solver iterates here (atomic write-rename); "
@@ -747,6 +870,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip-and-warn on malformed input lines instead of failing",
     )
     p_det.set_defaults(func=cmd_detect)
+
+    p_aud = sub.add_parser(
+        "audit-core",
+        help="audit a stored good core for anomalies (exit 5 if dirty)",
+    )
+    p_aud.add_argument("--world", required=True, help="bundle directory")
+    p_aud.add_argument(
+        "--core",
+        default=None,
+        help="core host list (default: <world>/core.hosts)",
+    )
+    p_aud.add_argument(
+        "--gamma",
+        type=float,
+        default=0.85,
+        help="good-fraction scaling; <= 0 for the unscaled core jump",
+    )
+    p_aud.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        metavar="M",
+        help="flag core members with relative mass >= M even without a "
+        "spam label (default 0.5)",
+    )
+    p_aud.add_argument(
+        "--repaired-core-out",
+        default=None,
+        metavar="FILE",
+        help="write the repaired core (flagged members removed) as a "
+        "host list",
+    )
+    p_aud.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=8,
+        help="bound of the operator LRU cache (graphs, default 8)",
+    )
+    p_aud.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="accepted for flag parity with 'estimate'",
+    )
+    p_aud.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-warn on malformed input lines instead of failing",
+    )
+    p_aud.set_defaults(func=cmd_audit_core)
 
     p_rep = sub.add_parser(
         "reproduce", help="re-run a paper experiment by id"

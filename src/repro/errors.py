@@ -28,6 +28,7 @@ __all__ = [
     "DeltaError",
     "SolverAbort",
     "BudgetExceeded",
+    "SupervisionError",
     "InjectedFault",
 ]
 
@@ -103,6 +104,22 @@ class SolverAbort(ReproError):
 
 class BudgetExceeded(SolverAbort):
     """An iteration or wall-time budget ran out mid-solve."""
+
+
+class SupervisionError(ReproError, RuntimeError):
+    """Supervised fan-out execution could not complete.
+
+    Raised by :class:`~repro.runtime.supervisor.TaskSupervisor` when a
+    task exhausts its retry budget, or when degradation to in-process
+    serial execution would be required but was disallowed
+    (``allow_degrade=False`` / ``--no-degrade``).  Carries the partial
+    :class:`~repro.runtime.supervisor.SupervisionReport` in ``report``
+    so callers can inspect what *did* complete before the failure.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class InjectedFault(ReproError):

@@ -20,6 +20,7 @@ from .experiment import (
     run_table1,
     run_table2,
 )
+from .audit import CoreAuditFinding, CoreAuditReport, audit_core
 from .grouping import MassGroup, group_composition, split_into_groups
 from .metrics import (
     PAPER_THRESHOLDS,
@@ -85,6 +86,9 @@ __all__ = [
     "run_gamma_ablation",
     "run_combined_ablation",
     "run_solver_ablation",
+    "CoreAuditFinding",
+    "CoreAuditReport",
+    "audit_core",
     "MassGroup",
     "split_into_groups",
     "group_composition",

@@ -1,0 +1,230 @@
+"""Good-core integrity auditing (paper Section 4.4 / Section 5).
+
+The whole mass-estimation pipeline leans on one operational assumption:
+the good core ``Ṽ⁺`` contains only good hosts.  Section 4.4 warns what
+happens when it does not — a spam host inside the core receives core
+support, its estimated mass collapses, and every host it endorses is
+whitewashed along with it.  The paper's own core needed manual repair
+(Section 4.4.2's anomalies) before precision held.
+
+:func:`audit_core` mechanizes that repair step.  It cross-checks each
+core member against two independent signals:
+
+* **ground-truth labels**, when available (``"spam-labeled"``) — the
+  synthetic worlds always carry them, real bundles carry whatever the
+  assessors produced;
+* **the estimates themselves** (``"high-relative-mass"``) — a genuine
+  core member is *structurally guaranteed* a strongly negative relative
+  mass, because it receives its own core jump.  A core member whose
+  relative mass is at or above ``relative_mass_threshold`` is therefore
+  anomalous regardless of labels: the estimates are telling us the core
+  barely supports it.
+
+The auditor returns a :class:`CoreAuditReport` with the flagged
+members, the reason(s) each was flagged, and a ``repaired_core`` with
+the flagged members removed — ready to feed back into
+:func:`repro.core.mass.estimate_spam_mass`.  The CLI surface is
+``repro-spam audit-core`` (exit status 5 when anomalies are found, so
+pipelines can gate on a dirty core).
+
+Chaos-injected contamination (see
+:func:`repro.runtime.chaos.contaminate_core`) must be caught exactly:
+the planted spam nodes are flagged, nothing else is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.mass import MassEstimates
+from ..obs import get_telemetry
+
+__all__ = ["CoreAuditFinding", "CoreAuditReport", "audit_core"]
+
+#: Relative mass at which a core member is considered anomalous.  Core
+#: members receive their own core jump, so genuine ones sit well below
+#: zero; 0.5 (the paper's Algorithm 2 spam threshold) is conservative.
+DEFAULT_RELATIVE_MASS_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class CoreAuditFinding:
+    """One anomalous core member and why it was flagged."""
+
+    node: int
+    #: Ground-truth/assessor label when known (``"spam"``/``"good"``),
+    #: else ``None``.
+    label: Optional[str]
+    relative_mass: float
+    pagerank: float
+    #: Sorted reason tags: ``"spam-labeled"``, ``"high-relative-mass"``.
+    reasons: tuple
+
+    def describe(self) -> str:
+        """One-line operator-facing description."""
+        label = self.label if self.label is not None else "unlabeled"
+        return (
+            f"node {self.node} [{label}] relative mass "
+            f"{self.relative_mass:+.3f} ({', '.join(self.reasons)})"
+        )
+
+
+@dataclass
+class CoreAuditReport:
+    """Outcome of a good-core audit.
+
+    ``repaired_core`` is the input core with every flagged member
+    removed (order preserved) — the Section 4.4.2 repair, ready for a
+    re-estimate.
+    """
+
+    core_size: int
+    threshold: float
+    findings: List[CoreAuditFinding] = field(default_factory=list)
+    repaired_core: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    @property
+    def clean(self) -> bool:
+        """True when no core member was flagged."""
+        return not self.findings
+
+    @property
+    def flagged_nodes(self) -> List[int]:
+        """Node ids of the flagged core members."""
+        return [f.node for f in self.findings]
+
+    def summary(self) -> str:
+        """Operator-facing summary line."""
+        if self.clean:
+            return f"core audit: {self.core_size:,} members, clean"
+        return (
+            f"core audit: {len(self.findings)} of {self.core_size:,} "
+            f"members anomalous (repaired core: "
+            f"{len(self.repaired_core):,})"
+        )
+
+
+def _spam_mask_from(
+    world,
+    num_nodes: int,
+) -> Optional[np.ndarray]:
+    """Boolean spam mask from a world / labels mapping / mask / None."""
+    if world is None:
+        return None
+    if isinstance(world, np.ndarray):
+        if world.dtype != np.bool_:
+            raise TypeError("spam-mask array must be boolean")
+        if world.shape != (num_nodes,):
+            raise ValueError(
+                "spam mask length must equal the estimate's node count"
+            )
+        return world
+    if isinstance(world, Mapping):
+        mask = np.zeros(num_nodes, dtype=bool)
+        for node, label in world.items():
+            if label == "spam":
+                mask[int(node)] = True
+        return mask
+    spam_mask = getattr(world, "spam_mask", None)
+    if spam_mask is None:
+        raise TypeError(
+            "world must be a SyntheticWorld, a {node: label} mapping, "
+            "a boolean spam mask, or None"
+        )
+    if spam_mask.shape != (num_nodes,):
+        raise ValueError("world and estimates cover different node counts")
+    return spam_mask
+
+
+def audit_core(
+    world: Union[None, np.ndarray, Mapping[int, str], "object"],
+    estimates: MassEstimates,
+    core: Sequence[int],
+    *,
+    relative_mass_threshold: float = DEFAULT_RELATIVE_MASS_THRESHOLD,
+) -> CoreAuditReport:
+    """Audit a good core against labels and its own mass estimates.
+
+    Parameters
+    ----------
+    world:
+        Label source: a :class:`~repro.synth.assembler.SyntheticWorld`,
+        a ``{node: "spam"/"good"}`` mapping (the bundle label format),
+        a boolean spam mask, or ``None`` for label-free auditing (the
+        relative-mass signal still applies).
+    estimates:
+        The :class:`~repro.core.mass.MassEstimates` computed *with this
+        core* — auditing one core against another core's estimates is
+        meaningless.
+    core:
+        The core ``Ṽ⁺`` node ids that produced ``estimates``.
+    relative_mass_threshold:
+        Core members with relative mass at or above this are flagged
+        even without a spam label.
+
+    Returns
+    -------
+    CoreAuditReport
+        Findings plus a ``repaired_core`` with flagged members removed.
+    """
+    if not np.isfinite(relative_mass_threshold):
+        raise ValueError("relative_mass_threshold must be finite")
+    core = np.asarray(core, dtype=np.int64)
+    num_nodes = estimates.num_nodes
+    if core.size and (core.min() < 0 or core.max() >= num_nodes):
+        raise ValueError("core contains node ids outside the graph")
+    spam_mask = _spam_mask_from(world, num_nodes)
+    labels: Dict[int, str] = {}
+    if isinstance(world, Mapping):
+        labels = {int(k): v for k, v in world.items()}
+
+    findings: List[CoreAuditFinding] = []
+    flagged = np.zeros(core.shape, dtype=bool)
+    for pos, node in enumerate(core):
+        node = int(node)
+        reasons = []
+        if spam_mask is not None and spam_mask[node]:
+            reasons.append("spam-labeled")
+        rel = float(estimates.relative[node])
+        if rel >= relative_mass_threshold:
+            reasons.append("high-relative-mass")
+        if not reasons:
+            continue
+        flagged[pos] = True
+        if labels:
+            label = labels.get(node)
+        elif spam_mask is not None:
+            label = "spam" if spam_mask[node] else "good"
+        else:
+            label = None
+        findings.append(
+            CoreAuditFinding(
+                node=node,
+                label=label,
+                relative_mass=rel,
+                pagerank=float(estimates.pagerank[node]),
+                reasons=tuple(reasons),
+            )
+        )
+
+    report = CoreAuditReport(
+        core_size=int(core.size),
+        threshold=relative_mass_threshold,
+        findings=findings,
+        repaired_core=core[~flagged],
+    )
+    tele = get_telemetry()
+    if tele.enabled:
+        tele.event(
+            "audit.core",
+            core_size=report.core_size,
+            flagged=len(findings),
+            threshold=relative_mass_threshold,
+        )
+        tele.inc("audit.flagged", len(findings))
+    return report

@@ -48,6 +48,7 @@ from ..core.solvers import SolverResult, solve as dispatch_solve
 from ..core.pagerank import _resolve_jump  # single source of jump semantics
 from ..graph.webgraph import WebGraph
 from ..obs import get_telemetry
+from ..runtime.supervisor import SupervisorPolicy, TaskSupervisor
 from .cache import DEFAULT_CACHE_SIZE, OperatorBundle, OperatorCache
 
 __all__ = [
@@ -261,6 +262,7 @@ class PagerankEngine:
         check: bool = True,
         labels: Optional[Sequence[str]] = None,
         policy=None,
+        supervisor: Union[None, SupervisorPolicy, TaskSupervisor] = None,
     ) -> BatchResult:
         """Solve ``k`` stacked jump vectors in one batched pass.
 
@@ -284,6 +286,15 @@ class PagerankEngine:
             :class:`FallbackSolver` — checkpoint/resume, escalation and
             budgets apply per column, exactly as in the sequential
             pipeline of PR 1.
+        supervisor:
+            Optional :class:`~repro.runtime.supervisor.TaskSupervisor`
+            (or bare :class:`SupervisorPolicy`).  Columns are then
+            solved as one supervised task each — per-column retry with
+            backoff, and partial-result salvage (a faulted column is
+            re-solved alone; completed columns are kept).  The block
+            kernel is column-separable bitwise, so the supervised
+            per-column results are identical to the stacked pass.
+            Mutually exclusive with ``policy``.
         """
         n = graph.num_nodes
         if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
@@ -304,18 +315,24 @@ class PagerankEngine:
             raise ValueError(
                 f"{len(labels)} labels for {k} stacked vectors"
             )
+        if policy is not None and supervisor is not None:
+            raise ValueError(
+                "pass either a runtime policy or a task supervisor, "
+                "not both (the policy path has its own per-column "
+                "resilience)"
+            )
         bundle = self.bundle(graph)
 
         tele = get_telemetry()
         if not tele.enabled:
             return self._run_batch(
                 bundle, stacked, labels, damping, tol, max_iter, check,
-                policy,
+                policy, supervisor,
             )
         with tele.span("solve:batch", columns=k) as sp:
             result = self._run_batch(
                 bundle, stacked, labels, damping, tol, max_iter, check,
-                policy,
+                policy, supervisor,
             )
             tele.inc("engine.batched_solves")
             tele.inc("engine.columns", k)
@@ -341,6 +358,7 @@ class PagerankEngine:
         max_iter: int,
         check: bool,
         policy,
+        supervisor=None,
     ) -> BatchResult:
         """The untraced core of :meth:`solve_many`."""
         k = stacked.shape[1]
@@ -349,16 +367,21 @@ class PagerankEngine:
                 bundle, stacked, labels, damping, tol, max_iter, check,
                 policy,
             )
-
-        result = _block_jacobi(
-            bundle,
-            stacked,
-            damping=damping,
-            tol=tol,
-            max_iter=max_iter,
-            check_every=self.check_every,
-            labels=labels,
-        )
+        if supervisor is not None:
+            result = self._solve_supervised(
+                bundle, stacked, labels, damping, tol, max_iter,
+                supervisor,
+            )
+        else:
+            result = _block_jacobi(
+                bundle,
+                stacked,
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+                check_every=self.check_every,
+                labels=labels,
+            )
         if check and not bool(result.converged.all()):
             bad = [
                 labels[j]
@@ -373,6 +396,58 @@ class PagerankEngine:
                 result=result.column(labels.index(bad[0])),
             )
         return result
+
+    def _solve_supervised(
+        self,
+        bundle: OperatorBundle,
+        stacked: np.ndarray,
+        labels: Sequence[str],
+        damping: float,
+        tol: float,
+        max_iter: int,
+        supervisor,
+    ) -> BatchResult:
+        """Per-column solves under a :class:`TaskSupervisor`.
+
+        Each column is one task of a fixed plan; the supervisor retries
+        faulted columns with backoff and salvages completed ones.  The
+        block kernel is column-separable bitwise (each column's iterate
+        evolves independently and freezes on its own residual), so
+        assembling the per-column results reproduces the stacked pass
+        exactly.  Execution is in-process — the operator bundle stays
+        shared, and a column solve is pure CPU with no pool to lose.
+        """
+        if not isinstance(supervisor, TaskSupervisor):
+            supervisor = TaskSupervisor(supervisor)
+        n, k = stacked.shape
+        tasks = [
+            (
+                j,
+                bundle,
+                np.ascontiguousarray(stacked[:, j : j + 1]),
+                damping,
+                tol,
+                max_iter,
+                self.check_every,
+            )
+            for j in range(k)
+        ]
+        report = supervisor.run(
+            _solve_column_task, tasks, label="solve_many"
+        )
+        scores = np.empty_like(stacked)
+        iterations = np.zeros(k, dtype=np.int64)
+        residuals = np.full(k, np.inf)
+        converged = np.zeros(k, dtype=bool)
+        for j, column in enumerate(report.results):
+            scores[:, j] = column.scores[:, 0]
+            iterations[j] = column.iterations[0]
+            residuals[j] = column.residuals[0]
+            converged[j] = column.converged[0]
+        return BatchResult(
+            scores, iterations, residuals, converged,
+            "batched_jacobi", labels,
+        )
 
     def _solve_with_policy(
         self,
@@ -577,6 +652,34 @@ class PagerankEngine:
 # ----------------------------------------------------------------------
 # the block kernel
 # ----------------------------------------------------------------------
+
+
+def _solve_column_task(
+    column_index: int,
+    bundle: OperatorBundle,
+    column: np.ndarray,
+    damping: float,
+    tol: float,
+    max_iter: int,
+    check_every: int,
+) -> BatchResult:
+    """One supervised column solve (module-level so supervised pool
+    execution and chaos wrappers can reference it by name).
+
+    ``column_index`` identifies the task to the supervision layer and
+    to chaos injectors keyed on it; the solve depends only on the
+    remaining arguments.
+    """
+    del column_index
+    return _block_jacobi(
+        bundle,
+        column,
+        damping=damping,
+        tol=tol,
+        max_iter=max_iter,
+        check_every=check_every,
+        labels=["col"],
+    )
 
 
 def _block_jacobi(

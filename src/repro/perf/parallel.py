@@ -1,4 +1,4 @@
-"""Deterministic parallel Monte-Carlo PageRank.
+"""Deterministic parallel Monte-Carlo PageRank, supervised.
 
 Random-walk simulation is embarrassingly parallel — walks never
 interact — but naive parallelization trades away reproducibility: the
@@ -23,17 +23,21 @@ even float rounding is fixed).  Consequently
 returns **bitwise-identical** scores for ``workers=1``, ``workers=8``,
 or the in-process fallback — the worker count only changes wall time.
 
-If a process pool cannot be created or dies mid-run (sandboxes without
-``fork``, memory pressure), the function falls back to running the same
-chunk plan sequentially in-process and emits a warning; results are
-unchanged.
+Execution is gathered by a
+:class:`~repro.runtime.supervisor.TaskSupervisor` (completion order,
+never blocking on one chunk): a dead worker costs only its own
+unfinished chunks (completed chunk results are salvaged and never
+re-simulated), a hung worker is abandoned at its per-task deadline and
+its chunk re-executed in-process, and repeated pool failures trip a
+circuit breaker that degrades the remaining plan to sequential
+in-process execution with a warning — results are unchanged in every
+case, because the chunk plan and RNG streams are fixed up front.
 """
 
 from __future__ import annotations
 
-import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +45,7 @@ from ..core.montecarlo import MonteCarloResult, pagerank_montecarlo
 from ..core.pagerank import DEFAULT_DAMPING
 from ..graph.webgraph import WebGraph
 from ..obs import get_telemetry
+from ..runtime.supervisor import SupervisorPolicy, TaskSupervisor
 
 __all__ = ["plan_chunks", "pagerank_montecarlo_parallel"]
 
@@ -69,6 +74,7 @@ def plan_chunks(num_walks: int, chunks: int = DEFAULT_CHUNKS) -> List[int]:
 
 
 def _simulate_chunk(
+    chunk_index: int,
     graph: WebGraph,
     v: Optional[np.ndarray],
     damping: float,
@@ -76,7 +82,13 @@ def _simulate_chunk(
     seed_seq: np.random.SeedSequence,
     max_walk_length: int,
 ) -> Tuple[np.ndarray, int, int]:
-    """One chunk's walks (module-level so process pools can pickle it)."""
+    """One chunk's walks (module-level so process pools can pickle it).
+
+    ``chunk_index`` identifies the chunk to the supervision layer (and
+    to chaos injectors keyed on it); the simulation itself depends only
+    on the remaining arguments.
+    """
+    del chunk_index  # identity only; the walks depend on the seed stream
     result = pagerank_montecarlo(
         graph,
         v,
@@ -98,8 +110,10 @@ def pagerank_montecarlo_parallel(
     seed: int = 0,
     chunks: int = DEFAULT_CHUNKS,
     max_walk_length: int = 1_000,
+    supervisor: Union[None, SupervisorPolicy, TaskSupervisor] = None,
+    _chunk_fn=None,
 ) -> MonteCarloResult:
-    """Monte-Carlo PageRank over a process pool, reproducibly.
+    """Monte-Carlo PageRank over a supervised process pool, reproducibly.
 
     Parameters
     ----------
@@ -115,49 +129,47 @@ def pagerank_montecarlo_parallel(
         Chunk-plan width; leave at the default unless you need more
         than :data:`DEFAULT_CHUNKS`-way parallelism.  Changing it
         changes the (equally valid) estimate.
+    supervisor:
+        A :class:`~repro.runtime.supervisor.TaskSupervisor` (or a bare
+        :class:`~repro.runtime.supervisor.SupervisorPolicy`) governing
+        retries, per-chunk deadlines, circuit breaking and degradation.
+        ``None`` uses the default policy.  See ``docs/runtime.md``.
+    _chunk_fn:
+        Test seam: replaces the chunk simulator (chaos injectors wrap
+        it).  Must accept the same arguments as the internal simulator
+        and stay picklable for pool execution.
 
     See :func:`repro.core.montecarlo.pagerank_montecarlo` for the
     estimator itself and the remaining parameters.
     """
     plan = plan_chunks(num_walks, chunks)
     streams = np.random.SeedSequence(seed).spawn(len(plan))
-    tasks = list(zip(plan, streams))
+    tasks = [
+        (i, graph, v, damping, chunk_walks, stream, max_walk_length)
+        for i, (chunk_walks, stream) in enumerate(zip(plan, streams))
+    ]
+    fn = _chunk_fn if _chunk_fn is not None else _simulate_chunk
+    if isinstance(supervisor, TaskSupervisor):
+        sup = supervisor
+    else:
+        sup = TaskSupervisor(supervisor)
 
-    outputs: Optional[List[Tuple[np.ndarray, int, int]]] = None
+    pool_factory = None
     if workers is not None and workers > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _simulate_chunk,
-                        graph, v, damping, chunk_walks, stream,
-                        max_walk_length,
-                    )
-                    for chunk_walks, stream in tasks
-                ]
-                outputs = [f.result() for f in futures]
-        except Exception as exc:  # pool creation or worker death
-            warnings.warn(
-                f"Monte-Carlo process pool failed ({exc!r}); rerunning "
-                "the same chunk plan sequentially in-process — results "
-                "are unaffected, only wall time.",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            outputs = None
-    if outputs is None:
-        outputs = [
-            _simulate_chunk(
-                graph, v, damping, chunk_walks, stream, max_walk_length
-            )
-            for chunk_walks, stream in tasks
-        ]
+        worker_count = workers
+        # referenced through the module global so tests can monkeypatch
+        # pool construction failures (and so the sandbox fallback stays
+        # observable)
+        pool_factory = lambda: ProcessPoolExecutor(  # noqa: E731
+            max_workers=worker_count
+        )
+    report = sup.run(fn, tasks, pool_factory=pool_factory, label="mc")
 
     # pooled estimator: Σ scoresᵢ·Rᵢ/R, accumulated in chunk order so
     # float rounding is scheduling-independent
     scores = np.zeros(graph.num_nodes, dtype=np.float64)
     total_steps = 0
-    for chunk_scores, chunk_walks, chunk_steps in outputs:
+    for chunk_scores, chunk_walks, chunk_steps in report.results:
         scores += chunk_scores * (chunk_walks / num_walks)
         total_steps += chunk_steps
     tele = get_telemetry()

@@ -12,7 +12,11 @@ continuously re-run pipeline needs (see ``docs/runtime.md``):
   :class:`RuntimePolicy` object the CLI threads through the pipeline.
 * :mod:`repro.runtime.chaos` — deterministic fault injectors for the
   resilience test-suite.
-* :mod:`repro.runtime.retry` — retry-with-backoff for transient I/O.
+* :mod:`repro.runtime.retry` — deterministic :class:`BackoffPolicy`
+  schedules and retry-with-backoff for transient failures.
+* :mod:`repro.runtime.supervisor` — :class:`TaskSupervisor` for
+  fan-out work: per-task retry, deadlines/watchdog, circuit breaking
+  and partial-result salvage (see ``docs/runtime.md``).
 
 The heavyweight :mod:`~repro.runtime.resilient` module (it pulls in the
 numerical core) is loaded lazily on first attribute access, so the
@@ -30,6 +34,7 @@ from ..errors import (
     GraphIOWarning,
     InjectedFault,
     SolverAbort,
+    SupervisionError,
     TruncatedFileError,
 )
 from .checkpoint import (
@@ -41,7 +46,13 @@ from .checkpoint import (
     save_solution,
 )
 from .monitors import Deadline, ResidualMonitor, compose_callbacks
-from .retry import with_retries
+from .retry import BackoffPolicy, with_retries
+from .supervisor import (
+    CircuitBreaker,
+    SupervisionReport,
+    SupervisorPolicy,
+    TaskSupervisor,
+)
 
 __all__ = [
     # errors (re-exported for convenience)
@@ -52,6 +63,7 @@ __all__ = [
     "GraphIOWarning",
     "InjectedFault",
     "SolverAbort",
+    "SupervisionError",
     "TruncatedFileError",
     # light modules
     "CheckpointManager",
@@ -63,7 +75,12 @@ __all__ = [
     "Deadline",
     "ResidualMonitor",
     "compose_callbacks",
+    "BackoffPolicy",
     "with_retries",
+    "CircuitBreaker",
+    "SupervisionReport",
+    "SupervisorPolicy",
+    "TaskSupervisor",
     # lazy (resilient.py pulls in the numerical core)
     "DEFAULT_CHAIN",
     "AttemptRecord",

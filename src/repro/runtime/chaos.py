@@ -38,6 +38,8 @@ __all__ = [
     "CORRUPTION_KINDS",
     "FlakyCalls",
     "flaky_open",
+    "ChaosWorker",
+    "contaminate_core",
 ]
 
 
@@ -268,3 +270,146 @@ def flaky_open(
     import builtins
 
     return FlakyCalls(builtins.open, plan=plan, fail_first=fail_first, exc=exc)
+
+
+# ----------------------------------------------------------------------
+# worker-level injectors (process-pool fan-out)
+# ----------------------------------------------------------------------
+
+
+class ChaosWorker:
+    """Wrap a picklable task function with scripted worker faults.
+
+    Faults are keyed on one of the task's positional arguments
+    (``key_arg``, default the first) — the supervised fan-out paths all
+    lead their task tuples with the plan index, so ``kill_on=(2,)``
+    means "chunk 2 misbehaves".  Kinds:
+
+    ``kill_on``
+        The worker *process* dies (``os._exit``) — the classic
+        segfault/OOM-kill, surfacing as ``BrokenProcessPool`` for every
+        in-flight future.  Fires only inside a child process; executed
+        in the supervising process the injector is a no-op, so serial
+        degradation completes the plan.
+    ``hang_on``
+        The worker sleeps ``hang_seconds`` before doing the work —
+        past any sane deadline, so the watchdog abandons it.  Also
+        worker-only by default.
+    ``slow_on``
+        The worker sleeps ``slow_seconds`` first, then works normally:
+        a straggler *within* its deadline, which supervision must
+        tolerate without retrying.
+    ``fail_on``
+        Raise ``exc`` instead of working — fires everywhere (worker or
+        in-process), the script for plain task-retry paths.
+
+    ``once_dir`` makes kill/hang/fail faults fire **once per key**
+    across all processes (an atomically-created marker file arbitrates)
+    so a retried task succeeds — the salvage/retry happy path.  Without
+    it a fault fires on every pool execution, which is how the circuit
+    breaker is driven to trip.
+
+    Instances are picklable as long as ``fn`` is a module-level
+    callable and ``exc`` a module-level exception type.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        kill_on: tuple = (),
+        hang_on: tuple = (),
+        slow_on: tuple = (),
+        fail_on: tuple = (),
+        hang_seconds: float = 30.0,
+        slow_seconds: float = 0.02,
+        exc: Type[BaseException] = InjectedFault,
+        once_dir: Optional[Union[str, Path]] = None,
+        key_arg: int = 0,
+    ) -> None:
+        self.fn = fn
+        self.kill_on = tuple(kill_on)
+        self.hang_on = tuple(hang_on)
+        self.slow_on = tuple(slow_on)
+        self.fail_on = tuple(fail_on)
+        self.hang_seconds = hang_seconds
+        self.slow_seconds = slow_seconds
+        self.exc = exc
+        self.once_dir = None if once_dir is None else str(once_dir)
+        self.key_arg = key_arg
+
+    def _fires_once(self, kind: str, key) -> bool:
+        """True if this (kind, key) fault should fire now.
+
+        With ``once_dir`` set, the first process to atomically create
+        the marker file wins; everyone later sees the fault as spent.
+        """
+        if self.once_dir is None:
+            return True
+        marker = Path(self.once_dir) / f"chaos-{kind}-{key}"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        return True
+
+    @staticmethod
+    def _in_worker() -> bool:
+        import multiprocessing
+
+        return multiprocessing.parent_process() is not None
+
+    def __call__(self, *args, **kwargs):
+        import os
+        import time as _time
+
+        key = args[self.key_arg] if len(args) > self.key_arg else None
+        if key in self.kill_on and self._in_worker() and self._fires_once(
+            "kill", key
+        ):
+            os._exit(17)
+        if key in self.hang_on and self._in_worker() and self._fires_once(
+            "hang", key
+        ):
+            _time.sleep(self.hang_seconds)
+        if key in self.slow_on:
+            _time.sleep(self.slow_seconds)
+        if key in self.fail_on and self._fires_once("fail", key):
+            raise self.exc(f"injected task fault on key {key!r}")
+        return self.fn(*args, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# core contamination (good-core anomaly injection)
+# ----------------------------------------------------------------------
+
+
+def contaminate_core(
+    core: np.ndarray,
+    spam_nodes: np.ndarray,
+    *,
+    num: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Plant spam nodes inside a good core, deterministically.
+
+    Models the paper's Section 4.4 worst case — the supposedly clean
+    ``Ṽ⁺`` absorbing spam hosts (a directory that let spam slip in, a
+    compromised .edu) — so :func:`repro.eval.audit_core` has a planted
+    anomaly to catch.  Returns a new core array with ``num`` spam nodes
+    (chosen by ``seed`` from ``spam_nodes``, excluding any already
+    present) appended; the input is not modified.
+    """
+    if num < 1:
+        raise ValueError("num must be positive")
+    core = np.asarray(core, dtype=np.int64)
+    pool = np.setdiff1d(
+        np.asarray(spam_nodes, dtype=np.int64), core, assume_unique=False
+    )
+    if len(pool) < num:
+        raise ValueError(
+            f"only {len(pool)} spam nodes available to plant, need {num}"
+        )
+    rng = np.random.default_rng(seed)
+    planted = rng.choice(pool, size=num, replace=False)
+    return np.concatenate([core, np.sort(planted)])

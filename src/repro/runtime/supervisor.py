@@ -1,0 +1,647 @@
+"""Supervised fan-out execution: retries, deadlines, circuit breaking.
+
+The perf layer fans work out — Monte-Carlo walk chunks over a process
+pool, stacked PageRank columns through the batched kernel — and fan-out
+is where production runs die ugly deaths: a worker segfaults and takes
+every completed chunk with it, a hung worker blocks an ordered
+``f.result()`` forever, a flaky node fails the same plan five times in
+a row.  :class:`TaskSupervisor` wraps any *deterministic* task plan in
+the operational behaviors those failures demand:
+
+* **per-task retry** with a seeded, policy-driven exponential backoff
+  (:class:`~repro.runtime.retry.BackoffPolicy` — the schedule is fixed
+  up front, so a retry storm replays identically);
+* **per-task deadlines** enforced by a watchdog poll loop — a hung
+  worker is abandoned at its deadline instead of blocking the gather,
+  and its task is re-executed elsewhere;
+* a **circuit breaker** that opens after N *consecutive* failures
+  (task faults, timeouts, pool breakages all count; any success
+  resets) and degrades the remaining plan from the process pool to
+  in-process serial execution;
+* **partial-result salvage**: completed tasks are never re-executed —
+  only failed, timed-out or never-finished ones re-run, and the
+  ``supervisor.salvaged_chunks`` event records exactly which.
+
+Because the task plan is fixed *before* execution (the Monte-Carlo
+chunk plan and per-chunk RNG streams depend only on the walk budget and
+seed; PageRank columns are independent by construction), results are
+bitwise-identical no matter where or how often tasks run — supervision
+changes wall-time and resilience, never numbers.
+
+Telemetry (all through :func:`repro.obs.get_telemetry`):
+
+========================== ==========================================
+``supervisor.retry``        a failed task was rescheduled
+``supervisor.task_timeout`` a task exceeded its deadline and was
+                            abandoned on the pool
+``supervisor.circuit_open`` N consecutive failures tripped the breaker
+``supervisor.degraded``     execution fell back to in-process serial
+``supervisor.salvaged_chunks`` completed/re-executed split of a
+                            faulted run
+========================== ==========================================
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SupervisionError
+from .retry import BackoffPolicy
+
+__all__ = [
+    "SupervisorPolicy",
+    "CircuitBreaker",
+    "SupervisionReport",
+    "TaskSupervisor",
+    "DEFAULT_BACKOFF",
+]
+
+try:  # BrokenExecutor covers BrokenProcessPool (worker death)
+    from concurrent.futures import BrokenExecutor
+except ImportError:  # pragma: no cover - ancient pythons
+    BrokenExecutor = RuntimeError  # type: ignore[assignment,misc]
+
+#: Default backoff between task retries: short, capped, jitter-free —
+#: fan-out tasks are CPU-bound and local, so there is no remote service
+#: to be polite to; the backoff exists to ride out transient memory or
+#: scheduler pressure without busy-looping.
+DEFAULT_BACKOFF = BackoffPolicy(
+    retries=2, base=0.02, factor=2.0, max_total=1.0
+)
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """The knobs of one supervised execution.
+
+    Attributes
+    ----------
+    max_task_retries:
+        Re-executions allowed per task after its first attempt.  A task
+        that fails ``1 + max_task_retries`` times raises
+        :class:`~repro.errors.SupervisionError`.
+    task_timeout:
+        Per-task deadline in seconds, measured from pool submission
+        (``None`` disables the watchdog).  Timed-out tasks are
+        abandoned — their hung worker keeps its pool slot, so the retry
+        runs in-process instead of behind the hang.
+    backoff:
+        Deterministic sleep schedule between retries of one task.
+    circuit_threshold:
+        Consecutive failures (of any kind) that open the breaker.
+    allow_degrade:
+        Whether pool → in-process serial degradation is permitted.
+        When ``False``, any condition that would require it (pool
+        unavailable, circuit open, task timeout) raises
+        :class:`~repro.errors.SupervisionError` instead.
+    poll_interval:
+        Watchdog heartbeat in seconds: the cadence at which the gather
+        loop wakes to check deadlines and release backed-off retries.
+    """
+
+    max_task_retries: int = 2
+    task_timeout: Optional[float] = None
+    backoff: BackoffPolicy = DEFAULT_BACKOFF
+    circuit_threshold: int = 3
+    allow_degrade: bool = True
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.circuit_threshold < 1:
+            raise ValueError("circuit_threshold must be >= 1")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+
+class CircuitBreaker:
+    """Opens after ``threshold`` *consecutive* failures; success resets.
+
+    Deliberately minimal: no half-open probing — within one supervised
+    run, an open circuit means "stop trusting the pool for this plan";
+    the next run starts with a fresh breaker.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.consecutive_failures = 0
+        self.opened = False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Count a failure; returns True when this one opened the
+        circuit (exactly once)."""
+        self.consecutive_failures += 1
+        if not self.opened and self.consecutive_failures >= self.threshold:
+            self.opened = True
+            return True
+        return False
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.opened else "closed"
+        return (
+            f"CircuitBreaker({state}, "
+            f"{self.consecutive_failures}/{self.threshold})"
+        )
+
+
+@dataclass
+class SupervisionReport:
+    """What happened to one supervised task plan.
+
+    ``results`` is ordered by task index — the caller's accumulation
+    order is exactly the plan order, which is what keeps pooled
+    estimators bitwise-deterministic.
+    """
+
+    results: List[object] = field(default_factory=list)
+    attempts: List[int] = field(default_factory=list)
+    reexecuted: List[int] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    pool_failures: int = 0
+    degraded: bool = False
+    degrade_reason: Optional[str] = None
+    circuit_opened: bool = False
+    mode: str = "serial"
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.results)
+
+    @property
+    def salvaged(self) -> int:
+        """Tasks whose single successful execution was kept as-is."""
+        return self.num_tasks - len(self.reexecuted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SupervisionReport({self.mode}, {self.num_tasks} tasks, "
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"degraded={self.degraded})"
+        )
+
+
+class _Unset:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+class TaskSupervisor:
+    """Run a fixed task plan under retry/deadline/circuit supervision.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`SupervisorPolicy`; defaults are production-sane
+        (2 retries, no deadline, breaker at 3, degradation allowed).
+    sleep, clock:
+        Injection points for tests (backoff sleeps, deadline clock).
+
+    The one method is :meth:`run`.  Task functions must be pure in
+    their arguments (safe to re-execute) and, for pool execution,
+    picklable at module level.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SupervisorPolicy] = None,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self._sleep = sleep
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable,
+        tasks: Sequence[Tuple],
+        *,
+        pool_factory: Optional[Callable[[], object]] = None,
+        label: str = "tasks",
+    ) -> SupervisionReport:
+        """Execute ``fn(*args)`` for every args-tuple in ``tasks``.
+
+        Parameters
+        ----------
+        fn:
+            The task callable (module-level for pool execution).
+        tasks:
+            The fixed plan: one argument tuple per task.  Results are
+            returned in plan order regardless of completion order.
+        pool_factory:
+            Zero-argument callable building an Executor (typically a
+            ``ProcessPoolExecutor``).  ``None`` runs the plan serially
+            in-process (still supervised: per-task retry applies).
+        label:
+            Tag attached to every telemetry event of this run.
+
+        Raises
+        ------
+        SupervisionError
+            A task exhausted its retries, or degradation was needed
+            but disallowed.  The partial report rides on the exception.
+        """
+        n = len(tasks)
+        report = SupervisionReport(
+            results=[_UNSET] * n, attempts=[0] * n, mode="serial"
+        )
+        if n == 0:
+            return report
+        breaker = CircuitBreaker(self.policy.circuit_threshold)
+        faulted = False
+
+        if pool_factory is not None:
+            report.mode = "pool"
+            faulted = self._run_pool(
+                fn, tasks, pool_factory, report, breaker, label
+            )
+
+        remaining = [
+            i for i in range(n) if report.results[i] is _UNSET
+        ]
+        if remaining:
+            retries_before = report.retries
+            self._run_serial(fn, tasks, remaining, report, label)
+            # serial-from-the-start runs only count as faulted when a
+            # task actually had to be retried; after a pool phase any
+            # leftover work is by definition fault recovery
+            if pool_factory is not None or report.retries > retries_before:
+                faulted = True
+
+        if faulted:
+            self._emit(
+                "supervisor.salvaged_chunks",
+                label,
+                salvaged=report.salvaged,
+                reexecuted=len(report.reexecuted),
+                tasks=n,
+            )
+            tele = self._tele()
+            if tele is not None:
+                tele.inc("supervisor.salvaged", report.salvaged)
+        return report
+
+    # ------------------------------------------------------------------
+    # pool phase
+    # ------------------------------------------------------------------
+
+    def _run_pool(
+        self,
+        fn: Callable,
+        tasks: Sequence[Tuple],
+        pool_factory: Callable[[], object],
+        report: SupervisionReport,
+        breaker: CircuitBreaker,
+        label: str,
+    ) -> bool:
+        """Gather the plan over a pool; returns True if any fault
+        occurred.  Unfinished tasks are left ``_UNSET`` for the serial
+        phase (which the caller enters only after degradation)."""
+        policy = self.policy
+        pool = self._make_pool(pool_factory, report, breaker, label)
+        if pool is None:
+            return True  # degraded before the first submission
+
+        faulted = False
+        pending = deque(range(len(tasks)))
+        delayed: List[Tuple[float, int]] = []  # (ready_at, index)
+        inflight: Dict[object, Tuple[int, float]] = {}
+        try:
+            while pending or delayed or inflight:
+                now = self._clock()
+                # release retries whose backoff has elapsed
+                if delayed:
+                    ready = [i for t, i in delayed if t <= now]
+                    delayed = [(t, i) for t, i in delayed if t > now]
+                    pending.extend(sorted(ready))
+                # submit everything runnable
+                broke = False
+                while pending:
+                    i = pending.popleft()
+                    try:
+                        future = pool.submit(fn, *tasks[i])
+                    except (BrokenExecutor, RuntimeError):
+                        pending.appendleft(i)
+                        broke = True
+                        break
+                    inflight[future] = (i, self._clock())
+                if not broke and not inflight:
+                    # nothing running and nothing ready: sleep until the
+                    # earliest backed-off retry becomes due
+                    if delayed:
+                        wake = min(t for t, _ in delayed)
+                        self._sleep(
+                            min(
+                                policy.poll_interval,
+                                max(0.0, wake - self._clock()),
+                            )
+                        )
+                    continue
+                if not broke:
+                    timeout = policy.poll_interval
+                    done, _ = wait(
+                        set(inflight),
+                        timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    self._heartbeat(len(inflight), len(pending))
+                    for future in done:
+                        i, submitted = inflight.pop(future)
+                        try:
+                            result = future.result()
+                        except BrokenExecutor:
+                            broke = True
+                            pending.append(i)
+                            if i not in report.reexecuted:
+                                report.reexecuted.append(i)
+                        except Exception as exc:
+                            faulted = True
+                            self._task_failed(
+                                i, exc, report, breaker, pending,
+                                delayed, label,
+                            )
+                        else:
+                            report.results[i] = result
+                            report.attempts[i] += 1
+                            breaker.record_success()
+                    # watchdog: abandon tasks past their deadline
+                    if policy.task_timeout is not None:
+                        faulted |= self._enforce_deadlines(
+                            inflight, report, breaker, label
+                        )
+                if broke:
+                    faulted = True
+                    self._pool_broke(inflight, pending, report, breaker,
+                                     label)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    if breaker.is_open or not self.policy.allow_degrade:
+                        self._degrade(report, "circuit-open"
+                                      if breaker.is_open
+                                      else "pool-broken", label)
+                        return True
+                    pool = self._make_pool(
+                        pool_factory, report, breaker, label
+                    )
+                    if pool is None:
+                        return True
+                    continue
+                if breaker.is_open and not report.degraded:
+                    # keep draining what is already running (successes
+                    # are salvage), but stop feeding the pool
+                    self._degrade(report, "circuit-open", label)
+                    pending.clear()
+                    delayed.clear()
+                if report.degraded and not inflight:
+                    return True
+        finally:
+            if pool is not None:
+                # hung workers must never block the gather: leave them
+                # behind rather than joining
+                pool.shutdown(wait=False, cancel_futures=True)
+        return faulted
+
+    # ------------------------------------------------------------------
+    # pool-phase helpers
+    # ------------------------------------------------------------------
+
+    def _make_pool(self, pool_factory, report, breaker, label):
+        """Build the pool, degrading on failure; None means serial."""
+        try:
+            return pool_factory()
+        except Exception as exc:
+            report.pool_failures += 1
+            breaker.record_failure()
+            self._degrade(report, f"pool-unavailable: {exc!r}", label)
+            return None
+
+    def _task_failed(
+        self, i, exc, report, breaker, pending, delayed, label
+    ) -> None:
+        """One task raised in a worker: retry or give up."""
+        report.attempts[i] += 1
+        report.retries += 1
+        if i not in report.reexecuted:
+            report.reexecuted.append(i)
+        opened = breaker.record_failure()
+        if opened:
+            report.circuit_opened = True
+            self._emit(
+                "supervisor.circuit_open", label,
+                consecutive_failures=breaker.consecutive_failures,
+            )
+        if report.attempts[i] > self.policy.max_task_retries:
+            raise SupervisionError(
+                f"task {i} failed {report.attempts[i]} times "
+                f"(last: {type(exc).__name__}: {exc}); retry budget "
+                f"of {self.policy.max_task_retries} exhausted",
+                report=report,
+            ) from exc
+        delay = self._retry_delay(report.attempts[i])
+        self._emit(
+            "supervisor.retry", label,
+            task=i,
+            attempt=report.attempts[i],
+            error=type(exc).__name__,
+            delay=delay,
+        )
+        tele = self._tele()
+        if tele is not None:
+            tele.inc("supervisor.retries")
+        if breaker.is_open:
+            return  # the degrade path will pick the task up serially
+        delayed.append((self._clock() + delay, i))
+
+    def _enforce_deadlines(self, inflight, report, breaker, label) -> bool:
+        """Abandon in-flight tasks past their deadline; their retries
+        run serially (the hung worker still owns its pool slot)."""
+        now = self._clock()
+        expired = [
+            (future, i, submitted)
+            for future, (i, submitted) in inflight.items()
+            if now - submitted > self.policy.task_timeout
+        ]
+        for future, i, submitted in expired:
+            future.cancel()
+            del inflight[future]
+            report.timeouts += 1
+            report.attempts[i] += 1
+            if i not in report.reexecuted:
+                report.reexecuted.append(i)
+            self._emit(
+                "supervisor.task_timeout", label,
+                task=i,
+                deadline=self.policy.task_timeout,
+                waited=round(now - submitted, 4),
+            )
+            tele = self._tele()
+            if tele is not None:
+                tele.inc("supervisor.timeouts")
+            if breaker.record_failure():
+                report.circuit_opened = True
+                self._emit(
+                    "supervisor.circuit_open", label,
+                    consecutive_failures=breaker.consecutive_failures,
+                )
+            if report.attempts[i] > self.policy.max_task_retries:
+                raise SupervisionError(
+                    f"task {i} timed out after "
+                    f"{self.policy.task_timeout:g}s and exhausted its "
+                    f"retry budget of {self.policy.max_task_retries}",
+                    report=report,
+                )
+            if not self.policy.allow_degrade:
+                raise SupervisionError(
+                    f"task {i} timed out after "
+                    f"{self.policy.task_timeout:g}s; re-execution "
+                    "requires in-process degradation, which "
+                    "--no-degrade forbids",
+                    report=report,
+                )
+            # leave the task _UNSET: the serial phase re-executes it
+        return bool(expired)
+
+    def _pool_broke(self, inflight, pending, report, breaker,
+                    label) -> None:
+        """The pool died (worker killed).  Salvage nothing from
+        in-flight futures — requeue them without charging attempts (the
+        fault was the pool's, not theirs)."""
+        report.pool_failures += 1
+        tele = self._tele()
+        if tele is not None:
+            tele.inc("supervisor.pool_failures")
+        for future, (i, _) in inflight.items():
+            pending.append(i)
+            if i not in report.reexecuted:
+                report.reexecuted.append(i)
+        inflight.clear()
+        if breaker.record_failure():
+            report.circuit_opened = True
+            self._emit(
+                "supervisor.circuit_open", label,
+                consecutive_failures=breaker.consecutive_failures,
+            )
+
+    # ------------------------------------------------------------------
+    # serial phase
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, fn, tasks, indices, report, label) -> None:
+        """Re-execute (or first-execute) tasks in-process, in plan
+        order, with per-task retry."""
+        for i in sorted(indices):
+            if report.attempts[i] > 0 and i not in report.reexecuted:
+                report.reexecuted.append(i)
+            while True:
+                report.attempts[i] += 1
+                try:
+                    report.results[i] = fn(*tasks[i])
+                    break
+                except Exception as exc:
+                    report.retries += 1
+                    if report.attempts[i] > self.policy.max_task_retries:
+                        raise SupervisionError(
+                            f"task {i} failed {report.attempts[i]} "
+                            f"times (last: {type(exc).__name__}: "
+                            f"{exc}); retry budget of "
+                            f"{self.policy.max_task_retries} exhausted",
+                            report=report,
+                        ) from exc
+                    if i not in report.reexecuted:
+                        report.reexecuted.append(i)
+                    delay = self._retry_delay(report.attempts[i])
+                    self._emit(
+                        "supervisor.retry", label,
+                        task=i,
+                        attempt=report.attempts[i],
+                        error=type(exc).__name__,
+                        delay=delay,
+                    )
+                    tele = self._tele()
+                    if tele is not None:
+                        tele.inc("supervisor.retries")
+                    self._sleep(delay)
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+
+    def _retry_delay(self, attempt: int) -> float:
+        """The backoff before re-running a task on its Nth retry."""
+        schedule = self.policy.backoff.delays()
+        if not schedule:
+            return 0.0
+        return schedule[min(attempt - 1, len(schedule) - 1)]
+
+    def _degrade(self, report: SupervisionReport, reason: str,
+                 label: str) -> None:
+        if not self.policy.allow_degrade:
+            raise SupervisionError(
+                f"supervised execution would degrade to in-process "
+                f"serial ({reason}), but degradation is disallowed",
+                report=report,
+            )
+        if report.degraded:
+            return
+        report.degraded = True
+        report.degrade_reason = reason
+        report.mode = "degraded"
+        self._emit("supervisor.degraded", label, reason=reason)
+        tele = self._tele()
+        if tele is not None:
+            tele.inc("supervisor.degradations")
+        warnings.warn(
+            f"supervised {label}: degrading from the process pool to "
+            f"sequentially executing the remaining plan in-process "
+            f"({reason}); results are unaffected, only wall time.",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _heartbeat(self, inflight: int, pending: int) -> None:
+        tele = self._tele()
+        if tele is not None:
+            tele.set_gauge("supervisor.inflight", inflight)
+            tele.set_gauge("supervisor.pending", pending)
+
+    def _tele(self):
+        from ..obs import get_telemetry
+
+        tele = get_telemetry()
+        return tele if tele.enabled else None
+
+    def _emit(self, name: str, label: str, **attrs) -> None:
+        tele = self._tele()
+        if tele is not None:
+            tele.event(name, label=label, **attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskSupervisor({self.policy!r})"

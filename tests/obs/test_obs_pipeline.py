@@ -207,7 +207,7 @@ def test_transient_write_failure_emits_retry_events(
     )
     FallbackSolver(("jacobi",), tol=TOL, checkpoint=manager).solve(tt, v)
     monkeypatch.undo()
-    retries = telemetry.sink.named("retry")
+    retries = telemetry.sink.named("retry.attempt")
     assert len(retries) == 1
     assert retries[0].attrs["error"] == "OSError"
     assert retries[0].attrs["attempt"] == 1

@@ -428,7 +428,7 @@ def test_tracer_records_retries_under_flaky_checkpoint_writes(
     assert result.converged
 
     sink = telemetry.sink
-    retries = sink.named("retry")
+    retries = sink.named("retry.attempt")
     assert len(retries) == 2
     assert all(e.attrs["error"] == "OSError" for e in retries)
     # both failures were first attempts of their respective writes
@@ -438,9 +438,9 @@ def test_tracer_records_retries_under_flaky_checkpoint_writes(
     assert telemetry.metrics.value("retry.attempts") == 2
     # ordering: a retry always precedes the successful write it rescued
     kinds = [
-        e.name for e in sink.events if e.name in ("retry", "checkpoint.write")
+        e.name for e in sink.events if e.name in ("retry.attempt", "checkpoint.write")
     ]
-    assert kinds[0] == "retry"
+    assert kinds[0] == "retry.attempt"
     assert kinds.count("checkpoint.write") == len(writes)
 
 

@@ -276,3 +276,111 @@ def test_detect_smoke_over_traced_estimate(small_world_dir, tmp_path):
         for line in (tmp_path / "detect.trace.jsonl").read_text().splitlines()
     ]
     assert {r["name"] for r in records} >= {"cli:detect"}
+
+
+@pytest.mark.parametrize(
+    "flag,value,message",
+    [
+        ("--max-task-retries", "-1", "must be a non-negative integer"),
+        ("--max-task-retries", "x", "is not an integer"),
+        ("--task-timeout", "0", "must be a positive number"),
+        ("--task-timeout", "-3.5", "must be a positive number"),
+        ("--task-timeout", "nan", "must be a positive number"),
+    ],
+)
+def test_estimate_rejects_bad_supervision_flags(
+    small_world_dir, tmp_path, flag, value, message
+):
+    """Supervision knobs share the PR-4 validation conventions: exit 2
+    at parse time, nothing written."""
+    proc = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "run"),
+        flag, value,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert message in proc.stderr
+    assert not list(tmp_path.glob("run.*"))
+
+
+def test_estimate_supervised_mc_matches_unsupervised(
+    small_world_dir, tmp_path
+):
+    """The supervision flags change resilience, never numbers: the MC
+    cross-check line (and the score files) are identical with and
+    without them."""
+    plain = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "plain"),
+        "--mc-walks", "300",
+        cwd=tmp_path,
+    )
+    assert plain.returncode == 0, plain.stderr
+    supervised = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "sup"),
+        "--mc-walks", "300",
+        "--workers", "2",
+        "--max-task-retries", "3",
+        "--task-timeout", "120",
+        cwd=tmp_path,
+    )
+    assert supervised.returncode == 0, supervised.stderr
+    dev = re.compile(r"L1 deviation from the linear PageRank (\S+)")
+    assert dev.search(plain.stdout).group(1) == dev.search(
+        supervised.stdout
+    ).group(1)
+
+
+def test_audit_core_round_trip(small_world_dir, tmp_path):
+    """Clean core exits 0; a chaos-contaminated core exits 5, names the
+    planted spam, and the repaired core audits clean again."""
+    import numpy as np
+
+    from repro.graph import read_graph_bundle, read_host_list, write_host_list
+    from repro.runtime.chaos import contaminate_core
+
+    clean = run_cli(
+        "audit-core", "--world", str(small_world_dir), cwd=tmp_path
+    )
+    assert clean.returncode == 0, clean.stderr
+    assert "clean" in clean.stdout
+
+    graph, labels, _ = read_graph_bundle(small_world_dir)
+    lookup = {graph.name_of(i): i for i in range(graph.num_nodes)}
+    core = np.asarray(
+        [lookup[n] for n in read_host_list(small_world_dir / "core.hosts")],
+        dtype=np.int64,
+    )
+    spam = np.asarray(
+        sorted(n for n, lab in labels.items() if lab == "spam"),
+        dtype=np.int64,
+    )
+    dirty = contaminate_core(core, spam, num=3, seed=0)
+    dirty_path = tmp_path / "dirty.hosts"
+    write_host_list([graph.name_of(int(n)) for n in dirty], dirty_path)
+
+    repaired_path = tmp_path / "repaired.hosts"
+    audit = run_cli(
+        "audit-core",
+        "--world", str(small_world_dir),
+        "--core", str(dirty_path),
+        "--repaired-core-out", str(repaired_path),
+        cwd=tmp_path,
+    )
+    assert audit.returncode == 5, audit.stderr
+    assert "3 of" in audit.stdout
+    assert "spam-labeled" in audit.stdout
+
+    reaudit = run_cli(
+        "audit-core",
+        "--world", str(small_world_dir),
+        "--core", str(repaired_path),
+        cwd=tmp_path,
+    )
+    assert reaudit.returncode == 0, reaudit.stderr
+    assert "clean" in reaudit.stdout

@@ -1,0 +1,163 @@
+"""Property-based coverage of :class:`BackoffPolicy` / `with_retries`.
+
+The policy's contract is deterministic arithmetic — the same policy
+always yields the same schedule, jitter stays inside its band, and no
+schedule ever sleeps past ``max_total`` — which is exactly the kind of
+claim hypothesis checks better than examples do.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.retry import BackoffPolicy, with_retries
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+policies = st.builds(
+    BackoffPolicy,
+    retries=st.integers(min_value=0, max_value=12),
+    base=st.floats(min_value=0.0, max_value=10.0, **finite),
+    factor=st.floats(min_value=0.1, max_value=4.0, **finite),
+    jitter=st.floats(min_value=0.0, max_value=0.999, **finite),
+    max_delay=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=5.0, **finite)
+    ),
+    max_total=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=20.0, **finite)
+    ),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+@given(policy=policies)
+@settings(max_examples=200)
+def test_total_sleep_never_exceeds_the_cap(policy):
+    schedule = policy.delays()
+    assert len(schedule) == policy.retries
+    assert all(d >= 0.0 for d in schedule)
+    if policy.max_total is not None:
+        assert sum(schedule) <= policy.max_total + 1e-9
+    if policy.max_delay is not None:
+        assert all(d <= policy.max_delay + 1e-12 for d in schedule)
+
+
+@given(policy=policies)
+@settings(max_examples=100)
+def test_schedule_is_a_pure_function_of_the_policy(policy):
+    assert policy.delays() == policy.delays()
+    assert policy.total_sleep() == sum(policy.delays())
+
+
+@given(
+    policy=policies,
+    rng_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100)
+def test_injected_rng_overrides_the_seed_deterministically(policy, rng_seed):
+    a = policy.delays(random.Random(rng_seed))
+    b = policy.delays(random.Random(rng_seed))
+    assert a == b
+
+
+@given(
+    retries=st.integers(min_value=1, max_value=8),
+    base=st.floats(min_value=0.001, max_value=2.0, **finite),
+    jitter=st.floats(min_value=0.0, max_value=0.999, **finite),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=150)
+def test_jitter_stays_inside_its_band(retries, base, jitter, seed):
+    """Each delay is the raw exponential delay stretched by at most
+    ``1 + jitter`` (and never shrunk)."""
+    jittered = BackoffPolicy(
+        retries=retries, base=base, factor=2.0, jitter=jitter, seed=seed
+    ).delays()
+    raw = BackoffPolicy(retries=retries, base=base, factor=2.0).delays()
+    for got, lo in zip(jittered, raw):
+        assert lo - 1e-12 <= got <= lo * (1.0 + jitter) + 1e-9
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"retries": -1},
+        {"base": -0.1},
+        {"factor": 0.0},
+        {"jitter": 1.0},
+        {"jitter": -0.2},
+        {"max_delay": -1.0},
+        {"max_total": -1.0},
+    ],
+)
+def test_policy_validates_its_fields(kwargs):
+    with pytest.raises(ValueError):
+        BackoffPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# with_retries under a policy: observed sleep and telemetry
+# ----------------------------------------------------------------------
+
+
+class _FailsN:
+    def __init__(self, failures, exc=OSError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"transient #{self.calls}")
+        return "ok"
+
+
+@given(
+    failures=st.integers(min_value=0, max_value=6),
+    policy=policies.filter(lambda p: p.retries >= 6),
+)
+@settings(max_examples=80)
+def test_with_retries_sleeps_exactly_the_schedule_prefix(failures, policy):
+    slept = []
+    result = with_retries(
+        _FailsN(failures), policy=policy, sleep=slept.append
+    )
+    assert result == "ok"
+    assert slept == policy.delays()[:failures]
+    if policy.max_total is not None:
+        assert sum(slept) <= policy.max_total + 1e-9
+
+
+def test_with_retries_exhaustion_raises_the_last_error():
+    fn = _FailsN(10)
+    policy = BackoffPolicy(retries=2, base=0.0)
+    with pytest.raises(OSError, match="transient #3"):
+        with_retries(fn, policy=policy, sleep=lambda _: None)
+    assert fn.calls == 3
+
+
+def test_with_retries_emits_attempt_telemetry(telemetry):
+    slept = []
+    policy = BackoffPolicy(retries=3, base=0.125, factor=2.0)
+    with_retries(
+        _FailsN(2), policy=policy, sleep=slept.append, label="io.write"
+    )
+    events = telemetry.sink.named("retry.attempt")
+    assert [e.attrs["attempt"] for e in events] == [1, 2]
+    assert [e.attrs["delay"] for e in events] == [0.125, 0.25]
+    assert all(e.attrs["label"] == "io.write" for e in events)
+    assert all(e.attrs["error"] == "OSError" for e in events)
+    assert telemetry.metrics.value("retry.attempts") == 2
+    assert slept == [0.125, 0.25]
+
+
+def test_with_retries_legacy_shorthand_still_works():
+    slept = []
+    result = with_retries(
+        _FailsN(1), retries=2, backoff=0.5, factor=3.0, sleep=slept.append
+    )
+    assert result == "ok"
+    assert slept == [0.5]
