@@ -43,6 +43,7 @@ see ``docs/runtime.md``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -273,6 +274,32 @@ def _supervisor_policy(args: argparse.Namespace):
     )
 
 
+def _ingest_policy(args: argparse.Namespace):
+    """Build an IngestPolicy from the supervision flags (or ``None``).
+
+    Mirrors :func:`_supervisor_policy` for the single-task ingest path
+    (``update`` and the daemon's apply worker): ``None`` keeps the
+    historical direct-call behavior, so the guarded wrapper only
+    engages when the operator asked for it.
+    """
+    wants = (
+        getattr(args, "max_task_retries", None) is not None
+        or getattr(args, "task_timeout", None) is not None
+        or getattr(args, "no_degrade", False)
+    )
+    if not wants:
+        return None
+    from .serve.ingest import IngestPolicy
+
+    return IngestPolicy(
+        max_retries=(
+            1 if args.max_task_retries is None else args.max_task_retries
+        ),
+        deadline=args.task_timeout,
+        allow_degrade=not args.no_degrade,
+    )
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Compute PageRank, core PageRank and mass estimates."""
     graph, _, _ = read_graph_bundle(args.world, strict=not args.lenient)
@@ -421,14 +448,41 @@ def cmd_update(args: argparse.Namespace) -> int:
         gamma,
     )
     application = delta.apply(graph)
-    estimates = estimate_spam_mass(
-        application,
-        core,
-        damping=damping,
-        gamma=gamma,
-        previous=previous,
-        engine=_build_engine(args),
-    )
+    engine = _build_engine(args)
+
+    def _warm():
+        return estimate_spam_mass(
+            application,
+            core,
+            damping=damping,
+            gamma=gamma,
+            previous=previous,
+            engine=engine,
+        )
+
+    policy = _ingest_policy(args)
+    if policy is None:
+        estimates = _warm()
+    else:
+        from .serve.ingest import guarded_call
+
+        def _cold():
+            return estimate_spam_mass(
+                application.after,
+                core,
+                damping=damping,
+                gamma=gamma,
+                engine=engine,
+            )
+
+        estimates, degraded = guarded_call(
+            _warm, _cold, policy, label="update"
+        )
+        if degraded:
+            print(
+                "warm push update failed; degraded to a cold re-solve "
+                "of the mutated graph (same scores, slower path)"
+            )
     prefix = Path(args.out_prefix)
     prefix.parent.mkdir(parents=True, exist_ok=True)
     write_scores(estimates.pagerank, f"{prefix}.pagerank.scores")
@@ -467,6 +521,61 @@ def cmd_update(args: argparse.Namespace) -> int:
     )
     print(f"wrote {prefix}.{{pagerank,core,relative}}.scores")
     print(f"saved updated solution to {args.checkpoint_dir}")
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on scoring daemon on a unix socket.
+
+    Loads the world bundle and the converged solution a previous
+    ``estimate --checkpoint-dir`` saved, replays any write-ahead log
+    left by a crashed instance, and serves spam-mass queries while
+    ingesting edge deltas in the background.  Runs until SIGTERM/
+    SIGINT (clean drain) or ``--max-requests``.  See docs/serving.md.
+    """
+    from .serve import DaemonConfig, ScoringDaemon, ScoringServer
+
+    config = DaemonConfig(
+        rho=args.rho,
+        tau=args.tau,
+        max_staleness=args.max_staleness,
+        ingest_retries=(
+            1 if args.max_task_retries is None else args.max_task_retries
+        ),
+        ingest_deadline=args.task_timeout,
+        allow_degrade=not args.no_degrade,
+    )
+    daemon = ScoringDaemon.load(
+        args.world,
+        args.checkpoint_dir,
+        core_path=args.core,
+        wal_dir=args.wal_dir,
+        config=config,
+        engine=_build_engine(args),
+    )
+    server = ScoringServer(
+        daemon,
+        args.socket,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        workers=args.serve_workers,
+        max_requests=args.max_requests,
+    )
+    server.install_signal_handlers()
+    server.start()
+    epoch = daemon.store.current
+    print(
+        f"serving {epoch.graph.num_nodes:,} hosts on {args.socket} "
+        f"(pid {os.getpid()}); epoch {epoch.seq}, "
+        f"staleness {daemon.staleness}; SIGTERM drains"
+    )
+    server.wait()
+    stats = server.stats()
+    print(
+        f"drained after {stats['requests']:,} requests "
+        f"({stats['shed']:,} shed, {stats['applies']:,} deltas applied, "
+        f"epoch {stats['epoch']})"
+    )
     return EXIT_OK
 
 
@@ -844,7 +953,142 @@ def build_parser() -> argparse.ArgumentParser:
         help="unused by the push solver; accepted for flag parity with "
         "'estimate'",
     )
+    p_upd.add_argument(
+        "--max-task-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="retry budget for the warm push update before degrading "
+        "to a cold re-solve; 0 disables retries (default 1 once any "
+        "supervision flag is set)",
+    )
+    p_upd.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per re-estimate attempt; an attempt "
+        "that overruns is abandoned and retried or degraded "
+        "(default: no deadline)",
+    )
+    p_upd.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail fast instead of degrading the warm push update to "
+        "a cold re-solve when retries are exhausted",
+    )
     p_upd.set_defaults(func=cmd_update)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the always-on scoring daemon on a unix socket",
+    )
+    p_srv.add_argument(
+        "--world",
+        required=True,
+        help="bundle directory of the graph the stored solution was "
+        "computed on",
+    )
+    p_srv.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory holding the converged solution from "
+        "'estimate --checkpoint-dir'; updated in place as deltas are "
+        "applied",
+    )
+    p_srv.add_argument(
+        "--core",
+        default=None,
+        help="core host list (default: <world>/core.hosts)",
+    )
+    p_srv.add_argument(
+        "--socket",
+        required=True,
+        help="unix-domain socket path to listen on (NDJSON protocol; "
+        "see docs/serving.md)",
+    )
+    p_srv.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead log directory for accepted deltas "
+        "(default: <checkpoint-dir>/wal)",
+    )
+    p_srv.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        help="bound on admitted-but-unfinished requests; the next one "
+        "is shed with an 'overloaded' rejection (default 64)",
+    )
+    p_srv.add_argument(
+        "--request-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline from admission; a request that "
+        "waited past it is dropped at dequeue (default: none)",
+    )
+    p_srv.add_argument(
+        "--serve-workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="request worker threads (default 2)",
+    )
+    p_srv.add_argument(
+        "--max-staleness",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="accepted-but-unapplied delta batches before ingest "
+        "degrades to stale-reads-only (default 8)",
+    )
+    p_srv.add_argument(
+        "--max-requests",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="drain after N processed requests (benchmark/soak "
+        "plumbing; default: run until signalled)",
+    )
+    p_srv.add_argument(
+        "--max-task-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="retry budget for a warm re-estimate before degrading to "
+        "a cold re-solve (default 1)",
+    )
+    p_srv.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per re-estimate attempt "
+        "(default: no deadline)",
+    )
+    p_srv.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="refuse to degrade a failed warm re-estimate to a cold "
+        "re-solve; the delta stays pending and the ingest circuit "
+        "opens instead",
+    )
+    p_srv.add_argument("--rho", type=float, default=10.0)
+    p_srv.add_argument("--tau", type=float, default=0.98)
+    p_srv.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=8,
+        help="bound of the operator LRU cache (graphs, default 8)",
+    )
+    p_srv.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="solver workers for the pagerank engine (default: serial)",
+    )
+    p_srv.set_defaults(func=cmd_serve)
 
     p_det = sub.add_parser("detect", help="apply Algorithm 2 thresholds")
     p_det.add_argument("--world", required=True)

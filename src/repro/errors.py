@@ -22,6 +22,8 @@ __all__ = [
     "ReproError",
     "ConvergenceError",
     "CheckpointError",
+    "SnapshotMismatchError",
+    "WalError",
     "GraphFormatError",
     "TruncatedFileError",
     "GraphIOWarning",
@@ -52,6 +54,37 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class CheckpointError(ReproError):
     """A checkpoint could not be written or restored."""
+
+
+class SnapshotMismatchError(CheckpointError):
+    """A stored snapshot belongs to a *different* problem or graph.
+
+    Subclasses :class:`CheckpointError` so existing handlers (and the
+    CLI's exit-3 mapping) keep working, but is distinguishable: the
+    serving daemon catches exactly this type to trigger an epoch
+    rollback instead of treating the snapshot as unreadable.  Both
+    sides of the comparison ride on the exception so operators (and the
+    daemon's telemetry) can log what was expected against what was
+    found.
+    """
+
+    def __init__(self, message: str, *, expected: str = "",
+                 actual: str = "") -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
+class WalError(ReproError):
+    """The serving write-ahead log is unreadable or diverged.
+
+    A *torn tail* (crash mid-append) is not an error — recovery
+    truncates it.  This type covers the cases recovery must not paper
+    over: corruption in the middle of a segment, or a record whose
+    parent fingerprint matches neither the current graph nor an
+    already-applied state (the log and the snapshot tell different
+    histories).
+    """
 
 
 class GraphFormatError(ReproError, ValueError):

@@ -33,9 +33,11 @@ from ..errors import (
     GraphFormatError,
     GraphIOWarning,
     InjectedFault,
+    SnapshotMismatchError,
     SolverAbort,
     SupervisionError,
     TruncatedFileError,
+    WalError,
 )
 from .checkpoint import (
     CheckpointManager,
@@ -48,6 +50,7 @@ from .checkpoint import (
 from .monitors import Deadline, ResidualMonitor, compose_callbacks
 from .retry import BackoffPolicy, with_retries
 from .supervisor import (
+    CIRCUIT_STATES,
     CircuitBreaker,
     SupervisionReport,
     SupervisorPolicy,
@@ -62,9 +65,11 @@ __all__ = [
     "GraphFormatError",
     "GraphIOWarning",
     "InjectedFault",
+    "SnapshotMismatchError",
     "SolverAbort",
     "SupervisionError",
     "TruncatedFileError",
+    "WalError",
     # light modules
     "CheckpointManager",
     "SolverCheckpoint",
@@ -77,6 +82,7 @@ __all__ = [
     "compose_callbacks",
     "BackoffPolicy",
     "with_retries",
+    "CIRCUIT_STATES",
     "CircuitBreaker",
     "SupervisionReport",
     "SupervisorPolicy",

@@ -39,6 +39,8 @@ __all__ = [
     "FlakyCalls",
     "flaky_open",
     "ChaosWorker",
+    "ServeChaos",
+    "truncate_wal_tail",
     "contaminate_core",
 ]
 
@@ -377,6 +379,95 @@ class ChaosWorker:
         if key in self.fail_on and self._fires_once("fail", key):
             raise self.exc(f"injected task fault on key {key!r}")
         return self.fn(*args, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# serving-level injectors (ingest worker + WAL)
+# ----------------------------------------------------------------------
+
+
+class ServeChaos:
+    """Scripted faults for the scoring daemon's ingest path.
+
+    The daemon exposes two hook points, keyed by the WAL sequence of
+    the batch being applied:
+
+    ``before_apply(seq)``
+        Runs before the re-estimate starts.  ``fail_apply_on`` raises
+        ``exc`` here (the warm path fails before doing any work —
+        drives retry/degrade/circuit paths); ``slow_apply_on`` sleeps
+        ``slow_seconds`` first (a straggling ingest, for deadline and
+        staleness-bound tests).
+    ``before_publish(seq)``
+        Runs after the candidate epoch passed validation but *before*
+        the pointer swap — the kill-mid-swap window.  ``kill_swap_on``
+        raises ``exc`` here: scores were computed and are about to be
+        visible, and the fault proves readers keep the previous epoch
+        and the WAL record stays pending.
+
+    Faults fire **once per (kind, seq)** by default (``once=True``) so
+    the retry after a planted fault succeeds; with ``once=False`` the
+    fault repeats on every attempt, which is how the ingest circuit
+    breaker is driven open.
+    """
+
+    def __init__(
+        self,
+        *,
+        fail_apply_on: tuple = (),
+        slow_apply_on: tuple = (),
+        kill_swap_on: tuple = (),
+        slow_seconds: float = 0.05,
+        exc: Type[BaseException] = InjectedFault,
+        once: bool = True,
+    ) -> None:
+        self.fail_apply_on = tuple(fail_apply_on)
+        self.slow_apply_on = tuple(slow_apply_on)
+        self.kill_swap_on = tuple(kill_swap_on)
+        self.slow_seconds = slow_seconds
+        self.exc = exc
+        self.once = once
+        self._spent: set = set()
+        self.fired = []
+
+    def _fires(self, kind: str, seq: int) -> bool:
+        key = (kind, seq)
+        if self.once and key in self._spent:
+            return False
+        self._spent.add(key)
+        self.fired.append(key)
+        return True
+
+    def before_apply(self, seq: int) -> None:
+        import time as _time
+
+        if seq in self.slow_apply_on and self._fires("slow", seq):
+            _time.sleep(self.slow_seconds)
+        if seq in self.fail_apply_on and self._fires("fail", seq):
+            raise self.exc(f"injected ingest failure on wal seq {seq}")
+
+    def before_publish(self, seq: int) -> None:
+        if seq in self.kill_swap_on and self._fires("kill", seq):
+            raise self.exc(f"injected kill mid-swap on wal seq {seq}")
+
+
+def truncate_wal_tail(path: Union[str, Path], nbytes: int = 7) -> Path:
+    """Chop ``nbytes`` off the end of a WAL segment, in place.
+
+    Simulates a crash mid-append: the final record's line loses its
+    tail (including the newline for small ``nbytes``), exactly what an
+    interrupted ``write`` leaves behind.  Recovery must drop the torn
+    record and keep everything before it.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if nbytes < 1 or nbytes >= len(raw):
+        raise ValueError(
+            f"nbytes must be in [1, {len(raw) - 1}] for {path} "
+            f"({len(raw)} bytes)"
+        )
+    path.write_bytes(raw[:-nbytes])
+    return path
 
 
 # ----------------------------------------------------------------------

@@ -40,7 +40,7 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, SnapshotMismatchError
 from ..obs import get_telemetry
 from .retry import with_retries
 
@@ -253,12 +253,16 @@ class CheckpointManager:
                 json.JSONDecodeError,
             ):
                 continue  # corrupt or truncated snapshot — try older
-            if fingerprint and ckpt.meta.get("fingerprint") not in ("", fingerprint):
+            stored = str(ckpt.meta.get("fingerprint", ""))
+            if fingerprint and stored not in ("", fingerprint):
                 if strict_fingerprint:
-                    raise CheckpointError(
+                    raise SnapshotMismatchError(
                         f"checkpoint {path} was written for a different "
-                        "problem (fingerprint mismatch); refusing to resume "
-                        "— pass a fresh --checkpoint-dir or delete it"
+                        f"problem (stored fingerprint {stored!r}, expected "
+                        f"{fingerprint!r}); refusing to resume — pass a "
+                        "fresh --checkpoint-dir or delete it",
+                        expected=fingerprint,
+                        actual=stored,
                     )
                 continue
             return ckpt
@@ -476,9 +480,11 @@ def load_solution(
         )
     stored = str(meta.get("fingerprint", ""))
     if fingerprint and stored not in ("", fingerprint):
-        raise CheckpointError(
+        raise SnapshotMismatchError(
             f"solution snapshot {path} was computed on a different graph "
             f"(stored fingerprint {stored!r}, expected {fingerprint!r}); "
-            "re-run the cold estimate"
+            "re-run the cold estimate",
+            expected=fingerprint,
+            actual=stored,
         )
     return SolutionSnapshot(scores, iterations, residuals, meta, path)

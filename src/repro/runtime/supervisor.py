@@ -59,7 +59,14 @@ __all__ = [
     "SupervisionReport",
     "TaskSupervisor",
     "DEFAULT_BACKOFF",
+    "CIRCUIT_STATES",
 ]
+
+#: Numeric encoding of the ``supervisor.circuit_state`` gauge, so
+#: dashboards and tests can *poll* the breaker instead of replaying
+#: transition events: 0 = closed (healthy), 1 = open (breaker
+#: tripped), 2 = degraded (execution fell back to in-process serial).
+CIRCUIT_STATES = {"closed": 0, "open": 1, "degraded": 2}
 
 try:  # BrokenExecutor covers BrokenProcessPool (worker death)
     from concurrent.futures import BrokenExecutor
@@ -276,6 +283,7 @@ class TaskSupervisor:
         if n == 0:
             return report
         breaker = CircuitBreaker(self.policy.circuit_threshold)
+        self._set_circuit_state("closed")
         faulted = False
 
         if pool_factory is not None:
@@ -451,13 +459,8 @@ class TaskSupervisor:
         report.retries += 1
         if i not in report.reexecuted:
             report.reexecuted.append(i)
-        opened = breaker.record_failure()
-        if opened:
-            report.circuit_opened = True
-            self._emit(
-                "supervisor.circuit_open", label,
-                consecutive_failures=breaker.consecutive_failures,
-            )
+        if breaker.record_failure():
+            self._circuit_opened(report, breaker, label)
         if report.attempts[i] > self.policy.max_task_retries:
             raise SupervisionError(
                 f"task {i} failed {report.attempts[i]} times "
@@ -506,11 +509,7 @@ class TaskSupervisor:
             if tele is not None:
                 tele.inc("supervisor.timeouts")
             if breaker.record_failure():
-                report.circuit_opened = True
-                self._emit(
-                    "supervisor.circuit_open", label,
-                    consecutive_failures=breaker.consecutive_failures,
-                )
+                self._circuit_opened(report, breaker, label)
             if report.attempts[i] > self.policy.max_task_retries:
                 raise SupervisionError(
                     f"task {i} timed out after "
@@ -544,11 +543,7 @@ class TaskSupervisor:
                 report.reexecuted.append(i)
         inflight.clear()
         if breaker.record_failure():
-            report.circuit_opened = True
-            self._emit(
-                "supervisor.circuit_open", label,
-                consecutive_failures=breaker.consecutive_failures,
-            )
+            self._circuit_opened(report, breaker, label)
 
     # ------------------------------------------------------------------
     # serial phase
@@ -594,6 +589,25 @@ class TaskSupervisor:
     # shared plumbing
     # ------------------------------------------------------------------
 
+    def _circuit_opened(self, report: SupervisionReport,
+                        breaker: CircuitBreaker, label: str) -> None:
+        """The breaker just tripped: record, emit, and flip the gauge."""
+        report.circuit_opened = True
+        self._set_circuit_state("open")
+        self._emit(
+            "supervisor.circuit_open", label,
+            consecutive_failures=breaker.consecutive_failures,
+        )
+
+    def _set_circuit_state(self, state: str) -> None:
+        """Expose the breaker state as a pollable gauge (see
+        :data:`CIRCUIT_STATES`), not just transition events."""
+        tele = self._tele()
+        if tele is not None:
+            tele.set_gauge(
+                "supervisor.circuit_state", CIRCUIT_STATES[state]
+            )
+
     def _retry_delay(self, attempt: int) -> float:
         """The backoff before re-running a task on its Nth retry."""
         schedule = self.policy.backoff.delays()
@@ -614,6 +628,7 @@ class TaskSupervisor:
         report.degraded = True
         report.degrade_reason = reason
         report.mode = "degraded"
+        self._set_circuit_state("degraded")
         self._emit("supervisor.degraded", label, reason=reason)
         tele = self._tele()
         if tele is not None:

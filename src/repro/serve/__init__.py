@@ -1,0 +1,44 @@
+"""Always-on scoring service: epochs, WAL, admission, guarded ingest.
+
+The batch pipeline (``build-world`` → ``estimate`` → ``detect``)
+answers "what does the graph look like today"; this package answers it
+*continuously*.  A :class:`~repro.serve.daemon.ScoringDaemon` loads a
+solution snapshot, serves per-host spam-mass queries from immutable
+copy-on-write epochs (:mod:`~repro.serve.epoch`), accepts graph deltas
+through a crash-safe write-ahead log (:mod:`~repro.serve.wal`), folds
+them in with guarded warm re-estimates (:mod:`~repro.serve.ingest`),
+and degrades explicitly under overload or ingest failure
+(:mod:`~repro.serve.admission`).  The socket front-end and client live
+in :mod:`~repro.serve.server`.  See ``docs/serving.md``.
+"""
+
+from .admission import (
+    MODES,
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTicket,
+)
+from .daemon import DaemonConfig, ScoringDaemon
+from .epoch import Epoch, EpochStore
+from .ingest import IngestPolicy, IngestTimeout, guarded_call
+from .server import ScoringServer, ServeClient
+from .wal import DeltaWAL, WalRecord, plan_replay
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTicket",
+    "MODES",
+    "DaemonConfig",
+    "ScoringDaemon",
+    "Epoch",
+    "EpochStore",
+    "IngestPolicy",
+    "IngestTimeout",
+    "guarded_call",
+    "ScoringServer",
+    "ServeClient",
+    "DeltaWAL",
+    "WalRecord",
+    "plan_replay",
+]

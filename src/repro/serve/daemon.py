@@ -1,0 +1,673 @@
+"""The always-on scoring daemon: queries over epochs, ingest over WAL.
+
+This is the long-lived process the paper's deployment story implies
+(Section 5: a search engine re-ranking a churning host graph
+continuously) and the ROADMAP names directly.  One
+:class:`ScoringDaemon` owns:
+
+* an :class:`~repro.serve.epoch.EpochStore` — queries (``score``,
+  ``top``, ``explain``) answer entirely from the current immutable
+  epoch, lock-free;
+* a :class:`~repro.serve.wal.DeltaWAL` — an accepted delta is fsynced
+  to the log *before* it is acknowledged, so a crash never loses an
+  acked batch;
+* a background ingest worker — pops accepted deltas in order, runs a
+  guarded warm re-estimate (deadline, retries, degradation to a cold
+  solve; :mod:`repro.serve.ingest`), verifies the result against the
+  delta chain's derived fingerprint, and hot-swaps the next epoch;
+* a :class:`~repro.runtime.supervisor.CircuitBreaker` on the ingest
+  path — consecutive apply failures (or a staleness bound overrun)
+  flip the service to *degraded*: reads keep flowing from the current
+  epoch with an explicit ``staleness`` field, ingest is refused, and
+  the worker keeps retrying until the path heals.
+
+Restart is replay: the WAL is recovered (torn tail truncated), the
+chain is deduped against the loaded solution snapshot's fingerprint
+(apply-then-crash never double-applies), and the pending suffix is
+re-applied — deterministically, so the scores after replay are
+bitwise-identical to the ones a crash interrupted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core import estimate_spam_mass, scale_scores
+from ..core.mass import MassEstimates
+from ..errors import DeltaError, SnapshotMismatchError, WalError
+from ..graph import GraphDelta, read_graph_bundle, read_host_list
+from ..graph.delta import DeltaApplication
+from ..obs import get_telemetry
+from ..runtime.checkpoint import load_solution, save_solution
+from ..runtime.supervisor import CircuitBreaker
+from .ingest import IngestPolicy, guarded_call
+from .epoch import Epoch, EpochStore
+from .wal import DeltaWAL, WalRecord, plan_replay
+
+__all__ = ["DaemonConfig", "ScoringDaemon"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Operational knobs of one daemon instance.
+
+    ``rho``/``tau`` are the Algorithm 2 thresholds used by ``top``
+    queries; the ingest fields mirror the supervision flags of the
+    batch CLI (``--task-timeout`` → ``ingest_deadline``,
+    ``--no-degrade`` → ``allow_degrade=False``).
+    """
+
+    gamma: Optional[float] = 0.85
+    rho: float = 10.0
+    tau: float = 0.98
+    max_staleness: int = 8
+    ingest_retries: int = 1
+    ingest_deadline: Optional[float] = None
+    allow_degrade: bool = True
+    circuit_threshold: int = 3
+    retry_interval: float = 0.05
+    prune_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_staleness < 1:
+            raise ValueError("max_staleness must be >= 1")
+        if self.circuit_threshold < 1:
+            raise ValueError("circuit_threshold must be >= 1")
+        if self.retry_interval <= 0:
+            raise ValueError("retry_interval must be positive")
+
+    def ingest_policy(self) -> IngestPolicy:
+        return IngestPolicy(
+            max_retries=self.ingest_retries,
+            deadline=self.ingest_deadline,
+            allow_degrade=self.allow_degrade,
+        )
+
+
+class _Pending:
+    """One accepted-but-unapplied delta: WAL record + CSR application."""
+
+    __slots__ = ("record", "application")
+
+    def __init__(
+        self, record: WalRecord, application: DeltaApplication
+    ) -> None:
+        self.record = record
+        self.application = application
+
+
+class ScoringDaemon:
+    """Loads a solution snapshot and serves/ingests until closed.
+
+    Build one with :meth:`load` (the CLI path) or directly from
+    in-memory objects (tests).  Queries are thread-safe and lock-free;
+    :meth:`submit_delta` and the ingest worker serialize on one lock.
+    """
+
+    def __init__(
+        self,
+        graph,
+        core: np.ndarray,
+        estimates: MassEstimates,
+        *,
+        checkpoint_dir: Optional[PathLike] = None,
+        wal: Optional[DeltaWAL] = None,
+        config: Optional[DaemonConfig] = None,
+        engine=None,
+        chaos=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else DaemonConfig()
+        self.core = np.asarray(core, dtype=np.int64)
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        self.wal = wal
+        self.chaos = chaos
+        self._clock = clock
+        if engine is None:
+            from ..perf import PagerankEngine
+
+            engine = PagerankEngine()
+        self.engine = engine
+        self.store = EpochStore(Epoch(0, graph, estimates, clock=clock))
+        #: tip of the *accepted* chain (last pending graph, or the
+        #: current epoch's); submit validates and fingerprints against it
+        self._tail = graph
+        self._pending: "deque[_Pending]" = deque()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._breaker = CircuitBreaker(self.config.circuit_threshold)
+        self._degraded_reason: Optional[str] = None
+        self._stop = False
+        self._worker: Optional[threading.Thread] = None
+        self._applied_since_prune = 0
+        self.applies = 0
+        self.apply_failures = 0
+        self.degraded_applies = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls,
+        world_dir: PathLike,
+        checkpoint_dir: PathLike,
+        *,
+        core_path: Optional[PathLike] = None,
+        wal_dir: Optional[PathLike] = None,
+        config: Optional[DaemonConfig] = None,
+        engine=None,
+        chaos=None,
+    ) -> "ScoringDaemon":
+        """Load the bundle + snapshot + WAL; enqueue the replay suffix.
+
+        The solution snapshot need not match the *bundle's* fingerprint
+        — a daemon that applied deltas and crashed left a snapshot at
+        some point *inside* the WAL chain.  The chain is the arbiter:
+        the snapshot's stored fingerprint must be the bundle graph or
+        reachable from it through the log's applied prefix
+        (:class:`~repro.errors.SnapshotMismatchError` otherwise — the
+        operator pointed the daemon at the wrong world).  The bundle
+        graph is fast-forwarded through that prefix structurally (no
+        re-estimation — the snapshot already has the scores), and the
+        unapplied suffix is enqueued for the worker (or
+        :meth:`apply_pending`).
+        """
+        config = config if config is not None else DaemonConfig()
+        graph, _, _ = read_graph_bundle(world_dir)
+        if core_path is None:
+            core_path = Path(world_dir) / "core.hosts"
+        names = read_host_list(core_path)
+        lookup = {graph.name_of(i): i for i in range(graph.num_nodes)}
+        missing = [name for name in names if name not in lookup]
+        if missing:
+            raise DeltaError(
+                f"{len(missing)} core hosts are not in the graph "
+                f"(first: {missing[0]!r})"
+            )
+        core = np.asarray([lookup[n] for n in names], dtype=np.int64)
+        snapshot = load_solution(checkpoint_dir)
+        base_fp = graph.structural_fingerprint()
+        stored_fp = str(snapshot.meta.get("fingerprint", "")) or base_fp
+        wal = DeltaWAL(
+            wal_dir if wal_dir is not None else Path(checkpoint_dir) / "wal"
+        )
+        records, dropped = wal.recover()
+        todo = plan_replay(records, stored_fp)
+        prefix = records[: len(records) - len(todo)]
+        if stored_fp != base_fp:
+            if not prefix or prefix[0].parent != base_fp:
+                raise SnapshotMismatchError(
+                    f"solution snapshot {snapshot.path} (fingerprint "
+                    f"{stored_fp!r}) belongs to neither the world bundle "
+                    f"(fingerprint {base_fp!r}) nor any delta chain the "
+                    "wal can replay from it; the daemon is pointed at "
+                    "the wrong world or the wal was pruned past its "
+                    "base",
+                    expected=base_fp,
+                    actual=stored_fp,
+                )
+            # reconstruct the snapshot-point graph structurally
+            for record in prefix:
+                graph = record.delta().apply(graph).after
+            if graph.structural_fingerprint() != stored_fp:
+                raise WalError(
+                    "wal prefix replays the bundle to fingerprint "
+                    f"{graph.structural_fingerprint()!r}, but the "
+                    f"snapshot claims {stored_fp!r}"
+                )
+        gamma = snapshot.meta.get("gamma", config.gamma)
+        damping = float(snapshot.meta.get("damping", 0.85))
+        estimates = MassEstimates(
+            snapshot.scores[:, 0].copy(),
+            snapshot.scores[:, 1].copy(),
+            damping,
+            gamma,
+        )
+        daemon = cls(
+            graph,
+            core,
+            estimates,
+            checkpoint_dir=checkpoint_dir,
+            wal=wal,
+            config=config,
+            engine=engine,
+            chaos=chaos,
+        )
+        daemon._enqueue_replay(records, todo, dropped)
+        return daemon
+
+    def _enqueue_replay(self, records, todo, dropped: int) -> None:
+        """Enqueue the unapplied suffix; catch the watermark up."""
+        applied_prefix = len(records) - len(todo)
+        if applied_prefix:
+            # the snapshot already contains these (crash before the
+            # watermark advanced); make the watermark catch up
+            last_applied = records[applied_prefix - 1].seq
+            if self.wal.applied_seq() < last_applied:
+                self.wal.mark_applied(last_applied)
+        tail = self.store.current.graph
+        for record in todo:
+            application = record.delta().apply(tail)
+            if application.after.structural_fingerprint() != record.after:
+                raise WalError(
+                    f"wal record seq {record.seq} replays to fingerprint "
+                    f"{application.after.structural_fingerprint()!r}, "
+                    f"expected {record.after!r}"
+                )
+            self._pending.append(_Pending(record, application))
+            tail = application.after
+        self._tail = tail
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.event(
+                "serve.wal_replay",
+                records=len(records),
+                pending=len(todo),
+                dropped_bytes=dropped,
+            )
+        self._gauge_staleness()
+
+    # ------------------------------------------------------------------
+    # read path (lock-free: everything comes from one epoch object)
+    # ------------------------------------------------------------------
+
+    @property
+    def staleness(self) -> int:
+        """Accepted-but-unapplied delta batches (0 = fully fresh)."""
+        return len(self._pending)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the ingest path is unhealthy (stale-reads-only)."""
+        return (
+            self._breaker.is_open
+            or len(self._pending) > self.config.max_staleness
+        )
+
+    def _meta(self, epoch: Epoch) -> dict:
+        return {
+            "epoch": epoch.seq,
+            "fingerprint": epoch.fingerprint,
+            "staleness": self.staleness,
+            "mode": "degraded" if self.degraded else "full",
+        }
+
+    def query_score(self, host: str) -> dict:
+        """Per-host spam-mass scores from the current epoch."""
+        epoch = self.store.current
+        node = epoch.lookup.get(host)
+        if node is None:
+            raise KeyError(host)
+        est = epoch.estimates
+        n = epoch.graph.num_nodes
+        return {
+            "host": host,
+            "node": int(node),
+            "pagerank": float(est.pagerank[node]),
+            "scaled_pagerank": float(
+                scale_scores(
+                    est.pagerank[node:node + 1], n, est.damping
+                )[0]
+            ),
+            "core_pagerank": float(est.core_pagerank[node]),
+            "absolute_mass": float(est.absolute[node]),
+            "relative_mass": float(est.relative[node]),
+            **self._meta(epoch),
+        }
+
+    def query_top(
+        self,
+        k: int = 10,
+        *,
+        tau: Optional[float] = None,
+        rho: Optional[float] = None,
+    ) -> dict:
+        """Top-k spam candidates by relative mass (Algorithm 2 gates)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        epoch = self.store.current
+        est = epoch.estimates
+        tau = self.config.tau if tau is None else tau
+        rho = self.config.rho if rho is None else rho
+        scaled = scale_scores(
+            est.pagerank, epoch.graph.num_nodes, est.damping
+        )
+        eligible = np.flatnonzero((scaled >= rho) & (est.relative >= tau))
+        order = eligible[
+            np.argsort(-est.relative[eligible], kind="stable")
+        ][:k]
+        return {
+            "candidates": [
+                {
+                    "host": epoch.graph.name_of(int(node)),
+                    "relative_mass": float(est.relative[node]),
+                    "scaled_pagerank": float(scaled[node]),
+                }
+                for node in order
+            ],
+            "total_eligible": int(len(eligible)),
+            "tau": tau,
+            "rho": rho,
+            **self._meta(epoch),
+        }
+
+    def query_explain(self, host: str, *, top: int = 10) -> dict:
+        """Contribution breakdown for one host (review-sheet text)."""
+        from ..core.explain import explain_mass
+
+        epoch = self.store.current
+        node = epoch.lookup.get(host)
+        if node is None:
+            raise KeyError(host)
+        explanation = explain_mass(
+            epoch.graph,
+            int(node),
+            self.core,
+            damping=epoch.estimates.damping,
+            top=top,
+        )
+        return {
+            "host": host,
+            "text": explanation.render(epoch.graph),
+            **self._meta(epoch),
+        }
+
+    def health(self) -> dict:
+        """Readiness/liveness probe; auto-rolls-back a poisoned epoch."""
+        epoch = self.store.current
+        est = epoch.estimates
+        poisoned = not (
+            np.all(np.isfinite(est.pagerank))
+            and np.all(np.isfinite(est.core_pagerank))
+        )
+        if poisoned:
+            restored = self.store.rollback()
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.event(
+                    "serve.poisoned_epoch",
+                    epoch=epoch.seq,
+                    rolled_back_to=(
+                        restored.seq if restored is not None else None
+                    ),
+                )
+            epoch = self.store.current
+        return {
+            "ready": True,
+            "poisoned_epoch_rolled_back": poisoned,
+            "circuit": "open" if self._breaker.is_open else "closed",
+            "degraded_reason": self._degraded_reason,
+            "applies": self.applies,
+            "apply_failures": self.apply_failures,
+            "swaps": self.store.swaps,
+            "rollbacks": self.store.rollbacks,
+            **self._meta(self.store.current),
+        }
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def submit_delta(
+        self,
+        insertions: Optional[List[Tuple[int, int]]] = None,
+        deletions: Optional[List[Tuple[int, int]]] = None,
+    ) -> dict:
+        """Accept one delta batch: validate, fsync to WAL, enqueue.
+
+        The delta is validated (and its successor fingerprint derived)
+        against the *tip* of the accepted chain — pending batches
+        compose, and a duplicate submission fails validation the same
+        way any conflicting delta does.  Acknowledged means durable:
+        the WAL append fsyncs before this returns.
+        """
+        delta = GraphDelta(insertions or (), deletions or ())
+        with self._lock:
+            if self.degraded:
+                raise WalError(
+                    "ingest refused: serving is degraded "
+                    f"({self._degraded_reason or 'circuit open'})"
+                )
+            parent = self._tail.structural_fingerprint()
+            application = delta.apply(self._tail)
+            after = application.after.structural_fingerprint()
+            if self.wal is None:
+                seq = (
+                    self._pending[-1].record.seq + 1
+                    if self._pending
+                    else self.store.current.wal_seq + 1
+                )
+                record = WalRecord(
+                    seq,
+                    parent,
+                    after,
+                    [(int(u), int(v)) for u, v in delta.insertions],
+                    [(int(u), int(v)) for u, v in delta.deletions],
+                )
+            else:
+                record = self.wal.append(delta, parent=parent, after=after)
+            self._pending.append(_Pending(record, application))
+            self._tail = application.after
+            self._cond.notify_all()
+        self._gauge_staleness()
+        return {
+            "accepted": True,
+            "seq": record.seq,
+            "staleness": self.staleness,
+            "insertions": delta.num_insertions,
+            "deletions": delta.num_deletions,
+        }
+
+    # ------------------------------------------------------------------
+    # ingest worker
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background ingest worker (idempotent)."""
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._stop = False
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="serve-ingest", daemon=True
+        )
+        self._worker.start()
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Stop the worker after its current apply; WAL keeps pending.
+
+        Pending batches are durable in the log, so shutdown never
+        waits for the whole backlog — restart replays it.
+        """
+        with self._lock:
+            self._stop = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout)
+
+    def apply_pending(self) -> int:
+        """Synchronously apply every pending batch; returns how many.
+
+        The deterministic path tests and replay-heavy callers use; the
+        background worker must not be running concurrently.
+        """
+        applied = 0
+        while self._pending:
+            if not self._apply_one():
+                break
+            applied += 1
+        return applied
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stop and not self._pending:
+                    self._cond.wait(timeout=self.config.retry_interval)
+                if self._stop:
+                    return
+            ok = self._apply_one()
+            if not ok:
+                # failed apply: the record stays at the queue head; wait
+                # out the retry interval (interruptible by close())
+                with self._cond:
+                    self._cond.wait(timeout=self.config.retry_interval)
+
+    def _apply_one(self) -> bool:
+        """Apply the oldest pending batch; returns success."""
+        with self._lock:
+            if not self._pending:
+                return False
+            item = self._pending[0]
+        record, application = item.record, item.application
+        epoch = self.store.current
+        config = self.config
+        est = epoch.estimates
+        tele = get_telemetry()
+        try:
+            if self.chaos is not None:
+                self.chaos.before_apply(record.seq)
+
+            def _warm():
+                return estimate_spam_mass(
+                    application,
+                    self.core,
+                    damping=est.damping,
+                    gamma=est.gamma,
+                    previous=est,
+                    engine=self.engine,
+                )
+
+            def _cold():
+                return estimate_spam_mass(
+                    application.after,
+                    self.core,
+                    damping=est.damping,
+                    gamma=est.gamma,
+                    engine=self.engine,
+                )
+
+            started = self._clock()
+            new_estimates, degraded = guarded_call(
+                _warm,
+                _cold,
+                config.ingest_policy(),
+                label=f"wal-seq-{record.seq}",
+            )
+            if degraded:
+                self.degraded_applies += 1
+            candidate = epoch.successor(
+                application.after, new_estimates, wal_seq=record.seq
+            )
+            self.store.publish(
+                candidate,
+                expected_fingerprint=record.after,
+                pre_publish=(
+                    None
+                    if self.chaos is None
+                    else lambda _ep: self.chaos.before_publish(record.seq)
+                ),
+            )
+        except Exception as exc:
+            self.apply_failures += 1
+            if self._breaker.record_failure():
+                self._degraded_reason = (
+                    f"circuit open after "
+                    f"{self._breaker.consecutive_failures} consecutive "
+                    f"apply failures (last: {type(exc).__name__})"
+                )
+                if tele.enabled:
+                    tele.event(
+                        "serve.circuit_open",
+                        seq=record.seq,
+                        error=type(exc).__name__,
+                    )
+            if tele.enabled:
+                tele.inc("serve.apply_failures")
+                tele.event(
+                    "serve.apply_failed",
+                    seq=record.seq,
+                    error=type(exc).__name__,
+                )
+            self._gauge_circuit()
+            return False
+
+        # success: persist the solution, advance the watermark, dequeue
+        if self.checkpoint_dir is not None:
+            save_solution(
+                self.checkpoint_dir,
+                np.stack(
+                    [new_estimates.pagerank, new_estimates.core_pagerank],
+                    axis=1,
+                ),
+                fingerprint=candidate.fingerprint,
+                extra={
+                    "damping": new_estimates.damping,
+                    "gamma": new_estimates.gamma,
+                    "labels": ["pagerank", "core"],
+                    "wal_seq": record.seq,
+                },
+            )
+        if self.wal is not None:
+            self.wal.mark_applied(record.seq)
+        with self._lock:
+            if self._pending and self._pending[0] is item:
+                self._pending.popleft()
+        self.applies += 1
+        self._applied_since_prune += 1
+        # any success heals the breaker (fresh instance: `opened` is
+        # sticky by design inside one supervised run, but the daemon
+        # outlives many)
+        self._breaker = CircuitBreaker(config.circuit_threshold)
+        self._degraded_reason = None
+        if tele.enabled:
+            tele.inc("serve.applies")
+            tele.event(
+                "serve.applied",
+                seq=record.seq,
+                epoch=self.store.current.seq,
+                degraded=self.degraded_applies > 0,
+                seconds=round(self._clock() - started, 6),
+            )
+        self._gauge_staleness()
+        self._gauge_circuit()
+        if (
+            self.wal is not None
+            and self._applied_since_prune >= config.prune_every
+        ):
+            self.wal.prune()
+            self._applied_since_prune = 0
+        return True
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _gauge_staleness(self) -> None:
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.set_gauge("serve.staleness", self.staleness)
+
+    def _gauge_circuit(self) -> None:
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.set_gauge(
+                "serve.circuit_state", 1 if self._breaker.is_open else 0
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScoringDaemon(epoch={self.store.current.seq}, "
+            f"staleness={self.staleness}, degraded={self.degraded})"
+        )

@@ -384,3 +384,167 @@ def test_audit_core_round_trip(small_world_dir, tmp_path):
     )
     assert reaudit.returncode == 0, reaudit.stderr
     assert "clean" in reaudit.stdout
+
+
+@pytest.mark.parametrize(
+    "flag,value,message",
+    [
+        ("--max-queue", "0", "must be a positive integer"),
+        ("--serve-workers", "0", "must be a positive integer"),
+        ("--max-staleness", "0", "must be a positive integer"),
+        ("--max-requests", "0", "must be a positive integer"),
+        ("--request-timeout", "0", "must be a positive number"),
+        ("--task-timeout", "-3.5", "must be a positive number"),
+        ("--task-timeout", "nan", "must be a positive number"),
+        ("--max-task-retries", "-1", "must be a non-negative integer"),
+    ],
+)
+def test_serve_rejects_bad_flags(tmp_path, flag, value, message):
+    """`serve` shares the validation conventions: exit 2 at parse time,
+    before the world or checkpoint paths are even touched."""
+    proc = run_cli(
+        "serve",
+        "--world", str(tmp_path / "does-not-exist"),
+        "--checkpoint-dir", str(tmp_path / "nor-this"),
+        "--socket", str(tmp_path / "serve.sock"),
+        flag, value,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert message in proc.stderr
+    assert not (tmp_path / "serve.sock").exists()
+
+
+def _checkpointed_estimate(small_world_dir, tmp_path):
+    """estimate --checkpoint-dir + a valid fresh-edge delta file."""
+    import numpy as np
+
+    from repro.graph import GraphDelta, write_delta
+    from repro.graph.io import read_graph_bundle
+
+    ckpt = tmp_path / "ckpt"
+    est = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "cold"),
+        "--checkpoint-dir", str(ckpt),
+        cwd=tmp_path,
+    )
+    assert est.returncode == 0, est.stderr
+
+    graph, _, _ = read_graph_bundle(small_world_dir)
+    out_degree = np.diff(graph.indptr)
+    silent = np.flatnonzero(out_degree == 0)
+    rng = np.random.default_rng(11)
+    sources = rng.choice(silent, size=4, replace=False)
+    insertions = []
+    for src in sources:
+        pool = silent[silent != src]
+        insertions.extend(
+            (int(src), int(t))
+            for t in rng.choice(pool, size=3, replace=False)
+        )
+    delta_file = tmp_path / "crawl.delta"
+    write_delta(GraphDelta(insertions=insertions), delta_file)
+    return ckpt, delta_file
+
+
+@pytest.mark.parametrize(
+    "extra",
+    [
+        ["--task-timeout", "120"],
+        ["--max-task-retries", "2", "--task-timeout", "120"],
+        ["--no-degrade"],
+    ],
+    ids=["timeout", "retries+timeout", "no-degrade"],
+)
+def test_update_supervision_flags_change_nothing_numeric(
+    small_world_dir, tmp_path, extra
+):
+    """The guarded update path produces byte-identical scores to the
+    unflagged one — supervision changes resilience, never numbers."""
+    import shutil
+
+    import numpy as np
+
+    from repro.graph.io import read_scores
+
+    ckpt, delta_file = _checkpointed_estimate(small_world_dir, tmp_path)
+
+    def _run_update(name, argv):
+        # updates advance the checkpoint fingerprint, so each variant
+        # gets its own copy
+        own_ckpt = tmp_path / f"ckpt-{name}"
+        shutil.copytree(ckpt, own_ckpt)
+        proc = run_cli(
+            "update",
+            "--world", str(small_world_dir),
+            "--delta", str(delta_file),
+            "--checkpoint-dir", str(own_ckpt),
+            "--out-prefix", str(tmp_path / name),
+            *argv,
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc
+
+    _run_update("plain", [])
+    _run_update("guarded", extra)
+    for kind in ("pagerank", "core", "relative"):
+        plain = read_scores(f"{tmp_path / 'plain'}.{kind}.scores")
+        guarded = read_scores(f"{tmp_path / 'guarded'}.{kind}.scores")
+        assert np.array_equal(plain, guarded), kind
+
+
+def test_serve_subprocess_round_trip(small_world_dir, tmp_path):
+    """`repro-spam serve` end to end: load, answer over the socket,
+    self-drain at --max-requests, exit 0 with the drain summary."""
+    import subprocess as sp
+    import time
+
+    from repro.graph import read_host_list
+    from repro.serve import ServeClient
+
+    ckpt, _ = _checkpointed_estimate(small_world_dir, tmp_path)
+    sock = tmp_path / "serve.sock"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = sp.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            "serve",
+            "--world", str(small_world_dir),
+            "--checkpoint-dir", str(ckpt),
+            "--socket", str(sock),
+            "--max-requests", "3",
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=sp.PIPE,
+        stderr=sp.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while not sock.exists() and time.monotonic() < deadline:
+            assert proc.poll() is None, proc.communicate()[1]
+            time.sleep(0.05)
+        assert sock.exists(), "server never bound its socket"
+        host = read_host_list(small_world_dir / "core.hosts")[0]
+        with ServeClient(sock) as client:
+            health = client.health()
+            assert health["ok"] is True and health["staleness"] == 0
+            score = client.score(host)
+            assert score["ok"] is True and score["mode"] == "full"
+            top = client.top(3, tau=0.0, rho=0.0)
+            assert top["ok"] is True and len(top["candidates"]) == 3
+        stdout, stderr = proc.communicate(timeout=120)
+    except BaseException:
+        proc.kill()
+        raise
+    assert proc.returncode == 0, stderr
+    assert "serving" in stdout
+    assert "drained after 3 requests" in stdout
+    assert not sock.exists()

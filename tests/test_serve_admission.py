@@ -1,0 +1,213 @@
+"""Admission control and the guarded single-task ingest wrapper.
+
+Overload must be a decision: bounded depth, explicit mode transitions
+(full → degraded → reject), deadline drops at dequeue, and structured
+rejections.  The guarded re-estimate wrapper must retry, degrade to
+its fallback exactly when allowed, and bound hung work with a
+deadline.
+"""
+
+import pytest
+
+from repro.errors import InjectedFault, SupervisionError
+from repro.serve.admission import (
+    MODES,
+    AdmissionController,
+    AdmissionRejected,
+)
+from repro.serve.ingest import IngestPolicy, IngestTimeout, guarded_call
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# admission
+# ----------------------------------------------------------------------
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(0)
+    with pytest.raises(ValueError):
+        AdmissionController(4, request_timeout=0)
+    assert set(MODES) == {"full", "degraded", "reject"}
+
+
+def test_full_mode_admits_and_releases():
+    ctl = AdmissionController(2)
+    assert ctl.mode == "full"
+    t1 = ctl.admit("score")
+    t2 = ctl.admit("ingest")
+    assert ctl.depth == 2
+    with pytest.raises(AdmissionRejected) as info:
+        ctl.admit("score")
+    assert info.value.reason == "overloaded"
+    ctl.release(t1)
+    ctl.release(t1)  # idempotent
+    assert ctl.depth == 1
+    ctl.admit("score")
+    ctl.release(t2)
+    assert ctl.shed == 1
+
+
+def test_degraded_mode_refuses_only_mutations():
+    ctl = AdmissionController(8)
+    ctl.set_ingest_healthy(False)
+    assert ctl.mode == "degraded"
+    ticket = ctl.admit("score")  # reads still flow
+    ctl.release(ticket)
+    with pytest.raises(AdmissionRejected) as info:
+        ctl.admit("ingest")
+    assert info.value.reason == "degraded"
+    assert info.value.mode == "degraded"
+    ctl.set_ingest_healthy(True)
+    ctl.release(ctl.admit("ingest"))
+
+
+def test_drain_refuses_everything():
+    ctl = AdmissionController(8)
+    ctl.start_drain()
+    assert ctl.mode == "reject"
+    for op in ("score", "ingest", "health"):
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.admit(op)
+        assert info.value.reason == "shutting-down"
+
+
+def test_deadline_dropped_at_dequeue_and_slot_freed():
+    clock = FakeClock()
+    ctl = AdmissionController(4, request_timeout=5.0, clock=clock)
+    ticket = ctl.admit("score")
+    clock.now += 4.0
+    ctl.check_deadline(ticket)  # still within budget
+    clock.now += 2.0
+    with pytest.raises(AdmissionRejected) as info:
+        ctl.check_deadline(ticket)
+    assert info.value.reason == "deadline"
+    assert ctl.depth == 0  # released by the drop
+    assert ctl.deadline_drops == 1
+
+
+def test_no_timeout_means_no_deadline():
+    ctl = AdmissionController(4)
+    ticket = ctl.admit("score")
+    assert ticket.deadline is None
+    ctl.check_deadline(ticket)
+
+
+# ----------------------------------------------------------------------
+# guarded_call
+# ----------------------------------------------------------------------
+
+
+def _policy(**kw):
+    return IngestPolicy(**kw)
+
+
+def test_success_is_direct_and_not_degraded():
+    result, degraded = guarded_call(
+        lambda: 42, lambda: 0, _policy(), sleep=lambda _s: None
+    )
+    assert (result, degraded) == (42, False)
+
+
+def test_transient_failure_is_retried():
+    calls = []
+
+    def warm():
+        calls.append(1)
+        if len(calls) < 3:
+            raise InjectedFault("transient")
+        return "ok"
+
+    result, degraded = guarded_call(
+        warm, lambda: "cold", _policy(max_retries=3), sleep=lambda _s: None
+    )
+    assert (result, degraded) == ("ok", False)
+    assert len(calls) == 3
+
+
+def test_exhaustion_degrades_to_fallback():
+    def warm():
+        raise InjectedFault("always")
+
+    result, degraded = guarded_call(
+        warm, lambda: "cold", _policy(max_retries=1), sleep=lambda _s: None
+    )
+    assert (result, degraded) == ("cold", True)
+
+
+def test_no_degrade_raises_supervision_error():
+    def warm():
+        raise InjectedFault("always")
+
+    with pytest.raises(SupervisionError, match="disallowed"):
+        guarded_call(
+            warm,
+            lambda: "cold",
+            _policy(max_retries=0, allow_degrade=False),
+            sleep=lambda _s: None,
+        )
+
+
+def test_missing_fallback_raises_supervision_error():
+    def warm():
+        raise InjectedFault("always")
+
+    with pytest.raises(SupervisionError, match="unavailable"):
+        guarded_call(warm, None, _policy(max_retries=0),
+                     sleep=lambda _s: None)
+
+
+def test_fallback_failure_is_reported_as_supervision_error():
+    def warm():
+        raise InjectedFault("warm down")
+
+    def cold():
+        raise InjectedFault("cold down too")
+
+    with pytest.raises(SupervisionError, match="cold fallback failed"):
+        guarded_call(warm, cold, _policy(max_retries=0),
+                     sleep=lambda _s: None)
+
+
+def test_deadline_abandons_hung_warm_path():
+    import time
+
+    def hung():
+        time.sleep(5.0)
+        return "too late"
+
+    result, degraded = guarded_call(
+        hung,
+        lambda: "cold",
+        _policy(max_retries=0, deadline=0.1),
+        sleep=lambda _s: None,
+    )
+    assert (result, degraded) == ("cold", True)
+
+
+def test_deadline_timeout_surfaces_without_fallback():
+    import time
+
+    with pytest.raises(SupervisionError, match="IngestTimeout"):
+        guarded_call(
+            lambda: time.sleep(5.0),
+            None,
+            _policy(max_retries=0, deadline=0.1),
+            sleep=lambda _s: None,
+        )
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        IngestPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        IngestPolicy(deadline=0)
+    assert issubclass(IngestTimeout, Exception)

@@ -1,0 +1,189 @@
+"""WAL durability and replay-idempotence contracts.
+
+The load-bearing claims under test: an acknowledged delta survives any
+crash (fsync-before-ack), a torn tail is repaired and never invents
+history, interior corruption refuses to replay, and — the ISSUE's
+satellite — applying the same WAL segment twice is a no-op, including
+after a simulated crash *between* applying a record and advancing the
+durable watermark.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import WalError
+from repro.graph import GraphDelta
+from repro.runtime.chaos import truncate_wal_tail
+from repro.serve.wal import DeltaWAL, WalRecord, plan_replay
+from test_differential_solvers import _random_graph
+
+
+@pytest.fixture()
+def wal(tmp_path):
+    return DeltaWAL(tmp_path / "wal")
+
+
+def _chain(graph, deltas):
+    """Apply ``deltas`` in sequence; returns [(delta, parent, after)]."""
+    out = []
+    current = graph
+    for delta in deltas:
+        parent = current.structural_fingerprint()
+        current = delta.apply(current).after
+        out.append((delta, parent, current.structural_fingerprint()))
+    return out
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return _random_graph(11, 60, 200)
+
+
+@pytest.fixture(scope="module")
+def chain(graph):
+    return _chain(graph, [
+        GraphDelta([(0, 5), (2, 9)], []),
+        GraphDelta([(3, 11)], [(0, 5)]),
+        GraphDelta([(4, 13)], []),
+    ])
+
+
+def _fill(wal, chain):
+    return [
+        wal.append(delta, parent=parent, after=after)
+        for delta, parent, after in chain
+    ]
+
+
+def test_append_recover_round_trip(wal, chain):
+    appended = _fill(wal, chain)
+    assert [r.seq for r in appended] == [1, 2, 3]
+    records, dropped = wal.recover()
+    assert dropped == 0
+    assert len(records) == 3
+    for got, (delta, parent, after) in zip(records, chain):
+        assert got.parent == parent
+        assert got.after == after
+        assert [tuple(map(int, e)) for e in got.delta().insertions] == [
+            tuple(map(int, e)) for e in delta.insertions
+        ]
+
+
+def test_seq_continues_across_reopen(wal, chain):
+    _fill(wal, chain[:2])
+    reopened = DeltaWAL(wal.directory)
+    delta, parent, after = chain[2]
+    record = reopened.append(delta, parent=parent, after=after)
+    assert record.seq == 3
+
+
+def test_replay_plan_full_and_empty(graph, chain):
+    records = [
+        WalRecord(i + 1, parent, after,
+                  list(delta.insertions), list(delta.deletions))
+        for i, (delta, parent, after) in enumerate(chain)
+    ]
+    base = graph.structural_fingerprint()
+    # snapshot at the base: everything replays
+    assert [r.seq for r in plan_replay(records, base)] == [1, 2, 3]
+    # snapshot at the final record: double-apply is a no-op
+    assert plan_replay(records, records[-1].after) == []
+    # snapshot mid-chain (crash between apply and watermark): the
+    # applied prefix is skipped by fingerprint
+    assert [r.seq for r in plan_replay(records, records[0].after)] == [2, 3]
+
+
+def test_replay_plan_rejects_divergent_history(chain):
+    records = [
+        WalRecord(i + 1, parent, after,
+                  list(delta.insertions), list(delta.deletions))
+        for i, (delta, parent, after) in enumerate(chain)
+    ]
+    with pytest.raises(WalError, match="different history"):
+        plan_replay(records, "g:not-in-this-chain")
+    broken = [records[0], records[2]]
+    with pytest.raises(WalError, match="chain broken"):
+        plan_replay(broken, records[0].parent)
+
+
+def test_torn_tail_is_truncated_and_never_invents_records(wal, chain):
+    _fill(wal, chain)
+    intact = wal.segment_path.read_bytes()
+    truncate_wal_tail(wal.segment_path, 9)
+    records, dropped = wal.recover()
+    assert [r.seq for r in records] == [1, 2]
+    assert dropped > 0
+    # the file itself was repaired back to the last good record
+    first_two = b"".join(intact.splitlines(keepends=True)[:2])
+    assert wal.segment_path.read_bytes() == first_two
+    # idempotent: a second recovery sees a clean log
+    records2, dropped2 = wal.recover()
+    assert [r.seq for r in records2] == [1, 2]
+    assert dropped2 == 0
+
+
+def test_interior_corruption_refuses_to_replay(wal, chain):
+    _fill(wal, chain)
+    lines = wal.segment_path.read_bytes().splitlines(keepends=True)
+    lines[1] = b'{"seq":2,"garbage":true}\n'
+    wal.segment_path.write_bytes(b"".join(lines))
+    with pytest.raises(WalError, match="corrupt record"):
+        wal.recover()
+
+
+def test_crc_catches_bit_flip(wal, chain):
+    _fill(wal, chain[:1])
+    raw = wal.segment_path.read_bytes()
+    flipped = raw.replace(b'"ins":[[0,5]', b'"ins":[[0,6]')
+    assert flipped != raw
+    wal.segment_path.write_bytes(flipped)
+    records, dropped = wal.recover()
+    assert records == [] and dropped > 0
+
+
+def test_sequence_gap_refuses_to_replay(wal, chain):
+    _fill(wal, chain)
+    lines = wal.segment_path.read_bytes().splitlines(keepends=True)
+    wal.segment_path.write_bytes(lines[0] + lines[2])
+    with pytest.raises(WalError, match="sequence gap"):
+        wal.recover()
+
+
+def test_watermark_round_trip_and_torn_watermark(wal, chain):
+    _fill(wal, chain)
+    assert wal.applied_seq() == 0
+    wal.mark_applied(2)
+    assert wal.applied_seq() == 2
+    # a torn watermark degrades to 0 — replay dedupes by fingerprint,
+    # so this only costs a fast re-plan, never correctness
+    wal.watermark_path.write_text('{"se')
+    assert wal.applied_seq() == 0
+
+
+def test_prune_drops_exactly_the_applied_prefix(wal, chain):
+    _fill(wal, chain)
+    wal.mark_applied(2)
+    assert wal.prune() == 2
+    records, _ = wal.recover()
+    assert [r.seq for r in records] == [3]
+    # pruning again is a no-op
+    assert wal.prune() == 0
+    # appends continue the original numbering
+    delta, parent, after = chain[0]
+    assert wal.append(delta, parent=parent, after=after).seq == 4
+
+
+def test_fsync_off_still_round_trips(tmp_path, chain):
+    wal = DeltaWAL(tmp_path / "wal", fsync=False)
+    _fill(wal, chain)
+    assert len(wal.recover()[0]) == 3
+
+
+def test_records_are_plain_json_lines(wal, chain):
+    _fill(wal, chain)
+    for line in wal.segment_path.read_text().splitlines():
+        record = json.loads(line)
+        assert set(record) == {"seq", "parent", "after", "ins", "dels",
+                               "crc"}

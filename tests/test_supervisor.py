@@ -30,6 +30,7 @@ from repro.perf.parallel import _simulate_chunk, pagerank_montecarlo_parallel
 from repro.runtime.chaos import ChaosWorker, FlakyCalls
 from repro.runtime.retry import BackoffPolicy
 from repro.runtime.supervisor import (
+    CIRCUIT_STATES,
     CircuitBreaker,
     SupervisorPolicy,
     TaskSupervisor,
@@ -223,6 +224,32 @@ def test_circuit_trip_degrades_to_serial_without_changing_results(
         "supervisor.degraded"
     )
     assert names[-1] == "supervisor.salvaged_chunks"
+
+
+def test_circuit_state_gauge_tracks_transitions(
+    supervision_telemetry, tiny_world, baseline
+):
+    """``supervisor.circuit_state`` is a dashboard gauge, not an event
+    stream: it must read ``closed`` after a clean run and land on
+    ``degraded`` once a trip forced the serial fallback."""
+    metrics = supervision_telemetry.metrics
+    _run(tiny_world.graph, supervisor=TaskSupervisor())
+    assert metrics.value("supervisor.circuit_state") == (
+        CIRCUIT_STATES["closed"]
+    )
+
+    chaos = ChaosWorker(_simulate_chunk, kill_on=(0,))
+    sup = TaskSupervisor(
+        SupervisorPolicy(
+            max_task_retries=5, circuit_threshold=3, backoff=FAST
+        )
+    )
+    with pytest.warns(RuntimeWarning, match="sequentially"):
+        _run(tiny_world.graph, chunk_fn=chaos, supervisor=sup)
+    assert metrics.value("supervisor.circuit_state") == (
+        CIRCUIT_STATES["degraded"]
+    )
+    assert set(CIRCUIT_STATES.values()) == {0, 1, 2}
 
 
 def test_no_degrade_turns_circuit_trip_into_an_error(
