@@ -43,6 +43,7 @@ see ``docs/runtime.md``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -57,12 +58,16 @@ from .errors import (
     ConvergenceError,
     DeltaError,
     GraphFormatError,
+    GraphIOError,
     ReproError,
 )
 from .graph import (
+    ShardedWebGraph,
+    partition_graph,
     read_graph_bundle,
     read_host_list,
     read_scores,
+    verify_store,
     write_graph_bundle,
     write_host_list,
     write_scores,
@@ -202,6 +207,99 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if metadata:
         print(f"metadata:     {metadata}")
     return 0
+
+
+def _parse_boundaries(text: str) -> List[int]:
+    """argparse type: comma-separated non-decreasing shard boundaries."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"boundaries must be comma-separated integers, got {text!r}"
+        )
+    if len(values) < 2:
+        raise argparse.ArgumentTypeError(
+            "boundaries need at least two values (0,...,num_nodes)"
+        )
+    return values
+
+
+def cmd_shard_partition(args: argparse.Namespace) -> int:
+    """Partition a stored graph bundle into a sharded store."""
+    graph, _labels, _metadata = read_graph_bundle(
+        args.world, strict=not args.lenient
+    )
+    store = partition_graph(
+        graph,
+        args.out,
+        num_shards=None if args.boundaries else args.shards,
+        boundaries=args.boundaries,
+        chunk_edges=args.chunk_edges,
+    )
+    print(
+        f"partitioned {store.num_nodes:,} hosts / "
+        f"{store.num_edges:,} edges into {store.num_shards} shard(s) "
+        f"at {args.out}"
+    )
+    print(f"fingerprint: {store.structural_fingerprint()}")
+    return EXIT_OK
+
+
+def cmd_shard_inspect(args: argparse.Namespace) -> int:
+    """Print a sharded store's manifest summary."""
+    store = ShardedWebGraph.open(args.store, verify=False)
+    if args.json:
+        payload = {
+            "directory": str(args.store),
+            "num_nodes": store.num_nodes,
+            "num_edges": store.num_edges,
+            "num_shards": store.num_shards,
+            "fingerprint": store.structural_fingerprint(),
+            "shards": [
+                store.shard_meta(k).as_dict()
+                for k in range(store.num_shards)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return EXIT_OK
+    print(f"store:        {args.store}")
+    print(f"hosts:        {store.num_nodes:,}")
+    print(f"edges:        {store.num_edges:,}")
+    print(f"shards:       {store.num_shards}")
+    print(f"fingerprint:  {store.structural_fingerprint()}")
+    for k in range(store.num_shards):
+        meta = store.shard_meta(k)
+        print(
+            f"  shard {k:>4}: [{meta.start:>9,}, {meta.stop:>9,})  "
+            f"{meta.num_edges:>10,} out / {meta.num_in_edges:>10,} in  "
+            f"digest {meta.digest:016x}  {meta.file}"
+        )
+    return EXIT_OK
+
+
+def cmd_shard_verify(args: argparse.Namespace) -> int:
+    """Re-check a sharded store's digests and structure end to end."""
+    report = verify_store(args.store, deep=args.deep)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return EXIT_OK if report["ok"] else EXIT_DATA
+    mode = "deep" if args.deep else "shallow"
+    if report["ok"]:
+        print(
+            f"ok: {report['num_nodes']:,} hosts / "
+            f"{report['num_edges']:,} edges in "
+            f"{len(report['shards'])} shard(s) ({mode} check)"
+        )
+        print(f"fingerprint: {report['fingerprint']}")
+        return EXIT_OK
+    for problem in report["problems"]:
+        print(f"repro-spam: {problem}", file=sys.stderr)
+    print(
+        f"store at {args.store} FAILED verification "
+        f"({len(report['problems'])} problem(s), {mode} check)",
+        file=sys.stderr,
+    )
+    return EXIT_DATA
 
 
 def _core_ids(graph, core_path: Path) -> np.ndarray:
@@ -781,6 +879,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.set_defaults(func=cmd_stats)
 
+    p_shard = sub.add_parser(
+        "shard",
+        help="partition, inspect and verify out-of-core shard stores",
+        description="Block-partitioned graph stores (docs/scale.md): "
+        "partition an in-memory bundle into per-shard files, inspect a "
+        "store's manifest, or re-verify its integrity digests.",
+    )
+    shard_sub = p_shard.add_subparsers(dest="shard_action", required=True)
+
+    p_part = shard_sub.add_parser(
+        "partition", help="split a graph bundle into a sharded store"
+    )
+    p_part.add_argument("--world", required=True, help="bundle directory")
+    p_part.add_argument("--out", required=True, help="store directory")
+    p_part.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=8,
+        help="number of contiguous node-range shards (default 8)",
+    )
+    p_part.add_argument(
+        "--boundaries",
+        type=_parse_boundaries,
+        default=None,
+        metavar="B0,B1,...",
+        help="explicit shard boundaries (overrides --shards); must "
+        "start at 0 and end at the node count",
+    )
+    p_part.add_argument(
+        "--chunk-edges",
+        type=_positive_int,
+        default=1 << 20,
+        help="edges streamed per chunk during partitioning",
+    )
+    p_part.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-warn on malformed bundle lines instead of failing",
+    )
+    p_part.set_defaults(func=cmd_shard_partition)
+
+    p_insp = shard_sub.add_parser(
+        "inspect", help="print a store's manifest summary"
+    )
+    p_insp.add_argument("--store", required=True, help="store directory")
+    p_insp.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_insp.set_defaults(func=cmd_shard_inspect)
+
+    p_ver = shard_sub.add_parser(
+        "verify",
+        help="re-check shard digests against the manifest (exit 3 on "
+        "corruption)",
+    )
+    p_ver.add_argument("--store", required=True, help="store directory")
+    p_ver.add_argument(
+        "--deep",
+        action="store_true",
+        help="also cross-check transpose arrays against the out-CSRs",
+    )
+    p_ver.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_ver.set_defaults(func=cmd_shard_verify)
+
     p_est = sub.add_parser(
         "estimate", help="compute PageRank and mass estimates"
     )
@@ -1221,11 +1385,13 @@ def run(args: argparse.Namespace) -> int:
     except (
         FileNotFoundError,
         GraphFormatError,
+        GraphIOError,
         DeltaError,
         CheckpointError,
     ) as exc:
-        # GraphFormatError covers TruncatedFileError; these are all
-        # "your input files are missing or broken"
+        # GraphFormatError covers TruncatedFileError, GraphIOError the
+        # shard-store family; these are all "your input files are
+        # missing or broken"
         if args.traceback:
             raise
         print(f"repro-spam: {exc}", file=sys.stderr)

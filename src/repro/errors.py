@@ -26,6 +26,13 @@ __all__ = [
     "WalError",
     "GraphFormatError",
     "TruncatedFileError",
+    "EmptyGraphError",
+    "GraphIOError",
+    "ShardMissingError",
+    "ShardIntegrityError",
+    "ShardTruncatedError",
+    "ShardDigestMismatchError",
+    "ManifestVersionError",
     "GraphIOWarning",
     "DeltaError",
     "SolverAbort",
@@ -97,6 +104,63 @@ class GraphFormatError(ReproError, ValueError):
 
 class TruncatedFileError(GraphFormatError):
     """A (gzip) file ended mid-stream — typically an interrupted copy."""
+
+
+class EmptyGraphError(GraphFormatError):
+    """A graph with zero nodes was requested.
+
+    The model has no meaningful zero-node limit: the uniform jump vector
+    ``v = 1/n`` is undefined, so solvers would fail deep inside the
+    numerics with an opaque ``ZeroDivisionError``-shaped message.
+    Constructors reject ``num_nodes == 0`` up front with this type
+    instead of building a degenerate graph.
+    """
+
+
+class GraphIOError(ReproError, OSError):
+    """Base class for failures reading persisted graph storage.
+
+    Distinct from :class:`GraphFormatError` (a *parseable but invalid*
+    artifact): this family covers storage-level faults — files missing,
+    truncated, or failing their integrity digests.  Loaders raise these
+    *before* handing out any graph object; a sharded store never
+    returns a partially-loaded graph.
+    """
+
+
+class ShardMissingError(GraphIOError, FileNotFoundError):
+    """A shard file named by the manifest does not exist on disk."""
+
+
+class ShardIntegrityError(GraphIOError):
+    """A shard file exists but its contents cannot be trusted."""
+
+
+class ShardTruncatedError(ShardIntegrityError):
+    """A shard ``.npz`` ends mid-stream — an interrupted copy or write."""
+
+
+class ShardDigestMismatchError(ShardIntegrityError):
+    """Shard contents disagree with the digest recorded in the manifest.
+
+    Carries both sides of the comparison (hex strings) so operators can
+    log what was expected against what was found.
+    """
+
+    def __init__(self, message: str, *, expected: str = "",
+                 actual: str = "") -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
+class ManifestVersionError(GraphIOError):
+    """The shard manifest was written by an incompatible format version."""
+
+    def __init__(self, message: str, *, found=None, supported=None) -> None:
+        super().__init__(message)
+        self.found = found
+        self.supported = supported
 
 
 class DeltaError(ReproError, ValueError):

@@ -8,10 +8,18 @@ rest of the library builds on.
 
 from ..errors import (
     DeltaError,
+    EmptyGraphError,
     GraphFormatError,
+    GraphIOError,
     GraphIOWarning,
+    ManifestVersionError,
+    ShardDigestMismatchError,
+    ShardIntegrityError,
+    ShardMissingError,
+    ShardTruncatedError,
     TruncatedFileError,
 )
+from .backend import GraphBackend, backend_name_of
 from .builder import GraphBuilder
 from .delta import DeltaApplication, GraphDelta, read_delta, write_delta
 from .collapse import CollapseResult, collapse_by_key, collapse_page_graph
@@ -48,11 +56,36 @@ from .ops import (
     to_networkx,
     transition_matrix,
 )
+from .sharded import (
+    ShardedWebGraph,
+    ShardMeta,
+    default_boundaries,
+    iter_edge_chunks,
+    partition_graph,
+    sharded_from_edges,
+    verify_store,
+)
 from .webgraph import GraphStats, WebGraph
 
 __all__ = [
     "WebGraph",
     "GraphStats",
+    "GraphBackend",
+    "backend_name_of",
+    "ShardedWebGraph",
+    "ShardMeta",
+    "sharded_from_edges",
+    "partition_graph",
+    "iter_edge_chunks",
+    "default_boundaries",
+    "verify_store",
+    "EmptyGraphError",
+    "GraphIOError",
+    "ShardMissingError",
+    "ShardIntegrityError",
+    "ShardTruncatedError",
+    "ShardDigestMismatchError",
+    "ManifestVersionError",
     "GraphDelta",
     "DeltaApplication",
     "read_delta",

@@ -1,0 +1,85 @@
+"""The graph backend interface.
+
+The paper's subject is a 73.3M-host graph; our in-memory CSR model
+(:class:`~repro.graph.webgraph.WebGraph`) tops out around a few million
+hosts before the transpose and operator arrays stop fitting comfortably
+in RAM.  :class:`GraphBackend` is the minimal surface the solver stack
+actually consumes, so that the block-partitioned out-of-core backend
+(:mod:`repro.graph.sharded`) can slot in underneath
+``estimate_spam_mass`` and the detector pipeline without those layers
+knowing which representation they are holding.
+
+The contract is deliberately small — everything downstream of the
+operator cache works from these five members:
+
+``num_nodes`` / ``num_edges``
+    Graph dimensions (``n = |V|``, ``|E|``).
+``out_degree()``
+    The full out-degree vector (``int64``); per-node lookups take a
+    node id.
+``dangling_mask()``
+    Boolean mask of zero-out-degree nodes (Section 2.2's dangling set).
+``structural_fingerprint()``
+    The canonical content fingerprint string
+    (:func:`~repro.graph.webgraph.compose_fingerprint` format) — the
+    operator-cache key and the equality witness of the differential
+    test harness.
+
+:class:`~repro.graph.webgraph.WebGraph` is registered as a *virtual*
+subclass: it predates the interface and already satisfies it, and
+registration keeps its hot constructor free of ABC machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from .webgraph import WebGraph
+
+__all__ = ["GraphBackend", "backend_name_of"]
+
+
+class GraphBackend(abc.ABC):
+    """Minimal graph surface consumed by the solver stack."""
+
+    #: Short identifier of the storage strategy (``"memory"``,
+    #: ``"sharded"``); diagnostics and CLI output key on it.
+    backend_name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of nodes ``n = |V|``."""
+
+    @property
+    @abc.abstractmethod
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E|``."""
+
+    @abc.abstractmethod
+    def out_degree(self, node: Optional[int] = None):
+        """Out-degree of ``node``, or the full ``int64`` vector."""
+
+    @abc.abstractmethod
+    def structural_fingerprint(self) -> str:
+        """Canonical structural fingerprint (cache key / parity witness)."""
+
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean mask of dangling (zero out-degree) nodes."""
+        return self.out_degree() == 0
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+
+# WebGraph predates the interface and already provides every member.
+GraphBackend.register(WebGraph)
+
+
+def backend_name_of(graph) -> str:
+    """The backend identifier of ``graph`` (``"memory"`` for the
+    in-memory CSR, which predates the ``backend_name`` attribute)."""
+    return getattr(graph, "backend_name", "memory")

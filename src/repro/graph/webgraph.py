@@ -25,6 +25,8 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import EmptyGraphError
+
 __all__ = ["WebGraph", "GraphStats"]
 
 
@@ -182,6 +184,9 @@ class WebGraph:
     #: for tests; derived fingerprints stamped by deltas do not count).
     fingerprint_computations = 0
 
+    #: Backend identifier (see :mod:`repro.graph.backend`).
+    backend_name = "memory"
+
     def __init__(
         self,
         indptr: np.ndarray,
@@ -260,6 +265,11 @@ class WebGraph:
         """
         if num_nodes < 0:
             raise ValueError("num_nodes must be non-negative")
+        if num_nodes == 0:
+            raise EmptyGraphError(
+                "cannot build a graph with zero nodes: the uniform jump "
+                "vector 1/n is undefined for n=0"
+            )
         edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
         if edge_array.size == 0:
             edge_array = edge_array.reshape(0, 2)

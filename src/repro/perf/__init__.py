@@ -22,6 +22,7 @@ route through by default.
 
 from .cache import (
     DEFAULT_CACHE_SIZE,
+    DEFAULT_SHARD_CACHE_SIZE,
     OperatorBundle,
     OperatorCache,
     graph_fingerprint,
@@ -45,11 +46,22 @@ from .parallel import (
     pagerank_montecarlo_parallel,
     plan_chunks,
 )
+from .sharded import (
+    ShardedOperator,
+    derive_sharded,
+    sharded_block_jacobi,
+    sharded_operator_for,
+)
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_CHECK_EVERY",
     "DEFAULT_CHUNKS",
+    "DEFAULT_SHARD_CACHE_SIZE",
+    "ShardedOperator",
+    "sharded_operator_for",
+    "derive_sharded",
+    "sharded_block_jacobi",
     "BatchResult",
     "IncrementalResult",
     "OperatorBundle",

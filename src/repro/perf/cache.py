@@ -64,6 +64,12 @@ __all__ = ["graph_fingerprint", "OperatorBundle", "OperatorCache"]
 #: (world, its transpose for TrustRank seeding, the paper examples).
 DEFAULT_CACHE_SIZE = 8
 
+#: Default bound of the engine's *shard* operator cache.  Its entries
+#: are per-shard operator blocks (``fp#ss:k`` / ``fp#ds:k``) rather
+#: than whole graphs, so a 32-shard parity sweep alone needs ~65 keys;
+#: the bound is sized so such sweeps never thrash.
+DEFAULT_SHARD_CACHE_SIZE = 256
+
 
 def graph_fingerprint(graph: WebGraph) -> str:
     """Structural fingerprint of a graph's link structure.
@@ -271,7 +277,51 @@ class OperatorCache:
                 self.evictions += 1
         return bundle
 
-    def derive_for(self, application) -> OperatorBundle:
+    def entry_for(self, key: str, factory):
+        """Generic keyed entry: return the cached value for ``key``,
+        building it via ``factory()`` (outside the lock) on a miss.
+
+        The sharded solver path stores per-shard operator blocks and
+        whole shard operators through this, under composite keys
+        (``<fingerprint>#ss:<k>`` etc.), sharing the same LRU, lock and
+        hit/miss/eviction counters as the whole-graph bundles.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+        value = factory()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def peek(self, key: str):
+        """Return the entry for ``key`` if resident, else ``None``.
+
+        A successful peek counts as a hit (and refreshes recency); an
+        absent key is *not* counted as a miss — peeking is how derived
+        shard operators probe for reusable parent blocks, and an absent
+        parent block just means a cold build, which registers its own
+        miss through :meth:`entry_for`.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            return entry
+
+    def derive_for(self, application):
         """Return the bundle for ``application.after``, derived cheaply.
 
         When the parent graph's bundle is cached, the child operator is
@@ -280,7 +330,18 @@ class OperatorCache:
         :meth:`~repro.graph.delta.GraphDelta.apply` — the full CSR is
         never rehashed or re-transposed.  Falls back to a cold
         :meth:`bundle_for` build when the parent is not resident.
+
+        Sharded graphs take a different derivation: the child gets a
+        :class:`~repro.perf.sharded.ShardedOperator` that reuses the
+        parent's cached per-shard blocks wherever the delta provably
+        did not touch them (see :func:`repro.perf.sharded.derive_sharded`).
         """
+        if not isinstance(application.after, WebGraph):
+            # lazy import: perf.sharded imports the engine, which
+            # imports this module
+            from .sharded import derive_sharded
+
+            return derive_sharded(self, application)
         tele = get_telemetry()
         child_key = graph_fingerprint(application.after)
         with self._lock:

@@ -46,10 +46,16 @@ import numpy as np
 from ..errors import ConvergenceError
 from ..core.solvers import SolverResult, solve as dispatch_solve
 from ..core.pagerank import _resolve_jump  # single source of jump semantics
+from ..graph.sharded import ShardedWebGraph
 from ..graph.webgraph import WebGraph
 from ..obs import get_telemetry
 from ..runtime.supervisor import SupervisorPolicy, TaskSupervisor
-from .cache import DEFAULT_CACHE_SIZE, OperatorBundle, OperatorCache
+from .cache import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_SHARD_CACHE_SIZE,
+    OperatorBundle,
+    OperatorCache,
+)
 
 __all__ = [
     "BatchResult",
@@ -194,6 +200,10 @@ class PagerankEngine:
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
         self.cache = OperatorCache(cache_size)
+        # per-shard operator blocks live in their own LRU: block keys
+        # are ~2 per shard per graph, so sharing the (small) whole-graph
+        # cache would thrash both
+        self.shard_cache = OperatorCache(DEFAULT_SHARD_CACHE_SIZE)
         self.method = method
         self.check_every = check_every
         self.workers = workers
@@ -204,6 +214,13 @@ class PagerankEngine:
 
     def bundle(self, graph: WebGraph) -> OperatorBundle:
         """The graph's cached operator bundle (built on first sight)."""
+        if isinstance(graph, ShardedWebGraph):
+            raise TypeError(
+                "a sharded graph has no assembled operator bundle — "
+                "its operator exists only as per-shard blocks; use "
+                "solve()/solve_many(), which route to the sharded "
+                "kernel automatically"
+            )
         return self.cache.bundle_for(graph)
 
     def operator(self, graph: WebGraph):
@@ -233,7 +250,34 @@ class PagerankEngine:
         operator rebuild.  Extra options go to
         :func:`repro.core.solvers.solve` (checkpoints, warm starts,
         callbacks).
+
+        Sharded graphs route through the block kernel (only the Jacobi
+        method exists out of core) and come back as the single column
+        of a one-vector batch — bitwise the in-memory Jacobi result.
         """
+        if isinstance(graph, ShardedWebGraph):
+            chosen = method or self.method
+            if chosen != "jacobi":
+                raise ValueError(
+                    f"method {chosen!r} is not available on the sharded "
+                    "backend; only the Jacobi block iteration runs "
+                    "shard-by-shard"
+                )
+            if solver_options:
+                raise ValueError(
+                    "solver options "
+                    f"{sorted(solver_options)} are not supported on the "
+                    "sharded backend"
+                )
+            batch = self.solve_many(
+                graph,
+                [v],
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+                check=check,
+            )
+            return batch.column(0)
         bundle = self.bundle(graph)
         jump = _resolve_jump(graph.num_nodes, v)
         return dispatch_solve(
@@ -321,6 +365,17 @@ class PagerankEngine:
                 "not both (the policy path has its own per-column "
                 "resilience)"
             )
+        if isinstance(graph, ShardedWebGraph):
+            if policy is not None:
+                raise ValueError(
+                    "runtime policies need the assembled operator and "
+                    "are not available on the sharded backend; pass a "
+                    "task supervisor to schedule the shard sweep instead"
+                )
+            return self._solve_sharded(
+                graph, stacked, labels, damping, tol, max_iter, check,
+                supervisor,
+            )
         bundle = self.bundle(graph)
 
         tele = get_telemetry()
@@ -393,6 +448,67 @@ class PagerankEngine:
                 f"{', '.join(bad)} within {max_iter} iterations; pass "
                 "check=False for best-effort vectors or a runtime "
                 "policy for per-column fallback",
+                result=result.column(labels.index(bad[0])),
+            )
+        return result
+
+    def _solve_sharded(
+        self,
+        graph: ShardedWebGraph,
+        stacked: np.ndarray,
+        labels: Sequence[str],
+        damping: float,
+        tol: float,
+        max_iter: int,
+        check: bool,
+        supervisor=None,
+    ) -> BatchResult:
+        """Batched solve against the out-of-core backend.
+
+        The shard operator and its per-shard blocks live in the
+        engine's dedicated ``shard_cache`` LRU; a supervisor, when
+        given, schedules the per-iteration shard sweep (per-shard retry
+        with salvage) instead of per-column solves — the block products
+        are pure tasks, so supervised execution stays bitwise identical
+        to the serial sweep.
+        """
+        # lazy import: perf.sharded imports BatchResult from this module
+        from .sharded import sharded_block_jacobi, sharded_operator_for
+
+        op = sharded_operator_for(self.shard_cache, graph)
+        tele = get_telemetry()
+        if tele.enabled:
+            with tele.span(
+                "solve:sharded",
+                columns=stacked.shape[1],
+                shards=graph.num_shards,
+            ) as sp:
+                result = sharded_block_jacobi(
+                    op, stacked,
+                    damping=damping, tol=tol, max_iter=max_iter,
+                    check_every=self.check_every, labels=labels,
+                    supervisor=supervisor,
+                )
+                tele.inc("engine.sharded_solves")
+                sp.set("max_iterations",
+                       int(result.iterations.max(initial=0)))
+        else:
+            result = sharded_block_jacobi(
+                op, stacked,
+                damping=damping, tol=tol, max_iter=max_iter,
+                check_every=self.check_every, labels=labels,
+                supervisor=supervisor,
+            )
+        if check and not bool(result.converged.all()):
+            bad = [
+                labels[j]
+                for j in range(stacked.shape[1])
+                if not result.converged[j]
+            ]
+            raise ConvergenceError(
+                f"sharded batched solve did not converge for column(s) "
+                f"{', '.join(bad)} within {max_iter} iterations; pass "
+                "check=False for best-effort vectors",
                 result=result.column(labels.index(bad[0])),
             )
         return result
@@ -536,6 +652,13 @@ class PagerankEngine:
         """
         from .incremental import push_update
 
+        if isinstance(application.after, ShardedWebGraph):
+            raise ValueError(
+                "incremental push updates need the assembled in-memory "
+                "operator; solve the delta-derived sharded graph with "
+                "solve_many (its shard operator derives cheaply via "
+                "the shard cache)"
+            )
         n = application.after.num_nodes
         if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
             stacked = np.array(vectors, dtype=np.float64, copy=True)

@@ -1,0 +1,447 @@
+"""Shard-by-shard block-Jacobi PageRank over the out-of-core backend.
+
+The in-memory batched kernel (:func:`repro.perf.engine._block_jacobi`)
+iterates ``z ← c·(Tᵀ)_SS z + (1−c) v_S`` with one whole-graph sparse
+matmul per step.  This module runs the *same* iteration against a
+:class:`~repro.graph.sharded.ShardedWebGraph`, where ``(Tᵀ)_SS`` never
+exists as one matrix: each shard ``k`` contributes the row block of
+``(Tᵀ)_SS`` indexed by its non-dangling nodes, built straight from the
+shard's transpose CSR, and one iteration sweeps the shards writing each
+block product into its slice of the output vector.
+
+**The parity argument** (what the differential harness enforces
+bitwise): CSR × dense-block multiplication computes every output row
+independently — ``y[i, :]`` starts at zero and accumulates
+``data[jj] · z[col[jj], :]`` in storage order.  Row-partitioning the
+matrix therefore changes *nothing* about the floating-point operations
+of any row, as long as each block keeps the same within-row storage
+order as the assembled operator.  The shard files store in-edges sorted
+by ``(destination, source)`` — exactly the ascending-column order of
+the canonical in-memory ``Tᵀ`` — and the column remap into ``S``
+positions is monotone, so every block is the *identical* sub-array of
+the in-memory operator and every iterate, residual and score matches
+bit for bit.  Two details matter and are preserved deliberately:
+
+* the iterate stays *compact* (restricted to ``S``) — padding with
+  zero rows would change numpy's pairwise-summation grouping in the
+  residual reduction;
+* per-shard dangling products are written into one contiguous
+  ``(|D|, k)`` array *before* the ``np.abs(...).sum(axis=0)``
+  reduction, again so the pairwise-summation tree is the in-memory
+  one.
+
+Scheduling: the per-iteration shard sweep can run under a
+:class:`~repro.runtime.supervisor.TaskSupervisor` — each block product
+is a pure, deterministic task (retry-safe by construction), and results
+are assembled in plan order, so supervised execution is bitwise
+identical to the serial sweep.
+
+Blocks are cached in an :class:`~repro.perf.cache.OperatorCache` under
+composite keys (``<fingerprint>#ss:<k>``, ``<fingerprint>#ds:<k>``).
+For a delta-derived graph, :func:`derive_sharded` builds a child
+operator that *reuses* the parent's cached blocks for every shard the
+delta provably did not touch — see ``docs/scale.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..graph.sharded import ShardedWebGraph
+from ..runtime.supervisor import SupervisorPolicy, TaskSupervisor
+from .cache import OperatorCache
+from .engine import BatchResult
+
+__all__ = [
+    "ShardedOperator",
+    "sharded_operator_for",
+    "derive_sharded",
+    "sharded_block_jacobi",
+]
+
+
+def _ss_block_task(shard_index: int, operator: "ShardedOperator",
+                   z: np.ndarray) -> np.ndarray:
+    """One supervised shard task: the block product of shard
+    ``shard_index`` against the current iterate.
+
+    Module-level and pure (output depends only on the arguments), so
+    supervised retries recompute the identical array and chaos wrappers
+    can reference it by name.
+    """
+    return operator.ss_block(shard_index) @ z
+
+
+class ShardedOperator:
+    """Per-shard row blocks of the dangling-restricted operator.
+
+    Holds the ``O(n)`` global vectors (out-degrees, dangling mask, the
+    ``S``-position map) and builds the per-shard sparse blocks lazily,
+    caching them in the supplied :class:`OperatorCache` keyed by the
+    graph fingerprint and shard index — so repeated solves on the same
+    store rebuild nothing, and an LRU bound caps resident blocks.
+    """
+
+    __slots__ = (
+        "graph",
+        "fingerprint",
+        "key_base",
+        "cache",
+        "dangling_mask",
+        "non_dangling",
+        "dangling",
+        "_s_pos",
+        "_inv_outdeg",
+        "_s_bounds",
+        "_d_bounds",
+        "_local",
+        "_parent_fingerprint",
+        "_touched_mask",
+        "_touched_shards",
+        "block_reuses",
+        "block_builds",
+    )
+
+    def __init__(
+        self,
+        graph: ShardedWebGraph,
+        cache: Optional[OperatorCache] = None,
+        *,
+        parent_fingerprint: Optional[str] = None,
+        touched_mask: Optional[np.ndarray] = None,
+        touched_shards: Optional[frozenset] = None,
+    ) -> None:
+        self.graph = graph
+        self.fingerprint = graph.structural_fingerprint()
+        # the fingerprint names the edge set only; the partition key
+        # keeps 2-way and 32-way stores of the same graph apart
+        self.key_base = f"{self.fingerprint}@{graph.partition_key}"
+        self.cache = cache
+        out_deg = graph.out_degree()
+        self.dangling_mask = out_deg == 0
+        self.non_dangling = np.flatnonzero(~self.dangling_mask)
+        self.dangling = np.flatnonzero(self.dangling_mask)
+        # global node id -> its position in S (valid on S members only);
+        # monotone, which is what keeps block columns in the assembled
+        # operator's ascending order
+        self._s_pos = np.cumsum(~self.dangling_mask) - 1
+        inv = np.zeros(graph.num_nodes, dtype=np.float64)
+        nz = out_deg > 0
+        inv[nz] = 1.0 / out_deg[nz]  # identical fp op to transition_matrix
+        self._inv_outdeg = inv
+        self._s_bounds = np.searchsorted(self.non_dangling, graph.boundaries)
+        self._d_bounds = np.searchsorted(self.dangling, graph.boundaries)
+        self._local = {}  # fallback block store when no cache is given
+        # delta-derivation metadata: when set, untouched shards may
+        # borrow the parent's cached blocks (see _build_or_reuse)
+        self._parent_fingerprint = parent_fingerprint
+        self._touched_mask = touched_mask
+        self._touched_shards = touched_shards or frozenset()
+        self.block_reuses = 0
+        self.block_builds = 0
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.graph.num_shards
+
+    def s_range(self, k: int):
+        """Row range of shard ``k`` inside the ``S``-restricted system."""
+        return int(self._s_bounds[k]), int(self._s_bounds[k + 1])
+
+    def d_range(self, k: int):
+        """Row range of shard ``k`` inside the dangling block."""
+        return int(self._d_bounds[k]), int(self._d_bounds[k + 1])
+
+    # ------------------------------------------------------------------
+    # blocks
+    # ------------------------------------------------------------------
+
+    def _entry(self, key: str, factory):
+        if self.cache is not None:
+            return self.cache.entry_for(key, factory)
+        got = self._local.get(key)
+        if got is None:
+            got = self._local[key] = factory()
+        return got
+
+    def ss_block(self, k: int) -> sparse.csr_matrix:
+        """Rows of ``(Tᵀ)_SS`` owned by shard ``k``'s non-dangling nodes."""
+        return self._entry(
+            f"{self.key_base}#ss:{k}",
+            lambda: self._build_or_reuse(k, "ss"),
+        )
+
+    def ds_block(self, k: int) -> sparse.csr_matrix:
+        """Rows of ``(Tᵀ)_DS`` owned by shard ``k``'s dangling nodes."""
+        return self._entry(
+            f"{self.key_base}#ds:{k}",
+            lambda: self._build_or_reuse(k, "ds"),
+        )
+
+    def _build_or_reuse(self, k: int, kind: str) -> sparse.csr_matrix:
+        if (
+            self.cache is not None
+            and self._parent_fingerprint is not None
+            and self._touched_mask is not None
+            and k not in self._touched_shards
+        ):
+            # the shard's transpose CSR is unchanged; its block is
+            # reusable unless some in-edge originates at a touched
+            # source (whose out-degree, hence entry weight, may differ)
+            shard = self.graph.shard(k)
+            if not self._touched_mask[np.asarray(shard.t_indices)].any():
+                parent = self.cache.peek(
+                    f"{self._parent_fingerprint}"
+                    f"@{self.graph.partition_key}#{kind}:{k}"
+                )
+                if parent is not None:
+                    self.block_reuses += 1
+                    return parent
+        self.block_builds += 1
+        return self._build_block(k, kind)
+
+    def _build_block(self, k: int, kind: str) -> sparse.csr_matrix:
+        a, b = self.graph.shard_range(k)
+        shard = self.graph.shard(k)
+        if kind == "ss":
+            rows_global = self.non_dangling[slice(*self.s_range(k))]
+        else:
+            rows_global = self.dangling[slice(*self.d_range(k))]
+        local = rows_global - a
+        t_indptr = np.asarray(shard.t_indptr)
+        t_indices = np.asarray(shard.t_indices)
+        counts = t_indptr[local + 1] - t_indptr[local]
+        starts = t_indptr[local]
+        total = int(counts.sum())
+        if total:
+            gather = np.repeat(starts, counts) + (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(np.cumsum(counts) - counts, counts)
+            )
+            srcs = t_indices[gather]
+        else:
+            srcs = np.empty(0, dtype=np.int64)
+        indptr = np.zeros(len(rows_global) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(counts)
+        # every in-edge source has out-degree >= 1, so srcs ⊆ S and the
+        # monotone S-position remap preserves ascending column order
+        block = sparse.csr_matrix(
+            (self._inv_outdeg[srcs], self._s_pos[srcs], indptr),
+            shape=(len(rows_global), len(self.non_dangling)),
+        )
+        block.has_sorted_indices = True
+        return block
+
+    # ------------------------------------------------------------------
+    # matvecs
+    # ------------------------------------------------------------------
+
+    def matvec_ss(
+        self,
+        z: np.ndarray,
+        *,
+        supervisor: Optional[TaskSupervisor] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``(Tᵀ)_SS @ z`` assembled from per-shard row blocks.
+
+        With a supervisor, each shard's block product runs as one
+        supervised task (retried on fault, results in plan order);
+        either way the output rows are bitwise those of the assembled
+        matmul.
+        """
+        if out is None:
+            out = np.empty((len(self.non_dangling), z.shape[1]))
+        if supervisor is not None:
+            live = [k for k in range(self.num_shards)
+                    if self._s_bounds[k + 1] > self._s_bounds[k]]
+            report = supervisor.run(
+                _ss_block_task,
+                [(k, self, z) for k in live],
+                label="shard-matvec",
+            )
+            for k, product in zip(live, report.results):
+                lo, hi = self.s_range(k)
+                out[lo:hi] = product
+            return out
+        for k in range(self.num_shards):
+            lo, hi = self.s_range(k)
+            if hi > lo:
+                out[lo:hi] = self.ss_block(k) @ z
+        return out
+
+    def matvec_ds(self, z: np.ndarray) -> np.ndarray:
+        """``(Tᵀ)_DS @ z`` as one contiguous ``(|D|, k)`` array.
+
+        The caller reduces over this array; assembling it *before* the
+        reduction keeps numpy's pairwise-summation tree identical to
+        the in-memory kernel's.
+        """
+        out = np.empty((len(self.dangling), z.shape[1]))
+        for k in range(self.num_shards):
+            lo, hi = self.d_range(k)
+            if hi > lo:
+                out[lo:hi] = self.ds_block(k) @ z
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedOperator(n={self.graph.num_nodes}, "
+            f"shards={self.num_shards}, |S|={len(self.non_dangling)})"
+        )
+
+
+def sharded_operator_for(
+    cache: OperatorCache, graph: ShardedWebGraph
+) -> ShardedOperator:
+    """The graph's shard operator, cached under fingerprint + partition."""
+    return cache.entry_for(
+        f"{graph.structural_fingerprint()}@{graph.partition_key}#shardop",
+        lambda: ShardedOperator(graph, cache=cache),
+    )
+
+
+def derive_sharded(cache: OperatorCache, application) -> ShardedOperator:
+    """Shard-operator derivation for a delta on the sharded backend.
+
+    The child operator rebuilds a shard's blocks only when the delta
+    could have changed them: a shard spliced by the delta
+    (``delta_touched_shards``), a shard with an in-edge from a touched
+    source (entry weights ``1/outdeg`` may differ), or — globally —
+    when the dangling set changed (which renumbers the restricted
+    system).  Every other shard borrows the parent's cached block
+    verbatim; per-shard reuse/build counts land on the returned
+    operator (``block_reuses`` / ``block_builds``), and cache-level
+    hit/miss counters tick through the shared :class:`OperatorCache`.
+    """
+    after = application.after
+    before = application.before
+
+    def build() -> ShardedOperator:
+        cache.derives += 1
+        if not np.array_equal(before.dangling_mask(), after.dangling_mask()):
+            # dangling set changed: S is renumbered, no block survives
+            return ShardedOperator(after, cache=cache)
+        touched = np.zeros(after.num_nodes, dtype=bool)
+        touched[application.touched_sources] = True
+        return ShardedOperator(
+            after,
+            cache=cache,
+            parent_fingerprint=before.structural_fingerprint(),
+            touched_mask=touched,
+            touched_shards=getattr(after, "delta_touched_shards", None),
+        )
+
+    return cache.entry_for(
+        f"{after.structural_fingerprint()}@{after.partition_key}#shardop",
+        build,
+    )
+
+
+def sharded_block_jacobi(
+    operator: ShardedOperator,
+    vectors: np.ndarray,
+    *,
+    damping: float,
+    tol: float,
+    max_iter: int,
+    check_every: int,
+    labels: Sequence[str],
+    supervisor=None,
+) -> BatchResult:
+    """Dangling-restricted block Jacobi, one shard sweep per step.
+
+    Structurally a transliteration of the in-memory kernel
+    (:func:`repro.perf.engine._block_jacobi`) with every operator
+    application routed through :class:`ShardedOperator` — same
+    restricted iterate, same fused-steps/measured-step cadence, same
+    residual, same per-column freeze and active-set compaction.  The
+    differential harness (``tests/test_differential_solvers.py``)
+    asserts the outputs are *bitwise* equal.
+    """
+    if supervisor is not None and not isinstance(supervisor, TaskSupervisor):
+        supervisor = TaskSupervisor(supervisor)
+    c = damping
+    n, k = vectors.shape
+    jump = (1.0 - c) * vectors
+    s = operator.non_dangling
+    d = operator.dangling
+    scores = np.empty_like(vectors)
+    iterations = np.zeros(k, dtype=np.int64)
+    residuals = np.full(k, np.inf)
+    converged = np.zeros(k, dtype=bool)
+
+    if len(s) == 0:
+        # edgeless graph: (I - cTᵀ) = I, the solution is the jump term
+        scores[:] = jump
+        iterations[:] = 1
+        residuals[:] = 0.0
+        converged[:] = True
+        return BatchResult(
+            scores, iterations, residuals, converged,
+            "sharded_jacobi", labels,
+        )
+
+    b_s = np.ascontiguousarray(jump[s, :])
+    z = np.array(vectors[s, :], dtype=np.float64)  # p⁽⁰⁾ = v, as in jacobi()
+    active = np.arange(k)
+
+    def _freeze(cols_in_active: np.ndarray, res: np.ndarray, it: int,
+                ok: bool) -> None:
+        cols = active[cols_in_active]
+        z_cols = z[:, cols_in_active]
+        scores[np.ix_(s, cols)] = z_cols
+        expanded = operator.matvec_ds(np.ascontiguousarray(z_cols))
+        expanded *= c
+        expanded += jump[np.ix_(d, cols)]
+        scores[np.ix_(d, cols)] = expanded
+        iterations[cols] = it
+        residuals[cols] = res[cols_in_active]
+        converged[cols] = ok
+
+    it = 0
+    while it < max_iter and len(active):
+        plain_steps = min(check_every, max_iter - it) - 1
+        for _ in range(plain_steps):
+            z_next = operator.matvec_ss(z, supervisor=supervisor)
+            z_next *= c
+            z_next += b_s
+            z = z_next
+            it += 1
+        z_prev = z
+        z = operator.matvec_ss(z, supervisor=supervisor)
+        z *= c
+        z += b_s
+        it += 1
+        dz = z - z_prev
+        res = np.abs(dz).sum(axis=0)
+        if len(d):
+            res = res + c * np.abs(operator.matvec_ds(dz)).sum(axis=0)
+        done = res < tol
+        if done.any():
+            _freeze(np.flatnonzero(done), res, it, True)
+            keep = ~done
+            if not keep.any():
+                active = active[:0]
+                break
+            active = active[keep]
+            z = np.ascontiguousarray(z[:, keep])
+            b_s = np.ascontiguousarray(b_s[:, keep])
+        elif it >= max_iter:
+            _freeze(np.arange(len(active)), res, it, False)
+            active = active[:0]
+
+    if len(active):  # pragma: no cover - defensive (loop always drains)
+        _freeze(np.arange(len(active)), np.full(len(active), np.inf),
+                it, False)
+
+    return BatchResult(
+        scores, iterations, residuals, converged, "sharded_jacobi", labels,
+    )

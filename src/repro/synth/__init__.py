@@ -20,6 +20,13 @@ from .goodcore import (
     subsample_core,
 )
 from .hostgraph import BaseWeb, BaseWebConfig, generate_base_web, sample_targets
+from .huge import (
+    CORE_LINK_FRACTION,
+    HUGE_CHUNK_EDGES,
+    build_huge_store,
+    huge_good_core,
+    iter_huge_edges,
+)
 from .rng import RngStreams
 from .scenario import WorldConfig, build_world, default_good_core, true_gamma
 from .validation import assert_valid_world, validate_world
@@ -60,6 +67,11 @@ __all__ = [
     "build_world",
     "default_good_core",
     "true_gamma",
+    "HUGE_CHUNK_EDGES",
+    "CORE_LINK_FRACTION",
+    "build_huge_store",
+    "huge_good_core",
+    "iter_huge_edges",
     "validate_world",
     "assert_valid_world",
 ]

@@ -188,6 +188,34 @@ class WorldConfig:
         return cls(seed)
 
     @classmethod
+    def huge(
+        cls, seed: int = 7, num_base_hosts: int = 1_000_000
+    ) -> "WorldConfig":
+        """Out-of-core scale (1M hosts by default, up to ~10M).
+
+        This preset is **not** meant for :func:`build_world`, which
+        materializes every community in memory — consume it through
+        :func:`repro.synth.huge.build_huge_store`, which streams
+        deterministic edge chunks straight into a sharded store
+        (:mod:`repro.graph.sharded`) without ever holding the edge
+        list.  The streaming generator reads only the scale knobs
+        (``num_base_hosts``, ``mean_outdegree``, ``seed``) and the
+        good-core sizes (``directory_size``, ``gov_size``).
+        """
+        if num_base_hosts < 1_000_000:
+            raise ValueError(
+                "the huge preset starts at 1M hosts; use large() below "
+                "that"
+            )
+        return cls(
+            seed,
+            num_base_hosts=num_base_hosts,
+            mean_outdegree=6.0,
+            directory_size=5_000,
+            gov_size=20_000,
+        )
+
+    @classmethod
     def large(cls, seed: int = 7) -> "WorldConfig":
         """Paper-shape benchmark scale (~120k hosts)."""
         return cls(

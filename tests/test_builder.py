@@ -102,7 +102,8 @@ def test_negative_counts_rejected():
         b.add_nodes(-2)
 
 
-def test_empty_build():
-    g = GraphBuilder().build()
-    assert g.num_nodes == 0
-    assert g.num_edges == 0
+def test_empty_build_rejected():
+    from repro.errors import EmptyGraphError
+
+    with pytest.raises(EmptyGraphError):
+        GraphBuilder().build()

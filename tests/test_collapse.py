@@ -99,11 +99,13 @@ def test_from_networkx_string_labels():
     assert set(g.names) == {"a.com", "b.com"}
 
 
-def test_from_networkx_empty():
+def test_from_networkx_empty_rejected():
     import networkx as nx
 
-    g = from_networkx(nx.DiGraph())
-    assert g.num_nodes == 0
+    from repro.errors import EmptyGraphError
+
+    with pytest.raises(EmptyGraphError):
+        from_networkx(nx.DiGraph())
 
 
 def test_expand_collapse_roundtrip(rng):

@@ -2,14 +2,25 @@
 
 The repo carries five ways to solve ``(I − c Tᵀ) p = (1 − c) v`` —
 Jacobi, Gauss–Seidel, the power method, a direct sparse solve,
-BiCGSTAB — plus the batched block kernel of :mod:`repro.perf.engine`.
+BiCGSTAB — plus the batched block kernel of :mod:`repro.perf.engine`
+and the out-of-core sharded kernel of :mod:`repro.perf.sharded`.
 The paper's guarantees (Theorems 1–3, the mass identities) hold for
 *the* solution, so the backends must agree with each other to solver
 tolerance on any graph.  These tests pin that agreement on a seeded zoo
 of synthetic graphs chosen to hit the structural regimes of Section
 4.1: dangling-heavy (the paper's host graph has 66.4% hosts without
-outlinks), isolated-heavy, cyclic, star-shaped, and edgeless.
+outlinks), isolated-heavy, cyclic, star-shaped, edgeless, and
+single-node.
+
+The sharded backend is held to a *stronger* standard than solver
+tolerance: for every zoo graph and every shard count in
+``SHARD_COUNTS`` ({1, 2, 7, 32} by default, overridable through the
+``REPRO_TEST_SHARDS`` environment variable — the CI ``scale`` job
+matrixes over it), scores, iteration counts, residuals and convergence
+flags must be **bitwise identical** to the in-memory block kernel.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -21,12 +32,23 @@ from repro.core.pagerank import (
 )
 from repro.core.solvers import solve
 from repro.graph.ops import transition_matrix
+from repro.graph.sharded import partition_graph
 from repro.graph.webgraph import WebGraph
 from repro.perf import PagerankEngine
 
 DAMPING = 0.85
 TOL = 1e-12
 AGREEMENT = 1e-8
+
+#: Shard counts of the bitwise-parity sweep.  The CI ``scale`` job sets
+#: ``REPRO_TEST_SHARDS`` to pin a single count per matrix leg; the
+#: default sweep covers trivial (1), even (2), uneven (7) and
+#: more-shards-than-some-graphs-have-rows (32).
+SHARD_COUNTS = [
+    int(part)
+    for part in os.environ.get("REPRO_TEST_SHARDS", "1,2,7,32").split(",")
+    if part.strip()
+]
 
 
 def _random_graph(
@@ -78,6 +100,8 @@ def _graph_zoo():
         ),
         "star": WebGraph.from_edges(80, [(i, 0) for i in range(1, 80)]),
         "edgeless": WebGraph.from_edges(40, []),
+        "single-node": WebGraph.from_edges(1, []),
+        "two-node": WebGraph.from_edges(2, [(0, 1)]),
     }
     return sorted(zoo.items())
 
@@ -125,7 +149,7 @@ def test_solve_many_columns_match_single_solves(zoo_graph):
     arbitrary /= arbitrary.sum() * 2.0  # unnormalized, norm 0.5
     vectors = [
         uniform_jump_vector(n),
-        scaled_core_jump_vector(n, [0, 1, 2], gamma=0.85),
+        scaled_core_jump_vector(n, list(range(min(3, n))), gamma=0.85),
         arbitrary,
     ]
     engine = PagerankEngine()
@@ -167,3 +191,99 @@ def test_operator_cache_returns_equivalent_matrix(zoo_graph):
     cached = engine.operator(zoo_graph)
     rebuilt = transition_matrix(zoo_graph).T.tocsr()
     assert (cached != rebuilt).nnz == 0
+
+
+# ---------------------------------------------------------------------------
+# sharded backend: bitwise parity with the in-memory block kernel
+# ---------------------------------------------------------------------------
+
+
+def test_zero_node_graph_is_a_typed_error():
+    from repro.errors import EmptyGraphError
+
+    with pytest.raises(EmptyGraphError):
+        WebGraph.from_edges(0, [])
+
+
+@pytest.fixture(scope="module")
+def sharded_variants(zoo_graph, tmp_path_factory):
+    """One persisted store per shard count, all of the same zoo graph."""
+    root = tmp_path_factory.mktemp("shard-zoo")
+    return {
+        k: partition_graph(zoo_graph, root / f"k{k}", num_shards=k)
+        for k in SHARD_COUNTS
+    }
+
+
+def test_sharded_fingerprint_matches_memory(zoo_graph, sharded_variants):
+    # the manifest fingerprint composes from per-shard digests, yet must
+    # name the same edge set as the in-memory graph for ANY partition
+    expected = zoo_graph.structural_fingerprint()
+    for store in sharded_variants.values():
+        assert store.structural_fingerprint() == expected
+
+
+def test_sharded_round_trip_is_bitwise_identical(zoo_graph, sharded_variants):
+    for store in sharded_variants.values():
+        back = store.to_webgraph()
+        assert np.array_equal(back.indptr, zoo_graph.indptr)
+        assert np.array_equal(back.indices, zoo_graph.indices)
+
+
+def _parity_vectors(n):
+    rng = np.random.default_rng(4242)
+    arbitrary = rng.random(n)
+    arbitrary /= arbitrary.sum() * 2.0
+    core = list(range(min(3, n)))
+    return np.stack(
+        [
+            uniform_jump_vector(n),
+            scaled_core_jump_vector(n, core, gamma=0.85),
+            arbitrary,
+        ],
+        axis=1,
+    )
+
+
+def test_sharded_solve_many_bitwise_equal(zoo_graph, sharded_variants):
+    engine = PagerankEngine()
+    vectors = _parity_vectors(zoo_graph.num_nodes)
+    reference = engine.solve_many(
+        zoo_graph, vectors, damping=DAMPING, tol=TOL
+    )
+    for k, store in sharded_variants.items():
+        batch = engine.solve_many(store, vectors, damping=DAMPING, tol=TOL)
+        assert np.array_equal(batch.scores, reference.scores), k
+        assert np.array_equal(batch.iterations, reference.iterations), k
+        assert np.array_equal(batch.residuals, reference.residuals), k
+        assert np.array_equal(batch.converged, reference.converged), k
+
+
+def test_sharded_single_solve_bitwise_equal(zoo_graph, sharded_variants):
+    # solve() on a sharded graph is a one-vector batch; the in-memory
+    # comparison point is therefore the block kernel, not the scalar
+    # Jacobi (whose check_every accounting differs)
+    engine = PagerankEngine()
+    reference = engine.solve_many(zoo_graph, [None], tol=TOL).column(0)
+    for k, store in sharded_variants.items():
+        result = engine.solve(store, tol=TOL)
+        assert np.array_equal(result.scores, reference.scores), k
+        assert result.iterations == reference.iterations, k
+
+
+def test_estimate_spam_mass_backend_parity(zoo_graph, sharded_variants):
+    from repro.core.mass import estimate_spam_mass
+
+    core = list(range(min(3, zoo_graph.num_nodes)))
+    engine = PagerankEngine()
+    reference = estimate_spam_mass(
+        zoo_graph, core, tol=TOL, engine=engine
+    )
+    for k, store in sharded_variants.items():
+        estimates = estimate_spam_mass(store, core, tol=TOL, engine=engine)
+        assert np.array_equal(estimates.pagerank, reference.pagerank), k
+        assert np.array_equal(
+            estimates.core_pagerank, reference.core_pagerank
+        ), k
+        assert np.array_equal(estimates.absolute, reference.absolute), k
+        assert np.array_equal(estimates.relative, reference.relative), k

@@ -45,11 +45,16 @@ def test_empty_graph():
     assert g.isolated_mask().all()
 
 
-def test_zero_node_graph():
-    g = WebGraph.empty(0)
-    assert g.num_nodes == 0
-    assert g.num_edges == 0
-    assert g.stats().num_nodes == 0
+def test_zero_node_graph_rejected():
+    from repro.errors import EmptyGraphError
+
+    with pytest.raises(EmptyGraphError):
+        WebGraph.empty(0)
+    with pytest.raises(EmptyGraphError):
+        WebGraph.from_edges(0, [])
+    # the typed error is still a ValueError for legacy handlers
+    with pytest.raises(ValueError):
+        WebGraph.from_edges(0, [])
 
 
 def test_in_neighbors_and_degrees():
