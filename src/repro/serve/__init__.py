@@ -9,18 +9,34 @@ through a crash-safe write-ahead log (:mod:`~repro.serve.wal`), folds
 them in with guarded warm re-estimates (:mod:`~repro.serve.ingest`),
 and degrades explicitly under overload or ingest failure
 (:mod:`~repro.serve.admission`).  The socket front-end and client live
-in :mod:`~repro.serve.server`.  See ``docs/serving.md``.
+in :mod:`~repro.serve.server`.  Replicated serving — a WAL-owning
+writer shipping snapshots to read replicas behind a shard-aware router
+— lives in :mod:`~repro.serve.replication` and
+:mod:`~repro.serve.router`.  See ``docs/serving.md``.
 """
 
 from .admission import (
     MODES,
+    SLOW_OPS,
     AdmissionController,
     AdmissionRejected,
     AdmissionTicket,
 )
 from .daemon import DaemonConfig, ScoringDaemon
-from .epoch import Epoch, EpochStore
+from .epoch import Epoch, EpochStore, score_from_epoch, top_from_epoch
 from .ingest import IngestPolicy, IngestTimeout, guarded_call
+from .replication import (
+    ReadReplica,
+    ReplicaSet,
+    ReplicatedWriter,
+    ShippedSnapshot,
+    SnapshotManifest,
+    list_manifests,
+    load_snapshot,
+    read_current,
+    ship_snapshot,
+)
+from .router import ReplicaRouter
 from .server import ScoringServer, ServeClient
 from .wal import DeltaWAL, WalRecord, plan_replay
 
@@ -29,13 +45,26 @@ __all__ = [
     "AdmissionRejected",
     "AdmissionTicket",
     "MODES",
+    "SLOW_OPS",
     "DaemonConfig",
     "ScoringDaemon",
     "Epoch",
     "EpochStore",
+    "score_from_epoch",
+    "top_from_epoch",
     "IngestPolicy",
     "IngestTimeout",
     "guarded_call",
+    "ReadReplica",
+    "ReplicaSet",
+    "ReplicatedWriter",
+    "ReplicaRouter",
+    "ShippedSnapshot",
+    "SnapshotManifest",
+    "list_manifests",
+    "load_snapshot",
+    "read_current",
+    "ship_snapshot",
     "ScoringServer",
     "ServeClient",
     "DeltaWAL",

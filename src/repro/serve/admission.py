@@ -9,10 +9,12 @@ and the ingest worker starves.  Admission control makes overload a
     Everything is served: fresh reads, and ingest is accepting deltas.
 ``degraded``
     The ingest circuit breaker is open (consecutive re-estimate
-    failures) or staleness exceeded its bound: reads are still served
-    from the current epoch — every response carries an explicit
-    ``staleness`` count so clients know what they got — but mutating
-    requests (``ingest``) are refused until the breaker closes.
+    failures), staleness exceeded its bound, or a read replica lags
+    past its bound: reads are still served from the current epoch —
+    every response carries an explicit ``staleness`` count so clients
+    know what they got — but mutating requests (``ingest``) and slow
+    analysis (:data:`SLOW_OPS`, i.e. ``explain``) are refused until
+    the path heals.
 ``reject``
     The 503-equivalent: the bounded request queue is full (per-request
     shedding) or the daemon is draining for shutdown.  The connection
@@ -32,7 +34,7 @@ from typing import Callable, Optional
 
 from ..obs import get_telemetry
 
-__all__ = ["AdmissionController", "AdmissionTicket", "MODES"]
+__all__ = ["AdmissionController", "AdmissionTicket", "MODES", "SLOW_OPS"]
 
 #: Numeric encoding of the ``serve.mode`` gauge (mirrors the
 #: ``supervisor.circuit_state`` convention): 0 full service, 1 stale
@@ -42,20 +44,30 @@ MODES = {"full": 0, "degraded": 1, "reject": 2}
 #: Request kinds that mutate serving state; refused in degraded mode.
 MUTATING_OPS = frozenset({"ingest"})
 
+#: Request kinds whose cost is orders of magnitude above a score read
+#: (``explain`` walks contribution paths over the whole graph).  They
+#: get their own bounded lane — an explain storm can never fill the
+#: fast queue — and are shed outright in degraded mode, where every
+#: cycle belongs to cheap reads and to healing the ingest path.
+SLOW_OPS = frozenset({"explain"})
+
 
 class AdmissionTicket:
     """One admitted request: its queue slot and deadline."""
 
-    __slots__ = ("op", "enqueued_at", "deadline", "released")
+    __slots__ = ("op", "enqueued_at", "deadline", "released", "slow")
 
     def __init__(
-        self, op: str, enqueued_at: float, deadline: Optional[float]
+        self, op: str, enqueued_at: float, deadline: Optional[float],
+        *, slow: bool = False,
     ) -> None:
         self.op = op
         self.enqueued_at = enqueued_at
         #: absolute monotonic time after which the request is dropped
         self.deadline = deadline
         self.released = False
+        #: admitted into the slow lane (its own depth bound + workers)
+        self.slow = slow
 
 
 class AdmissionController:
@@ -70,6 +82,10 @@ class AdmissionController:
     request_timeout:
         Per-request deadline in seconds from admission (``None``
         disables deadline drops).
+    max_slow:
+        Separate bound on concurrently admitted :data:`SLOW_OPS`
+        requests (default ``max(1, max_queue // 4)``) — a storm of
+        ``explain`` calls saturates its own lane, never the fast one.
     clock:
         Injection point for deterministic tests.
     """
@@ -79,21 +95,29 @@ class AdmissionController:
         max_queue: int = 64,
         *,
         request_timeout: Optional[float] = None,
+        max_slow: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if request_timeout is not None and request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if max_slow is None:
+            max_slow = max(1, max_queue // 4)
+        if max_slow < 1:
+            raise ValueError("max_slow must be >= 1")
         self.max_queue = max_queue
+        self.max_slow = max_slow
         self.request_timeout = request_timeout
         self._clock = clock
         self._lock = threading.Lock()
         self._depth = 0
+        self._slow_depth = 0
         self._draining = False
         self._ingest_healthy = True
         self.admitted = 0
         self.shed = 0
+        self.slow_shed = 0
         self.deadline_drops = 0
 
     # ------------------------------------------------------------------
@@ -135,6 +159,11 @@ class AdmissionController:
         """Requests admitted and not yet released."""
         return self._depth
 
+    @property
+    def slow_depth(self) -> int:
+        """Slow-lane requests admitted and not yet released."""
+        return self._slow_depth
+
     # ------------------------------------------------------------------
     # per-request flow
     # ------------------------------------------------------------------
@@ -144,8 +173,10 @@ class AdmissionController:
 
         Rejection reasons: ``shutting-down`` (drain started),
         ``overloaded`` (queue full), ``degraded`` (a mutating op while
-        ingest is unhealthy).
+        ingest is unhealthy), ``slow-op`` (a :data:`SLOW_OPS` request
+        while degraded — expensive analysis is the first load shed).
         """
+        slow = op in SLOW_OPS
         with self._lock:
             if self._draining:
                 self._count_shed("shutting-down")
@@ -153,10 +184,20 @@ class AdmissionController:
             if op in MUTATING_OPS and not self._ingest_healthy:
                 self._count_shed("degraded")
                 raise AdmissionRejected("degraded", "degraded")
+            if slow and not self._ingest_healthy:
+                self.slow_shed += 1
+                self._count_shed("slow-op")
+                raise AdmissionRejected("slow-op", "degraded")
+            if slow and self._slow_depth >= self.max_slow:
+                self.slow_shed += 1
+                self._count_shed("overloaded")
+                raise AdmissionRejected("overloaded", self.mode)
             if self._depth >= self.max_queue:
                 self._count_shed("overloaded")
                 raise AdmissionRejected("overloaded", self.mode)
             self._depth += 1
+            if slow:
+                self._slow_depth += 1
             self.admitted += 1
             now = self._clock()
             deadline = (
@@ -164,7 +205,7 @@ class AdmissionController:
                 if self.request_timeout is None
                 else now + self.request_timeout
             )
-            ticket = AdmissionTicket(op, now, deadline)
+            ticket = AdmissionTicket(op, now, deadline, slow=slow)
         self._gauge_depth()
         return ticket
 
@@ -186,6 +227,8 @@ class AdmissionController:
                 return
             ticket.released = True
             self._depth -= 1
+            if ticket.slow:
+                self._slow_depth -= 1
         self._gauge_depth()
 
     # ------------------------------------------------------------------

@@ -39,7 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core import estimate_spam_mass, scale_scores
+from ..core import estimate_spam_mass
 from ..core.mass import MassEstimates
 from ..errors import DeltaError, SnapshotMismatchError, WalError
 from ..graph import GraphDelta, read_graph_bundle, read_host_list
@@ -48,7 +48,7 @@ from ..obs import get_telemetry
 from ..runtime.checkpoint import load_solution, save_solution
 from ..runtime.supervisor import CircuitBreaker
 from .ingest import IngestPolicy, guarded_call
-from .epoch import Epoch, EpochStore
+from .epoch import Epoch, EpochStore, score_from_epoch, top_from_epoch
 from .wal import DeltaWAL, WalRecord, plan_replay
 
 __all__ = ["DaemonConfig", "ScoringDaemon"]
@@ -125,6 +125,8 @@ class ScoringDaemon:
         engine=None,
         chaos=None,
         clock: Callable[[], float] = time.monotonic,
+        initial_wal_seq: int = 0,
+        on_apply: Optional[Callable[[Epoch, WalRecord], None]] = None,
     ) -> None:
         self.config = config if config is not None else DaemonConfig()
         self.core = np.asarray(core, dtype=np.int64)
@@ -139,7 +141,14 @@ class ScoringDaemon:
 
             engine = PagerankEngine()
         self.engine = engine
-        self.store = EpochStore(Epoch(0, graph, estimates, clock=clock))
+        self.store = EpochStore(
+            Epoch(0, graph, estimates, wal_seq=initial_wal_seq, clock=clock)
+        )
+        #: called after every successful apply (scores durable, the
+        #: watermark advanced) with the new epoch and its WAL record —
+        #: the replication writer ships snapshots from here.  Failures
+        #: are contained: a broken hook never fails the apply itself.
+        self.on_apply = on_apply
         #: tip of the *accepted* chain (last pending graph, or the
         #: current epoch's); submit validates and fingerprints against it
         self._tail = graph
@@ -245,6 +254,10 @@ class ScoringDaemon:
             config=config,
             engine=engine,
             chaos=chaos,
+            # the restored epoch sits at the end of the applied prefix;
+            # stamping its true WAL position keeps snapshot shipping
+            # keys monotonic across restarts
+            initial_wal_seq=(prefix[-1].seq if prefix else 0),
         )
         daemon._enqueue_replay(records, todo, dropped)
         return daemon
@@ -308,25 +321,7 @@ class ScoringDaemon:
     def query_score(self, host: str) -> dict:
         """Per-host spam-mass scores from the current epoch."""
         epoch = self.store.current
-        node = epoch.lookup.get(host)
-        if node is None:
-            raise KeyError(host)
-        est = epoch.estimates
-        n = epoch.graph.num_nodes
-        return {
-            "host": host,
-            "node": int(node),
-            "pagerank": float(est.pagerank[node]),
-            "scaled_pagerank": float(
-                scale_scores(
-                    est.pagerank[node:node + 1], n, est.damping
-                )[0]
-            ),
-            "core_pagerank": float(est.core_pagerank[node]),
-            "absolute_mass": float(est.absolute[node]),
-            "relative_mass": float(est.relative[node]),
-            **self._meta(epoch),
-        }
+        return {**score_from_epoch(epoch, host), **self._meta(epoch)}
 
     def query_top(
         self,
@@ -336,36 +331,24 @@ class ScoringDaemon:
         rho: Optional[float] = None,
     ) -> dict:
         """Top-k spam candidates by relative mass (Algorithm 2 gates)."""
-        if k < 1:
-            raise ValueError("k must be >= 1")
         epoch = self.store.current
-        est = epoch.estimates
         tau = self.config.tau if tau is None else tau
         rho = self.config.rho if rho is None else rho
-        scaled = scale_scores(
-            est.pagerank, epoch.graph.num_nodes, est.damping
-        )
-        eligible = np.flatnonzero((scaled >= rho) & (est.relative >= tau))
-        order = eligible[
-            np.argsort(-est.relative[eligible], kind="stable")
-        ][:k]
         return {
-            "candidates": [
-                {
-                    "host": epoch.graph.name_of(int(node)),
-                    "relative_mass": float(est.relative[node]),
-                    "scaled_pagerank": float(scaled[node]),
-                }
-                for node in order
-            ],
-            "total_eligible": int(len(eligible)),
-            "tau": tau,
-            "rho": rho,
+            **top_from_epoch(epoch, k, tau=tau, rho=rho),
             **self._meta(epoch),
         }
 
     def query_explain(self, host: str, *, top: int = 10) -> dict:
-        """Contribution breakdown for one host (review-sheet text)."""
+        """Contribution breakdown for one host (review-sheet text).
+
+        A **slow op** (:data:`~repro.serve.admission.SLOW_OPS`):
+        ``explain_mass`` walks contribution paths over the whole graph,
+        orders of magnitude above a score read.  The server runs it on
+        the dedicated slow lane, admission sheds it first in degraded
+        mode, and the replica router pins it to the explain replica so
+        it never competes with the hot scoring path.
+        """
         from ..core.explain import explain_mass
 
         epoch = self.store.current
@@ -642,6 +625,18 @@ class ScoringDaemon:
             )
         self._gauge_staleness()
         self._gauge_circuit()
+        if self.on_apply is not None:
+            # a failed ship must not fail the apply: scores are live
+            # and durable; the shipper re-ships on its next chance
+            try:
+                self.on_apply(self.store.current, record)
+            except Exception as exc:  # noqa: BLE001 - containment
+                if tele.enabled:
+                    tele.event(
+                        "replica.ship_failed",
+                        seq=record.seq,
+                        error=type(exc).__name__,
+                    )
         if (
             self.wal is not None
             and self._applied_since_prune >= config.prune_every

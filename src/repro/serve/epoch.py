@@ -29,10 +29,11 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..core import scale_scores
 from ..errors import SnapshotMismatchError
 from ..obs import get_telemetry
 
-__all__ = ["Epoch", "EpochStore"]
+__all__ = ["Epoch", "EpochStore", "score_from_epoch", "top_from_epoch"]
 
 
 class Epoch:
@@ -95,6 +96,56 @@ class Epoch:
             f"Epoch(seq={self.seq}, wal_seq={self.wal_seq}, "
             f"n={self.graph.num_nodes})"
         )
+
+
+def score_from_epoch(epoch: Epoch, host: str) -> dict:
+    """Per-host spam-mass score payload from one epoch.
+
+    Shared by the daemon and read replicas so a replica's answer is
+    *constructed* identically to the writer's — the differential
+    replica battery then only has to prove the inputs (scores,
+    fingerprints) match bitwise.  Raises :class:`KeyError` for an
+    unknown host.
+    """
+    node = epoch.lookup.get(host)
+    if node is None:
+        raise KeyError(host)
+    est = epoch.estimates
+    n = epoch.graph.num_nodes
+    return {
+        "host": host,
+        "node": int(node),
+        "pagerank": float(est.pagerank[node]),
+        "scaled_pagerank": float(
+            scale_scores(est.pagerank[node:node + 1], n, est.damping)[0]
+        ),
+        "core_pagerank": float(est.core_pagerank[node]),
+        "absolute_mass": float(est.absolute[node]),
+        "relative_mass": float(est.relative[node]),
+    }
+
+
+def top_from_epoch(epoch: Epoch, k: int, *, tau: float, rho: float) -> dict:
+    """Top-k spam candidates (Algorithm 2 gates) from one epoch."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    est = epoch.estimates
+    scaled = scale_scores(est.pagerank, epoch.graph.num_nodes, est.damping)
+    eligible = np.flatnonzero((scaled >= rho) & (est.relative >= tau))
+    order = eligible[np.argsort(-est.relative[eligible], kind="stable")][:k]
+    return {
+        "candidates": [
+            {
+                "host": epoch.graph.name_of(int(node)),
+                "relative_mass": float(est.relative[node]),
+                "scaled_pagerank": float(scaled[node]),
+            }
+            for node in order
+        ],
+        "total_eligible": int(len(eligible)),
+        "tau": tau,
+        "rho": rho,
+    }
 
 
 class EpochStore:

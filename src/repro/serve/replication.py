@@ -1,0 +1,1038 @@
+"""Snapshot-shipped replication: one WAL-owning writer, N read replicas.
+
+The single-process daemon (PR 6) already separates *durability* (the
+delta WAL) from *visibility* (epoch hot-swaps).  Replication stretches
+that seam across processes: exactly one **writer** owns the WAL and the
+re-estimation pipeline; every successful apply is published as a
+**shipped snapshot** — the converged solution (reusing
+:func:`~repro.runtime.checkpoint.save_solution`) plus a manifest that
+carries the WAL fingerprint chain of the deltas it folded in.  **Read
+replicas** share nothing with the writer but the ship directory: they
+load snapshots, re-compose the fingerprint chain against their own
+graph, and serve ``score``/``top`` from a local immutable
+:class:`~repro.serve.epoch.Epoch`.  Because the shipped scores are the
+writer's bytes and the serialization helpers are shared, a replica's
+answer is bitwise-identical to the writer's — which is exactly what the
+differential replica battery asserts through kills, lag and restarts.
+
+Ship directory anatomy (all writes atomic, manifest last)::
+
+    ship/
+      CURRENT                 {"wal_seq": 7}        (atomic pointer)
+      snap-0000000000/        the base epoch (empty segment)
+        solution.npz
+        manifest.json
+      snap-0000000007/
+        solution.npz          save_solution output (fsynced tmp+replace)
+        manifest.json         fingerprint chain + CRCs, written LAST
+
+A crash between ``solution.npz`` and ``manifest.json`` leaves a
+manifest-less directory that loaders skip and the next ship overwrites;
+a crash before ``CURRENT`` advances leaves replicas one epoch behind,
+which the next refresh heals.  There is no window in which a replica
+can observe a half-shipped epoch.
+
+The manifest's ``segment`` is the WAL records (with their
+``parent``/``after`` fingerprints) between the previous shipped
+snapshot and this one — one record in steady state, several when
+shipping was delayed.  A replica *replays the segment structurally* on
+its own graph and requires the result to hash to the manifest's
+fingerprint: the composed-fingerprint check from
+:func:`~repro.serve.wal.plan_replay`, now running on the read side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.mass import MassEstimates
+from ..errors import (
+    ReplicaGapError,
+    ReplicationError,
+    SnapshotIntegrityError,
+    SnapshotMismatchError,
+)
+from ..obs import get_telemetry
+from ..runtime.checkpoint import (
+    SOLUTION_FILENAME,
+    load_solution,
+    save_solution,
+)
+from ..runtime.supervisor import TaskSupervisor
+from .epoch import Epoch, score_from_epoch, top_from_epoch
+from .wal import WalRecord
+
+__all__ = [
+    "SnapshotManifest",
+    "ShippedSnapshot",
+    "ship_snapshot",
+    "load_snapshot",
+    "list_manifests",
+    "read_current",
+    "ReplicatedWriter",
+    "ReadReplica",
+    "ReplicaSet",
+]
+
+PathLike = Union[str, Path]
+
+MANIFEST_FILENAME = "manifest.json"
+CURRENT_FILENAME = "CURRENT"
+SNAP_PREFIX = "snap-"
+MANIFEST_SCHEMA = 1
+
+
+def snap_dirname(wal_seq: int) -> str:
+    """Directory name of the snapshot at WAL position ``wal_seq``."""
+    return f"{SNAP_PREFIX}{int(wal_seq):010d}"
+
+
+def _atomic_write_json(path: Path, payload: dict, *, fsync: bool) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload, separators=(",", ":")))
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class SnapshotManifest:
+    """The metadata of one shipped snapshot: chain, checksums, params.
+
+    ``parent`` is the graph fingerprint of the *previous shipped
+    snapshot* (empty for the base), ``fingerprint`` the graph this
+    snapshot's scores solve, and ``segment`` the WAL records composing
+    ``parent`` into ``fingerprint``.  ``solution_crc``/``solution_bytes``
+    pin the exact ``solution.npz`` the manifest vouches for.
+    """
+
+    __slots__ = (
+        "wal_seq",
+        "epoch",
+        "fingerprint",
+        "parent",
+        "segment",
+        "damping",
+        "gamma",
+        "solution_crc",
+        "solution_bytes",
+    )
+
+    def __init__(
+        self,
+        *,
+        wal_seq: int,
+        epoch: int,
+        fingerprint: str,
+        parent: str,
+        segment: Sequence[WalRecord],
+        damping: float,
+        gamma: Optional[float],
+        solution_crc: int,
+        solution_bytes: int,
+    ) -> None:
+        self.wal_seq = int(wal_seq)
+        self.epoch = int(epoch)
+        self.fingerprint = str(fingerprint)
+        self.parent = str(parent)
+        self.segment = list(segment)
+        self.damping = float(damping)
+        self.gamma = None if gamma is None else float(gamma)
+        self.solution_crc = int(solution_crc)
+        self.solution_bytes = int(solution_bytes)
+
+    def to_payload(self) -> dict:
+        body = {
+            "schema": MANIFEST_SCHEMA,
+            "wal_seq": self.wal_seq,
+            "epoch": self.epoch,
+            "fingerprint": self.fingerprint,
+            "parent": self.parent,
+            "segment": [
+                {
+                    "seq": r.seq,
+                    "parent": r.parent,
+                    "after": r.after,
+                    "ins": [[u, v] for u, v in r.insertions],
+                    "dels": [[u, v] for u, v in r.deletions],
+                }
+                for r in self.segment
+            ],
+            "damping": self.damping,
+            "gamma": self.gamma,
+            "solution_crc": self.solution_crc,
+            "solution_bytes": self.solution_bytes,
+        }
+        canonical = json.dumps(body, separators=(",", ":"), sort_keys=True)
+        body["crc"] = zlib.crc32(canonical.encode("utf-8"))
+        return body
+
+    @classmethod
+    def from_payload(cls, payload: dict, *, source: str) -> "SnapshotManifest":
+        try:
+            crc = int(payload.pop("crc"))
+            canonical = json.dumps(
+                payload, separators=(",", ":"), sort_keys=True
+            )
+            if crc != zlib.crc32(canonical.encode("utf-8")):
+                raise SnapshotIntegrityError(
+                    f"{source}: manifest checksum mismatch — the file "
+                    "was corrupted after it was shipped"
+                )
+            if int(payload["schema"]) != MANIFEST_SCHEMA:
+                raise SnapshotIntegrityError(
+                    f"{source}: manifest schema "
+                    f"{payload['schema']!r} is not {MANIFEST_SCHEMA}"
+                )
+            segment = [
+                WalRecord(
+                    int(r["seq"]),
+                    str(r["parent"]),
+                    str(r["after"]),
+                    [(int(u), int(v)) for u, v in r["ins"]],
+                    [(int(u), int(v)) for u, v in r["dels"]],
+                )
+                for r in payload["segment"]
+            ]
+            return cls(
+                wal_seq=int(payload["wal_seq"]),
+                epoch=int(payload["epoch"]),
+                fingerprint=str(payload["fingerprint"]),
+                parent=str(payload["parent"]),
+                segment=segment,
+                damping=float(payload["damping"]),
+                gamma=payload["gamma"],
+                solution_crc=int(payload["solution_crc"]),
+                solution_bytes=int(payload["solution_bytes"]),
+            )
+        except SnapshotIntegrityError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotIntegrityError(
+                f"{source}: manifest is malformed ({exc})"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SnapshotManifest(wal_seq={self.wal_seq}, "
+            f"epoch={self.epoch}, segment={len(self.segment)})"
+        )
+
+
+class ShippedSnapshot:
+    """One fully verified shipped snapshot: manifest + score vectors."""
+
+    __slots__ = ("manifest", "pagerank", "core_pagerank", "path")
+
+    def __init__(
+        self,
+        manifest: SnapshotManifest,
+        pagerank: np.ndarray,
+        core_pagerank: np.ndarray,
+        path: Path,
+    ) -> None:
+        self.manifest = manifest
+        self.pagerank = pagerank
+        self.core_pagerank = core_pagerank
+        self.path = path
+
+    def estimates(self) -> MassEstimates:
+        return MassEstimates(
+            self.pagerank.copy(),
+            self.core_pagerank.copy(),
+            self.manifest.damping,
+            self.manifest.gamma,
+        )
+
+
+# ----------------------------------------------------------------------
+# shipping (writer side)
+# ----------------------------------------------------------------------
+
+
+def ship_snapshot(
+    ship_dir: PathLike,
+    *,
+    epoch: Epoch,
+    parent: str,
+    segment: Sequence[WalRecord],
+    fsync: bool = True,
+    pre_manifest: Optional[Callable[[], None]] = None,
+) -> Path:
+    """Publish one epoch into the ship directory; returns its path.
+
+    Write order is the crash contract: ``solution.npz`` first (atomic
+    via :func:`save_solution`), then the manifest (atomic, *last* — a
+    snapshot directory without a manifest does not exist as far as
+    loaders are concerned), then the ``CURRENT`` pointer.
+    ``pre_manifest`` is the chaos injection point sitting exactly in
+    the kill-mid-ship window.
+    """
+    ship_dir = Path(ship_dir)
+    est = epoch.estimates
+    snap_dir = ship_dir / snap_dirname(epoch.wal_seq)
+    solution_path = save_solution(
+        snap_dir,
+        np.stack([est.pagerank, est.core_pagerank], axis=1),
+        fingerprint=epoch.fingerprint,
+        extra={
+            "damping": est.damping,
+            "gamma": est.gamma,
+            "labels": ["pagerank", "core"],
+            "wal_seq": epoch.wal_seq,
+        },
+    )
+    if pre_manifest is not None:
+        pre_manifest()
+    raw = solution_path.read_bytes()
+    manifest = SnapshotManifest(
+        wal_seq=epoch.wal_seq,
+        epoch=epoch.seq,
+        fingerprint=epoch.fingerprint,
+        parent=parent,
+        segment=segment,
+        damping=est.damping,
+        gamma=est.gamma,
+        solution_crc=zlib.crc32(raw) & 0xFFFFFFFF,
+        solution_bytes=len(raw),
+    )
+    _atomic_write_json(
+        snap_dir / MANIFEST_FILENAME, manifest.to_payload(), fsync=fsync
+    )
+    _atomic_write_json(
+        ship_dir / CURRENT_FILENAME,
+        {"wal_seq": epoch.wal_seq},
+        fsync=fsync,
+    )
+    tele = get_telemetry()
+    if tele.enabled:
+        tele.inc("replica.ships")
+        tele.event(
+            "replica.ship",
+            wal_seq=epoch.wal_seq,
+            epoch=epoch.seq,
+            segment=len(manifest.segment),
+            bytes=manifest.solution_bytes,
+        )
+    return snap_dir
+
+
+def read_current(ship_dir: PathLike) -> Optional[int]:
+    """The shipped tip's WAL position; ``None`` when nothing shipped.
+
+    A torn ``CURRENT`` (crash mid-replace cannot happen — ``os.replace``
+    is atomic — but a hand-edited or zeroed file can) falls back to the
+    newest directory holding a manifest rather than failing reads.
+    """
+    ship_dir = Path(ship_dir)
+    path = ship_dir / CURRENT_FILENAME
+    if path.exists():
+        try:
+            return int(
+                json.loads(path.read_text(encoding="utf-8"))["wal_seq"]
+            )
+        except (ValueError, KeyError, OSError):
+            pass
+    candidates = [
+        seq for seq, d in _snap_dirs(ship_dir)
+        if (d / MANIFEST_FILENAME).exists()
+    ]
+    return max(candidates) if candidates else None
+
+
+def _snap_dirs(ship_dir: Path) -> List:
+    out = []
+    if not ship_dir.exists():
+        return out
+    for entry in ship_dir.iterdir():
+        if entry.is_dir() and entry.name.startswith(SNAP_PREFIX):
+            try:
+                out.append((int(entry.name[len(SNAP_PREFIX):]), entry))
+            except ValueError:
+                continue
+    out.sort()
+    return out
+
+
+def read_manifest(snap_dir: PathLike) -> SnapshotManifest:
+    """Load and checksum-verify one snapshot's manifest."""
+    snap_dir = Path(snap_dir)
+    path = snap_dir / MANIFEST_FILENAME
+    if not path.exists():
+        raise SnapshotIntegrityError(
+            f"{snap_dir}: no manifest — the snapshot was never fully "
+            "shipped (crash mid-ship) or the directory is foreign"
+        )
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("manifest must be a JSON object")
+    except (ValueError, OSError) as exc:
+        raise SnapshotIntegrityError(
+            f"{path}: manifest is unreadable ({exc})"
+        ) from exc
+    return SnapshotManifest.from_payload(payload, source=str(path))
+
+
+def list_manifests(
+    ship_dir: PathLike, *, after: int = -1, upto: Optional[int] = None
+) -> List[SnapshotManifest]:
+    """Verified manifests with ``after < wal_seq <= upto``, in order.
+
+    Manifest-less directories (torn ships) are skipped; a *corrupt*
+    manifest raises — skipping interior history would silently break
+    the chain, the same rule the WAL applies to its segment.
+    """
+    manifests = []
+    for seq, snap_dir in _snap_dirs(Path(ship_dir)):
+        if seq <= after or (upto is not None and seq > upto):
+            continue
+        if not (snap_dir / MANIFEST_FILENAME).exists():
+            continue
+        manifests.append(read_manifest(snap_dir))
+    return manifests
+
+
+def load_snapshot(
+    ship_dir: PathLike, wal_seq: int
+) -> ShippedSnapshot:
+    """Load one shipped snapshot, verifying every integrity guard.
+
+    Everything is validated *before* a :class:`ShippedSnapshot` is
+    constructed — manifest checksum, solution byte count and CRC, the
+    stored fingerprint, score finiteness — so a caller can never hold
+    a partially-valid snapshot.
+    """
+    ship_dir = Path(ship_dir)
+    snap_dir = ship_dir / snap_dirname(wal_seq)
+    manifest = read_manifest(snap_dir)
+    solution_path = snap_dir / SOLUTION_FILENAME
+    if not solution_path.exists():
+        raise SnapshotIntegrityError(
+            f"{snap_dir}: manifest present but {SOLUTION_FILENAME} is "
+            "missing — the snapshot was pruned or tampered with"
+        )
+    raw = solution_path.read_bytes()
+    if len(raw) != manifest.solution_bytes:
+        raise SnapshotIntegrityError(
+            f"{solution_path}: {len(raw)} bytes on disk, manifest "
+            f"promises {manifest.solution_bytes} — truncated snapshot"
+        )
+    if (zlib.crc32(raw) & 0xFFFFFFFF) != manifest.solution_crc:
+        raise SnapshotIntegrityError(
+            f"{solution_path}: solution checksum mismatch — the scores "
+            "were corrupted after shipping"
+        )
+    try:
+        snapshot = load_solution(snap_dir, fingerprint=manifest.fingerprint)
+    except SnapshotMismatchError:
+        raise
+    except Exception as exc:  # CheckpointError and below
+        raise SnapshotIntegrityError(
+            f"{solution_path}: unreadable solution ({exc})"
+        ) from exc
+    scores = snapshot.scores
+    if scores.ndim != 2 or scores.shape[1] != 2:
+        raise SnapshotIntegrityError(
+            f"{solution_path}: expected an (n, 2) score matrix, got "
+            f"shape {scores.shape}"
+        )
+    tele = get_telemetry()
+    if tele.enabled:
+        tele.inc("replica.snapshot_loads")
+    return ShippedSnapshot(
+        manifest, scores[:, 0], scores[:, 1], snap_dir
+    )
+
+
+def prune_snapshots(ship_dir: PathLike, *, keep: int = 8) -> int:
+    """Drop the *score files* of all but the newest ``keep`` snapshots.
+
+    Manifests are always retained: they are tiny and they ARE the delta
+    chain a restarted replica replays from its base.  Returns how many
+    solution files were removed.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    dirs = [
+        (seq, d) for seq, d in _snap_dirs(Path(ship_dir))
+        if (d / MANIFEST_FILENAME).exists()
+    ]
+    removed = 0
+    for _, snap_dir in dirs[: max(0, len(dirs) - keep)]:
+        solution = snap_dir / SOLUTION_FILENAME
+        if solution.exists():
+            solution.unlink()
+            removed += 1
+    return removed
+
+
+# ----------------------------------------------------------------------
+# the WAL-owning writer
+# ----------------------------------------------------------------------
+
+
+class ReplicatedWriter:
+    """Ships every applied epoch of one :class:`ScoringDaemon`.
+
+    There is exactly one writer per ship directory — it owns the WAL
+    through the daemon and is the only process that ever writes
+    snapshots.  It hooks ``daemon.on_apply``: after a successful apply
+    the new epoch is shipped with the WAL records accumulated since the
+    last ship as its segment (one in steady state; several after a
+    delayed or failed ship).  Ship failures never fail the apply — the
+    records stay queued and :meth:`ship_pending` retries.
+
+    On construction the writer reconciles with an existing ship
+    directory (the restart path): a shipped tip at the daemon's current
+    WAL position with a matching fingerprint is adopted; a tip *behind*
+    the daemon means the crash hit between apply and ship, and the gap
+    is re-composed from the daemon's WAL — if the WAL was pruned past
+    the tip, :class:`~repro.errors.ReplicaGapError` tells the operator
+    to clear the ship directory.
+    """
+
+    def __init__(
+        self,
+        daemon,
+        ship_dir: PathLike,
+        *,
+        keep: int = 8,
+        fsync: bool = True,
+        chaos=None,
+    ) -> None:
+        self.daemon = daemon
+        self.ship_dir = Path(ship_dir)
+        self.keep = keep
+        self.fsync = fsync
+        self.chaos = chaos
+        self._lock = threading.Lock()
+        self._unshipped: List[WalRecord] = []
+        self.ships = 0
+        self.ship_failures = 0
+        self.delayed = 0
+        self._reconcile()
+        daemon.on_apply = self._on_apply
+
+    # -- construction ---------------------------------------------------
+
+    def _reconcile(self) -> None:
+        current = self.daemon.store.current
+        tip = read_current(self.ship_dir)
+        if tip is None:
+            self._shipped_fp = ""
+            self._shipped_seq = -1
+            self._ship(current, segment=[])
+            return
+        if tip == current.wal_seq:
+            manifest = read_manifest(self.ship_dir / snap_dirname(tip))
+            if manifest.fingerprint != current.fingerprint:
+                raise SnapshotMismatchError(
+                    f"ship directory {self.ship_dir} tip (wal seq {tip}) "
+                    f"has fingerprint {manifest.fingerprint!r} but the "
+                    f"daemon's epoch is {current.fingerprint!r}; the "
+                    "directory belongs to a different history",
+                    expected=current.fingerprint,
+                    actual=manifest.fingerprint,
+                )
+            self._shipped_fp = manifest.fingerprint
+            self._shipped_seq = tip
+            return
+        if tip > current.wal_seq:
+            raise ReplicationError(
+                f"ship directory {self.ship_dir} tip is at wal seq "
+                f"{tip}, ahead of the daemon's {current.wal_seq}; "
+                "another writer owns this directory"
+            )
+        # tip < current: crash between apply and ship — re-compose the
+        # missing segment from the WAL and ship the current epoch
+        manifest = read_manifest(self.ship_dir / snap_dirname(tip))
+        if self.daemon.wal is None:
+            raise ReplicaGapError(
+                f"ship tip (wal seq {tip}) is behind the daemon "
+                f"({current.wal_seq}) and there is no WAL to re-compose "
+                "the segment from; clear the ship directory"
+            )
+        records, _ = self.daemon.wal.recover()
+        segment = [
+            r for r in records if tip < r.seq <= current.wal_seq
+        ]
+        if (
+            len(segment) != current.wal_seq - tip
+            or (segment and segment[0].parent != manifest.fingerprint)
+        ):
+            raise ReplicaGapError(
+                f"the WAL cannot compose wal seqs ({tip}, "
+                f"{current.wal_seq}] onto the shipped tip (pruned past "
+                "the ship point?); clear the ship directory and let the "
+                "writer re-ship from the current base"
+            )
+        self._shipped_fp = manifest.fingerprint
+        self._shipped_seq = tip
+        self._ship(current, segment=segment)
+
+    # -- shipping -------------------------------------------------------
+
+    def _on_apply(self, epoch: Epoch, record: WalRecord) -> None:
+        with self._lock:
+            self._unshipped.append(record)
+            if self.chaos is not None and self.chaos.should_delay_ship(
+                record.seq
+            ):
+                self.delayed += 1
+                tele = get_telemetry()
+                if tele.enabled:
+                    tele.event("replica.ship_delayed", wal_seq=record.seq)
+                return
+            self._ship_locked(epoch)
+
+    def ship_pending(self) -> bool:
+        """Retry shipping after a delay/failure; True when the tip moved.
+
+        Also the force-reship hook: with nothing pending and the tip
+        already shipped this is a no-op.
+        """
+        with self._lock:
+            if not self._unshipped:
+                return False
+            return self._ship_locked(self.daemon.store.current)
+
+    def reship_tip(self) -> Path:
+        """Overwrite the shipped tip in place (corruption recovery)."""
+        with self._lock:
+            current = self.daemon.store.current
+            manifest = read_manifest(
+                self.ship_dir / snap_dirname(self._shipped_seq)
+            ) if self._shipped_seq >= 0 else None
+            segment = manifest.segment if manifest is not None else []
+            parent = manifest.parent if manifest is not None else ""
+            return ship_snapshot(
+                self.ship_dir,
+                epoch=current,
+                parent=parent,
+                segment=segment,
+                fsync=self.fsync,
+            )
+
+    def _ship_locked(self, epoch: Epoch) -> bool:
+        segment = list(self._unshipped)
+        try:
+            self._ship(epoch, segment=segment)
+        except Exception as exc:  # noqa: BLE001 - retried by ship_pending
+            self.ship_failures += 1
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.inc("replica.ship_failures")
+                tele.event(
+                    "replica.ship_failed",
+                    wal_seq=epoch.wal_seq,
+                    error=type(exc).__name__,
+                )
+            return False
+        self._unshipped.clear()
+        return True
+
+    def _ship(self, epoch: Epoch, *, segment: List[WalRecord]) -> None:
+        pre_manifest = None
+        if self.chaos is not None:
+            seq = epoch.wal_seq
+            pre_manifest = lambda: self.chaos.before_ship(seq)  # noqa: E731
+        ship_snapshot(
+            self.ship_dir,
+            epoch=epoch,
+            parent=self._shipped_fp,
+            segment=segment,
+            fsync=self.fsync,
+            pre_manifest=pre_manifest,
+        )
+        self._shipped_fp = epoch.fingerprint
+        self._shipped_seq = epoch.wal_seq
+        self.ships += 1
+        if self.keep:
+            prune_snapshots(self.ship_dir, keep=self.keep)
+
+    @property
+    def shipped_seq(self) -> int:
+        """WAL position of the shipped tip (-1 before the base ship)."""
+        return self._shipped_seq
+
+    @property
+    def pending(self) -> int:
+        """Applied-but-unshipped WAL records (0 in steady state)."""
+        return len(self._unshipped)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicatedWriter(tip={self._shipped_seq}, "
+            f"pending={self.pending}, ships={self.ships})"
+        )
+
+
+# ----------------------------------------------------------------------
+# read replicas
+# ----------------------------------------------------------------------
+
+
+class ReadReplica:
+    """One reader: its own graph chain, scores loaded from the ship dir.
+
+    A replica shares *nothing* mutable with the writer — its only input
+    is the ship directory.  ``refresh()`` walks new manifests in WAL
+    order, verifies the composed fingerprint chain by replaying each
+    segment on its own graph, loads the tip's scores under the full
+    integrity battery, and swaps its local epoch in one assignment.
+    Any verification failure leaves the previous epoch serving — a
+    replica can be *stale*, never *torn*.
+
+    Queries are served through the same payload helpers the writer
+    uses (:func:`~repro.serve.epoch.score_from_epoch`), so byte-equal
+    inputs produce byte-equal answers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ship_dir: PathLike,
+        base_graph,
+        *,
+        core: Optional[np.ndarray] = None,
+        lookup: Optional[Dict[str, int]] = None,
+        chaos=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = str(name)
+        self.ship_dir = Path(ship_dir)
+        self.core = None if core is None else np.asarray(core, np.int64)
+        self.chaos = chaos
+        self._clock = clock
+        self._graph = base_graph
+        self._fingerprint = base_graph.structural_fingerprint()
+        self._lookup = (
+            lookup
+            if lookup is not None
+            else {
+                base_graph.name_of(i): i
+                for i in range(base_graph.num_nodes)
+            }
+        )
+        self._epoch: Optional[Epoch] = None
+        self._wal_seq = -1
+        self.alive = True
+        self.dead_reason: Optional[str] = None
+        self.refreshes = 0
+        self.loads = 0
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def wal_seq(self) -> int:
+        """WAL position of the serving epoch (-1 before the first load)."""
+        return self._wal_seq
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def epoch(self) -> Optional[Epoch]:
+        """The local serving epoch (one atomic pointer read)."""
+        return self._epoch
+
+    @property
+    def ready(self) -> bool:
+        return self.alive and self._epoch is not None
+
+    def kill(self, reason: str = "killed") -> None:
+        """Simulate the replica process dying (chaos / tests)."""
+        self.alive = False
+        self.dead_reason = reason
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.event("replica.dead", replica=self.name, reason=reason)
+
+    # -- refresh --------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Catch up to the shipped tip; returns snapshots advanced.
+
+        Raises a :class:`~repro.errors.ReplicationError` subclass (or
+        :class:`~repro.errors.SnapshotMismatchError`) on a bad snapshot
+        — the local epoch is untouched and still serving.  Any *other*
+        exception (the chaos kill, an OS-level failure) marks the
+        replica dead before propagating: the router routes around it
+        and the set restarts it.
+        """
+        if not self.alive:
+            raise ReplicationError(
+                f"replica {self.name} is dead ({self.dead_reason})"
+            )
+        self.refreshes += 1
+        try:
+            return self._refresh_inner()
+        except (ReplicationError, SnapshotMismatchError):
+            raise
+        except Exception as exc:
+            self.kill(f"{type(exc).__name__}: {exc}")
+            raise
+
+    def _refresh_inner(self) -> int:
+        target = read_current(self.ship_dir)
+        if target is None or target <= self._wal_seq:
+            return 0
+        manifests = list_manifests(
+            self.ship_dir, after=self._wal_seq, upto=target
+        )
+        if not manifests or manifests[-1].wal_seq != target:
+            raise SnapshotIntegrityError(
+                f"replica {self.name}: CURRENT points at wal seq "
+                f"{target} but no complete snapshot is shipped there"
+            )
+        graph = self._graph
+        fingerprint = self._fingerprint
+        advanced = 0
+        for manifest in manifests:
+            if self.chaos is not None:
+                self.chaos.before_replica_load(self.name, manifest.wal_seq)
+            graph, fingerprint = self._advance(graph, fingerprint, manifest)
+            advanced += 1
+        snapshot = load_snapshot(self.ship_dir, target)
+        estimates = snapshot.estimates()
+        if len(estimates.pagerank) != graph.num_nodes:
+            raise SnapshotIntegrityError(
+                f"replica {self.name}: snapshot at wal seq {target} has "
+                f"{len(estimates.pagerank)} scores for a "
+                f"{graph.num_nodes}-node graph"
+            )
+        epoch = Epoch(
+            snapshot.manifest.epoch,
+            graph,
+            estimates,
+            wal_seq=target,
+            lookup=self._lookup,
+            clock=self._clock,
+        )
+        # single-assignment swap: readers see the old epoch or the new
+        # one, never an intermediate
+        self._epoch = epoch
+        self._graph = graph
+        self._fingerprint = fingerprint
+        self._wal_seq = target
+        self.loads += 1
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.inc("replica.loads")
+            tele.event(
+                "replica.load",
+                replica=self.name,
+                wal_seq=target,
+                epoch=epoch.seq,
+                advanced=advanced,
+            )
+        return advanced
+
+    def _advance(self, graph, fingerprint: str, manifest: SnapshotManifest):
+        """Replay one manifest's segment; verify the composed chain."""
+        if manifest.parent and manifest.parent != fingerprint:
+            raise ReplicaGapError(
+                f"replica {self.name}: snapshot at wal seq "
+                f"{manifest.wal_seq} chains from {manifest.parent!r} "
+                f"but the replica's graph is at {fingerprint!r} — a "
+                "snapshot in between was pruned or never shipped"
+            )
+        if not manifest.segment:
+            if manifest.fingerprint != fingerprint:
+                raise SnapshotMismatchError(
+                    f"replica {self.name}: base snapshot fingerprint "
+                    f"{manifest.fingerprint!r} does not match the "
+                    f"replica's graph {fingerprint!r} (wrong world?)",
+                    expected=fingerprint,
+                    actual=manifest.fingerprint,
+                )
+            return graph, fingerprint
+        for record in manifest.segment:
+            if record.parent != fingerprint:
+                raise ReplicaGapError(
+                    f"replica {self.name}: wal record seq {record.seq} "
+                    f"chains from {record.parent!r}, replica graph is "
+                    f"at {fingerprint!r}"
+                )
+            graph = record.delta().apply(graph).after
+            fingerprint = graph.structural_fingerprint()
+            if fingerprint != record.after:
+                raise SnapshotMismatchError(
+                    f"replica {self.name}: replaying wal seq "
+                    f"{record.seq} composed to {fingerprint!r}, record "
+                    f"promises {record.after!r}",
+                    expected=record.after,
+                    actual=fingerprint,
+                )
+        if fingerprint != manifest.fingerprint:
+            raise SnapshotMismatchError(
+                f"replica {self.name}: segment of snapshot at wal seq "
+                f"{manifest.wal_seq} composed to {fingerprint!r}, "
+                f"manifest promises {manifest.fingerprint!r}",
+                expected=manifest.fingerprint,
+                actual=fingerprint,
+            )
+        return graph, fingerprint
+
+    # -- queries --------------------------------------------------------
+
+    def _serving_epoch(self) -> Epoch:
+        epoch = self._epoch
+        if not self.alive or epoch is None:
+            raise ReplicationError(
+                f"replica {self.name} is not serving "
+                f"({'dead: ' + str(self.dead_reason) if not self.alive else 'no epoch loaded'})"
+            )
+        return epoch
+
+    def _meta(self, epoch: Epoch) -> dict:
+        return {
+            "epoch": epoch.seq,
+            "fingerprint": epoch.fingerprint,
+            "wal_seq": epoch.wal_seq,
+            "replica": self.name,
+        }
+
+    def query_score(self, host: str) -> dict:
+        epoch = self._serving_epoch()
+        return {**score_from_epoch(epoch, host), **self._meta(epoch)}
+
+    def query_top(self, k: int = 10, *, tau: float, rho: float) -> dict:
+        epoch = self._serving_epoch()
+        return {
+            **top_from_epoch(epoch, k, tau=tau, rho=rho),
+            **self._meta(epoch),
+        }
+
+    def query_explain(self, host: str, *, top: int = 10) -> dict:
+        """Contribution breakdown — only on a replica carrying a core."""
+        from ..core.explain import explain_mass
+
+        if self.core is None:
+            raise ReplicationError(
+                f"replica {self.name} has no good core and cannot "
+                "serve explain"
+            )
+        epoch = self._serving_epoch()
+        node = epoch.lookup.get(host)
+        if node is None:
+            raise KeyError(host)
+        explanation = explain_mass(
+            epoch.graph,
+            int(node),
+            self.core,
+            damping=epoch.estimates.damping,
+            top=top,
+        )
+        return {
+            "host": host,
+            "text": explanation.render(epoch.graph),
+            **self._meta(epoch),
+        }
+
+    def health(self) -> dict:
+        return {
+            "replica": self.name,
+            "alive": self.alive,
+            "ready": self.ready,
+            "dead_reason": self.dead_reason,
+            "wal_seq": self._wal_seq,
+            "fingerprint": self._fingerprint,
+            "loads": self.loads,
+            "refreshes": self.refreshes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadReplica({self.name!r}, wal_seq={self._wal_seq}, "
+            f"alive={self.alive})"
+        )
+
+
+class ReplicaSet:
+    """Spawns and restarts replicas under the task supervisor.
+
+    Bootstrapping a replica is a supervised task — construct, refresh
+    to the shipped tip, verify — run through
+    :class:`~repro.runtime.supervisor.TaskSupervisor`, so a transient
+    ship-directory race is retried with backoff and a persistent
+    failure surfaces as a :class:`~repro.errors.SupervisionError`
+    instead of a half-spawned fleet.
+    """
+
+    def __init__(
+        self,
+        ship_dir: PathLike,
+        base_graph,
+        *,
+        core: Optional[np.ndarray] = None,
+        supervisor: Optional[TaskSupervisor] = None,
+        chaos=None,
+    ) -> None:
+        self.ship_dir = Path(ship_dir)
+        self.base_graph = base_graph
+        self.core = core
+        self.chaos = chaos
+        self.supervisor = (
+            supervisor if supervisor is not None else TaskSupervisor()
+        )
+        # all replicas of one set share the immutable name->node dict
+        self._lookup = {
+            base_graph.name_of(i): i for i in range(base_graph.num_nodes)
+        }
+        self.restarts = 0
+
+    def _bootstrap(self, name: str, with_core: bool) -> ReadReplica:
+        replica = ReadReplica(
+            name,
+            self.ship_dir,
+            self.base_graph,
+            core=self.core if with_core else None,
+            lookup=self._lookup,
+            chaos=self.chaos,
+        )
+        replica.refresh()
+        return replica
+
+    def spawn(
+        self, count: int, *, names: Optional[Sequence[str]] = None,
+        with_core: bool = False,
+    ) -> List[ReadReplica]:
+        """Bootstrap ``count`` replicas (supervised, in plan order)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if names is None:
+            names = [f"replica-{i}" for i in range(count)]
+        if len(names) != count:
+            raise ValueError("names must match count")
+        report = self.supervisor.run(
+            self._bootstrap,
+            [(str(name), with_core) for name in names],
+            label="replica-spawn",
+        )
+        return list(report.results)
+
+    def restart(self, name: str, *, with_core: bool = False) -> ReadReplica:
+        """Supervised restart: a fresh replica walks the chain from base."""
+        report = self.supervisor.run(
+            self._bootstrap,
+            [(str(name), with_core)],
+            label="replica-restart",
+        )
+        self.restarts += 1
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.inc("replica.restarts")
+            tele.event("replica.restart", replica=str(name))
+        return report.results[0]

@@ -1,0 +1,317 @@
+"""Shard-aware request routing across the writer and its read replicas.
+
+The router is the traffic-shaping half of replicated serving: the
+:mod:`~repro.serve.replication` layer guarantees any replica's answer
+is bitwise-identical to the writer's, so routing is free to optimize
+for *load* and *availability* without touching correctness.
+
+Routing policy
+--------------
+``ingest`` / ``health`` / ``stats``
+    Always the writer — there is exactly one WAL owner.
+``explain``
+    Pinned to a dedicated explain replica when one exists.  Explain
+    walks contribution paths over the whole graph (orders of magnitude
+    above a score read), so it gets a machine of its own and never
+    steals read capacity; without a pinned replica it stays on the
+    writer, where the admission controller's slow lane bounds it.
+``score host=<h>``
+    Shard-affine: the host's node id is mapped through the shard
+    boundaries (:attr:`~repro.graph.sharded.ShardedWebGraph.boundaries`
+    when the base graph is sharded, an even
+    :func:`~repro.graph.sharded.default_boundaries` split otherwise)
+    and boundary ranges are assigned round-robin over the read
+    replicas.  The same host therefore always lands on the same
+    replica — its shard's pages stay hot in exactly one page cache,
+    the property the sharded backend's LRU was built around.
+``top``
+    Round-robin over ready read replicas (a full-vector scan has no
+    shard affinity to exploit).
+
+Failure handling
+----------------
+A dead or unready replica is *routed around*: its shard ranges fall
+through to the next ready replica, and the set's supervisor restarts it
+from the shipped chain on the next :meth:`ReplicaRouter.refresh`.  When
+no replica can serve, reads fall back to the writer — replication
+degrades to single-process serving, never to an outage.  Replica lag
+(shipped tip minus replica epoch) beyond ``max_lag`` marks the router
+``lagging``; the daemon feeds that into the admission controller, so
+clients see an honest ``degraded`` mode instead of silently stale
+answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.sharded import default_boundaries
+from ..obs import get_telemetry
+from .replication import ReadReplica, ReplicaSet
+
+__all__ = ["ReplicaRouter"]
+
+#: Ops that must always execute on the WAL-owning writer.
+WRITER_OPS = frozenset({"ingest", "health", "stats"})
+
+
+class ReplicaRouter:
+    """Fans queries across read replicas; pins explain; routes around
+    death.
+
+    Parameters
+    ----------
+    replicas:
+        The read rotation, in shard-assignment order.
+    explain_replica:
+        Optional replica dedicated to ``explain`` — NOT part of the
+        read rotation (an explain storm on it never slows a score
+        read).
+    boundaries:
+        Shard boundaries (``num_shards + 1`` ascending ints) used for
+        shard-affine ``score`` routing.  Pass the sharded store's own
+        :attr:`~repro.graph.sharded.ShardedWebGraph.boundaries` when
+        the base graph is sharded; defaults to an even
+        :func:`~repro.graph.sharded.default_boundaries` split with one
+        range per replica.
+    replica_set:
+        When given, dead replicas are restarted through the set's
+        supervisor on :meth:`refresh`.
+    max_lag:
+        WAL records a replica may trail the shipped tip before the
+        router reports :attr:`lagging` (admission degrades).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[ReadReplica],
+        *,
+        explain_replica: Optional[ReadReplica] = None,
+        boundaries: Optional[np.ndarray] = None,
+        num_nodes: Optional[int] = None,
+        replica_set: Optional[ReplicaSet] = None,
+        max_lag: int = 4,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a router needs at least one read replica")
+        if max_lag < 1:
+            raise ValueError("max_lag must be >= 1")
+        self.replicas: List[ReadReplica] = list(replicas)
+        self.explain_replica = explain_replica
+        self.replica_set = replica_set
+        self.max_lag = max_lag
+        if boundaries is None:
+            if num_nodes is None:
+                num_nodes = self.replicas[0]._graph.num_nodes
+            boundaries = default_boundaries(
+                num_nodes, max(1, len(self.replicas))
+            )
+        self.boundaries = np.asarray(boundaries, dtype=np.int64)
+        if (
+            self.boundaries.ndim != 1
+            or len(self.boundaries) < 2
+            or np.any(np.diff(self.boundaries) < 0)
+        ):
+            raise ValueError(
+                "boundaries must be a non-decreasing 1-d array of "
+                "length num_shards + 1"
+            )
+        self._lock = threading.Lock()
+        self._rr = 0
+        self.routed = 0
+        self.fallbacks = 0
+        self.routed_around = 0
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+
+    def _ready(self) -> List[ReadReplica]:
+        return [r for r in self.replicas if r.ready]
+
+    def shard_of(self, node: int) -> int:
+        """Boundary range owning ``node`` (clipped to valid ranges)."""
+        k = int(np.searchsorted(self.boundaries, node, side="right")) - 1
+        return min(max(k, 0), len(self.boundaries) - 2)
+
+    def replica_for_node(self, node: int) -> Optional[ReadReplica]:
+        """The shard-affine replica for a node; ``None`` if none ready.
+
+        Shard ranges are assigned to replicas round-robin by range
+        index, so with R replicas and S ranges replica ``i`` owns every
+        range ``k`` with ``k % R == i``.  A dead owner's ranges fall
+        through to the next ready replica in rotation order — a
+        deterministic route-around, not a reshuffle, so the other
+        replicas' working sets are undisturbed.
+        """
+        ready = self._ready()
+        if not ready:
+            return None
+        shard = self.shard_of(node)
+        owner = shard % len(self.replicas)
+        for offset in range(len(self.replicas)):
+            candidate = self.replicas[(owner + offset) % len(self.replicas)]
+            if candidate.ready:
+                if offset:
+                    self.routed_around += 1
+                    tele = get_telemetry()
+                    if tele.enabled:
+                        tele.inc("replica.route_arounds")
+                return candidate
+        return None  # pragma: no cover - ready was non-empty
+
+    def next_replica(self) -> Optional[ReadReplica]:
+        """Round-robin over ready replicas (for un-affine ops)."""
+        with self._lock:
+            start = self._rr
+            self._rr += 1
+        n = len(self.replicas)
+        for offset in range(n):
+            candidate = self.replicas[(start + offset) % n]
+            if candidate.ready:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # routed queries (None return = caller serves from the writer)
+    # ------------------------------------------------------------------
+
+    def route_score(self, host: str) -> Optional[ReadReplica]:
+        """The replica that should answer ``score host``; ``None`` →
+        writer fallback.  Unknown hosts also fall through to the writer
+        so the error payload is produced exactly once, by one code
+        path."""
+        ready = self._ready()
+        if not ready:
+            self.fallbacks += 1
+            return None
+        node = ready[0].epoch.lookup.get(host)
+        if node is None:
+            self.fallbacks += 1
+            return None
+        replica = self.replica_for_node(int(node))
+        if replica is not None:
+            self.routed += 1
+        return replica
+
+    def route_top(self) -> Optional[ReadReplica]:
+        replica = self.next_replica()
+        if replica is None:
+            self.fallbacks += 1
+        else:
+            self.routed += 1
+        return replica
+
+    def route_explain(self) -> Optional[ReadReplica]:
+        """The pinned explain replica, if alive and carrying a core."""
+        r = self.explain_replica
+        if r is not None and r.ready and r.core is not None:
+            self.routed += 1
+            return r
+        if r is not None:
+            self.fallbacks += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def _all(self) -> List[ReadReplica]:
+        extra = (
+            [self.explain_replica]
+            if self.explain_replica is not None
+            else []
+        )
+        return self.replicas + extra
+
+    def refresh(self, *, shipped_seq: Optional[int] = None) -> dict:
+        """Advance every replica to the shipped tip; restart the dead.
+
+        Called by the daemon's background refresher (and explicitly by
+        tests).  Per-replica failures are contained: a corrupt snapshot
+        leaves that replica on its previous epoch, a crash marks it
+        dead; either way the sweep continues.  Dead replicas are
+        restarted through the set's supervisor and swapped back into
+        their rotation slot.  Returns a summary dict.
+        """
+        advanced = 0
+        errors = 0
+        restarted = 0
+        for i, replica in enumerate(list(self._all())):
+            if not replica.alive and self.replica_set is not None:
+                try:
+                    fresh = self.replica_set.restart(
+                        replica.name,
+                        with_core=replica is self.explain_replica,
+                    )
+                except Exception:  # noqa: BLE001 - keep sweeping
+                    errors += 1
+                    continue
+                if replica is self.explain_replica:
+                    self.explain_replica = fresh
+                else:
+                    self.replicas[i] = fresh
+                restarted += 1
+                continue
+            if not replica.alive:
+                continue
+            try:
+                advanced += replica.refresh()
+            except Exception:  # noqa: BLE001 - contained per replica
+                errors += 1
+        summary = {
+            "advanced": advanced,
+            "errors": errors,
+            "restarted": restarted,
+        }
+        self._gauge_lag(shipped_seq)
+        return summary
+
+    def lag(self, shipped_seq: int) -> int:
+        """Worst replica lag in WAL records behind the shipped tip."""
+        lags = [
+            shipped_seq - r.wal_seq for r in self.replicas if r.ready
+        ]
+        if not lags:  # nothing serving: maximally lagged
+            return shipped_seq + 1
+        return max(0, max(lags))
+
+    def lagging(self, shipped_seq: int) -> bool:
+        """True when the worst lag exceeds ``max_lag`` (degrade feed)."""
+        return self.lag(shipped_seq) > self.max_lag
+
+    def _gauge_lag(self, shipped_seq: Optional[int]) -> None:
+        if shipped_seq is None:
+            return
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.set_gauge("replica.lag", self.lag(shipped_seq))
+            tele.set_gauge(
+                "replica.ready",
+                sum(1 for r in self.replicas if r.ready),
+            )
+
+    def stats(self) -> dict:
+        return {
+            "replicas": [r.health() for r in self.replicas],
+            "explain_replica": (
+                self.explain_replica.health()
+                if self.explain_replica is not None
+                else None
+            ),
+            "shards": len(self.boundaries) - 1,
+            "routed": self.routed,
+            "fallbacks": self.fallbacks,
+            "routed_around": self.routed_around,
+            "max_lag": self.max_lag,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ready = sum(1 for r in self.replicas if r.ready)
+        return (
+            f"ReplicaRouter({ready}/{len(self.replicas)} ready, "
+            f"shards={len(self.boundaries) - 1})"
+        )

@@ -39,7 +39,7 @@ import threading
 from pathlib import Path
 from typing import Optional, Union
 
-from ..errors import ReproError, WalError
+from ..errors import ReplicationError, ReproError, WalError
 from ..obs import get_telemetry
 from .admission import AdmissionController, AdmissionRejected
 from .daemon import ScoringDaemon
@@ -78,10 +78,21 @@ class ScoringServer:
     max_queue / request_timeout:
         Admission bounds (see :class:`AdmissionController`).
     workers:
-        Worker threads draining the request queue.
+        Worker threads draining the fast request queue.
+    slow_workers:
+        Worker threads dedicated to the slow lane
+        (:data:`~repro.serve.admission.SLOW_OPS` — ``explain``).  Slow
+        requests never occupy a fast worker, so an explain storm's
+        only effect on ``score`` latency is CPU contention.
     max_requests:
         Optional cap on processed requests, after which the server
         drains itself — benchmark/soak plumbing.
+    router / writer:
+        Replicated serving (see :mod:`repro.serve.router` /
+        :mod:`repro.serve.replication`): reads fan out across the
+        router's replicas, the writer ships every applied epoch, and a
+        background refresher advances replicas every ``replica_poll``
+        seconds.  Both ``None`` for single-process serving.
     """
 
     def __init__(
@@ -92,26 +103,41 @@ class ScoringServer:
         max_queue: int = 64,
         request_timeout: Optional[float] = None,
         workers: int = 2,
+        slow_workers: int = 1,
         max_requests: Optional[int] = None,
+        router=None,
+        writer=None,
+        replica_poll: float = 0.05,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if slow_workers < 1:
+            raise ValueError("slow_workers must be >= 1")
         if max_requests is not None and max_requests < 1:
             raise ValueError("max_requests must be >= 1")
+        if replica_poll <= 0:
+            raise ValueError("replica_poll must be positive")
         self.daemon = daemon
         self.socket_path = Path(socket_path)
         self.admission = AdmissionController(
             max_queue, request_timeout=request_timeout
         )
         self.workers = workers
+        self.slow_workers = slow_workers
         self.max_requests = max_requests
+        self.router = router
+        self.writer = writer
+        self.replica_poll = replica_poll
         self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
+        self._slow_queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
         self._threads: list = []
         self._listener: Optional[socket.socket] = None
+        self._stopping = threading.Event()
         self._stopped = threading.Event()
         self._lock = threading.Lock()
         self.requests = 0
         self.errors = 0
+        self.replica_fallbacks = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -136,11 +162,29 @@ class ScoringServer:
         for i in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop,
+                args=(self._queue,),
                 name=f"serve-worker-{i}",
                 daemon=True,
             )
             thread.start()
             self._threads.append(thread)
+        for i in range(self.slow_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(self._slow_queue,),
+                name=f"serve-slow-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.router is not None:
+            refresher = threading.Thread(
+                target=self._refresh_loop,
+                name="serve-replica-refresh",
+                daemon=True,
+            )
+            refresher.start()
+            self._threads.append(refresher)
         acceptor = threading.Thread(
             target=self._accept_loop, name="serve-accept", daemon=True
         )
@@ -172,7 +216,11 @@ class ScoringServer:
 
     def stop(self) -> None:
         """Drain: refuse new work, finish in-flight, close everything."""
-        if self._stopped.is_set():
+        with self._lock:
+            first = not self._stopping.is_set()
+            self._stopping.set()
+        if not first:  # another stop() is already draining; wait it out
+            self._stopped.wait()
             return
         self.admission.start_drain()
         listener, self._listener = self._listener, None
@@ -181,8 +229,9 @@ class ScoringServer:
         # one poison pill per worker; queued jobs ahead of them finish
         for _ in range(self.workers):
             self._queue.put(None)
+        for _ in range(self.slow_workers):
+            self._slow_queue.put(None)
         self.daemon.close()
-        self._stopped.set()
         if self.socket_path.exists():
             try:
                 self.socket_path.unlink()
@@ -195,6 +244,10 @@ class ScoringServer:
                 requests=self.requests,
                 shed=self.admission.shed,
             )
+        # set LAST: wait() returning is the caller's license to exit
+        # the process, and everything above (socket unlink, telemetry)
+        # must be done by then — stop() often runs on a daemon thread
+        self._stopped.set()
 
     # ------------------------------------------------------------------
     # connection handling
@@ -264,7 +317,7 @@ class ScoringServer:
                 "staleness": self.daemon.staleness,
             }
         job = _Job(ticket, request)
-        self._queue.put(job)
+        (self._slow_queue if ticket.slow else self._queue).put(job)
         job.done.wait()
         return job.response
 
@@ -278,14 +331,43 @@ class ScoringServer:
     # workers
     # ------------------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _refresh_loop(self) -> None:
+        """Background replica upkeep: re-ship, refresh, restart, gauge."""
+        while not self._stopped.wait(self.replica_poll):
+            try:
+                if self.writer is not None:
+                    self.writer.ship_pending()
+                # lag is measured against the writer's *applied* epoch,
+                # not the shipped tip — a delayed ship IS lag
+                self.router.refresh(
+                    shipped_seq=self.daemon.store.current.wal_seq
+                )
+            except Exception as exc:  # noqa: BLE001 - contained upkeep
+                tele = get_telemetry()
+                if tele.enabled:
+                    tele.event(
+                        "replica.refresh_error",
+                        error=type(exc).__name__,
+                    )
+
+    def _healthy(self) -> bool:
+        """Ingest-path health: breaker/staleness AND replica lag."""
+        if self.daemon.degraded:
+            return False
+        if self.router is not None:
+            return not self.router.lagging(
+                self.daemon.store.current.wal_seq
+            )
+        return True
+
+    def _worker_loop(self, jobs: "queue.Queue[Optional[_Job]]") -> None:
         while True:
-            job = self._queue.get()
+            job = jobs.get()
             if job is None:
                 return
             try:
                 # keep the admission mode honest before deciding anything
-                self.admission.set_ingest_healthy(not self.daemon.degraded)
+                self.admission.set_ingest_healthy(self._healthy())
                 self.admission.check_deadline(job.ticket)
                 job.response = self._dispatch(job.request)
             except AdmissionRejected as rejected:
@@ -315,24 +397,75 @@ class ScoringServer:
             if hit_cap:
                 threading.Thread(target=self.stop, daemon=True).start()
 
+    def _routed(self, op: str, host: Optional[str] = None):
+        """The replica to serve a read from, or ``None`` → writer."""
+        router = self.router
+        if router is None:
+            return None
+        if op == "score":
+            return router.route_score(host)
+        if op == "top":
+            return router.route_top()
+        if op == "explain":
+            return router.route_explain()
+        return None
+
     def _dispatch(self, request: dict) -> dict:
         op = str(request.get("op", ""))
         daemon = self.daemon
         try:
             if op == "score":
-                return {"ok": True,
-                        **daemon.query_score(str(request["host"]))}
+                host = str(request["host"])
+                replica = self._routed("score", host)
+                if replica is not None:
+                    try:
+                        return {"ok": True, **replica.query_score(host),
+                                "served_by": replica.name}
+                    except ReplicationError:
+                        self.replica_fallbacks += 1
+                body = {"ok": True, **daemon.query_score(host)}
+                if self.router is not None:
+                    body["served_by"] = "writer"
+                return body
             if op == "top":
-                return {"ok": True, **daemon.query_top(
-                    int(request.get("k", 10)),
-                    tau=_opt_float(request.get("tau")),
-                    rho=_opt_float(request.get("rho")),
-                )}
+                k = int(request.get("k", 10))
+                tau = _opt_float(request.get("tau"))
+                rho = _opt_float(request.get("rho"))
+                replica = self._routed("top")
+                if replica is not None:
+                    try:
+                        return {
+                            "ok": True,
+                            **replica.query_top(
+                                k,
+                                tau=(daemon.config.tau
+                                     if tau is None else tau),
+                                rho=(daemon.config.rho
+                                     if rho is None else rho),
+                            ),
+                            "served_by": replica.name,
+                        }
+                    except ReplicationError:
+                        self.replica_fallbacks += 1
+                body = {"ok": True, **daemon.query_top(k, tau=tau, rho=rho)}
+                if self.router is not None:
+                    body["served_by"] = "writer"
+                return body
             if op == "explain":
-                return {"ok": True, **daemon.query_explain(
-                    str(request["host"]),
-                    top=int(request.get("top", 10)),
-                )}
+                host = str(request["host"])
+                top = int(request.get("top", 10))
+                replica = self._routed("explain")
+                if replica is not None:
+                    try:
+                        return {"ok": True,
+                                **replica.query_explain(host, top=top),
+                                "served_by": replica.name}
+                    except ReplicationError:
+                        self.replica_fallbacks += 1
+                body = {"ok": True, **daemon.query_explain(host, top=top)}
+                if self.router is not None:
+                    body["served_by"] = "writer"
+                return body
             if op == "ingest":
                 return {"ok": True, **daemon.submit_delta(
                     [tuple(edge) for edge in request.get("insertions", [])],
@@ -382,6 +515,26 @@ class ScoringServer:
             "swaps": daemon.store.swaps,
             "rollbacks": daemon.store.rollbacks,
             "pid": os.getpid(),
+            "slow_depth": self.admission.slow_depth,
+            "slow_shed": self.admission.slow_shed,
+            "replication": self._replication_stats(),
+        }
+
+    def _replication_stats(self) -> Optional[dict]:
+        if self.router is None:
+            return None
+        writer = {
+            "ships": self.writer.ships,
+            "ship_failures": self.writer.ship_failures,
+            "pending": self.writer.pending,
+            "shipped_seq": self.writer.shipped_seq,
+        } if self.writer is not None else None
+        lag = self.router.lag(self.daemon.store.current.wal_seq)
+        return {
+            "writer": writer,
+            "lag": lag,
+            "query_fallbacks": self.replica_fallbacks,
+            **self.router.stats(),
         }
 
 

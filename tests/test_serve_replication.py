@@ -1,0 +1,830 @@
+"""Differential replica battery: replication must change nothing.
+
+The claim under test is absolute: pushing the same delta stream through
+a single-process daemon and through a replicated topology (writer +
+1/2/4 snapshot-shipped read replicas) yields **bitwise-identical**
+score vectors and fingerprint chains at every watermark — through a
+replica killed mid-ship, a delayed ship that forces a composed
+multi-record catch-up segment, a ship crash that leaves a manifest-less
+directory, and a writer restart that replays its WAL.
+
+Alongside the differential sweep: hypothesis round-trip/corruption
+properties for the snapshot manifest (a replica must *never* hold a
+partially-loaded epoch — typed errors, state untouched), and the
+slow-op lane regression (an ``explain`` storm must not move ``score``
+latency, because slow ops have their own workers and shed first).
+
+``REPRO_TEST_REPLICAS`` pins the replica counts of the sweep (the CI
+chaos-matrix job runs one count per leg).
+"""
+
+import json
+import os
+import threading
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.mass import estimate_spam_mass
+from repro.errors import (
+    InjectedFault,
+    ReplicaGapError,
+    ReplicationError,
+    SnapshotIntegrityError,
+    SnapshotMismatchError,
+)
+from repro.graph import write_graph_bundle, write_host_list
+from repro.runtime import save_solution
+from repro.runtime.chaos import ServeChaos
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    DaemonConfig,
+    DeltaWAL,
+    ReadReplica,
+    ReplicaRouter,
+    ReplicaSet,
+    ReplicatedWriter,
+    ScoringDaemon,
+    ScoringServer,
+    ServeClient,
+    SnapshotManifest,
+)
+from repro.serve.replication import (
+    CURRENT_FILENAME,
+    MANIFEST_FILENAME,
+    read_current,
+    read_manifest,
+    snap_dirname,
+)
+from repro.serve.wal import WalRecord
+from test_differential_solvers import _random_graph
+
+GAMMA = 0.85
+DELTAS = [
+    ([(0, 5), (1, 7)], []),
+    ([(2, 9)], [(0, 5)]),
+    ([(3, 11), (4, 13)], []),
+    ([(6, 2)], [(2, 9)]),
+]
+
+#: Replica counts of the differential sweep; the CI chaos-matrix job
+#: pins one count per leg via ``REPRO_TEST_REPLICAS``.
+REPLICA_COUNTS = [
+    int(part)
+    for part in os.environ.get("REPRO_TEST_REPLICAS", "1,2,4").split(",")
+    if part.strip()
+]
+
+
+@pytest.fixture(autouse=True)
+def replica_telemetry(telemetry, request):
+    """Capturing telemetry for every test in the battery.
+
+    With ``REPRO_REPLICA_TELEMETRY_DIR`` set, the captured event
+    stream is written as ``<dir>/<test-name>.jsonl`` after the test —
+    the CI replica-matrix job uploads these as its artifact, so a
+    failing leg ships its ``replica.*`` timeline along with the
+    traceback.
+    """
+    yield telemetry
+    out_dir = os.environ.get("REPRO_REPLICA_TELEMETRY_DIR")
+    if not out_dir:
+        return
+    path = Path(out_dir) / f"{request.node.name}.jsonl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for event in telemetry.sink.events:
+            fh.write(
+                json.dumps(
+                    {"event": event.name, "attrs": dict(event.attrs)},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(7)
+    graph = _random_graph(11, 120, 500)
+    core = np.sort(rng.choice(graph.num_nodes, size=12, replace=False))
+    estimates = estimate_spam_mass(graph, core, gamma=GAMMA)
+    return graph, core, estimates
+
+
+def _daemon(base, root, **config_kw):
+    graph, core, estimates = base
+    return ScoringDaemon(
+        graph,
+        core,
+        estimates,
+        checkpoint_dir=root / "ckpt",
+        wal=DeltaWAL(root / "wal"),
+        config=DaemonConfig(**config_kw),
+    )
+
+
+def _replicated(base, root, count, *, chaos=None, with_explain=False):
+    """A writer + ``count`` read replicas + router over one ship dir."""
+    graph, core, _ = base
+    daemon = _daemon(base, root)
+    writer = ReplicatedWriter(daemon, root / "ship", chaos=chaos)
+    rset = ReplicaSet(root / "ship", graph, core=core, chaos=chaos)
+    replicas = rset.spawn(count)
+    explain = (
+        rset.spawn(1, names=["explain-0"], with_core=True)[0]
+        if with_explain
+        else None
+    )
+    router = ReplicaRouter(
+        replicas, explain_replica=explain, replica_set=rset
+    )
+    return daemon, writer, router
+
+
+def _assert_bitwise(replica: ReadReplica, reference: ScoringDaemon):
+    """Replica epoch == reference daemon epoch, bit for bit."""
+    got, want = replica.epoch, reference.store.current
+    assert got.fingerprint == want.fingerprint
+    assert got.wal_seq == want.wal_seq
+    assert np.array_equal(got.estimates.pagerank, want.estimates.pagerank)
+    assert np.array_equal(
+        got.estimates.core_pagerank, want.estimates.core_pagerank
+    )
+
+
+# ----------------------------------------------------------------------
+# the differential parity sweep
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", REPLICA_COUNTS)
+def test_parity_sweep_bitwise_at_every_watermark(base, tmp_path, count):
+    """{single daemon, N replicas} × same deltas → identical everything.
+
+    The single-process daemon (no replication at all) is the reference;
+    every replica must match it bitwise at every watermark, which also
+    proves the replicated writer matches it (replicas load the writer's
+    bytes)."""
+    reference = _daemon(base, tmp_path / "ref")
+    daemon, writer, router = _replicated(base, tmp_path / "rep", count)
+    for ins, dels in DELTAS:
+        reference.submit_delta(ins, dels)
+        assert reference.apply_pending() == 1
+        daemon.submit_delta(ins, dels)
+        assert daemon.apply_pending() == 1
+        router.refresh(shipped_seq=writer.shipped_seq)
+        assert writer.pending == 0
+        for replica in router.replicas:
+            _assert_bitwise(replica, reference)
+            _assert_bitwise(replica, daemon)
+    # the shipped fingerprint chain equals the WAL chain end to end
+    manifests = [
+        read_manifest(writer.ship_dir / snap_dirname(seq))
+        for seq in range(len(DELTAS) + 1)
+    ]
+    fps = [m.fingerprint for m in manifests]
+    assert fps[-1] == reference.store.current.fingerprint
+    for prev, cur in zip(manifests, manifests[1:]):
+        assert cur.parent == prev.fingerprint
+        assert [r.seq for r in cur.segment] == [cur.wal_seq]
+
+
+def test_replica_queries_match_writer_payloads(base, tmp_path):
+    graph, _, _ = base
+    daemon, writer, router = _replicated(
+        base, tmp_path, 2, with_explain=True
+    )
+    daemon.submit_delta(*DELTAS[0])
+    daemon.apply_pending()
+    router.refresh(shipped_seq=writer.shipped_seq)
+    host = graph.name_of(3)
+    want = daemon.query_score(host)
+    for replica in router.replicas:
+        got = replica.query_score(host)
+        for key in ("pagerank", "core_pagerank", "absolute_mass",
+                    "relative_mass", "scaled_pagerank", "node"):
+            assert got[key] == want[key]
+        assert got["fingerprint"] == want["fingerprint"]
+        assert got["replica"] == replica.name
+    want_top = daemon.query_top(5, tau=0.0, rho=0.0)
+    got_top = router.replicas[0].query_top(5, tau=0.0, rho=0.0)
+    assert got_top["candidates"] == want_top["candidates"]
+    # explain answers from the pinned replica's own graph + core
+    want_explain = daemon.query_explain(host)
+    got_explain = router.explain_replica.query_explain(host)
+    assert got_explain["text"] == want_explain["text"]
+
+
+# ----------------------------------------------------------------------
+# chaos: kill a replica mid-ship
+# ----------------------------------------------------------------------
+
+
+def test_kill_replica_mid_load_routes_around_then_restarts(base, tmp_path):
+    chaos = ServeChaos(kill_replica_on=(("replica-1", 2),))
+    daemon, writer, router = _replicated(
+        base, tmp_path, 2, chaos=chaos
+    )
+    daemon.submit_delta(*DELTAS[0])
+    daemon.apply_pending()
+    router.refresh(shipped_seq=writer.shipped_seq)
+    victim = router.replicas[1]
+    assert victim.ready
+
+    daemon.submit_delta(*DELTAS[1])
+    daemon.apply_pending()
+    summary = router.refresh(shipped_seq=writer.shipped_seq)
+    # the injected fault killed replica-1; the sweep contained it
+    assert summary["errors"] == 1
+    assert not router.replicas[1].alive
+    assert router.replicas[0].ready
+
+    # shard-affine routing routes around the corpse: every node lands
+    # on the surviving replica
+    graph, _, _ = base
+    for node in range(0, graph.num_nodes, 7):
+        assert router.replica_for_node(node) is router.replicas[0]
+    with pytest.raises(ReplicationError):
+        victim.query_score(graph.name_of(0))
+
+    # next sweep: the set's supervisor restarts it from the shipped
+    # chain and it reconverges bitwise
+    summary = router.refresh(shipped_seq=writer.shipped_seq)
+    assert summary["restarted"] == 1
+    reborn = router.replicas[1]
+    assert reborn is not victim and reborn.ready
+    _assert_bitwise(reborn, daemon)
+    # and it owns shard traffic again
+    owned = {
+        router.replica_for_node(n).name
+        for n in range(graph.num_nodes)
+    }
+    assert owned == {"replica-0", "replica-1"}
+
+
+# ----------------------------------------------------------------------
+# chaos: delayed ship → lag → composed catch-up segment
+# ----------------------------------------------------------------------
+
+
+def test_delayed_ship_lags_then_catches_up_with_composed_segment(
+    base, tmp_path
+):
+    chaos = ServeChaos(delay_ship_on=(1, 2))
+    daemon, writer, router = _replicated(base, tmp_path, 2, chaos=chaos)
+    for ins, dels in DELTAS[:2]:
+        daemon.submit_delta(ins, dels)
+        daemon.apply_pending()
+    # both ships were delayed: tip still at the base, two records queued
+    assert writer.shipped_seq == 0 and writer.pending == 2
+    router.refresh(shipped_seq=daemon.store.current.wal_seq)
+    assert router.replicas[0].wal_seq == 0
+    # measured against the writer's applied epoch, that is real lag
+    assert router.lag(daemon.store.current.wal_seq) == 2
+    assert not router.lagging(daemon.store.current.wal_seq)  # max_lag=4
+
+    tight = ReplicaRouter(router.replicas, max_lag=1)
+    assert tight.lagging(daemon.store.current.wal_seq)
+
+    # the retry ships ONE snapshot whose segment composes both records
+    assert writer.ship_pending()
+    assert writer.shipped_seq == 2 and writer.pending == 0
+    manifest = read_manifest(writer.ship_dir / snap_dirname(2))
+    assert [r.seq for r in manifest.segment] == [1, 2]
+    router.refresh(shipped_seq=daemon.store.current.wal_seq)
+    for replica in router.replicas:
+        _assert_bitwise(replica, daemon)
+
+
+def test_delayed_ship_feeds_admission_degraded(base, tmp_path):
+    """Replica lag past the bound → server reports/refuses degraded."""
+    chaos = ServeChaos(delay_ship_on=(1, 2))
+    daemon, writer, router = _replicated(base, tmp_path, 1, chaos=chaos)
+    router.max_lag = 1
+    server = ScoringServer.__new__(ScoringServer)  # wiring-only check
+    server.daemon, server.router, server.writer = daemon, router, writer
+    assert server._healthy()
+    daemon.submit_delta(*DELTAS[0])
+    daemon.apply_pending()
+    daemon.submit_delta(*DELTAS[1])
+    daemon.apply_pending()
+    router.refresh(shipped_seq=daemon.store.current.wal_seq)
+    # replicas pinned at 0 while the writer applied 2 → lag 2 > 1
+    assert not server._healthy()
+    writer.ship_pending()
+    router.refresh(shipped_seq=daemon.store.current.wal_seq)
+    assert server._healthy()
+
+
+# ----------------------------------------------------------------------
+# chaos: ship crash before the manifest (torn snapshot directory)
+# ----------------------------------------------------------------------
+
+
+def test_failed_ship_is_invisible_and_repaired_by_reship(base, tmp_path):
+    chaos = ServeChaos(fail_ship_on=(1,))
+    daemon, writer, router = _replicated(base, tmp_path, 2, chaos=chaos)
+    daemon.submit_delta(*DELTAS[0])
+    daemon.apply_pending()
+    # the ship crashed after solution.npz, before manifest.json
+    assert writer.ship_failures == 1 and writer.pending == 1
+    torn = writer.ship_dir / snap_dirname(1)
+    assert torn.exists() and not (torn / MANIFEST_FILENAME).exists()
+    # replicas ignore the manifest-less directory and stay on base
+    assert read_current(writer.ship_dir) == 0
+    assert router.refresh(shipped_seq=writer.shipped_seq)["errors"] == 0
+    assert all(r.wal_seq == 0 for r in router.replicas)
+    # the retry re-ships over the torn directory and repairs it
+    assert writer.ship_pending()
+    assert (torn / MANIFEST_FILENAME).exists()
+    router.refresh(shipped_seq=writer.shipped_seq)
+    for replica in router.replicas:
+        _assert_bitwise(replica, daemon)
+
+
+# ----------------------------------------------------------------------
+# writer restart: WAL replay + ship-directory adoption
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def world(base, tmp_path_factory):
+    graph, core, estimates = base
+    root = tmp_path_factory.mktemp("replication-world")
+    world_dir = root / "world"
+    write_graph_bundle(graph, world_dir)
+    write_host_list(
+        [graph.name_of(int(i)) for i in core], world_dir / "core.hosts"
+    )
+    ckpt = root / "ckpt-template"
+    save_solution(
+        ckpt,
+        np.stack([estimates.pagerank, estimates.core_pagerank], axis=1),
+        fingerprint=graph.structural_fingerprint(),
+        extra={"damping": estimates.damping, "gamma": estimates.gamma,
+               "labels": ["pagerank", "core"]},
+    )
+    return world_dir, ckpt
+
+
+def test_writer_restart_replays_wal_and_reships_bitwise(
+    base, world, tmp_path
+):
+    import shutil
+
+    graph, core, _ = base
+    world_dir, template = world
+    ckpt = tmp_path / "ckpt"
+    shutil.copytree(template, ckpt)
+
+    # first life: apply two deltas, accept two more, die
+    first = ScoringDaemon.load(world_dir, ckpt)
+    writer = ReplicatedWriter(first, tmp_path / "ship")
+    rset = ReplicaSet(tmp_path / "ship", graph, core=core)
+    replicas = rset.spawn(2)
+    router = ReplicaRouter(replicas, replica_set=rset)
+    for ins, dels in DELTAS[:2]:
+        first.submit_delta(ins, dels)
+    assert first.apply_pending() == 2
+    for ins, dels in DELTAS[2:]:
+        first.submit_delta(ins, dels)  # durable, never applied
+    assert writer.shipped_seq == 2
+    first.close()
+
+    # second life: WAL replays the accepted suffix; the new writer
+    # adopts the ship directory at the matching tip and ships onward
+    second = ScoringDaemon.load(world_dir, ckpt)
+    writer2 = ReplicatedWriter(second, tmp_path / "ship")
+    assert writer2.shipped_seq == 2
+    assert second.store.current.wal_seq == 2
+    assert second.apply_pending() == 2
+    assert writer2.shipped_seq == 4
+
+    # the uninterrupted reference over the same stream
+    reference = _daemon(base, tmp_path / "ref")
+    for ins, dels in DELTAS:
+        reference.submit_delta(ins, dels)
+    reference.apply_pending()
+    _assert_bitwise_daemons(second, reference)
+
+    # replicas spawned in the first life follow across the restart
+    router.refresh(shipped_seq=writer2.shipped_seq)
+    for replica in router.replicas:
+        _assert_bitwise(replica, reference)
+    # and a replica born *after* the restart walks the whole retained
+    # manifest chain from the base graph to the same state
+    late = rset.spawn(1, names=["late"])[0]
+    _assert_bitwise(late, reference)
+
+
+def _assert_bitwise_daemons(a: ScoringDaemon, b: ScoringDaemon):
+    ea, eb = a.store.current, b.store.current
+    assert ea.fingerprint == eb.fingerprint
+    assert np.array_equal(ea.estimates.pagerank, eb.estimates.pagerank)
+    assert np.array_equal(
+        ea.estimates.core_pagerank, eb.estimates.core_pagerank
+    )
+
+
+def test_writer_reconciles_ship_gap_from_wal(base, tmp_path):
+    """Crash between apply and ship: the gap re-composes from the WAL."""
+    daemon = _daemon(base, tmp_path)
+    writer = ReplicatedWriter(daemon, tmp_path / "ship")
+    daemon.submit_delta(*DELTAS[0])
+    daemon.apply_pending()
+    assert writer.shipped_seq == 1
+    # simulate the crash window: the next apply never reaches the hook
+    daemon.on_apply = None
+    daemon.submit_delta(*DELTAS[1])
+    daemon.apply_pending()
+    assert read_current(tmp_path / "ship") == 1
+
+    writer2 = ReplicatedWriter(daemon, tmp_path / "ship")
+    assert writer2.shipped_seq == 2
+    manifest = read_manifest(tmp_path / "ship" / snap_dirname(2))
+    assert [r.seq for r in manifest.segment] == [2]
+    replica = ReadReplica("r", tmp_path / "ship", base[0])
+    replica.refresh()
+    _assert_bitwise(replica, daemon)
+
+
+def test_writer_refuses_foreign_or_futuristic_ship_dir(base, tmp_path):
+    daemon = _daemon(base, tmp_path / "a")
+    ReplicatedWriter(daemon, tmp_path / "ship")
+    # a second history in the same directory: fingerprints disagree
+    other_graph = _random_graph(23, 120, 480)
+    rng = np.random.default_rng(3)
+    core = np.sort(rng.choice(120, size=12, replace=False))
+    other = ScoringDaemon(
+        other_graph, core, estimate_spam_mass(other_graph, core, gamma=GAMMA)
+    )
+    with pytest.raises(SnapshotMismatchError):
+        ReplicatedWriter(other, tmp_path / "ship")
+    # a tip ahead of the daemon: someone else owns the directory
+    daemon2 = _daemon(base, tmp_path / "b")
+    writer2 = ReplicatedWriter(daemon2, tmp_path / "ship2")
+    daemon2.submit_delta(*DELTAS[0])
+    daemon2.apply_pending()
+    assert writer2.shipped_seq == 1
+    stale = _daemon(base, tmp_path / "c")
+    with pytest.raises(ReplicationError):
+        ReplicatedWriter(stale, tmp_path / "ship2")
+
+
+# ----------------------------------------------------------------------
+# snapshot integrity: corruption must be typed, never partial
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def shipped(base, tmp_path):
+    """A ship dir with two applied epochs and one refreshed replica."""
+    daemon, writer, router = _replicated(base, tmp_path, 1)
+    daemon.submit_delta(*DELTAS[0])
+    daemon.apply_pending()
+    router.refresh(shipped_seq=writer.shipped_seq)
+    replica = router.replicas[0]
+    assert replica.wal_seq == 1
+    daemon.submit_delta(*DELTAS[1])
+    daemon.apply_pending()
+    return daemon, writer, replica, writer.ship_dir / snap_dirname(2)
+
+
+def _assert_refresh_fails_state_unchanged(replica, exc_type):
+    before = (replica.wal_seq, replica.fingerprint)
+    scores = replica.epoch.estimates.pagerank.copy()
+    with pytest.raises(exc_type):
+        replica.refresh()
+    assert replica.alive  # corruption must NOT kill the replica
+    assert (replica.wal_seq, replica.fingerprint) == before
+    assert np.array_equal(replica.epoch.estimates.pagerank, scores)
+
+
+def test_corrupt_solution_bytes_rejected_typed(shipped):
+    _, _, replica, snap = shipped
+    path = snap / "solution.npz"
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    _assert_refresh_fails_state_unchanged(replica, SnapshotIntegrityError)
+
+
+def test_truncated_solution_rejected_typed(shipped):
+    _, _, replica, snap = shipped
+    path = snap / "solution.npz"
+    path.write_bytes(path.read_bytes()[:-64])
+    _assert_refresh_fails_state_unchanged(replica, SnapshotIntegrityError)
+
+
+def test_missing_solution_rejected_typed(shipped):
+    _, _, replica, snap = shipped
+    (snap / "solution.npz").unlink()
+    _assert_refresh_fails_state_unchanged(replica, SnapshotIntegrityError)
+
+
+def test_missing_manifest_rejected_typed(shipped):
+    _, _, replica, snap = shipped
+    (snap / MANIFEST_FILENAME).unlink()
+    _assert_refresh_fails_state_unchanged(replica, SnapshotIntegrityError)
+
+
+def test_manifest_bitflip_rejected_typed(shipped):
+    _, _, replica, snap = shipped
+    path = snap / MANIFEST_FILENAME
+    payload = json.loads(path.read_text())
+    payload["wal_seq"] = 999  # content change, stale crc
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SnapshotIntegrityError):
+        read_manifest(snap)
+    _assert_refresh_fails_state_unchanged(replica, SnapshotIntegrityError)
+
+
+def test_garbage_current_falls_back_to_newest_manifest(shipped):
+    daemon, writer, replica, _snap = shipped
+    (writer.ship_dir / CURRENT_FILENAME).write_text("not json at all")
+    assert read_current(writer.ship_dir) == 2
+    replica.refresh()
+    _assert_bitwise(replica, daemon)
+
+
+def test_pruned_interior_manifest_is_a_gap(base, tmp_path):
+    """A hole in the manifest chain is ReplicaGapError, never a skip."""
+    daemon, writer, router = _replicated(base, tmp_path, 1)
+    for ins, dels in DELTAS[:2]:
+        daemon.submit_delta(ins, dels)
+        daemon.apply_pending()
+    interior = writer.ship_dir / snap_dirname(1)
+    (interior / MANIFEST_FILENAME).unlink()
+    (interior / "solution.npz").unlink()
+    interior.rmdir()
+    fresh = ReadReplica("fresh", writer.ship_dir, base[0])
+    with pytest.raises(ReplicaGapError):
+        fresh.refresh()
+    assert fresh.epoch is None and fresh.alive
+
+
+# ----------------------------------------------------------------------
+# hypothesis: manifest round-trip properties
+# ----------------------------------------------------------------------
+
+_fps = st.text(
+    alphabet="0123456789abcdef", min_size=8, max_size=16
+)
+_edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=5,
+)
+
+
+@st.composite
+def _manifests(draw):
+    seqs = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=1_000_000),
+            min_size=0,
+            max_size=4,
+            unique=True,
+        )
+    )
+    fps = draw(
+        st.lists(_fps, min_size=len(seqs) + 1, max_size=len(seqs) + 1)
+    )
+    segment = [
+        WalRecord(
+            seq, fps[i], fps[i + 1], draw(_edges), draw(_edges)
+        )
+        for i, seq in enumerate(sorted(seqs))
+    ]
+    return SnapshotManifest(
+        wal_seq=draw(st.integers(min_value=0, max_value=10**9)),
+        epoch=draw(st.integers(min_value=0, max_value=10**6)),
+        fingerprint=fps[-1],
+        parent=fps[0],
+        segment=segment,
+        damping=draw(
+            st.floats(min_value=0.01, max_value=0.99,
+                      allow_nan=False, allow_infinity=False)
+        ),
+        gamma=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False),
+            )
+        ),
+        solution_crc=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        solution_bytes=draw(st.integers(min_value=0, max_value=2**40)),
+    )
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(manifest=_manifests())
+def test_manifest_payload_roundtrip(manifest):
+    back = SnapshotManifest.from_payload(
+        manifest.to_payload(), source="rt"
+    )
+    assert back.wal_seq == manifest.wal_seq
+    assert back.epoch == manifest.epoch
+    assert back.fingerprint == manifest.fingerprint
+    assert back.parent == manifest.parent
+    assert back.damping == manifest.damping
+    assert back.gamma == manifest.gamma
+    assert back.solution_crc == manifest.solution_crc
+    assert back.solution_bytes == manifest.solution_bytes
+    assert len(back.segment) == len(manifest.segment)
+    for got, want in zip(back.segment, manifest.segment):
+        assert (got.seq, got.parent, got.after) == (
+            want.seq, want.parent, want.after
+        )
+        assert got.insertions == want.insertions
+        assert got.deletions == want.deletions
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(manifest=_manifests(), data=st.data())
+def test_manifest_tamper_always_detected(manifest, data):
+    """Any single-field mutation of the payload fails the checksum."""
+    payload = manifest.to_payload()
+    field = data.draw(
+        st.sampled_from(
+            ["wal_seq", "epoch", "fingerprint", "parent",
+             "solution_crc", "solution_bytes"]
+        )
+    )
+    tampered = dict(payload)
+    if isinstance(tampered[field], str):
+        tampered[field] = tampered[field] + "x"
+    else:
+        tampered[field] = tampered[field] + 1
+    with pytest.raises(SnapshotIntegrityError):
+        SnapshotManifest.from_payload(tampered, source="tampered")
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(manifest=_manifests(), cut=st.integers(min_value=1, max_value=200))
+def test_manifest_truncation_always_detected(tmp_path_factory, manifest, cut):
+    raw = json.dumps(manifest.to_payload()).encode()
+    cut = min(cut, len(raw) - 1)
+    try:
+        payload = json.loads(raw[:-cut].decode(errors="ignore"))
+    except ValueError:
+        return  # unparsable == rejected before from_payload
+    if not isinstance(payload, dict):
+        return
+    with pytest.raises(SnapshotIntegrityError):
+        SnapshotManifest.from_payload(payload, source="cut")
+
+
+# ----------------------------------------------------------------------
+# slow-op lane: an explain storm must not move score latency
+# ----------------------------------------------------------------------
+
+
+def test_admission_sheds_slow_ops_in_degraded_mode():
+    ctrl = AdmissionController(16)
+    ctrl.set_ingest_healthy(False)
+    with pytest.raises(AdmissionRejected) as err:
+        ctrl.admit("explain")
+    assert err.value.reason == "slow-op" and err.value.mode == "degraded"
+    assert ctrl.slow_shed == 1
+    ctrl.admit("score").released  # cheap reads still flow
+    ctrl.set_ingest_healthy(True)
+    ticket = ctrl.admit("explain")
+    assert ticket.slow and ctrl.slow_depth == 1
+    ctrl.release(ticket)
+    assert ctrl.slow_depth == 0
+
+
+def test_admission_bounds_slow_lane_independently():
+    ctrl = AdmissionController(16, max_slow=2)
+    tickets = [ctrl.admit("explain") for _ in range(2)]
+    with pytest.raises(AdmissionRejected) as err:
+        ctrl.admit("explain")
+    assert err.value.reason == "overloaded"
+    # the fast lane is untouched by a saturated slow lane
+    fast = ctrl.admit("score")
+    for t in tickets + [fast]:
+        ctrl.release(t)
+
+
+def test_score_p99_unmoved_by_explain_storm(base, tmp_path, monkeypatch):
+    """Regression: slow explains get their own lane, score stays fast."""
+    daemon = _daemon(base, tmp_path)
+    slow = threading.Event()
+
+    real_explain = daemon.query_explain
+
+    def glacial_explain(host, *, top=10):
+        slow.set()
+        time.sleep(0.5)
+        return real_explain(host, top=top)
+
+    monkeypatch.setattr(daemon, "query_explain", glacial_explain)
+    server = ScoringServer(
+        daemon, tmp_path / "sock", workers=2, slow_workers=1
+    )
+    server.start()
+    try:
+        graph, _, _ = base
+        host = graph.name_of(3)
+
+        def storm():
+            with ServeClient(tmp_path / "sock") as client:
+                client.explain(host)
+
+        stormers = [
+            threading.Thread(target=storm, daemon=True) for _ in range(3)
+        ]
+        for t in stormers:
+            t.start()
+        assert slow.wait(5.0)  # an explain is occupying the slow lane
+        with ServeClient(tmp_path / "sock") as client:
+            started = time.monotonic()
+            for _ in range(10):
+                assert client.score(host)["ok"]
+            elapsed = time.monotonic() - started
+        # 10 score round-trips complete while the first explain is
+        # still sleeping — far under one explain's 0.5 s
+        assert elapsed < 0.45, f"score latency moved: {elapsed:.3f}s"
+        for t in stormers:
+            t.join(10.0)
+        stats = server.stats()
+        assert stats["slow_shed"] == 0
+    finally:
+        server.stop()
+
+
+def test_server_routes_reads_to_replicas(base, tmp_path):
+    """Socket round-trip: score/top carry served_by, stats carry the
+    replication block, explain pins to the explain replica."""
+    graph, _, _ = base
+    daemon, writer, router = _replicated(
+        base, tmp_path, 2, with_explain=True
+    )
+    server = ScoringServer(
+        daemon,
+        tmp_path / "sock",
+        router=router,
+        writer=writer,
+        replica_poll=0.02,
+    )
+    server.start()
+    try:
+        with ServeClient(tmp_path / "sock") as client:
+            host = graph.name_of(3)
+            got = client.score(host)
+            assert got["ok"] and got["served_by"].startswith("replica-")
+            top = client.top(3, tau=0.0, rho=0.0)
+            assert top["ok"] and top["served_by"].startswith("replica-")
+            exp = client.explain(host)
+            assert exp["ok"] and exp["served_by"] == "explain-0"
+            assert client.ingest([(0, 9)], [])["accepted"]
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                stats = client.stats()
+                rep = stats["replication"]
+                if rep["writer"]["shipped_seq"] == 1 and rep["lag"] == 0:
+                    break
+                time.sleep(0.02)
+            assert rep["writer"]["ships"] >= 2
+            assert rep["lag"] == 0
+            assert len(rep["replicas"]) == 2
+            got = client.score(host)
+            assert got["ok"]
+        for replica in router.replicas:
+            _assert_bitwise(replica, daemon)
+    finally:
+        server.stop()
+
+
+def test_shard_affinity_is_deterministic(base, tmp_path):
+    """The same host always routes to the same replica (ready set
+    unchanged), and the boundary split covers every node."""
+    graph, _, _ = base
+    _daemon_, writer, router = _replicated(base, tmp_path, 4)
+    router.refresh(shipped_seq=writer.shipped_seq)
+    assignment = {
+        n: router.replica_for_node(n).name for n in range(graph.num_nodes)
+    }
+    for n, name in assignment.items():
+        for _ in range(3):
+            assert router.replica_for_node(n).name == name
+    assert set(assignment.values()) == {
+        f"replica-{i}" for i in range(4)
+    }
