@@ -27,20 +27,31 @@ synthetic presets:
 
 3. Time, per event, a cold ``solve_many`` on the mutated graph (fresh
    engine: operator build + block solve, what a re-run pays) against
-   ``update_many`` on an engine holding the *base* operator (operator
-   splice + residual push, what the service pays).
+   ``update_many`` on an engine holding the hot operator (operator
+   splice + residual push, what the service pays).  ``farm`` events are
+   independent perturbations of the base graph; ``diffuse`` events
+   *chain* — event ``i`` applies to the graph events ``1..i-1``
+   produced, the realistic between-crawl stream — and are additionally
+   measured **coalesced**: all ``--events`` deltas composed into one
+   net splice and one warm solve (``update_many`` on the application
+   list), amortizing the solve across the window.  Per-event rows
+   record the push-solver work profile (seed frontier, live frontier,
+   escapes, escape sweeps, correction columns, polish sweeps).
 4. Verify per event that the incremental scores match the cold ones to
    ``10 * tol`` per node, and report the median speedup per flavor.
 
 Two tolerance scenarios run back-to-back: ``default`` (``1e-12``, the
 reproduction default — the incremental solver runs at the same ``tol``
-as the cold solve) is the one the CI speedup gate applies to, on the
-``farm`` flavor; ``relaxed`` (``1e-8``, plenty for a threshold
-detector at ``tau = 0.98``) is reported for reference.  The edge
-*grows* with precision: a leaf-local push converges in a couple of
-sweeps regardless of ``tol`` while the cold solve pays ~60% more
-iterations going from 1e-8 to 1e-12.  The ``diffuse`` flavor is never
-gated — its honest speedup is ~1.1-1.3x, from the warm start alone.
+as the cold solve) is the one the CI speedup gates apply to; ``relaxed``
+(``1e-8``, plenty for a threshold detector at ``tau = 0.98``) is
+reported for reference.  The ``farm`` gate (``--min-speedup``) applies
+to the per-event median: a leaf-local push converges in a couple of
+sweeps.  The ``diffuse`` per-event speedup is honest but small
+(~1.1-1.3x, warm start alone — the residual reaches well-connected
+hosts and the push kernel escapes to the cold block kernel), so its
+gate (``--min-diffuse-speedup``) applies to the *coalesced* per-event
+cost: one composed solve across the window divided by the events it
+covers.
 
 Typical usage::
 
@@ -48,10 +59,11 @@ Typical usage::
         --out benchmarks/perf/BENCH_incremental.json
 
     # CI gate: >=5x median farm-flavor speedup at 1% churn on the
-    # medium preset, and no >4x slowdown vs the committed baseline
+    # medium preset, >=2x amortized coalesced diffuse speedup, and no
+    # >4x slowdown vs the committed baseline
     PYTHONPATH=src python benchmarks/perf/bench_incremental.py \
         --check benchmarks/perf/BENCH_incremental.json \
-        --factor 4.0 --min-speedup 5.0
+        --factor 4.0 --min-speedup 5.0 --min-diffuse-speedup 2.0
 
 This is a plain script, not a pytest module — ``benchmarks/`` is
 excluded from test collection and the bench must run standalone in CI.
@@ -80,8 +92,23 @@ SCENARIOS = (
     {"name": "relaxed", "tol": 1e-8, "gated": False},
 )
 
-#: The CI speedup floor applies to this churn flavor only.
+#: The per-event CI speedup floor (``--min-speedup``) applies to this
+#: churn flavor; ``diffuse`` is gated on its coalesced amortized
+#: speedup instead (``--min-diffuse-speedup``).
 GATED_FLAVOR = "farm"
+
+#: Push-solver work profile copied into every per-event row.
+STAT_FIELDS = (
+    "sweeps",
+    "pushes",
+    "max_frontier",
+    "seed_frontier",
+    "live_seed_frontier",
+    "escapes",
+    "escape_sweeps",
+    "correction_cols",
+    "polish_sweeps",
+)
 
 
 def churn_delta(graph, *, churn, rng, flavor):
@@ -136,17 +163,25 @@ def bench_preset(config, *, repeats, events, churn, seed):
     )
 
     rng = np.random.default_rng(seed)
-    flavors = {
-        flavor: [
-            churn_delta(graph, churn=churn, rng=rng, flavor=flavor)
-            for _ in range(events)
-        ]
-        for flavor in ("farm", "diffuse")
-    }
-    applications = {
-        flavor: [delta.apply(graph) for delta in deltas]
-        for flavor, deltas in flavors.items()
-    }
+    # farm: independent perturbations of the base graph (drawn first so
+    # the rng stream — and thus the gated farm numbers — stay stable)
+    farm_apps = [
+        churn_delta(graph, churn=churn, rng=rng, flavor="farm").apply(
+            graph
+        )
+        for _ in range(events)
+    ]
+    # diffuse: a chained stream — each delta applies to the graph the
+    # previous events produced.  Sources stay disjoint across events (a
+    # host that sprouted links is no longer silent), so the chain
+    # composes to one conflict-free net splice.
+    diffuse_apps = []
+    tip = graph
+    for _ in range(events):
+        delta = churn_delta(tip, churn=churn, rng=rng, flavor="diffuse")
+        application = delta.apply(tip)
+        diffuse_apps.append(application)
+        tip = application.after
 
     preset = {
         "num_nodes": n,
@@ -155,11 +190,40 @@ def bench_preset(config, *, repeats, events, churn, seed):
         "churn": {
             "fraction": churn,
             "events": events,
-            "insertions_per_event": len(flavors["farm"][0]),
+            "insertions_per_event": farm_apps[0].delta.num_insertions,
             "links_per_host": LINKS_PER_HOST,
         },
         "scenarios": {},
     }
+
+    def _stat_row(stats):
+        row = {field: getattr(stats, field) for field in STAT_FIELDS}
+        row["correction_gain"] = round(stats.correction_gain, 4)
+        return row
+
+    def _time_cold(application, tol):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            engine = PagerankEngine()  # cold: pays operator build
+            start = time.perf_counter()
+            result = engine.solve_many(application.after, stacked, tol=tol)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    def _time_warm(application, previous, tol):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            engine = PagerankEngine()
+            # untimed: the hot operator a long-running service holds
+            engine.cache.bundle_for(application.before)
+            start = time.perf_counter()
+            result = engine.update_many(
+                application, previous, stacked, tol=tol
+            )
+            best = min(best, time.perf_counter() - start)
+        return best, result
 
     for scenario in SCENARIOS:
         tol = scenario["tol"]
@@ -169,47 +233,35 @@ def bench_preset(config, *, repeats, events, churn, seed):
         base = base_engine.solve_many(graph, stacked, tol=tol)
 
         flavor_blocks = {}
-        for flavor, apps in applications.items():
+        for flavor, apps in (
+            ("farm", farm_apps), ("diffuse", diffuse_apps),
+        ):
             event_rows = []
+            previous = base
+            last_cold = None
             for application in apps:
-                cold_best = float("inf")
-                cold_result = None
-                for _ in range(repeats):
-                    engine = PagerankEngine()  # cold: pays operator build
-                    start = time.perf_counter()
-                    cold_result = engine.solve_many(
-                        application.after, stacked, tol=tol
-                    )
-                    cold_best = min(cold_best, time.perf_counter() - start)
-
-                inc_best = float("inf")
-                inc_result = None
-                for _ in range(repeats):
-                    engine = PagerankEngine()
-                    engine.cache.bundle_for(graph)  # untimed: service state
-                    start = time.perf_counter()
-                    inc_result = engine.update_many(
-                        application, base, stacked, tol=tol
-                    )
-                    inc_best = min(inc_best, time.perf_counter() - start)
-
+                cold_best, cold_result = _time_cold(application, tol)
+                inc_best, inc_result = _time_warm(
+                    application, previous, tol
+                )
                 deviation = float(
                     np.abs(inc_result.scores - cold_result.scores).max()
                 )
-                event_rows.append(
-                    {
-                        "cold_seconds": round(cold_best, 4),
-                        "incremental_seconds": round(inc_best, 4),
-                        "speedup": round(cold_best / inc_best, 2),
-                        "max_abs_deviation": float(f"{deviation:.3e}"),
-                        "sweeps": inc_result.stats.sweeps,
-                        "pushes": inc_result.stats.pushes,
-                        "max_frontier": inc_result.stats.max_frontier,
-                    }
-                )
+                row = {
+                    "cold_seconds": round(cold_best, 4),
+                    "incremental_seconds": round(inc_best, 4),
+                    "speedup": round(cold_best / inc_best, 2),
+                    "max_abs_deviation": float(f"{deviation:.3e}"),
+                }
+                row.update(_stat_row(inc_result.stats))
+                event_rows.append(row)
+                last_cold = cold_result
+                if flavor == "diffuse":
+                    # chained: the next event warm-starts from this one
+                    previous = inc_result
 
             speedups = [row["speedup"] for row in event_rows]
-            flavor_blocks[flavor] = {
+            block = {
                 "gated": scenario["gated"] and flavor == GATED_FLAVOR,
                 "cold_seconds_median": round(
                     median(row["cold_seconds"] for row in event_rows), 4
@@ -227,6 +279,40 @@ def bench_preset(config, *, repeats, events, churn, seed):
                 ),
                 "events": event_rows,
             }
+
+            if flavor == "diffuse":
+                # coalesced window: every chained delta composed into
+                # one net splice, one warm solve from the base solution
+                coal_best = float("inf")
+                coal_result = None
+                for _ in range(repeats):
+                    engine = PagerankEngine()
+                    engine.cache.bundle_for(graph)
+                    start = time.perf_counter()
+                    coal_result = engine.update_many(
+                        list(apps), base, stacked, tol=tol
+                    )
+                    coal_best = min(
+                        coal_best, time.perf_counter() - start
+                    )
+                coal_dev = float(
+                    np.abs(coal_result.scores - last_cold.scores).max()
+                )
+                per_event = coal_best / len(apps)
+                coalesced = {
+                    "gated": scenario["gated"],
+                    "events": len(apps),
+                    "seconds": round(coal_best, 4),
+                    "per_event_seconds": round(per_event, 4),
+                    "speedup_per_event": round(
+                        block["cold_seconds_median"] / per_event, 2
+                    ),
+                    "max_abs_deviation": float(f"{coal_dev:.3e}"),
+                }
+                coalesced.update(_stat_row(coal_result.stats))
+                block["coalesced"] = coalesced
+
+            flavor_blocks[flavor] = block
 
         preset["scenarios"][scenario["name"]] = {
             "tol": tol,
@@ -251,18 +337,35 @@ def verify_deviations(report):
                         f"the cold solve, above the 10*tol bound "
                         f"{scenario['deviation_bound']:.1e}"
                     )
+                coalesced = flavor.get("coalesced")
+                if coalesced is not None and (
+                    coalesced["max_abs_deviation"]
+                    > scenario["deviation_bound"]
+                ):
+                    failures.append(
+                        f"{name}/{sname}/{fname}/coalesced: composed "
+                        f"scores deviate "
+                        f"{coalesced['max_abs_deviation']:.3e} from the "
+                        f"cold solve, above the 10*tol bound "
+                        f"{scenario['deviation_bound']:.1e}"
+                    )
     return failures
 
 
-def check_regression(report, baseline_path, factor, min_speedup):
+def check_regression(
+    report, baseline_path, factor, min_speedup, min_diffuse_speedup=None
+):
     """Return a list of failure messages (empty = pass).
 
-    The speedup floor and the slowdown factor both apply to *gated*
-    flavor blocks only (``farm`` at the reproduction tolerance).  The
-    ``diffuse`` flavor's speedup comes from the warm start alone
-    (~1.1-1.3x) and the ``relaxed`` scenario's cold solve is itself
-    cheap, so neither carries a meaningful floor — machine noise would
-    dominate the gate.
+    ``min_speedup`` and the slowdown factor apply to *gated* flavor
+    blocks only (``farm`` at the reproduction tolerance) — a leaf-local
+    push beats the cold solve per event.  ``min_diffuse_speedup``
+    applies to the gated ``coalesced`` block of the ``diffuse`` flavor:
+    its per-event speedup is warm-start-only (~1.1-1.3x, no meaningful
+    floor), but one composed solve amortized across the window must
+    beat the per-event cold solve by the floor.  The ``relaxed``
+    scenario's cold solve is itself cheap, so it carries no gate —
+    machine noise would dominate.
     """
     failures = []
     baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
@@ -270,6 +373,20 @@ def check_regression(report, baseline_path, factor, min_speedup):
         base_preset = baseline.get("presets", {}).get(name)
         for sname, scenario in preset["scenarios"].items():
             for fname, flavor in scenario["flavors"].items():
+                coalesced = flavor.get("coalesced")
+                if (
+                    coalesced is not None
+                    and coalesced.get("gated")
+                    and min_diffuse_speedup is not None
+                    and coalesced["speedup_per_event"]
+                    < min_diffuse_speedup
+                ):
+                    failures.append(
+                        f"{name}/{sname}/{fname}/coalesced: amortized "
+                        f"speedup {coalesced['speedup_per_event']:.2f}x "
+                        f"per event is below the required "
+                        f"{min_diffuse_speedup:g}x"
+                    )
                 if not flavor["gated"]:
                     continue
                 if min_speedup is not None and (
@@ -348,6 +465,13 @@ def main(argv=None):
         default=None,
         help="fail if the gated median speedup drops below this ratio",
     )
+    parser.add_argument(
+        "--min-diffuse-speedup",
+        type=float,
+        default=None,
+        help="fail if the coalesced diffuse window's amortized "
+        "per-event speedup drops below this ratio",
+    )
     args = parser.parse_args(argv)
 
     from repro.synth.scenario import WorldConfig
@@ -396,12 +520,28 @@ def main(argv=None):
                     f"{flavor['max_abs_deviation']:.2e}",
                     file=sys.stderr,
                 )
+                coalesced = flavor.get("coalesced")
+                if coalesced is not None:
+                    print(
+                        f"{name}/{sname}/{fname}/coalesced: "
+                        f"{coalesced['events']} events in "
+                        f"{coalesced['seconds']}s "
+                        f"({coalesced['per_event_seconds']}s/event, "
+                        f"{coalesced['speedup_per_event']}x amortized), "
+                        f"max deviation "
+                        f"{coalesced['max_abs_deviation']:.2e}",
+                        file=sys.stderr,
+                    )
 
     failures = verify_deviations(report)
     if args.check:
         failures.extend(
             check_regression(
-                report, args.check, args.factor, args.min_speedup
+                report,
+                args.check,
+                args.factor,
+                args.min_speedup,
+                args.min_diffuse_speedup,
             )
         )
     if failures:

@@ -72,6 +72,7 @@ from .graph import (
     write_host_list,
     write_scores,
 )
+from .perf.engine import PRECISIONS
 from .synth import WorldConfig, build_world, default_good_core
 
 __all__ = ["main", "build_parser", "run"]
@@ -341,7 +342,11 @@ def _build_engine(args: argparse.Namespace):
     """A :class:`~repro.perf.PagerankEngine` per the perf flags."""
     from .perf import PagerankEngine
 
-    return PagerankEngine(args.cache_size, workers=args.workers)
+    return PagerankEngine(
+        args.cache_size,
+        workers=args.workers,
+        precision=getattr(args, "precision", "float64"),
+    )
 
 
 def _supervisor_policy(args: argparse.Namespace):
@@ -517,7 +522,7 @@ def cmd_update(args: argparse.Namespace) -> int:
     faster than a cold re-solve (see ``docs/perf.md``).
     """
     from .core import MassEstimates
-    from .graph import read_delta
+    from .graph import compose_applications, read_delta
     from .runtime.checkpoint import load_solution, save_solution
 
     graph, labels, metadata = read_graph_bundle(
@@ -528,7 +533,7 @@ def cmd_update(args: argparse.Namespace) -> int:
     )
     core = _core_ids(graph, core_path)
     gamma = None if args.gamma <= 0 else args.gamma
-    delta = read_delta(args.delta)
+    deltas = [read_delta(path) for path in args.delta]
     snapshot = load_solution(
         args.checkpoint_dir, fingerprint=graph.structural_fingerprint()
     )
@@ -545,23 +550,33 @@ def cmd_update(args: argparse.Namespace) -> int:
         damping,
         gamma,
     )
-    application = delta.apply(graph)
+    applications = []
+    tip = graph
+    for delta in deltas:
+        app = delta.apply(tip)
+        applications.append(app)
+        tip = app.after
+    batch = args.batch_deltas or len(applications)
+    groups = [
+        compose_applications(applications[i:i + batch])
+        for i in range(0, len(applications), batch)
+    ]
     engine = _build_engine(args)
-
-    def _warm():
-        return estimate_spam_mass(
-            application,
-            core,
-            damping=damping,
-            gamma=gamma,
-            previous=previous,
-            engine=engine,
-        )
-
     policy = _ingest_policy(args)
-    if policy is None:
-        estimates = _warm()
-    else:
+
+    def _solve_group(application, previous):
+        def _warm():
+            return estimate_spam_mass(
+                application,
+                core,
+                damping=damping,
+                gamma=gamma,
+                previous=previous,
+                engine=engine,
+            )
+
+        if policy is None:
+            return _warm()
         from .serve.ingest import guarded_call
 
         def _cold():
@@ -581,6 +596,13 @@ def cmd_update(args: argparse.Namespace) -> int:
                 "warm push update failed; degraded to a cold re-solve "
                 "of the mutated graph (same scores, slower path)"
             )
+        return estimates
+
+    estimates = previous
+    for group in groups:
+        estimates = _solve_group(group, estimates)
+    application = compose_applications(applications)
+    delta = application.delta
     prefix = Path(args.out_prefix)
     prefix.parent.mkdir(parents=True, exist_ok=True)
     write_scores(estimates.pagerank, f"{prefix}.pagerank.scores")
@@ -613,8 +635,9 @@ def cmd_update(args: argparse.Namespace) -> int:
         print(f"wrote the mutated graph bundle to {out_world}")
     eligible = int((estimates.scaled_pagerank() >= args.rho).sum())
     print(
-        f"applied {delta.num_insertions:,}+/{delta.num_deletions:,}- edge "
-        f"delta touching {len(application.touched_nodes):,} hosts; "
+        f"applied {delta.num_insertions:,}+/{delta.num_deletions:,}- net "
+        f"edge delta ({len(deltas)} file(s) in {len(groups)} batch(es)) "
+        f"touching {len(application.touched_nodes):,} hosts; "
         f"{eligible:,} hosts pass scaled PageRank >= {args.rho:g}"
     )
     print(f"wrote {prefix}.{{pagerank,core,relative}}.scores")
@@ -661,6 +684,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         ingest_deadline=args.task_timeout,
         allow_degrade=not args.no_degrade,
+        batch_deltas=args.batch_deltas,
     )
     daemon = ScoringDaemon.load(
         args.world,
@@ -1047,6 +1071,14 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical for any worker count",
     )
     p_est.add_argument(
+        "--precision",
+        choices=PRECISIONS,
+        default="float64",
+        help="batched-solve arithmetic: 'float64' (default) or "
+        "'adaptive' (float32 sweeps down to a relaxed tier, then "
+        "float64 polish to full tolerance; see docs/perf.md)",
+    )
+    p_est.add_argument(
         "--mc-walks",
         type=_positive_int,
         default=0,
@@ -1125,7 +1157,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_upd.add_argument(
         "--delta",
         required=True,
-        help="edge-delta file ('+ u v' / '- u v' lines; see docs/cli.md)",
+        action="append",
+        help="edge-delta file ('+ u v' / '- u v' lines; see "
+        "docs/cli.md); repeatable — the files chain in order, each "
+        "applying to the graph the previous one produced",
+    )
+    p_upd.add_argument(
+        "--batch-deltas",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="coalesce up to N chained --delta files into one composed "
+        "splice + one warm solve each (default: all of them as a "
+        "single batch)",
     )
     p_upd.add_argument(
         "--checkpoint-dir",
@@ -1172,6 +1216,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="unused by the push solver; accepted for flag parity with "
         "'estimate'",
+    )
+    p_upd.add_argument(
+        "--precision",
+        choices=PRECISIONS,
+        default="float64",
+        help="arithmetic of the escape kernel a wide-frontier push "
+        "update falls back to: 'float64' (default) or 'adaptive' "
+        "(float32 sweeps + float64 polish; see docs/perf.md)",
     )
     p_upd.add_argument(
         "--max-task-retries",
@@ -1262,6 +1314,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="accepted-but-unapplied delta batches before ingest "
         "degrades to stale-reads-only (default 8)",
+    )
+    p_srv.add_argument(
+        "--batch-deltas",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="coalesce up to N queued deltas into one composed apply "
+        "(one warm solve, one epoch; default 1 = apply one at a time)",
+    )
+    p_srv.add_argument(
+        "--precision",
+        choices=PRECISIONS,
+        default="float64",
+        help="arithmetic of the ingest re-estimates: 'float64' "
+        "(default) or 'adaptive' (float32 sweeps + float64 polish; "
+        "see docs/perf.md)",
     )
     p_srv.add_argument(
         "--max-requests",

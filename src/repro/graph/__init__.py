@@ -21,7 +21,14 @@ from ..errors import (
 )
 from .backend import GraphBackend, backend_name_of
 from .builder import GraphBuilder
-from .delta import DeltaApplication, GraphDelta, read_delta, write_delta
+from .delta import (
+    DeltaApplication,
+    GraphDelta,
+    compose_applications,
+    compose_deltas,
+    read_delta,
+    write_delta,
+)
 from .collapse import CollapseResult, collapse_by_key, collapse_page_graph
 from .components import (
     component_sizes,
@@ -88,6 +95,8 @@ __all__ = [
     "ManifestVersionError",
     "GraphDelta",
     "DeltaApplication",
+    "compose_deltas",
+    "compose_applications",
     "read_delta",
     "write_delta",
     "DeltaError",

@@ -41,7 +41,14 @@ from ..errors import DeltaError, GraphFormatError
 from .io import _open_text, _write_atomic
 from .webgraph import WebGraph, compose_fingerprint, _mix_edge_keys
 
-__all__ = ["GraphDelta", "DeltaApplication", "read_delta", "write_delta"]
+__all__ = [
+    "GraphDelta",
+    "DeltaApplication",
+    "compose_deltas",
+    "compose_applications",
+    "read_delta",
+    "write_delta",
+]
 
 PathLike = Union[str, Path]
 
@@ -164,6 +171,43 @@ class GraphDelta:
     def inverse(self) -> "GraphDelta":
         """The delta that undoes this one (swap insertions/deletions)."""
         return GraphDelta(self._deletions.copy(), self._insertions.copy())
+
+    def compose(self, other: "GraphDelta") -> "GraphDelta":
+        """The single delta equivalent to applying ``self`` then ``other``.
+
+        Net cancellation: an edge inserted by ``self`` and deleted by
+        ``other`` (or deleted then re-inserted) drops out entirely — its
+        source leaves the touched set, exactly as the base graph's row
+        is net unchanged.  Strictness is preserved: an edge inserted (or
+        deleted) by *both* deltas raises :class:`DeltaError`, because the
+        sequential application would fail at the second delta; any
+        remaining conflict with the base graph still surfaces at
+        :meth:`apply` time.  ``compose(d1, d2).apply(g)`` splices the
+        same CSR, bit for bit, as ``d2.apply(d1.apply(g).after)``.
+        """
+        ins1 = {(int(u), int(v)) for u, v in self._insertions}
+        del1 = {(int(u), int(v)) for u, v in self._deletions}
+        ins2 = {(int(u), int(v)) for u, v in other._insertions}
+        del2 = {(int(u), int(v)) for u, v in other._deletions}
+        twice = ins1 & ins2
+        if twice:
+            u, v = min(twice)
+            raise DeltaError(
+                f"cannot compose: edge ({u}, {v}) is inserted by both "
+                "deltas (the second insertion would find it present)"
+            )
+        twice = del1 & del2
+        if twice:
+            u, v = min(twice)
+            raise DeltaError(
+                f"cannot compose: edge ({u}, {v}) is deleted by both "
+                "deltas (the second deletion would find it absent)"
+            )
+        cancel_fwd = ins1 & del2  # inserted, then deleted: net no-op
+        cancel_back = del1 & ins2  # deleted, then restored: net no-op
+        insertions = sorted((ins1 - cancel_fwd) | (ins2 - cancel_back))
+        deletions = sorted((del1 - cancel_back) | (del2 - cancel_fwd))
+        return GraphDelta(insertions, deletions)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -300,6 +344,54 @@ class DeltaApplication:
             f"DeltaApplication({self.delta!r}, "
             f"n={self.after.num_nodes}, e={self.after.num_edges})"
         )
+
+
+# ----------------------------------------------------------------------
+# composition
+# ----------------------------------------------------------------------
+
+
+def compose_deltas(deltas: Sequence[GraphDelta]) -> GraphDelta:
+    """Left-fold a sequence of deltas into one equivalent delta.
+
+    ``compose_deltas([d1, d2, d3])`` is ``d1.compose(d2).compose(d3)``;
+    an empty sequence composes to the empty delta.  Raises
+    :class:`~repro.errors.DeltaError` whenever applying the sequence
+    one by one would fail on a double insertion/deletion.
+    """
+    composed = GraphDelta()
+    for delta in deltas:
+        composed = composed.compose(delta)
+    return composed
+
+
+def compose_applications(
+    applications: Sequence[DeltaApplication],
+) -> DeltaApplication:
+    """Collapse a chain of applications into one spanning application.
+
+    The inputs must chain: each application's ``before`` graph is the
+    previous one's ``after`` (checked by structural fingerprint).  The
+    result reuses the already-spliced final graph — no re-splice — and
+    carries the composed delta, so the incremental solver seeds one
+    residual for the whole batch and derives one operator.
+    """
+    if not applications:
+        raise DeltaError("cannot compose an empty application chain")
+    for prev, nxt in zip(applications, applications[1:]):
+        if nxt.before is not prev.after and (
+            nxt.before.structural_fingerprint()
+            != prev.after.structural_fingerprint()
+        ):
+            raise DeltaError(
+                "applications do not chain: fingerprint "
+                f"{nxt.before.structural_fingerprint()!r} does not "
+                f"follow {prev.after.structural_fingerprint()!r}"
+            )
+    delta = compose_deltas([app.delta for app in applications])
+    return DeltaApplication(
+        applications[0].before, applications[-1].after, delta
+    )
 
 
 # ----------------------------------------------------------------------

@@ -29,6 +29,7 @@ from .cache import (
 )
 from .engine import (
     DEFAULT_CHECK_EVERY,
+    PRECISIONS,
     BatchResult,
     PagerankEngine,
     configure_engine,
@@ -58,6 +59,7 @@ __all__ = [
     "DEFAULT_CHECK_EVERY",
     "DEFAULT_CHUNKS",
     "DEFAULT_SHARD_CACHE_SIZE",
+    "PRECISIONS",
     "ShardedOperator",
     "sharded_operator_for",
     "derive_sharded",

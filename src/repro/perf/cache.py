@@ -105,6 +105,8 @@ class OperatorBundle:
         "dangling",
         "_tt_ss",
         "_tt_ds",
+        "_tt_ss32",
+        "_tt_ds32",
         "_lock",
     )
 
@@ -125,6 +127,8 @@ class OperatorBundle:
         self.dangling = np.flatnonzero(self.dangling_mask)
         self._tt_ss: Optional[sparse.csr_matrix] = None
         self._tt_ds: Optional[sparse.csr_matrix] = None
+        self._tt_ss32: Optional[sparse.csr_matrix] = None
+        self._tt_ds32: Optional[sparse.csr_matrix] = None
         self._lock = threading.Lock()
 
     # -- restricted sub-operators (built on first batched solve) -------
@@ -153,10 +157,53 @@ class OperatorBundle:
             self._build_restriction()
         return self._tt_ds
 
+    # -- float32 casts (built on first adaptive-precision solve) -------
+
+    def _build_restriction32(self) -> None:
+        tt_ss = self.tt_ss  # ensure the float64 restriction exists
+        tt_ds = self.tt_ds
+        with self._lock:
+            if self._tt_ss32 is not None:
+                return
+            # elementwise cast shares the index arrays: the float32
+            # blocks cost only one extra ``data`` array each, and their
+            # values are exact casts of the float64 operator — which is
+            # what makes the sharded adaptive path bitwise-reproducible
+            # against this one (a per-shard cast of a sub-block equals
+            # the sub-block of the cast).
+            self._tt_ss32 = sparse.csr_matrix(
+                (tt_ss.data.astype(np.float32), tt_ss.indices, tt_ss.indptr),
+                shape=tt_ss.shape,
+            )
+            self._tt_ds32 = sparse.csr_matrix(
+                (tt_ds.data.astype(np.float32), tt_ds.indices, tt_ds.indptr),
+                shape=tt_ds.shape,
+            )
+
+    @property
+    def tt_ss32(self) -> sparse.csr_matrix:
+        """Float32 cast of :attr:`tt_ss` for the adaptive low phase."""
+        if self._tt_ss32 is None:
+            self._build_restriction32()
+        return self._tt_ss32
+
+    @property
+    def tt_ds32(self) -> sparse.csr_matrix:
+        """Float32 cast of :attr:`tt_ds` for the adaptive low phase."""
+        if self._tt_ds32 is None:
+            self._build_restriction32()
+        return self._tt_ds32
+
     def nbytes(self) -> int:
         """Approximate resident size of the bundle (diagnostics)."""
         total = 0
-        for mat in (self.transition_t, self._tt_ss, self._tt_ds):
+        for mat in (
+            self.transition_t,
+            self._tt_ss,
+            self._tt_ds,
+            self._tt_ss32,
+            self._tt_ds32,
+        ):
             if mat is not None:
                 total += mat.data.nbytes + mat.indices.nbytes + mat.indptr.nbytes
         total += self.dangling_mask.nbytes

@@ -60,6 +60,7 @@ from .cache import (
 __all__ = [
     "BatchResult",
     "PagerankEngine",
+    "PRECISIONS",
     "get_engine",
     "set_engine",
     "configure_engine",
@@ -73,7 +74,33 @@ __all__ = [
 #: solver's by up to ``CHECK_EVERY − 1``.
 DEFAULT_CHECK_EVERY = 8
 
+#: Supported solve precisions.  ``"float64"`` is the oracle path;
+#: ``"adaptive"`` runs float32 sweeps against the cast operator down to
+#: a relaxed tier, then promotes the iterate and polishes in float64 to
+#: the caller's ``tol`` — same answer within the differential bound,
+#: cheaper sweeps while the residual is far from converged.
+PRECISIONS = ("float64", "adaptive")
+
+#: Relaxed L1-residual tier the float32 phase targets.  Safely above
+#: the float32 rounding floor of the residual reduction (~1e-7 for
+#: probability-scale iterates), so the low phase never spins against
+#: noise; the float64 polish closes the remaining gap to ``tol``.
+ADAPTIVE_TIER = 1e-5
+
+#: The float32 phase also stops on stall: when a residual check fails
+#: to beat this fraction of the previous one, the iterate has hit the
+#: low-precision floor and further float32 sweeps are wasted.
+ADAPTIVE_STALL = 0.9
+
 JumpLike = Union[None, np.ndarray, Sequence[int]]
+
+
+def _validate_precision(precision: str) -> str:
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    return precision
 
 
 class BatchResult:
@@ -187,6 +214,13 @@ class PagerankEngine:
     workers:
         Default process count for Monte-Carlo sampling (``None`` =
         serial in-process execution).
+    precision:
+        ``"float64"`` (default) or ``"adaptive"``.  Adaptive applies to
+        the batched kernels (stacked, sharded and incremental solves):
+        float32 sweeps to a relaxed tier, float64 polish to ``tol``.
+        Single :meth:`solve` calls dispatch the sequential float64
+        solvers regardless, and runtime policies (whose fallback chains
+        are float64 by construction) reject an adaptive engine.
     """
 
     def __init__(
@@ -196,6 +230,7 @@ class PagerankEngine:
         method: str = "jacobi",
         check_every: int = DEFAULT_CHECK_EVERY,
         workers: Optional[int] = None,
+        precision: str = "float64",
     ) -> None:
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
@@ -207,6 +242,7 @@ class PagerankEngine:
         self.method = method
         self.check_every = check_every
         self.workers = workers
+        self.precision = _validate_precision(precision)
 
     # ------------------------------------------------------------------
     # operator access
@@ -379,18 +415,25 @@ class PagerankEngine:
         bundle = self.bundle(graph)
 
         tele = get_telemetry()
+        counters: Dict[str, int] = {}
         if not tele.enabled:
             return self._run_batch(
                 bundle, stacked, labels, damping, tol, max_iter, check,
-                policy, supervisor,
+                policy, supervisor, counters,
             )
         with tele.span("solve:batch", columns=k) as sp:
             result = self._run_batch(
                 bundle, stacked, labels, damping, tol, max_iter, check,
-                policy, supervisor,
+                policy, supervisor, counters,
             )
             tele.inc("engine.batched_solves")
             tele.inc("engine.columns", k)
+            if counters.get("polish_sweeps"):
+                tele.inc(
+                    "precision.polish_sweeps", counters["polish_sweeps"]
+                )
+            if counters.get("low_sweeps"):
+                tele.inc("precision.low_sweeps", counters["low_sweeps"])
             for j, label in enumerate(labels):
                 tele.event(
                     "solver.column",
@@ -414,10 +457,17 @@ class PagerankEngine:
         check: bool,
         policy,
         supervisor=None,
+        counters: Optional[Dict[str, int]] = None,
     ) -> BatchResult:
         """The untraced core of :meth:`solve_many`."""
         k = stacked.shape[1]
         if policy is not None:
+            if self.precision != "float64":
+                raise ValueError(
+                    "runtime policies run the sequential float64 "
+                    "fallback chains; adaptive precision is not "
+                    "available under a policy"
+                )
             return self._solve_with_policy(
                 bundle, stacked, labels, damping, tol, max_iter, check,
                 policy,
@@ -436,6 +486,8 @@ class PagerankEngine:
                 max_iter=max_iter,
                 check_every=self.check_every,
                 labels=labels,
+                precision=self.precision,
+                counters=counters,
             )
         if check and not bool(result.converged.all()):
             bad = [
@@ -477,6 +529,7 @@ class PagerankEngine:
 
         op = sharded_operator_for(self.shard_cache, graph)
         tele = get_telemetry()
+        counters: Dict[str, int] = {}
         if tele.enabled:
             with tele.span(
                 "solve:sharded",
@@ -487,9 +540,19 @@ class PagerankEngine:
                     op, stacked,
                     damping=damping, tol=tol, max_iter=max_iter,
                     check_every=self.check_every, labels=labels,
-                    supervisor=supervisor,
+                    supervisor=supervisor, precision=self.precision,
+                    counters=counters,
                 )
                 tele.inc("engine.sharded_solves")
+                if counters.get("polish_sweeps"):
+                    tele.inc(
+                        "precision.polish_sweeps",
+                        counters["polish_sweeps"],
+                    )
+                if counters.get("low_sweeps"):
+                    tele.inc(
+                        "precision.low_sweeps", counters["low_sweeps"]
+                    )
                 sp.set("max_iterations",
                        int(result.iterations.max(initial=0)))
         else:
@@ -497,7 +560,8 @@ class PagerankEngine:
                 op, stacked,
                 damping=damping, tol=tol, max_iter=max_iter,
                 check_every=self.check_every, labels=labels,
-                supervisor=supervisor,
+                supervisor=supervisor, precision=self.precision,
+                counters=counters,
             )
         if check and not bool(result.converged.all()):
             bad = [
@@ -545,6 +609,7 @@ class PagerankEngine:
                 tol,
                 max_iter,
                 self.check_every,
+                self.precision,
             )
             for j in range(k)
         ]
@@ -562,7 +627,7 @@ class PagerankEngine:
             converged[j] = column.converged[0]
         return BatchResult(
             scores, iterations, residuals, converged,
-            "batched_jacobi", labels,
+            _method_name(self.precision), labels,
         )
 
     def _solve_with_policy(
@@ -638,20 +703,29 @@ class PagerankEngine:
         ----------
         application:
             A :class:`~repro.graph.delta.DeltaApplication` pairing the
-            previous graph with the mutated one.  The operator bundle
-            for the mutated graph is *derived* from the cached parent
-            bundle when possible (touched columns respliced, child
-            fingerprint derived in O(|delta|)).
+            previous graph with the mutated one — or a *sequence* of
+            chained applications, which are coalesced into one composed
+            splice and one warm solve
+            (:func:`~repro.graph.delta.compose_applications`): the
+            batch pays one operator derivation and one residual seed
+            for the whole window, with net-cancelling edits dropping
+            out entirely.  The operator bundle for the mutated graph is
+            *derived* from the cached parent bundle when possible
+            (touched columns respliced, child fingerprint derived in
+            O(|delta|)).
         previous:
             The converged :class:`BatchResult` of the same ``vectors``
-            on ``application.before``, or a bare ``(n, k)`` score
-            array.
+            on the (first) application's ``before`` graph, or a bare
+            ``(n, k)`` score array.
         vectors:
             Same conventions as :meth:`solve_many`; must be the jump
             vectors the previous solution was computed with.
         """
+        from ..graph.delta import compose_applications
         from .incremental import push_update
 
+        if isinstance(application, (list, tuple)):
+            application = compose_applications(application)
         if isinstance(application.after, ShardedWebGraph):
             raise ValueError(
                 "incremental push updates need the assembled in-memory "
@@ -697,15 +771,27 @@ class PagerankEngine:
                     bundle, application, prev_scores, stacked,
                     damping=damping, tol=tol, max_iter=max_iter,
                     labels=labels, prev_iterations=prev_iterations,
+                    precision=self.precision,
                 )
                 tele.inc("engine.incremental_updates")
                 tele.inc("incremental.pushes", result.stats.pushes)
                 tele.inc("incremental.sweeps", result.stats.sweeps)
+                if result.stats.escapes:
+                    tele.inc("incremental.escapes", result.stats.escapes)
+                if result.stats.polish_sweeps:
+                    tele.inc(
+                        "precision.polish_sweeps",
+                        result.stats.polish_sweeps,
+                    )
                 tele.event(
                     "incremental.update",
                     sweeps=result.stats.sweeps,
                     pushes=result.stats.pushes,
                     max_frontier=result.stats.max_frontier,
+                    escapes=result.stats.escapes,
+                    correction_gain=round(
+                        result.stats.correction_gain, 4
+                    ),
                     speedup_estimate=round(
                         result.stats.speedup_estimate, 2
                     ),
@@ -713,6 +799,7 @@ class PagerankEngine:
                 sp.set("sweeps", result.stats.sweeps)
                 sp.set("pushes", result.stats.pushes)
                 sp.set("max_frontier", result.stats.max_frontier)
+                sp.set("escapes", result.stats.escapes)
                 sp.set(
                     "speedup_estimate",
                     round(result.stats.speedup_estimate, 2),
@@ -722,6 +809,7 @@ class PagerankEngine:
                 bundle, application, prev_scores, stacked,
                 damping=damping, tol=tol, max_iter=max_iter,
                 labels=labels, prev_iterations=prev_iterations,
+                precision=self.precision,
             )
         if check and not bool(result.converged.all()):
             bad = [
@@ -768,13 +856,21 @@ class PagerankEngine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PagerankEngine(cache={self.cache!r}, "
-            f"method={self.method!r}, check_every={self.check_every})"
+            f"method={self.method!r}, check_every={self.check_every}, "
+            f"precision={self.precision!r})"
         )
 
 
 # ----------------------------------------------------------------------
 # the block kernel
 # ----------------------------------------------------------------------
+
+
+def _method_name(precision: str) -> str:
+    return (
+        "batched_jacobi" if precision == "float64"
+        else "batched_jacobi_adaptive"
+    )
 
 
 def _solve_column_task(
@@ -785,6 +881,7 @@ def _solve_column_task(
     tol: float,
     max_iter: int,
     check_every: int,
+    precision: str = "float64",
 ) -> BatchResult:
     """One supervised column solve (module-level so supervised pool
     execution and chaos wrappers can reference it by name).
@@ -802,7 +899,60 @@ def _solve_column_task(
         max_iter=max_iter,
         check_every=check_every,
         labels=["col"],
+        precision=precision,
     )
+
+
+def _low_precision_phase(
+    tt_ss32,
+    tt_ds32,
+    z: np.ndarray,
+    b_s: np.ndarray,
+    *,
+    damping: float,
+    tol: float,
+    check_every: int,
+    max_sweeps: int,
+) -> "tuple[np.ndarray, int]":
+    """Float32 sweeps down to the relaxed tier; returns (iterate, sweeps).
+
+    The loop mirrors the float64 kernel step for step (fused plain
+    sweeps, then one measured sweep with the full-vector residual) but
+    runs every column together against the cast operator — no freezing,
+    the phase is cheap and short.  It exits on reaching
+    ``max(tol, ADAPTIVE_TIER)``, on a stalled residual (the float32
+    floor), or on ``max_sweeps``; the caller promotes the iterate to
+    float64 and polishes.
+    """
+    tier = max(tol, ADAPTIVE_TIER)
+    z32 = z.astype(np.float32)
+    b32 = b_s.astype(np.float32)
+    c = np.float32(damping)
+    has_dangling = tt_ds32.shape[0] > 0
+    sweeps = 0
+    prev_worst = np.inf
+    while sweeps < max_sweeps:
+        plain_steps = min(check_every, max_sweeps - sweeps) - 1
+        for _ in range(plain_steps):
+            z_next = tt_ss32 @ z32
+            z_next *= c
+            z_next += b32
+            z32 = z_next
+            sweeps += 1
+        z_prev = z32
+        z32 = tt_ss32 @ z32
+        z32 *= c
+        z32 += b32
+        sweeps += 1
+        dz = z32 - z_prev
+        res = np.abs(dz).sum(axis=0)
+        if has_dangling:
+            res = res + c * np.abs(tt_ds32 @ dz).sum(axis=0)
+        worst = float(res.max(initial=0.0))
+        if worst < tier or worst >= ADAPTIVE_STALL * prev_worst:
+            break
+        prev_worst = worst
+    return z32.astype(np.float64), sweeps
 
 
 def _block_jacobi(
@@ -814,8 +964,12 @@ def _block_jacobi(
     max_iter: int,
     check_every: int,
     labels: Sequence[str],
+    precision: str = "float64",
+    counters: Optional[Dict[str, int]] = None,
 ) -> BatchResult:
     """Dangling-restricted block Jacobi over stacked jump vectors."""
+    _validate_precision(precision)
+    method = _method_name(precision)
     c = damping
     n, k = vectors.shape
     jump = (1.0 - c) * vectors
@@ -834,8 +988,7 @@ def _block_jacobi(
         residuals[:] = 0.0
         converged[:] = True
         return BatchResult(
-            scores, iterations, residuals, converged,
-            "batched_jacobi", labels,
+            scores, iterations, residuals, converged, method, labels,
         )
 
     tt_ss = bundle.tt_ss
@@ -843,6 +996,24 @@ def _block_jacobi(
     b_s = np.ascontiguousarray(jump[s, :])
     z = np.array(vectors[s, :], dtype=np.float64)  # p⁽⁰⁾ = v, as in jacobi()
     active = np.arange(k)
+
+    low_sweeps = 0
+    if precision == "adaptive":
+        # leave the polish at least one full check window
+        z, low_sweeps = _low_precision_phase(
+            bundle.tt_ss32,
+            bundle.tt_ds32,
+            z,
+            b_s,
+            damping=c,
+            tol=tol,
+            check_every=check_every,
+            max_sweeps=max(max_iter - check_every, 1),
+        )
+        if counters is not None:
+            counters["low_sweeps"] = (
+                counters.get("low_sweeps", 0) + low_sweeps
+            )
 
     def _freeze(cols_in_active: np.ndarray, res: np.ndarray, it: int,
                 ok: bool) -> None:
@@ -857,7 +1028,7 @@ def _block_jacobi(
         residuals[cols] = res[cols_in_active]
         converged[cols] = ok
 
-    it = 0
+    it = low_sweeps  # iteration counts include the float32 phase
     while it < max_iter and len(active):
         # fused update steps, no residual bookkeeping
         plain_steps = min(check_every, max_iter - it) - 1
@@ -896,8 +1067,13 @@ def _block_jacobi(
         _freeze(np.arange(len(active)), np.full(len(active), np.inf),
                 it, False)
 
+    if counters is not None and precision == "adaptive":
+        counters["polish_sweeps"] = (
+            counters.get("polish_sweeps", 0) + (it - low_sweeps)
+        )
+
     return BatchResult(
-        scores, iterations, residuals, converged, "batched_jacobi", labels,
+        scores, iterations, residuals, converged, method, labels,
     )
 
 
@@ -943,12 +1119,14 @@ def configure_engine(
     method: str = "jacobi",
     check_every: int = DEFAULT_CHECK_EVERY,
     workers: Optional[int] = None,
+    precision: str = "float64",
 ) -> PagerankEngine:
     """Build a fresh engine with the given knobs and install it as the
-    shared default (the CLI's ``--cache-size``/``--workers`` end up
-    here).  Returns the new engine."""
+    shared default (the CLI's ``--cache-size``/``--workers``/
+    ``--precision`` end up here).  Returns the new engine."""
     engine = PagerankEngine(
-        cache_size, method=method, check_every=check_every, workers=workers
+        cache_size, method=method, check_every=check_every,
+        workers=workers, precision=precision,
     )
     set_engine(engine)
     return engine

@@ -53,7 +53,12 @@ from scipy import sparse
 from ..graph.sharded import ShardedWebGraph
 from ..runtime.supervisor import SupervisorPolicy, TaskSupervisor
 from .cache import OperatorCache
-from .engine import BatchResult
+from .engine import (
+    ADAPTIVE_STALL,
+    ADAPTIVE_TIER,
+    BatchResult,
+    _validate_precision,
+)
 
 __all__ = [
     "ShardedOperator",
@@ -185,6 +190,33 @@ class ShardedOperator:
             lambda: self._build_or_reuse(k, "ds"),
         )
 
+    @staticmethod
+    def _cast32(block: sparse.csr_matrix) -> sparse.csr_matrix:
+        # share the index arrays; only the data is duplicated.  The
+        # elementwise cast of a row block equals the row block of the
+        # elementwise-cast operator, which keeps the sharded adaptive
+        # phase bitwise identical to the in-memory one.
+        cast = sparse.csr_matrix(
+            (block.data.astype(np.float32), block.indices, block.indptr),
+            shape=block.shape,
+        )
+        cast.has_sorted_indices = True
+        return cast
+
+    def ss_block32(self, k: int) -> sparse.csr_matrix:
+        """Float32 cast of :meth:`ss_block` (adaptive low phase)."""
+        return self._entry(
+            f"{self.key_base}#ss32:{k}",
+            lambda: self._cast32(self.ss_block(k)),
+        )
+
+    def ds_block32(self, k: int) -> sparse.csr_matrix:
+        """Float32 cast of :meth:`ds_block` (adaptive low phase)."""
+        return self._entry(
+            f"{self.key_base}#ds32:{k}",
+            lambda: self._cast32(self.ds_block(k)),
+        )
+
     def _build_or_reuse(self, k: int, kind: str) -> sparse.csr_matrix:
         if (
             self.cache is not None
@@ -291,6 +323,24 @@ class ShardedOperator:
                 out[lo:hi] = self.ds_block(k) @ z
         return out
 
+    def matvec_ss32(self, z: np.ndarray) -> np.ndarray:
+        """Float32 sweep of :meth:`matvec_ss` over the cast blocks."""
+        out = np.empty((len(self.non_dangling), z.shape[1]), dtype=np.float32)
+        for k in range(self.num_shards):
+            lo, hi = self.s_range(k)
+            if hi > lo:
+                out[lo:hi] = self.ss_block32(k) @ z
+        return out
+
+    def matvec_ds32(self, z: np.ndarray) -> np.ndarray:
+        """Float32 sweep of :meth:`matvec_ds` over the cast blocks."""
+        out = np.empty((len(self.dangling), z.shape[1]), dtype=np.float32)
+        for k in range(self.num_shards):
+            lo, hi = self.d_range(k)
+            if hi > lo:
+                out[lo:hi] = self.ds_block32(k) @ z
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedOperator(n={self.graph.num_nodes}, "
@@ -345,6 +395,56 @@ def derive_sharded(cache: OperatorCache, application) -> ShardedOperator:
     )
 
 
+def _sharded_low_phase(
+    operator: ShardedOperator,
+    z: np.ndarray,
+    b_s: np.ndarray,
+    *,
+    damping: float,
+    tol: float,
+    check_every: int,
+    max_sweeps: int,
+) -> "tuple[np.ndarray, int]":
+    """Float32 shard sweeps down to the relaxed tier.
+
+    A transliteration of :func:`repro.perf.engine._low_precision_phase`
+    with the matvecs routed through the cast per-shard blocks; because
+    a cast row block equals the row block of the cast operator, every
+    float32 sweep here is bitwise the in-memory adaptive sweep.  Runs
+    serially even under a supervisor (the phase is short and its
+    blocks are distinct tasks from the float64 ones).
+    """
+    tier = max(tol, ADAPTIVE_TIER)
+    z32 = z.astype(np.float32)
+    b32 = b_s.astype(np.float32)
+    c = np.float32(damping)
+    has_dangling = len(operator.dangling) > 0
+    sweeps = 0
+    prev_worst = np.inf
+    while sweeps < max_sweeps:
+        plain_steps = min(check_every, max_sweeps - sweeps) - 1
+        for _ in range(plain_steps):
+            z_next = operator.matvec_ss32(z32)
+            z_next *= c
+            z_next += b32
+            z32 = z_next
+            sweeps += 1
+        z_prev = z32
+        z32 = operator.matvec_ss32(z32)
+        z32 *= c
+        z32 += b32
+        sweeps += 1
+        dz = z32 - z_prev
+        res = np.abs(dz).sum(axis=0)
+        if has_dangling:
+            res = res + c * np.abs(operator.matvec_ds32(dz)).sum(axis=0)
+        worst = float(res.max(initial=0.0))
+        if worst < tier or worst >= ADAPTIVE_STALL * prev_worst:
+            break
+        prev_worst = worst
+    return z32.astype(np.float64), sweeps
+
+
 def sharded_block_jacobi(
     operator: ShardedOperator,
     vectors: np.ndarray,
@@ -355,6 +455,8 @@ def sharded_block_jacobi(
     check_every: int,
     labels: Sequence[str],
     supervisor=None,
+    precision: str = "float64",
+    counters: Optional[dict] = None,
 ) -> BatchResult:
     """Dangling-restricted block Jacobi, one shard sweep per step.
 
@@ -364,8 +466,15 @@ def sharded_block_jacobi(
     restricted iterate, same fused-steps/measured-step cadence, same
     residual, same per-column freeze and active-set compaction.  The
     differential harness (``tests/test_differential_solvers.py``)
-    asserts the outputs are *bitwise* equal.
+    asserts the outputs are *bitwise* equal — in both precisions: the
+    adaptive path mirrors the in-memory float32 phase over cast blocks
+    that are sub-arrays of the cast in-memory operator.
     """
+    _validate_precision(precision)
+    method = (
+        "sharded_jacobi" if precision == "float64"
+        else "sharded_jacobi_adaptive"
+    )
     if supervisor is not None and not isinstance(supervisor, TaskSupervisor):
         supervisor = TaskSupervisor(supervisor)
     c = damping
@@ -385,13 +494,28 @@ def sharded_block_jacobi(
         residuals[:] = 0.0
         converged[:] = True
         return BatchResult(
-            scores, iterations, residuals, converged,
-            "sharded_jacobi", labels,
+            scores, iterations, residuals, converged, method, labels,
         )
 
     b_s = np.ascontiguousarray(jump[s, :])
     z = np.array(vectors[s, :], dtype=np.float64)  # p⁽⁰⁾ = v, as in jacobi()
     active = np.arange(k)
+
+    low_sweeps = 0
+    if precision == "adaptive":
+        z, low_sweeps = _sharded_low_phase(
+            operator,
+            z,
+            b_s,
+            damping=c,
+            tol=tol,
+            check_every=check_every,
+            max_sweeps=max(max_iter - check_every, 1),
+        )
+        if counters is not None:
+            counters["low_sweeps"] = (
+                counters.get("low_sweeps", 0) + low_sweeps
+            )
 
     def _freeze(cols_in_active: np.ndarray, res: np.ndarray, it: int,
                 ok: bool) -> None:
@@ -406,7 +530,7 @@ def sharded_block_jacobi(
         residuals[cols] = res[cols_in_active]
         converged[cols] = ok
 
-    it = 0
+    it = low_sweeps  # iteration counts include the float32 phase
     while it < max_iter and len(active):
         plain_steps = min(check_every, max_iter - it) - 1
         for _ in range(plain_steps):
@@ -442,6 +566,11 @@ def sharded_block_jacobi(
         _freeze(np.arange(len(active)), np.full(len(active), np.inf),
                 it, False)
 
+    if counters is not None and precision == "adaptive":
+        counters["polish_sweeps"] = (
+            counters.get("polish_sweeps", 0) + (it - low_sweeps)
+        )
+
     return BatchResult(
-        scores, iterations, residuals, converged, "sharded_jacobi", labels,
+        scores, iterations, residuals, converged, method, labels,
     )

@@ -35,7 +35,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +43,7 @@ from ..core import estimate_spam_mass
 from ..core.mass import MassEstimates
 from ..errors import DeltaError, SnapshotMismatchError, WalError
 from ..graph import GraphDelta, read_graph_bundle, read_host_list
-from ..graph.delta import DeltaApplication
+from ..graph.delta import DeltaApplication, compose_applications
 from ..obs import get_telemetry
 from ..runtime.checkpoint import load_solution, save_solution
 from ..runtime.supervisor import CircuitBreaker
@@ -64,6 +64,14 @@ class DaemonConfig:
     queries; the ingest fields mirror the supervision flags of the
     batch CLI (``--task-timeout`` → ``ingest_deadline``,
     ``--no-degrade`` → ``allow_degrade=False``).
+
+    ``batch_deltas`` bounds how many queued deltas one apply may
+    coalesce: the worker drains up to that many from the queue head,
+    composes them into a single splice (net edge set — opposing
+    insert/delete pairs cancel), and runs ONE warm re-estimate for the
+    whole batch.  The default of 1 preserves the one-record-per-epoch
+    behaviour; the WAL chain is unchanged either way (every record is
+    still fsynced and acked individually), only epoch cadence changes.
     """
 
     gamma: Optional[float] = 0.85
@@ -76,10 +84,13 @@ class DaemonConfig:
     circuit_threshold: int = 3
     retry_interval: float = 0.05
     prune_every: int = 32
+    batch_deltas: int = 1
 
     def __post_init__(self) -> None:
         if self.max_staleness < 1:
             raise ValueError("max_staleness must be >= 1")
+        if self.batch_deltas < 1:
+            raise ValueError("batch_deltas must be >= 1")
         if self.circuit_threshold < 1:
             raise ValueError("circuit_threshold must be >= 1")
         if self.retry_interval <= 0:
@@ -126,7 +137,9 @@ class ScoringDaemon:
         chaos=None,
         clock: Callable[[], float] = time.monotonic,
         initial_wal_seq: int = 0,
-        on_apply: Optional[Callable[[Epoch, WalRecord], None]] = None,
+        on_apply: Optional[
+            Callable[[Epoch, Sequence[WalRecord]], None]
+        ] = None,
     ) -> None:
         self.config = config if config is not None else DaemonConfig()
         self.core = np.asarray(core, dtype=np.int64)
@@ -145,9 +158,11 @@ class ScoringDaemon:
             Epoch(0, graph, estimates, wal_seq=initial_wal_seq, clock=clock)
         )
         #: called after every successful apply (scores durable, the
-        #: watermark advanced) with the new epoch and its WAL record —
-        #: the replication writer ships snapshots from here.  Failures
-        #: are contained: a broken hook never fails the apply itself.
+        #: watermark advanced) with the new epoch and the WAL records
+        #: it covers — one record normally, several when the apply
+        #: coalesced a batch (``batch_deltas > 1``) — the replication
+        #: writer ships snapshots from here.  Failures are contained:
+        #: a broken hook never fails the apply itself.
         self.on_apply = on_apply
         #: tip of the *accepted* chain (last pending graph, or the
         #: current epoch's); submit validates and fingerprints against it
@@ -508,12 +523,32 @@ class ScoringDaemon:
                     self._cond.wait(timeout=self.config.retry_interval)
 
     def _apply_one(self) -> bool:
-        """Apply the oldest pending batch; returns success."""
+        """Apply the oldest pending batch; returns success.
+
+        With ``batch_deltas > 1`` a prefix of the queue is coalesced:
+        the chained applications compose into one net splice and one
+        warm (or degraded-cold) re-estimate covers them all.  The
+        published epoch carries the *last* record's seq/fingerprint —
+        the composed splice yields exactly the graph the last delta's
+        chain fingerprint names, which the publish verifies.
+        """
         with self._lock:
             if not self._pending:
                 return False
-            item = self._pending[0]
-        record, application = item.record, item.application
+            items = [
+                self._pending[i]
+                for i in range(
+                    min(self.config.batch_deltas, len(self._pending))
+                )
+            ]
+        item = items[0]
+        record = items[-1].record
+        if len(items) == 1:
+            application = item.application
+        else:
+            application = compose_applications(
+                [it.application for it in items]
+            )
         epoch = self.store.current
         config = self.config
         est = epoch.estimates
@@ -603,12 +638,15 @@ class ScoringDaemon:
                 },
             )
         if self.wal is not None:
+            # the watermark is monotone: the last coalesced seq covers
+            # every record the composed apply consumed
             self.wal.mark_applied(record.seq)
         with self._lock:
             if self._pending and self._pending[0] is item:
-                self._pending.popleft()
+                for _ in items:
+                    self._pending.popleft()
         self.applies += 1
-        self._applied_since_prune += 1
+        self._applied_since_prune += len(items)
         # any success heals the breaker (fresh instance: `opened` is
         # sticky by design inside one supervised run, but the daemon
         # outlives many)
@@ -620,6 +658,7 @@ class ScoringDaemon:
                 "serve.applied",
                 seq=record.seq,
                 epoch=self.store.current.seq,
+                batch=len(items),
                 degraded=self.degraded_applies > 0,
                 seconds=round(self._clock() - started, 6),
             )
@@ -629,7 +668,9 @@ class ScoringDaemon:
             # a failed ship must not fail the apply: scores are live
             # and durable; the shipper re-ships on its next chance
             try:
-                self.on_apply(self.store.current, record)
+                self.on_apply(
+                    self.store.current, [it.record for it in items]
+                )
             except Exception as exc:  # noqa: BLE001 - containment
                 if tele.enabled:
                     tele.event(

@@ -582,16 +582,23 @@ class ReplicatedWriter:
 
     # -- shipping -------------------------------------------------------
 
-    def _on_apply(self, epoch: Epoch, record: WalRecord) -> None:
+    def _on_apply(
+        self, epoch: Epoch, records: Sequence[WalRecord]
+    ) -> None:
+        # one hook call per apply; a coalesced apply delivers every WAL
+        # record its composed splice consumed, so the shipped segment
+        # still chains record-by-record to the epoch fingerprint
         with self._lock:
-            self._unshipped.append(record)
+            self._unshipped.extend(records)
             if self.chaos is not None and self.chaos.should_delay_ship(
-                record.seq
+                records[-1].seq
             ):
                 self.delayed += 1
                 tele = get_telemetry()
                 if tele.enabled:
-                    tele.event("replica.ship_delayed", wal_seq=record.seq)
+                    tele.event(
+                        "replica.ship_delayed", wal_seq=records[-1].seq
+                    )
                 return
             self._ship_locked(epoch)
 

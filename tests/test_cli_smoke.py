@@ -252,6 +252,100 @@ def test_update_round_trip_matches_cold_estimate(small_world_dir, tmp_path):
     assert "fingerprint" in stale.stderr
 
 
+def test_update_chained_deltas_and_precision(small_world_dir, tmp_path):
+    """Repeated ``--delta`` + ``--batch-deltas`` + ``--precision``.
+
+    Two chained delta files applied in one invocation (coalesced into
+    one batch by default, split with ``--batch-deltas 1``) must land on
+    the same scores as a cold adaptive-precision estimate of the final
+    mutated world, within ``10 * tol``.
+    """
+    import numpy as np
+
+    from repro.graph import GraphDelta, write_delta
+    from repro.graph.io import read_graph_bundle, read_scores
+
+    ckpt = tmp_path / "ckpt"
+    est = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "cold"),
+        "--checkpoint-dir", str(ckpt),
+        cwd=tmp_path,
+    )
+    assert est.returncode == 0, est.stderr
+
+    # two chained insertion deltas over disjoint silent sources
+    graph, _, _ = read_graph_bundle(small_world_dir)
+    silent = np.flatnonzero(np.diff(graph.indptr) == 0)
+    rng = np.random.default_rng(8)
+    picks = rng.choice(silent, size=6, replace=False)
+    delta_files = []
+    for idx, chunk in enumerate((picks[:3], picks[3:])):
+        insertions = []
+        for src in chunk:
+            pool = silent[silent != src]
+            insertions.extend(
+                (int(src), int(t))
+                for t in rng.choice(pool, size=4, replace=False)
+            )
+        path = tmp_path / f"crawl-{idx}.delta"
+        write_delta(GraphDelta(insertions=insertions), path)
+        delta_files.append(path)
+
+    mutated_dir = tmp_path / "world-mutated"
+    upd = run_cli(
+        "update",
+        "--world", str(small_world_dir),
+        "--delta", str(delta_files[0]),
+        "--delta", str(delta_files[1]),
+        "--batch-deltas", "1",
+        "--precision", "adaptive",
+        "--checkpoint-dir", str(ckpt),
+        "--out-prefix", str(tmp_path / "upd"),
+        "--write-world", str(mutated_dir),
+        cwd=tmp_path,
+    )
+    assert upd.returncode == 0, upd.stderr
+    assert "2 file(s) in 2 batch(es)" in upd.stdout
+
+    est2 = run_cli(
+        "estimate",
+        "--world", str(mutated_dir),
+        "--precision", "adaptive",
+        "--out-prefix", str(tmp_path / "coldmut"),
+        cwd=tmp_path,
+    )
+    assert est2.returncode == 0, est2.stderr
+    for kind in ("pagerank", "core"):
+        updated = read_scores(f"{tmp_path}/upd.{kind}.scores")
+        cold = read_scores(f"{tmp_path}/coldmut.{kind}.scores")
+        assert np.abs(updated - cold).max() <= 1e-11, kind
+
+
+@pytest.mark.parametrize(
+    "flag,value,message",
+    [
+        ("--batch-deltas", "0", "must be a positive integer"),
+        ("--precision", "float32", "invalid choice"),
+    ],
+)
+def test_update_rejects_bad_coalescing_flags(
+    tmp_path, flag, value, message
+):
+    proc = run_cli(
+        "update",
+        "--world", str(tmp_path / "none"),
+        "--delta", str(tmp_path / "none.delta"),
+        "--checkpoint-dir", str(tmp_path / "none-ckpt"),
+        "--out-prefix", str(tmp_path / "out"),
+        flag, value,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert message in proc.stderr
+
+
 def test_detect_smoke_over_traced_estimate(small_world_dir, tmp_path):
     """estimate → detect round trip through real subprocesses."""
     prefix = tmp_path / "run"
@@ -402,6 +496,9 @@ def test_audit_core_round_trip(small_world_dir, tmp_path):
         ("--max-lag", "0", "must be a positive integer"),
         ("--replica-poll", "0", "must be a positive number"),
         ("--replica-poll", "-0.5", "must be a positive number"),
+        ("--batch-deltas", "0", "must be a positive integer"),
+        ("--batch-deltas", "-2", "must be a positive integer"),
+        ("--precision", "float16", "invalid choice"),
     ],
 )
 def test_serve_rejects_bad_flags(tmp_path, flag, value, message):

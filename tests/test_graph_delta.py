@@ -15,7 +15,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import DeltaError, GraphFormatError
-from repro.graph import GraphDelta, read_delta, write_delta
+from repro.graph import (
+    GraphDelta,
+    compose_applications,
+    compose_deltas,
+    read_delta,
+    write_delta,
+)
 from repro.graph.webgraph import WebGraph
 from test_differential_solvers import _random_graph
 
@@ -207,6 +213,115 @@ def test_empty_delta_is_identity():
     assert (
         after.structural_fingerprint() == graph.structural_fingerprint()
     )
+
+
+# ----------------------------------------------------------------------
+# composition
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def graph_and_chain(draw):
+    """A graph plus a chain of deltas, each valid against the last tip.
+
+    Later deltas may delete edges earlier ones inserted (and re-insert
+    edges earlier ones deleted), so composition's cancellation paths
+    get exercised, not just disjoint unions.
+    """
+    n = draw(st.integers(min_value=4, max_value=40))
+    num_edges = draw(st.integers(min_value=0, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    length = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(seed)
+    edges = {
+        (int(u), int(v))
+        for u, v in rng.integers(0, n, size=(num_edges, 2))
+        if u != v
+    }
+    graph = WebGraph.from_edges(n, sorted(edges))
+    chain = []
+    tip = graph
+    for _ in range(length):
+        delta = _random_delta(
+            tip,
+            rng,
+            num_ins=int(rng.integers(0, n)),
+            num_del=int(rng.integers(0, max(tip.num_edges, 1))),
+        )
+        chain.append(delta)
+        tip = delta.apply(tip).after
+    return graph, chain
+
+
+@settings(**SETTINGS)
+@given(graph_and_chain())
+def test_composed_splice_equals_sequential_splices(case):
+    """One composed splice is bitwise the chain of individual splices."""
+    graph, chain = case
+    tip = graph
+    for delta in chain:
+        tip = delta.apply(tip).after
+    composed = compose_deltas(chain)
+    spliced = composed.apply(graph).after
+    assert np.array_equal(spliced.indptr, tip.indptr)
+    assert np.array_equal(spliced.indices, tip.indices)
+    assert (
+        spliced.structural_fingerprint() == tip.structural_fingerprint()
+    )
+    # net size: cancellations drop out of both edge lists
+    assert spliced.num_edges == graph.num_edges + sum(
+        d.num_insertions - d.num_deletions for d in chain
+    )
+
+
+@settings(**SETTINGS)
+@given(graph_and_chain())
+def test_compose_applications_matches_chain_endpoints(case):
+    graph, chain = case
+    applications = []
+    tip = graph
+    for delta in chain:
+        application = delta.apply(tip)
+        applications.append(application)
+        tip = application.after
+    composed = compose_applications(applications)
+    assert composed.before is graph
+    assert composed.after is tip
+    respliced = composed.delta.apply(graph).after
+    assert np.array_equal(respliced.indptr, tip.indptr)
+    assert np.array_equal(respliced.indices, tip.indices)
+
+
+def test_compose_cancels_opposing_edits():
+    first = GraphDelta(insertions=[(0, 1), (2, 3)], deletions=[(4, 5)])
+    second = GraphDelta(insertions=[(4, 5)], deletions=[(0, 1)])
+    net = first.compose(second)
+    assert net.num_insertions == 1  # only (2, 3) survives
+    assert net.num_deletions == 0  # (4, 5) delete+re-insert cancels
+    assert tuple(net.insertions[0]) == (2, 3)
+    # full round trip composes to the identity
+    assert first.compose(first.inverse()).is_empty()
+
+
+def test_compose_rejects_conflicting_chains():
+    with pytest.raises(DeltaError, match="inserted by both"):
+        GraphDelta(insertions=[(0, 1)]).compose(
+            GraphDelta(insertions=[(0, 1)])
+        )
+    with pytest.raises(DeltaError, match="deleted by both"):
+        GraphDelta(deletions=[(0, 1)]).compose(
+            GraphDelta(deletions=[(0, 1)])
+        )
+
+
+def test_compose_applications_rejects_broken_chains():
+    graph = WebGraph.from_edges(4, [(0, 1), (1, 2)])
+    first = GraphDelta(insertions=[(2, 3)]).apply(graph)
+    unrelated = GraphDelta(insertions=[(3, 0)]).apply(graph)
+    with pytest.raises(DeltaError, match="chain"):
+        compose_applications([first, unrelated])
+    with pytest.raises(DeltaError, match="empty"):
+        compose_applications([])
 
 
 # ----------------------------------------------------------------------

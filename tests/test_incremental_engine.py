@@ -19,9 +19,10 @@ from repro.core.pagerank import (
     uniform_jump_vector,
 )
 from repro.errors import CheckpointError
-from repro.graph import GraphDelta
+from repro.graph import GraphDelta, compose_applications
 from repro.graph.webgraph import WebGraph
 from repro.perf import OperatorCache, PagerankEngine
+from repro.perf.incremental import CORRECTION_ACCEPT, _deflate_residual
 from repro.runtime import load_solution, save_solution
 from test_differential_solvers import _random_graph
 
@@ -146,6 +147,165 @@ def test_update_many_validates_previous_shape():
         engine.update_many(
             application, np.zeros((5, 3)), [None, [0, 1]], tol=TOL
         )
+
+
+# ----------------------------------------------------------------------
+# delta coalescing, escape profile, deflation, adaptive escapes
+# ----------------------------------------------------------------------
+
+
+def _chained_applications(graph, rng, steps=3):
+    applications = []
+    tip = graph
+    for _ in range(steps):
+        delta = _random_delta(tip, rng, num_ins=20, num_del=8)
+        application = delta.apply(tip)
+        applications.append(application)
+        tip = application.after
+    return applications, tip
+
+
+def test_update_many_coalesces_application_chains():
+    """A chain passed to ``update_many`` is one composed warm solve.
+
+    Bitwise identical to pre-composing the chain by hand, and within
+    the usual ``10 * tol`` of the cold solve on the final graph.
+    """
+    graph = _random_graph(21, n=300, num_edges=1600, dangling_frac=0.3)
+    rng = np.random.default_rng(21)
+    stacked = _stacked_jumps(graph, rng)
+    applications, final = _chained_applications(graph, rng)
+
+    engine = PagerankEngine()
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    coalesced = engine.update_many(applications, base, stacked, tol=TOL)
+
+    other = PagerankEngine()
+    other.cache.bundle_for(graph)
+    precomposed = other.update_many(
+        compose_applications(applications), base, stacked, tol=TOL
+    )
+    assert np.array_equal(coalesced.scores, precomposed.scores)
+    assert coalesced.stats.pushes == precomposed.stats.pushes
+
+    cold = PagerankEngine().solve_many(final, stacked, tol=TOL)
+    assert np.abs(coalesced.scores - cold.scores).max() <= BOUND
+
+
+def test_diffuse_update_escapes_and_records_the_profile():
+    """A delta rescaling many live out-rows escapes immediately.
+
+    Touched sources that already have outlinks rescale their whole row,
+    so the seed frontier is wide *and* live — the early-escape
+    condition — and the stats must say so.
+    """
+    graph = _random_graph(22, n=400, num_edges=2400)
+    rng = np.random.default_rng(22)
+    stacked = _stacked_jumps(graph, rng)
+    delta = _random_delta(graph, rng, num_ins=120, num_del=0)
+    application = delta.apply(graph)
+
+    engine = PagerankEngine()
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    inc = engine.update_many(application, base, stacked, tol=TOL)
+
+    stats = inc.stats
+    assert stats.escapes == 1
+    assert stats.seed_frontier > 0
+    assert stats.live_seed_frontier > 0
+    assert stats.escape_sweeps > 0
+    assert stats.polish_sweeps == 0  # float64 path has no polish phase
+    for key in (
+        "seed_frontier",
+        "live_seed_frontier",
+        "escapes",
+        "escape_sweeps",
+        "correction_cols",
+        "correction_gain",
+        "polish_sweeps",
+    ):
+        assert key in stats.as_dict()
+
+    cold = PagerankEngine().solve_many(application.after, stacked, tol=TOL)
+    assert np.abs(inc.scores - cold.scores).max() <= BOUND
+
+
+def test_farm_update_stays_on_the_push_path():
+    """Leaf-local churn (dangling targets) must never trigger an escape."""
+    graph = _random_graph(23, n=300, num_edges=600, dangling_frac=0.7)
+    rng = np.random.default_rng(23)
+    stacked = _stacked_jumps(graph, rng)
+    out_deg = np.diff(graph.indptr)
+    silent = np.flatnonzero(out_deg == 0)
+    sources = rng.choice(silent, size=5, replace=False)
+    insertions = []
+    for src in sources:
+        pool = silent[silent != src]
+        insertions.extend(
+            (int(src), int(t))
+            for t in rng.choice(pool, size=15, replace=False)
+        )
+    application = GraphDelta(insertions=sorted(set(insertions))).apply(
+        graph
+    )
+    engine = PagerankEngine()
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    inc = engine.update_many(application, base, stacked, tol=TOL)
+    assert inc.stats.escapes == 0
+    assert inc.stats.max_frontier < graph.num_nodes
+    cold = PagerankEngine().solve_many(application.after, stacked, tol=TOL)
+    assert np.abs(inc.scores - cold.scores).max() <= BOUND
+
+
+def test_deflate_residual_accepts_in_span_and_rejects_noise():
+    graph = _random_graph(24, n=120, num_edges=700)
+    rng = np.random.default_rng(24)
+    bundle = OperatorCache().bundle_for(graph)
+    c = 0.85
+    tt = bundle.transition_t
+    basis = rng.random((graph.num_nodes, 2))
+    image = basis - c * (tt @ basis)
+
+    # residual exactly in the image span: accepted, near-zero remainder
+    residual = image @ np.array([[0.7, 0.0], [0.0, -0.4]])
+    start, deflated, gains, accepted = _deflate_residual(
+        bundle, residual, basis, c
+    )
+    assert accepted.all()
+    assert gains.max() < 1e-8
+    assert np.abs(deflated).max() < 1e-10 * np.abs(residual).max()
+    # the warm start is the known solve of the deflated component
+    assert np.allclose(start, basis @ [[0.7, 0.0], [0.0, -0.4]])
+
+    # residual orthogonal to the image span: projection removes nothing,
+    # the guard rejects and hands the original residual through untouched
+    noise = rng.random((graph.num_nodes, 1))
+    q, _ = np.linalg.qr(image)
+    orthogonal = noise - q @ (q.T @ noise)
+    start, deflated, gains, accepted = _deflate_residual(
+        bundle, orthogonal, basis, c
+    )
+    assert not accepted.any()
+    assert start is None
+    assert deflated is orthogonal
+    assert gains.min() > CORRECTION_ACCEPT
+
+
+def test_adaptive_escape_matches_float64_within_bound():
+    graph = _random_graph(25, n=400, num_edges=2400)
+    rng = np.random.default_rng(25)
+    stacked = _stacked_jumps(graph, rng)
+    delta = _random_delta(graph, rng, num_ins=120, num_del=0)
+    application = delta.apply(graph)
+
+    engine = PagerankEngine(precision="adaptive")
+    base = engine.solve_many(graph, stacked, tol=TOL)
+    inc = engine.update_many(application, base, stacked, tol=TOL)
+    assert inc.stats.escapes == 1
+    assert inc.stats.polish_sweeps > 0  # float64 polish phase ran
+
+    cold = PagerankEngine().solve_many(application.after, stacked, tol=TOL)
+    assert np.abs(inc.scores - cold.scores).max() <= BOUND
 
 
 # ----------------------------------------------------------------------

@@ -165,6 +165,59 @@ def test_applied_deltas_match_cold_resolve(base, tmp_path):
     ).max() <= 1e-11
 
 
+def test_batched_apply_coalesces_the_queue(base, tmp_path):
+    """``batch_deltas=N`` drains N queued deltas per apply.
+
+    One composed warm solve covers the whole batch: the epoch/WAL
+    watermark jump to the last coalesced record, scores match a cold
+    re-solve of the final graph, and the ``on_apply`` hook sees every
+    record of the batch in one call (the replication segment must chain
+    record-by-record to the shipped fingerprint).
+    """
+    graph, core, _ = base
+    d = _daemon(base, tmp_path, batch_deltas=2)
+    segments = []
+    d.on_apply = lambda epoch, records: segments.append(
+        (epoch.wal_seq, [r.seq for r in records])
+    )
+    for ins, dels in DELTAS:
+        d.submit_delta(ins, dels)
+    assert d.staleness == 3
+    assert d.apply_pending() == 2  # batch of 2 + batch of 1
+    assert d.applies == 2
+    assert d.staleness == 0
+    assert d.store.current.wal_seq == 3
+    assert d.wal.applied_seq() == 3
+    assert segments == [(2, [1, 2]), (3, [3])]
+    cold = estimate_spam_mass(d.store.current.graph, core, gamma=GAMMA)
+    assert np.abs(
+        d.store.current.estimates.pagerank - cold.pagerank
+    ).max() <= 1e-11
+
+
+def test_batched_apply_scores_match_unbatched(base, tmp_path):
+    """Coalescing changes epoch cadence, not where the scores land."""
+    one = _daemon(base, tmp_path / "one")
+    many = _daemon(base, tmp_path / "many", batch_deltas=3)
+    for daemon in (one, many):
+        for ins, dels in DELTAS:
+            daemon.submit_delta(ins, dels)
+        daemon.apply_pending()
+    assert one.store.current.wal_seq == many.store.current.wal_seq
+    assert (
+        one.store.current.fingerprint == many.store.current.fingerprint
+    )
+    assert np.abs(
+        one.store.current.estimates.pagerank
+        - many.store.current.estimates.pagerank
+    ).max() <= 1e-11
+
+
+def test_config_rejects_nonpositive_batch(base, tmp_path):
+    with pytest.raises(ValueError, match="batch_deltas"):
+        DaemonConfig(batch_deltas=0)
+
+
 def test_background_worker_applies(base, tmp_path):
     d = _daemon(base, tmp_path)
     d.start()
