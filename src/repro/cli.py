@@ -18,6 +18,10 @@ on-disk formats of :mod:`repro.graph.io`:
 ``repro-spam detect``
     Apply Algorithm 2's thresholds to stored scores and list the spam
     candidates (with ground-truth annotation when labels are present).
+``repro-spam stream``
+    Synthesize timestamped crawl-event streams (with scripted temporal
+    attack worlds) and feed them through the windowed, WAL-backed
+    ingestor with dead-letter quarantine; inspect the DLQ.
 ``repro-spam audit-core``
     Re-estimate mass for a stored graph and core, then audit the core
     for Section 4.4-style anomalies (spam-labeled members, members the
@@ -86,6 +90,12 @@ EXIT_DATA = 3
 EXIT_CONVERGENCE = 4
 EXIT_AUDIT = 5
 EXIT_INTERRUPTED = 130
+
+#: Node count at which ``estimate``/``update`` switch to the adaptive
+#: mixed-precision kernel when ``--precision`` is left unset.  Below
+#: it the float32/float64 split is pure overhead; above it the float32
+#: sweeps buy real memory bandwidth (see docs/perf.md).
+AUTO_PRECISION_NODES = 250_000
 
 _SCALES = {
     "small": WorldConfig.small,
@@ -349,6 +359,30 @@ def _build_engine(args: argparse.Namespace):
     )
 
 
+def _resolve_precision(args: argparse.Namespace, num_nodes: int) -> str:
+    """Fill in ``args.precision`` when the flag was left at auto.
+
+    An explicit ``--precision`` always wins.  Otherwise graphs at or
+    above :data:`AUTO_PRECISION_NODES` nodes get ``"adaptive"`` and
+    smaller graphs ``"float64"``.  The choice (and why) is printed so
+    an operator can audit it from logs.
+    """
+    if args.precision is not None:
+        choice = args.precision
+        why = "explicit --precision"
+    elif num_nodes >= AUTO_PRECISION_NODES:
+        choice = "adaptive"
+        why = (
+            f"auto: {num_nodes:,} nodes >= {AUTO_PRECISION_NODES:,}"
+        )
+    else:
+        choice = "float64"
+        why = f"auto: {num_nodes:,} nodes < {AUTO_PRECISION_NODES:,}"
+    print(f"precision: {choice} ({why})")
+    args.precision = choice
+    return choice
+
+
 def _supervisor_policy(args: argparse.Namespace):
     """Build a SupervisorPolicy from the supervision flags (or ``None``).
 
@@ -430,6 +464,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
             transition_t=transition_matrix(graph).T.tocsr(),
         )
     else:
+        _resolve_precision(args, graph.num_nodes)
         estimates = estimate_spam_mass(
             graph,
             core,
@@ -561,6 +596,7 @@ def cmd_update(args: argparse.Namespace) -> int:
         compose_applications(applications[i:i + batch])
         for i in range(0, len(applications), batch)
     ]
+    _resolve_precision(args, graph.num_nodes)
     engine = _build_engine(args)
     policy = _ingest_policy(args)
 
@@ -754,6 +790,223 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"({stats['shed']:,} shed, {stats['applies']:,} deltas applied, "
         f"epoch {stats['epoch']})"
     )
+    return EXIT_OK
+
+
+def cmd_stream_synth(args: argparse.Namespace) -> int:
+    """Synthesize a timestamped crawl-event stream over a world."""
+    from .synth import ATTACK_KINDS, synthesize_stream
+    from .synth.crawler import attacks_path
+
+    if args.attacks.strip().lower() == "none":
+        kinds: tuple = ()
+    else:
+        kinds = tuple(
+            k.strip() for k in args.attacks.split(",") if k.strip()
+        )
+        unknown = [k for k in kinds if k not in ATTACK_KINDS]
+        if unknown:
+            print(
+                "repro-spam stream synth: error: unknown attack "
+                f"kind(s) {', '.join(unknown)}; choose from "
+                f"{', '.join(ATTACK_KINDS)} or 'none'",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    graph, labels, _ = read_graph_bundle(
+        args.world, strict=not args.lenient
+    )
+    core_path = (
+        Path(args.core) if args.core else Path(args.world) / "core.hosts"
+    )
+    core = _core_ids(graph, core_path) if core_path.exists() else None
+    spam_mask = None
+    if labels:
+        spam_mask = np.zeros(graph.num_nodes, dtype=bool)
+        for node, label in labels.items():
+            if label == "spam":
+                spam_mask[int(node)] = True
+    stream = synthesize_stream(
+        graph,
+        spam_mask=spam_mask,
+        core=core,
+        seed=args.seed,
+        num_events=args.events,
+        attacks=kinds,
+        boosters_per_attack=args.boosters,
+        attack_stride=args.stride,
+        ts_increment=args.ts_increment,
+    )
+    out = stream.write(args.out)
+    print(
+        f"wrote {len(stream.events):,} crawl events over "
+        f"{graph.num_nodes:,} hosts to {out}"
+    )
+    if stream.attacks:
+        print(f"scripted attacks (ground truth in {attacks_path(out)}):")
+        for attack in stream.attacks:
+            print(
+                f"  {attack.name:<24} {attack.kind:<18} "
+                f"target {graph.name_of(int(attack.target))} "
+                f"onset id {attack.onset_id}"
+            )
+    return EXIT_OK
+
+
+def cmd_stream_ingest(args: argparse.Namespace) -> int:
+    """Ingest a crawl-event stream into a served scoring state.
+
+    Loads the daemon exactly like ``serve`` (bundle + converged
+    snapshot + WAL replay) but drives it synchronously from a stream
+    file instead of a socket: events are validated, windowed,
+    compacted and applied through the WAL, with malformed/late/poison
+    records quarantined to the DLQ.  Re-running the command on the
+    same state directory resumes from the journaled offset, so a
+    crashed or interrupted ingest just gets re-invoked.
+    """
+    from .serve import (
+        DaemonConfig,
+        ScoringDaemon,
+        StreamConfig,
+        StreamIngestor,
+    )
+
+    if args.min_window > args.window:
+        print(
+            "repro-spam stream ingest: error: --min-window must not "
+            "exceed --window",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.apply_every > args.max_pending_windows:
+        print(
+            "repro-spam stream ingest: error: --apply-every must not "
+            "exceed --max-pending-windows",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    events_path = Path(args.events)
+    probe = None
+    if args.probe:
+        from .eval import LatencyProbe
+        from .synth.crawler import TemporalAttack, attacks_path
+
+        sidecar = attacks_path(events_path)
+        if not sidecar.exists():
+            print(
+                "repro-spam stream ingest: error: --probe needs the "
+                f"stream's attack sidecar ({sidecar.name}, written by "
+                "'stream synth')",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        # only the sidecar is trusted — the events file itself may be
+        # arbitrarily mangled (that is what the DLQ is for)
+        data = json.loads(sidecar.read_text(encoding="utf-8"))
+        attacks = [
+            TemporalAttack.from_dict(a) for a in data.get("attacks", [])
+        ]
+        probe = LatencyProbe(attacks, rho=args.rho, tau=args.tau)
+    config = DaemonConfig(
+        gamma=None if args.gamma <= 0 else args.gamma,
+        rho=args.rho,
+        tau=args.tau,
+        max_staleness=args.max_staleness,
+        batch_deltas=args.batch_deltas,
+    )
+    daemon = ScoringDaemon.load(
+        args.world,
+        args.checkpoint_dir,
+        core_path=args.core,
+        wal_dir=args.wal_dir,
+        config=config,
+        engine=_build_engine(args),
+    )
+    state_dir = (
+        Path(args.state_dir)
+        if args.state_dir
+        else Path(args.checkpoint_dir) / "stream"
+    )
+    ingestor = StreamIngestor(
+        daemon,
+        state_dir,
+        config=StreamConfig(
+            window=args.window,
+            max_lateness=args.max_lateness,
+            min_window=args.min_window,
+            max_pending_windows=args.max_pending_windows,
+            flood_threshold=args.flood_threshold,
+            apply_every=args.apply_every,
+        ),
+        dlq_dir=args.dlq_dir,
+        on_commit=probe.observe if probe is not None else None,
+    )
+    ingestor.ingest_file(events_path)
+    ingestor.flush()
+    stats = ingestor.stats()
+    if args.json:
+        payload = {"stats": stats}
+        if probe is not None:
+            payload["attacks"] = probe.report()
+        print(json.dumps(payload, indent=2))
+        return EXIT_OK
+    print(
+        f"consumed {stats['events_consumed']:,} events: "
+        f"{stats['windows_committed']:,} windows committed, "
+        f"{stats['windows_quarantined']:,} quarantined; "
+        f"{stats['duplicates']:,} duplicates skipped, "
+        f"{stats['late']:,} late + {stats['malformed']:,} malformed "
+        f"-> DLQ ({stats['dlq_entries']:,} entries)"
+    )
+    print(
+        f"serving epoch {stats['epoch']} "
+        f"(state {state_dir}, resume offset {ingestor.resume_offset})"
+    )
+    if probe is not None:
+        print("detection latency (events from onset to first catch):")
+        for verdict in probe.report():
+            if verdict["caught"]:
+                outcome = (
+                    f"caught after {verdict['events_until_caught']} "
+                    f"events ({verdict['windows_until_caught']} windows)"
+                )
+            else:
+                outcome = "NOT caught"
+            print(
+                f"  {verdict['name']:<24} {verdict['kind']:<18} "
+                f"{outcome}"
+            )
+    return EXIT_OK
+
+
+def cmd_stream_dlq(args: argparse.Namespace) -> int:
+    """Inspect a stream ingestor's dead-letter queue."""
+    from .serve import DeadLetterQueue
+
+    dlq = DeadLetterQueue(args.dlq_dir)
+    entries = dlq.entries()
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return EXIT_OK
+    if not entries:
+        print(f"dead-letter queue is empty ({dlq.path})")
+        return EXIT_OK
+    shown = entries if args.limit <= 0 else entries[-args.limit:]
+    print(f"{len(entries)} quarantined entries in {dlq.path}:")
+    for entry in shown:
+        scope = ""
+        if "window" in entry:
+            lo, hi = entry["window"]
+            count = len(entry.get("ids", ()))
+            scope = f" window [{lo},{hi}) ({count} events)"
+        elif "offset" in entry:
+            scope = f" at offset {entry['offset']}"
+        detail = entry.get("detail", "")
+        if detail:
+            detail = f": {detail}"
+        print(f"  #{entry.get('n', '?')} {entry['reason']}{scope}{detail}")
+    if len(entries) > len(shown):
+        print(f"  ... and {len(entries) - len(shown)} older entries")
     return EXIT_OK
 
 
@@ -1073,10 +1326,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument(
         "--precision",
         choices=PRECISIONS,
-        default="float64",
-        help="batched-solve arithmetic: 'float64' (default) or "
-        "'adaptive' (float32 sweeps down to a relaxed tier, then "
-        "float64 polish to full tolerance; see docs/perf.md)",
+        default=None,
+        help="batched-solve arithmetic: 'float64' or 'adaptive' "
+        "(float32 sweeps down to a relaxed tier, then float64 polish "
+        "to full tolerance; see docs/perf.md); default: auto — "
+        f"'adaptive' at >= {AUTO_PRECISION_NODES:,} nodes, else "
+        "'float64' (the choice is printed)",
     )
     p_est.add_argument(
         "--mc-walks",
@@ -1220,10 +1475,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_upd.add_argument(
         "--precision",
         choices=PRECISIONS,
-        default="float64",
+        default=None,
         help="arithmetic of the escape kernel a wide-frontier push "
-        "update falls back to: 'float64' (default) or 'adaptive' "
-        "(float32 sweeps + float64 polish; see docs/perf.md)",
+        "update falls back to: 'float64' or 'adaptive' (float32 "
+        "sweeps + float64 polish; see docs/perf.md); default: auto — "
+        f"'adaptive' at >= {AUTO_PRECISION_NODES:,} nodes, else "
+        "'float64' (the choice is printed)",
     )
     p_upd.add_argument(
         "--max-task-retries",
@@ -1415,6 +1672,238 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver workers for the pagerank engine (default: serial)",
     )
     p_srv.set_defaults(func=cmd_serve)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="streaming crawl ingestion: synthesize, ingest, inspect",
+        description="Fault-tolerant streaming crawl ingestion "
+        "(docs/streaming.md): synthesize timestamped edge-event "
+        "streams with scripted temporal attacks, feed them through "
+        "the windowed WAL-backed ingestor, and inspect the "
+        "dead-letter queue of quarantined records.",
+    )
+    stream_sub = p_stream.add_subparsers(
+        dest="stream_action", required=True
+    )
+
+    p_ssyn = stream_sub.add_parser(
+        "synth",
+        help="synthesize a timestamped crawl-event stream over a world",
+    )
+    p_ssyn.add_argument("--world", required=True, help="bundle directory")
+    p_ssyn.add_argument(
+        "--out", required=True, help="output stream file (JSONL)"
+    )
+    p_ssyn.add_argument(
+        "--core",
+        default=None,
+        help="core host list for the stale-core script "
+        "(default: <world>/core.hosts when present)",
+    )
+    p_ssyn.add_argument("--seed", type=int, default=0)
+    p_ssyn.add_argument(
+        "--events",
+        type=_positive_int,
+        default=1500,
+        metavar="N",
+        help="background churn events to emit (default 1500)",
+    )
+    p_ssyn.add_argument(
+        "--attacks",
+        default="expired-takeover,gradual-farm,stale-core",
+        metavar="KINDS",
+        help="comma-separated temporal attack scripts to interleave, "
+        "or 'none' (default: all three)",
+    )
+    p_ssyn.add_argument(
+        "--boosters",
+        type=_positive_int,
+        default=30,
+        metavar="N",
+        help="dormant hosts each attack claims as boosters (default 30; "
+        "stale-core claims 2N)",
+    )
+    p_ssyn.add_argument(
+        "--stride",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="churn events between consecutive attack steps (default 4)",
+    )
+    p_ssyn.add_argument(
+        "--ts-increment",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="event-time ticks between consecutive events (default 2)",
+    )
+    p_ssyn.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-warn on malformed bundle lines instead of failing",
+    )
+    p_ssyn.set_defaults(func=cmd_stream_synth)
+
+    p_sing = stream_sub.add_parser(
+        "ingest",
+        help="feed a stream file through the windowed WAL-backed "
+        "ingestor",
+    )
+    p_sing.add_argument("--world", required=True, help="bundle directory")
+    p_sing.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory holding the converged solution from "
+        "'estimate --checkpoint-dir'; updated in place as windows "
+        "are applied",
+    )
+    p_sing.add_argument(
+        "--events", required=True, help="stream file (JSONL) to ingest"
+    )
+    p_sing.add_argument(
+        "--core",
+        default=None,
+        help="core host list (default: <world>/core.hosts)",
+    )
+    p_sing.add_argument(
+        "--state-dir",
+        default=None,
+        help="ingestor journal directory; re-running with the same "
+        "state resumes from the recorded offset "
+        "(default: <checkpoint-dir>/stream)",
+    )
+    p_sing.add_argument(
+        "--dlq-dir",
+        default=None,
+        help="dead-letter queue directory for quarantined records "
+        "(default: <state-dir>)",
+    )
+    p_sing.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead log directory "
+        "(default: <checkpoint-dir>/wal)",
+    )
+    p_sing.add_argument(
+        "--window",
+        type=_positive_int,
+        default=16,
+        metavar="TICKS",
+        help="event-time window size (default 16)",
+    )
+    p_sing.add_argument(
+        "--max-lateness",
+        type=_nonnegative_int,
+        default=8,
+        metavar="TICKS",
+        help="out-of-order allowance behind the max event time seen; "
+        "older events are dead-lettered as 'late' (default 8)",
+    )
+    p_sing.add_argument(
+        "--min-window",
+        type=_positive_int,
+        default=2,
+        metavar="TICKS",
+        help="floor the flood flow-control may degrade the window "
+        "size to (default 2); must not exceed --window",
+    )
+    p_sing.add_argument(
+        "--max-pending-windows",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="hard cap on open windows before the oldest is "
+        "force-sealed (default 64)",
+    )
+    p_sing.add_argument(
+        "--flood-threshold",
+        type=_positive_int,
+        default=10_000,
+        metavar="N",
+        help="buffered events above which backpressure degrades the "
+        "window size and drops the lateness allowance (default 10000)",
+    )
+    p_sing.add_argument(
+        "--apply-every",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="sealed windows to accumulate before one batched apply "
+        "(default 1); must not exceed --max-pending-windows",
+    )
+    p_sing.add_argument(
+        "--gamma",
+        type=float,
+        default=0.85,
+        help="good-fraction scaling; must match the stored solution",
+    )
+    p_sing.add_argument("--rho", type=float, default=10.0)
+    p_sing.add_argument("--tau", type=float, default=0.98)
+    p_sing.add_argument(
+        "--max-staleness",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="unapplied delta batches before ingest degrades "
+        "(default 8)",
+    )
+    p_sing.add_argument(
+        "--batch-deltas",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="window deltas one daemon apply may coalesce (default 1)",
+    )
+    p_sing.add_argument(
+        "--probe",
+        action="store_true",
+        help="report detection latency against the stream's "
+        ".attacks.json ground-truth sidecar (gates: --rho/--tau)",
+    )
+    p_sing.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_sing.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=8,
+        help="bound of the operator LRU cache (graphs, default 8)",
+    )
+    p_sing.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="solver workers for the pagerank engine (default: serial)",
+    )
+    p_sing.add_argument(
+        "--precision",
+        choices=PRECISIONS,
+        default="float64",
+        help="arithmetic of the window re-estimates: 'float64' "
+        "(default) or 'adaptive' (see docs/perf.md)",
+    )
+    p_sing.set_defaults(func=cmd_stream_ingest)
+
+    p_sdlq = stream_sub.add_parser(
+        "dlq", help="list a stream ingestor's dead-letter queue"
+    )
+    p_sdlq.add_argument(
+        "--dlq-dir",
+        required=True,
+        help="dead-letter queue directory (the ingest --dlq-dir, or "
+        "its state directory)",
+    )
+    p_sdlq.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="newest entries to print (default 20; <= 0 for all)",
+    )
+    p_sdlq.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_sdlq.set_defaults(func=cmd_stream_dlq)
 
     p_det = sub.add_parser("detect", help="apply Algorithm 2 thresholds")
     p_det.add_argument("--world", required=True)

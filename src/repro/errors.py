@@ -38,6 +38,8 @@ __all__ = [
     "ManifestVersionError",
     "GraphIOWarning",
     "DeltaError",
+    "StreamError",
+    "StreamEventError",
     "SolverAbort",
     "BudgetExceeded",
     "SupervisionError",
@@ -207,6 +209,32 @@ class DeltaError(ReproError, ValueError):
     applying such a delta silently would desynchronize the incremental
     solver's residual bookkeeping from the actual graph mutation.
     """
+
+
+class StreamError(ReproError):
+    """Base class for streaming-ingestion failures.
+
+    Covers the crawl-event pipeline (:mod:`repro.serve.stream`): a
+    malformed event, a window whose compacted delta is poison, a
+    journal that cannot be resumed.  Individual malformed *records*
+    are normally quarantined into the dead-letter queue rather than
+    raised — this family surfaces only where the ingestor itself
+    cannot continue.
+    """
+
+
+class StreamEventError(StreamError, ValueError):
+    """A crawl event violates the stream schema.
+
+    ``reason`` is a short machine-readable slug, also used verbatim as
+    the dead-letter-queue entry's typed reason: ``"bad-json"``,
+    ``"missing-field"``, ``"bad-type"``, ``"bad-op"``,
+    ``"negative-id"``, ``"self-link"``, ``"out-of-range"``.
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason
 
 
 class GraphIOWarning(UserWarning):

@@ -21,6 +21,7 @@ from .experiment import (
     run_table2,
 )
 from .audit import CoreAuditFinding, CoreAuditReport, audit_core
+from .latency import AUDIT_THRESHOLD, AttackOutcome, LatencyProbe
 from .grouping import MassGroup, group_composition, split_into_groups
 from .metrics import (
     PAPER_THRESHOLDS,
@@ -89,6 +90,9 @@ __all__ = [
     "CoreAuditFinding",
     "CoreAuditReport",
     "audit_core",
+    "AUDIT_THRESHOLD",
+    "AttackOutcome",
+    "LatencyProbe",
     "MassGroup",
     "split_into_groups",
     "group_composition",

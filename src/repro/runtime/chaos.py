@@ -42,6 +42,11 @@ __all__ = [
     "ServeChaos",
     "truncate_wal_tail",
     "contaminate_core",
+    "torn_resend_stream",
+    "duplicate_stream_events",
+    "reorder_stream_events",
+    "late_straggler_events",
+    "poison_stream_window",
 ]
 
 
@@ -548,3 +553,165 @@ def contaminate_core(
     rng = np.random.default_rng(seed)
     planted = rng.choice(pool, size=num, replace=False)
     return np.concatenate([core, np.sort(planted)])
+
+
+# ----------------------------------------------------------------------
+# stream-level injectors (crawl-event transport faults)
+# ----------------------------------------------------------------------
+#
+# These operate on lists of wire lines (the JSONL encoding of
+# repro.synth.crawler events) and model the transport faults a live
+# crawl feed exhibits: torn lines, duplicated and reordered delivery,
+# backward clock skew (stragglers for long-sealed windows), and
+# adversarially poisoned windows.  All are pure (input list untouched)
+# and deterministic in ``seed``.  The ingestor's contract is that
+# every fault below is *absorbed*: the post-ingest scores are bitwise
+# identical to the clean sequence (stragglers and poison end up in the
+# DLQ, never in the graph).
+
+
+def torn_resend_stream(
+    lines,
+    *,
+    seed: int = 0,
+    count: int = 2,
+    displacement: int = 3,
+):
+    """Tear ``count`` lines mid-record and retransmit them shortly after.
+
+    The torn fragment (an unparsable half line, what a crashed writer
+    or a cut connection leaves) stays in place — the ingestor must DLQ
+    it as ``"bad-json"`` — and the intact original is re-inserted at
+    most ``displacement`` lines later, modeling the crawler's retry.
+    Keep ``displacement`` small relative to the ingestor's
+    ``max_lateness`` so the resend still lands in its open window.
+    """
+    rng = np.random.default_rng(seed)
+    out = list(lines)
+    if len(out) < 4 or count < 1:
+        return out
+    victims = sorted(
+        rng.choice(np.arange(1, len(out) - 1), size=min(count, len(out) - 2),
+                   replace=False).tolist(),
+        reverse=True,
+    )
+    for idx in victims:
+        original = out[idx]
+        out[idx] = original[: max(1, len(original) // 2)]
+        resend_at = min(len(out), idx + 1 + displacement)
+        out.insert(resend_at, original)
+    return out
+
+
+def duplicate_stream_events(
+    lines,
+    *,
+    seed: int = 0,
+    count: int = 3,
+    displacement: int = 4,
+):
+    """Deliver ``count`` randomly chosen lines twice (at-least-once
+    transport).  The copy arrives at most ``displacement`` lines after
+    the original; the ingestor must drop it by event id."""
+    rng = np.random.default_rng(seed)
+    out = list(lines)
+    if not out or count < 1:
+        return out
+    victims = sorted(
+        rng.choice(len(out), size=min(count, len(out)), replace=False).tolist(),
+        reverse=True,
+    )
+    for idx in victims:
+        out.insert(min(len(out), idx + 1 + displacement), out[idx])
+    return out
+
+
+def reorder_stream_events(
+    lines,
+    *,
+    seed: int = 0,
+    count: int = 5,
+    max_shift: int = 2,
+):
+    """Shift ``count`` lines up to ``max_shift`` positions later.
+
+    Bounded out-of-order delivery: choose ``max_shift`` (times the
+    stream's timestamp increment) below the ingestor's
+    ``max_lateness`` and every displaced event still reaches its
+    window; the windows — and the scores — come out identical.
+    """
+    rng = np.random.default_rng(seed)
+    out = list(lines)
+    if len(out) < 3 or count < 1:
+        return out
+    for _ in range(count):
+        idx = int(rng.integers(0, len(out) - 1))
+        shift = int(rng.integers(1, max_shift + 1))
+        line = out.pop(idx)
+        out.insert(min(len(out), idx + shift), line)
+    return out
+
+
+def late_straggler_events(
+    lines,
+    *,
+    seed: int = 0,
+    count: int = 2,
+    num_nodes: int = 2,
+    next_id: int = 0,
+    ts: int = 0,
+):
+    """Append ``count`` schema-valid events carrying a long-stale ``ts``.
+
+    Models backward clock skew / a partition healing hours late: the
+    events are well-formed (fresh ids from ``next_id``) but their
+    window sealed long ago, so the ingestor must quarantine them as
+    ``"late"`` without touching the graph.
+    """
+    import json as _json
+
+    rng = np.random.default_rng(seed)
+    out = list(lines)
+    for i in range(count):
+        u = int(rng.integers(0, num_nodes))
+        v = int(rng.integers(0, num_nodes))
+        if u == v:
+            v = (v + 1) % num_nodes
+        out.append(_json.dumps(
+            {"id": next_id + i, "ts": int(ts), "op": "+", "src": u, "dst": v},
+            separators=(",", ":"),
+        ))
+    return out
+
+
+def poison_stream_window(
+    lines,
+    edges,
+    *,
+    next_id: int,
+    ts: int,
+    count: int = 3,
+):
+    """Append one trailing window of poison events.
+
+    ``edges`` must be edges that exist in the graph when the window
+    commits (pass edges the stream never deletes): re-inserting an
+    existing edge passes the per-event schema but makes the window's
+    compacted delta structurally invalid, so the whole window must be
+    quarantined as ``"poison-delta"`` while the daemon keeps serving.
+    Place ``ts`` beyond the stream's final timestamp plus the window
+    size so the poison shares a window with no clean event.
+    """
+    import json as _json
+
+    out = list(lines)
+    chosen = list(edges)[:count]
+    if len(chosen) < 1:
+        raise ValueError("poison_stream_window needs at least one edge")
+    for i, (u, v) in enumerate(chosen):
+        out.append(_json.dumps(
+            {"id": next_id + i, "ts": int(ts), "op": "+",
+             "src": int(u), "dst": int(v)},
+            separators=(",", ":"),
+        ))
+    return out

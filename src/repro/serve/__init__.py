@@ -38,6 +38,7 @@ from .replication import (
 )
 from .router import ReplicaRouter
 from .server import ScoringServer, ServeClient
+from .stream import DeadLetterQueue, StreamConfig, StreamIngestor
 from .wal import DeltaWAL, WalRecord, plan_replay
 
 __all__ = [
@@ -67,6 +68,9 @@ __all__ = [
     "ship_snapshot",
     "ScoringServer",
     "ServeClient",
+    "DeadLetterQueue",
+    "StreamConfig",
+    "StreamIngestor",
     "DeltaWAL",
     "WalRecord",
     "plan_replay",

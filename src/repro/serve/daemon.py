@@ -469,6 +469,50 @@ class ScoringDaemon:
             "deletions": delta.num_deletions,
         }
 
+    def quarantine_pending(self) -> List[WalRecord]:
+        """Drop every pending batch after an unrecoverable apply failure.
+
+        The streaming ingestor calls this when a window's compacted
+        delta is *poison*: durable in the WAL (submit validated it
+        structurally) but unapplicable — both the warm and the cold
+        estimate fail on it.  Retrying forever would wedge the queue,
+        so the poison suffix is abandoned wholesale: the pending queue
+        is cleared, the accepted tip is reset to the current epoch's
+        graph, the breaker is healed, and the WAL watermark is advanced
+        past the dropped records (then pruned) so a restart does not
+        replay them.  The caller owns routing the dropped records to a
+        dead-letter queue; the daemon just keeps serving its current
+        epoch.
+
+        Returns the dropped records, oldest first (empty when nothing
+        was pending).
+        """
+        with self._lock:
+            dropped = [p.record for p in self._pending]
+            self._pending.clear()
+            self._tail = self.store.current.graph
+            self._breaker = CircuitBreaker(self.config.circuit_threshold)
+            self._degraded_reason = None
+        if self.wal is not None and dropped:
+            # forget the poison suffix durably: the watermark jumps past
+            # it and prune removes the records, so the next append's
+            # parent (the current epoch's fingerprint) restarts a clean
+            # chain that replay can anchor
+            self.wal.mark_applied(dropped[-1].seq)
+            self.wal.prune()
+        tele = get_telemetry()
+        if tele.enabled and dropped:
+            tele.inc("serve.quarantines")
+            tele.event(
+                "serve.quarantined",
+                records=len(dropped),
+                first_seq=dropped[0].seq,
+                last_seq=dropped[-1].seq,
+            )
+        self._gauge_staleness()
+        self._gauge_circuit()
+        return dropped
+
     # ------------------------------------------------------------------
     # ingest worker
     # ------------------------------------------------------------------

@@ -1,0 +1,820 @@
+"""Fault-tolerant streaming crawl ingestion.
+
+:class:`StreamIngestor` sits between a crawler frontier (the event
+streams of :mod:`repro.synth.crawler`, or any JSONL source speaking the
+same schema) and a :class:`~repro.serve.daemon.ScoringDaemon`.  The
+batch pipeline assumes well-formed deltas handed over by an operator;
+a live crawl offers no such courtesy — lines arrive torn, duplicated,
+reordered, late, occasionally adversarial.  The ingestor's contract:
+
+* **validate** every event against the strict schema
+  (:func:`repro.synth.crawler.validate_event`) and quarantine malformed
+  records into a crash-safe :class:`DeadLetterQueue` with a typed
+  reason instead of dying;
+* **deduplicate** by event id and tolerate bounded out-of-order arrival
+  via event-time windows — any interleaving of duplicates and shuffles
+  within ``max_lateness`` produces the same windows, hence the same
+  deltas, hence bitwise-identical scores;
+* **compact** each sealed window into one net
+  :class:`~repro.graph.delta.GraphDelta` with
+  :func:`~repro.graph.delta.compose_deltas` (insert-then-delete pairs
+  cancel — window compaction *is* delta coalescing);
+* **apply** through the daemon's WAL, journaling source offsets and an
+  intent/state protocol so a crash at any point resumes exactly where
+  it left off — restart is bitwise-identical;
+* **quarantine poison at two levels**: a window whose compacted delta
+  fails validation (``"poison-delta"``) never reaches the WAL; a
+  window that is durable but unapplicable — both the warm and the cold
+  estimate fail — is abandoned wholesale (``"apply-failed"``, via
+  :meth:`~repro.serve.daemon.ScoringDaemon.quarantine_pending`) while
+  the daemon keeps serving its current epoch;
+* **backpressure**: under a burst flood the effective window size
+  halves (down to ``min_window``) and the lateness allowance drops to
+  zero, so windows seal and drain aggressively instead of buffering
+  without bound; ``max_pending_windows`` is the hard cap.
+
+Windowing
+---------
+Event time is the ``ts`` field.  Windows are consecutive half-open
+intervals ``[start, start + cw)`` beginning at ``ts = 0``, where ``cw``
+is the *current* window size (``window`` normally, degraded under
+flood).  The watermark is ``max_ts_seen - max_lateness``; a window
+seals when the watermark passes its end.  An event whose ``ts`` falls
+in already-sealed territory is quarantined as ``"late"`` — its id is
+consumed, so a retransmit of the same id is a duplicate, not a second
+DLQ entry.
+
+Crash anatomy
+-------------
+The journal (``journal.jsonl``) holds two record kinds.  A ``state``
+record is the durable ingest position: consumed-id watermark + extras,
+the safe source byte offset (everything before it is consumed), the
+open-window boundaries and the flow-control state.  An ``intent``
+record precedes every daemon submit and names the fingerprint chain
+(``parent`` → ``after``) plus the event ids the window consumes.  On
+resume, intents after the last state are reconciled against the
+daemon's actual position: an intent whose ``after`` the daemon already
+reached (snapshot or WAL replay) is *adopted* — its ids are marked
+consumed without re-submitting — while intents the daemon never saw
+are simply dropped and their events re-read from the source.  Either
+way the replayed run converges to the same graph and bitwise-identical
+scores.  The only at-least-once artifact is the DLQ itself: a
+malformed line quarantined just before a crash may be quarantined
+again on resume (entries carry the source offset for dedup); scores
+are never affected.
+
+See ``docs/streaming.md`` for the operator-facing runbook.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import DeltaError, StreamError, StreamEventError
+from ..graph.delta import GraphDelta, compose_deltas
+from ..obs import get_telemetry
+from ..synth.crawler import CrawlEvent, parse_event_line
+from .daemon import ScoringDaemon
+
+__all__ = ["StreamConfig", "DeadLetterQueue", "StreamIngestor"]
+
+PathLike = Union[str, Path]
+
+JOURNAL_FILENAME = "journal.jsonl"
+DLQ_FILENAME = "dlq.jsonl"
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Windowing and flow-control knobs of one ingestor.
+
+    ``window``/``max_lateness``/``min_window`` are in event-time ticks
+    (the stream's ``ts`` unit); ``max_pending_windows`` and
+    ``flood_threshold`` are counts.
+    """
+
+    window: int = 16
+    max_lateness: int = 8
+    min_window: int = 2
+    max_pending_windows: int = 64
+    flood_threshold: int = 10_000
+    apply_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_window < 1 or self.min_window > self.window:
+            raise ValueError("min_window must be in [1, window]")
+        if self.max_lateness < 0:
+            raise ValueError("max_lateness must be >= 0")
+        if self.max_pending_windows < 1:
+            raise ValueError("max_pending_windows must be >= 1")
+        if self.flood_threshold < 1:
+            raise ValueError("flood_threshold must be >= 1")
+        if self.apply_every < 1:
+            raise ValueError("apply_every must be >= 1")
+
+
+class DeadLetterQueue:
+    """Append-only, fsynced quarantine log (``dlq.jsonl``).
+
+    Every entry carries a typed ``reason``: one of the schema slugs of
+    :class:`~repro.errors.StreamEventError` (``"bad-json"``,
+    ``"missing-field"``, ``"bad-type"``, ``"bad-op"``,
+    ``"negative-id"``, ``"self-link"``, ``"out-of-range"``), ``"late"``
+    for an event whose window already sealed, ``"poison-delta"`` for a
+    window whose compacted delta fails validation, or
+    ``"apply-failed"`` for a durable window both the warm and the cold
+    solve reject.  Window-level entries keep the quarantined event
+    lines verbatim so an operator can inspect, repair and re-ingest
+    them (re-ingesting an *unrepaired* quarantined window is a no-op on
+    scores — its ids are consumed).
+    """
+
+    def __init__(self, directory: PathLike, *, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self._count: Optional[int] = None
+
+    @property
+    def path(self) -> Path:
+        return self.directory / DLQ_FILENAME
+
+    def append(
+        self,
+        reason: str,
+        *,
+        detail: str = "",
+        line: Optional[str] = None,
+        lines: Optional[List[str]] = None,
+        ids: Optional[List[int]] = None,
+        window: Optional[Tuple[int, int]] = None,
+        offset: Optional[int] = None,
+    ) -> dict:
+        """Durably quarantine one record (or one whole window)."""
+        entry: dict = {"n": len(self), "reason": reason}
+        if detail:
+            entry["detail"] = detail
+        if line is not None:
+            entry["line"] = line
+        if lines is not None:
+            entry["lines"] = list(lines)
+        if ids is not None:
+            entry["ids"] = [int(i) for i in ids]
+        if window is not None:
+            entry["window"] = [int(window[0]), int(window[1])]
+        if offset is not None:
+            entry["offset"] = int(offset)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        self._count = len(self) + 1
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.inc("stream.dlq")
+            tele.event(
+                "stream.dead_lettered",
+                reason=reason,
+                ids=len(ids) if ids else (1 if line else 0),
+            )
+        return entry
+
+    def entries(self) -> List[dict]:
+        """Every parsable entry, in order (a torn tail is skipped)."""
+        if not self.path.exists():
+            return []
+        out: List[dict] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    out.append(json.loads(raw))
+                except ValueError:
+                    # torn tail (crash mid-append): drop and stop
+                    break
+        return out
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = len(self.entries())
+        return self._count
+
+
+class _IdTracker:
+    """Consumed event ids: contiguous watermark + sparse extras."""
+
+    __slots__ = ("watermark", "extras")
+
+    def __init__(self, watermark: int = -1, extras=()) -> None:
+        self.watermark = int(watermark)
+        self.extras = set(int(i) for i in extras)
+
+    def seen(self, event_id: int) -> bool:
+        return event_id <= self.watermark or event_id in self.extras
+
+    def consume(self, event_id: int) -> None:
+        if event_id <= self.watermark:
+            return
+        self.extras.add(event_id)
+        while self.watermark + 1 in self.extras:
+            self.watermark += 1
+            self.extras.discard(self.watermark)
+
+    def as_dict(self) -> dict:
+        return {"wm": self.watermark, "extra": sorted(self.extras)}
+
+
+class _Window:
+    """One open event-time window: ``[start, end)`` plus its events."""
+
+    __slots__ = ("start", "end", "events")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.start = start
+        self.end = end
+        # id -> (event, source byte offset or None)
+        self.events: Dict[int, Tuple[CrawlEvent, Optional[int]]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Window([{self.start}, {self.end}), {len(self.events)} ev)"
+
+
+class StreamIngestor:
+    """Drives one daemon from a crawl-event stream; crash-resumable.
+
+    Parameters
+    ----------
+    daemon:
+        The scoring daemon to feed.  Must be quiescent (no background
+        worker) — the ingestor owns the submit/apply cadence.
+    state_dir:
+        Holds the journal (and, unless ``dlq_dir`` overrides it, the
+        dead-letter queue).  Point a restarted ingestor at the same
+        directory to resume.
+    on_commit:
+        Optional hook called after every committed window with
+        ``(info, epoch)`` — ``info`` has the window bounds, the ids it
+        consumed, and the running consumed-event count; ``epoch`` is
+        the daemon epoch whose scores now include it.  Detection-
+        latency probes (:mod:`repro.eval.latency`) attach here.
+    """
+
+    def __init__(
+        self,
+        daemon: ScoringDaemon,
+        state_dir: PathLike,
+        *,
+        config: Optional[StreamConfig] = None,
+        dlq_dir: Optional[PathLike] = None,
+        on_commit: Optional[Callable[[dict, object], None]] = None,
+        fsync: bool = True,
+    ) -> None:
+        self.daemon = daemon
+        self.config = config if config is not None else StreamConfig()
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.dlq = DeadLetterQueue(
+            dlq_dir if dlq_dir is not None else self.state_dir, fsync=fsync
+        )
+        self.on_commit = on_commit
+        self.fsync = fsync
+        self._num_nodes = daemon.store.current.graph.num_nodes
+        self._tracker = _IdTracker()
+        self._windows: List[_Window] = []
+        self._buffered_ids: set = set()
+        self._sealed_until = 0
+        self._next_start = 0
+        self._cw = self.config.window
+        self._max_ts = -1
+        self._position = 0  # byte offset past the last line ingest_file read
+        self._flooded = False
+        # windows submitted to the daemon but not yet applied
+        self._inflight: List[dict] = []
+        # counters (monotone over the life of the *state*, journaled)
+        self.events_consumed = 0
+        self.duplicates = 0
+        self.late = 0
+        self.malformed = 0
+        self.windows_committed = 0
+        self.windows_quarantined = 0
+        self._resume()
+
+    # ------------------------------------------------------------------
+    # journal
+    # ------------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        return self.state_dir / JOURNAL_FILENAME
+
+    def _journal_append(self, obj: dict) -> None:
+        with open(self.journal_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    def _journal_read(self) -> List[dict]:
+        if not self.journal_path.exists():
+            return []
+        out: List[dict] = []
+        with open(self.journal_path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    out.append(json.loads(raw))
+                except ValueError:
+                    break  # torn tail: everything before it is fsynced
+        return out
+
+    def _safe_offset(self) -> int:
+        """Largest offset below which every source line is consumed."""
+        offsets = [
+            off
+            for w in self._windows
+            for (_ev, off) in w.events.values()
+            if off is not None
+        ]
+        return min(offsets) if offsets else self._position
+
+    def _state_entry(self) -> dict:
+        return {
+            "k": "state",
+            **self._tracker.as_dict(),
+            "offset": self._safe_offset(),
+            "max_ts": self._max_ts,
+            "next_start": self._next_start,
+            "cw": self._cw,
+            "sealed_until": self._sealed_until,
+            "windows": [[w.start, w.end] for w in self._windows],
+            "counters": [
+                self.events_consumed,
+                self.duplicates,
+                self.late,
+                self.malformed,
+                self.windows_committed,
+                self.windows_quarantined,
+            ],
+        }
+
+    def _journal_state(self) -> None:
+        self._journal_append(self._state_entry())
+
+    def _restore_state(self, state: dict) -> None:
+        self._tracker = _IdTracker(state["wm"], state["extra"])
+        self._position = int(state["offset"])
+        self._max_ts = int(state["max_ts"])
+        self._next_start = int(state["next_start"])
+        self._cw = int(state["cw"])
+        self._sealed_until = int(state["sealed_until"])
+        self._windows = [
+            _Window(int(s), int(e)) for s, e in state["windows"]
+        ]
+        (
+            self.events_consumed,
+            self.duplicates,
+            self.late,
+            self.malformed,
+            self.windows_committed,
+            self.windows_quarantined,
+        ) = (int(c) for c in state["counters"])
+
+    def _resume(self) -> None:
+        """Reconcile the journal with the daemon's actual position."""
+        entries = self._journal_read()
+        if not entries:
+            return
+        last_state = None
+        intents: List[dict] = []
+        for entry in entries:
+            if entry.get("k") == "state":
+                last_state = entry
+                intents = []
+            elif entry.get("k") == "intent":
+                intents.append(entry)
+        if last_state is not None:
+            self._restore_state(last_state)
+        if not intents:
+            return
+        # the daemon may hold the intents' records as a WAL-replay
+        # suffix (crash between submit and apply): folding them in now
+        # is exactly what the crashed run would have done next
+        if self.daemon.staleness:
+            self.daemon.apply_pending()
+            if self.daemon.staleness:
+                # the replayed suffix is poison even on restart: abandon
+                # it now, exactly as the crashed run eventually would
+                dropped = self.daemon.quarantine_pending()
+                dropped_after = {record.after for record in dropped}
+                for intent in intents:
+                    if intent["after"] not in dropped_after:
+                        continue
+                    for event_id in intent["ids"]:
+                        self._tracker.consume(int(event_id))
+                    self.events_consumed += len(intent["ids"])
+                    self.windows_quarantined += 1
+                    self.dlq.append(
+                        "apply-failed",
+                        detail=(
+                            "warm and cold re-estimates both failed on "
+                            "WAL replay; window abandoned at resume"
+                        ),
+                        ids=[int(i) for i in intent["ids"]],
+                        window=tuple(intent.get("window", (0, 0))),
+                    )
+                intents = [
+                    i for i in intents if i["after"] not in dropped_after
+                ]
+        tip = self.daemon.store.current.fingerprint
+        adopted: List[dict] = []
+        if intents and tip != intents[0]["parent"]:
+            matched = None
+            for i, intent in enumerate(intents):
+                if intent["after"] == tip:
+                    matched = i
+                    break
+            if matched is None:
+                raise StreamError(
+                    f"journal and daemon disagree: daemon is at "
+                    f"{tip!r}, which matches no journaled intent "
+                    f"(base {intents[0]['parent']!r}); the state "
+                    "directory belongs to a different daemon history"
+                )
+            adopted = intents[: matched + 1]
+        for intent in adopted:
+            for event_id in intent["ids"]:
+                self._tracker.consume(int(event_id))
+            self.events_consumed += len(intent["ids"])
+            self.windows_committed += 1
+        # seal the reconciled intents off behind a fresh state record so
+        # a second resume never re-examines them
+        self._journal_state()
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.event(
+                "stream.resumed",
+                adopted=len(adopted),
+                dropped_intents=len(intents) - len(adopted),
+                offset=self._position,
+            )
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def buffered(self) -> int:
+        """Events sitting in open windows (accepted, not yet applied)."""
+        return len(self._buffered_ids)
+
+    @property
+    def resume_offset(self) -> int:
+        """Source byte offset a resumed ingest should seek to."""
+        return self._position
+
+    def ingest_line(self, raw: str, *, offset: Optional[int] = None) -> None:
+        """Ingest one wire line; never raises on bad input (DLQ)."""
+        raw = raw.strip()
+        if not raw:
+            return
+        try:
+            event = parse_event_line(raw, num_nodes=self._num_nodes)
+        except StreamEventError as exc:
+            self.malformed += 1
+            self.dlq.append(
+                exc.reason, detail=str(exc), line=raw, offset=offset
+            )
+            return
+        if self._tracker.seen(event.id) or event.id in self._buffered_ids:
+            self.duplicates += 1
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.inc("stream.duplicates")
+            return
+        if event.ts > self._max_ts:
+            self._max_ts = event.ts
+        if event.ts < self._sealed_until:
+            # its window is gone; consume the id so a retransmit of the
+            # same event is a duplicate, not a second DLQ entry
+            self.late += 1
+            self._tracker.consume(event.id)
+            self.dlq.append(
+                "late",
+                detail=(
+                    f"ts {event.ts} is before the sealed horizon "
+                    f"{self._sealed_until}"
+                ),
+                line=raw,
+                ids=[event.id],
+                offset=offset,
+            )
+            self._seal_ready()
+            return
+        self._place(event, offset)
+        self._flow_control()
+        self._seal_ready()
+
+    def ingest_file(self, path: PathLike) -> dict:
+        """Ingest a JSONL stream file from the journaled resume offset.
+
+        Returns :meth:`stats`.  Call :meth:`flush` afterwards to seal
+        the stream's tail windows (end-of-stream has no watermark).
+        """
+        path = Path(path)
+        with open(path, "rb") as fh:
+            fh.seek(self._position)
+            while True:
+                start = fh.tell()
+                raw = fh.readline()
+                if not raw:
+                    break
+                if not raw.endswith(b"\n"):
+                    # torn final line of a still-growing file: leave it
+                    # for the next pass rather than DLQ half a record
+                    break
+                self._position = fh.tell()
+                self.ingest_line(
+                    raw.decode("utf-8", errors="replace"), offset=start
+                )
+        return self.stats()
+
+    def flush(self) -> None:
+        """Seal and commit every open window (end-of-stream)."""
+        while self._windows:
+            self._seal_oldest()
+        self._apply_inflight()
+        self._journal_state()
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.set_gauge("stream.open_windows", 0)
+            tele.set_gauge("stream.buffered", 0)
+
+    def stats(self) -> dict:
+        return {
+            "events_consumed": self.events_consumed,
+            "buffered": self.buffered,
+            "duplicates": self.duplicates,
+            "late": self.late,
+            "malformed": self.malformed,
+            "windows_committed": self.windows_committed,
+            "windows_quarantined": self.windows_quarantined,
+            "dlq_entries": len(self.dlq),
+            "sealed_until": self._sealed_until,
+            "effective_window": self._cw,
+            "epoch": self.daemon.store.current.seq,
+        }
+
+    # ------------------------------------------------------------------
+    # windowing
+    # ------------------------------------------------------------------
+
+    def _place(self, event: CrawlEvent, offset: Optional[int]) -> None:
+        window = self._window_for(event.ts)
+        window.events[event.id] = (event, offset)
+        self._buffered_ids.add(event.id)
+
+    def _window_for(self, ts: int) -> _Window:
+        for window in self._windows:
+            if window.start <= ts < window.end:
+                return window
+        if ts < self._next_start:
+            # inside a gap an empty, already-sealed window once covered
+            raise StreamError(
+                f"event ts {ts} falls in no open window but before the "
+                f"window frontier {self._next_start}"
+            )
+        guard = 0
+        while True:
+            window = _Window(self._next_start, self._next_start + self._cw)
+            self._windows.append(window)
+            self._next_start = window.end
+            if ts < window.end:
+                return window
+            guard += 1
+            if guard > 100_000:
+                raise StreamError(
+                    f"event ts {ts} is unreachably far past the window "
+                    f"frontier; clock-skewed stream?"
+                )
+
+    def _flow_control(self) -> None:
+        """Degrade window size under a flood; recover when it drains."""
+        threshold = self.config.flood_threshold
+        if self.buffered > threshold and self._cw > self.config.min_window:
+            self._cw = max(self.config.min_window, self._cw // 2)
+            self._flooded = True
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.inc("stream.floods")
+                tele.event(
+                    "stream.flood",
+                    buffered=self.buffered,
+                    effective_window=self._cw,
+                )
+        elif (
+            self._flooded
+            and self.buffered < threshold // 2
+            and self._cw < self.config.window
+        ):
+            self._cw = min(self.config.window, self._cw * 2)
+            if self._cw == self.config.window:
+                self._flooded = False
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.event(
+                    "stream.flood_recovered",
+                    buffered=self.buffered,
+                    effective_window=self._cw,
+                )
+
+    def _seal_ready(self) -> None:
+        # flooded mode forfeits the lateness allowance: windows seal the
+        # moment the max event time passes them, draining the buffer
+        lateness = 0 if self._flooded else self.config.max_lateness
+        watermark = self._max_ts - lateness
+        while self._windows and self._windows[0].end <= watermark:
+            self._seal_oldest()
+        while len(self._windows) > self.config.max_pending_windows:
+            self._seal_oldest()
+        if self._inflight and len(self._inflight) >= self.config.apply_every:
+            self._apply_inflight()
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.set_gauge("stream.open_windows", len(self._windows))
+            tele.set_gauge("stream.buffered", self.buffered)
+
+    def _seal_oldest(self) -> None:
+        window = self._windows.pop(0)
+        self._sealed_until = max(self._sealed_until, window.end)
+        if not window.events:
+            return
+        self._commit_window(window)
+
+    # ------------------------------------------------------------------
+    # commit path
+    # ------------------------------------------------------------------
+
+    def _consume_window(self, window: _Window) -> List[int]:
+        ids = sorted(window.events)
+        for event_id in ids:
+            self._tracker.consume(event_id)
+            self._buffered_ids.discard(event_id)
+        return ids
+
+    def _quarantine_window(
+        self, window: _Window, reason: str, detail: str
+    ) -> None:
+        ids = sorted(window.events)
+        lines = [window.events[i][0].to_line() for i in ids]
+        self._consume_window(window)
+        self.events_consumed += len(ids)
+        self.windows_quarantined += 1
+        self.dlq.append(
+            reason,
+            detail=detail,
+            lines=lines,
+            ids=ids,
+            window=(window.start, window.end),
+        )
+        self._journal_state()
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.event(
+                "stream.window_quarantined",
+                reason=reason,
+                start=window.start,
+                end=window.end,
+                events=len(ids),
+            )
+
+    def _commit_window(self, window: _Window) -> None:
+        ids = sorted(window.events)
+        events = [window.events[i][0] for i in ids]
+        try:
+            delta = compose_deltas(
+                [
+                    GraphDelta(
+                        insertions=[(e.src, e.dst)] if e.op == "+" else (),
+                        deletions=[(e.src, e.dst)] if e.op == "-" else (),
+                    )
+                    for e in events
+                ]
+            )
+        except DeltaError as exc:
+            self._quarantine_window(window, "poison-delta", str(exc))
+            return
+        if len(delta) == 0:
+            # the window cancelled itself out — nothing to apply
+            self._consume_window(window)
+            self.events_consumed += len(ids)
+            self.windows_committed += 1
+            self._journal_state()
+            return
+        parent = self.daemon._tail.structural_fingerprint()
+        after = delta.derive_fingerprint(self.daemon._tail)
+        self._journal_append(
+            {
+                "k": "intent",
+                "parent": parent,
+                "after": after,
+                "ids": ids,
+                "window": [window.start, window.end],
+            }
+        )
+        try:
+            self.daemon.submit_delta(
+                list(delta.insertions), list(delta.deletions)
+            )
+        except DeltaError as exc:
+            # structurally poison against the accepted tip: the submit
+            # validated before the WAL append, nothing is durable
+            self._quarantine_window(window, "poison-delta", str(exc))
+            return
+        self._consume_window(window)
+        self._inflight.append(
+            {
+                "window": (window.start, window.end),
+                "ids": ids,
+                "after": after,
+            }
+        )
+        if len(self._inflight) >= self.config.apply_every:
+            self._apply_inflight()
+
+    def _apply_inflight(self) -> None:
+        """Apply every submitted-but-unapplied window; quarantine poison."""
+        if not self._inflight:
+            return
+        self.daemon.apply_pending()
+        if self.daemon.staleness:
+            # some suffix of the inflight windows is durable but
+            # unapplicable (warm AND cold both failed): abandon it,
+            # keep serving the epoch the prefix reached
+            dropped = self.daemon.quarantine_pending()
+            dropped_after = {record.after for record in dropped}
+            survivors: List[dict] = []
+            for entry in self._inflight:
+                if entry["after"] in dropped_after:
+                    self.windows_quarantined += 1
+                    self.dlq.append(
+                        "apply-failed",
+                        detail=(
+                            "warm and cold re-estimates both failed; "
+                            "window abandoned via quarantine_pending"
+                        ),
+                        ids=entry["ids"],
+                        window=entry["window"],
+                    )
+                else:
+                    survivors.append(entry)
+            applied = survivors
+        else:
+            applied = self._inflight
+        epoch = self.daemon.store.current
+        for entry in applied:
+            self.events_consumed += len(entry["ids"])
+            self.windows_committed += 1
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.inc("stream.windows")
+                tele.event(
+                    "stream.window_committed",
+                    start=entry["window"][0],
+                    end=entry["window"][1],
+                    events=len(entry["ids"]),
+                    epoch=epoch.seq,
+                )
+        quarantined = [e for e in self._inflight if e not in applied]
+        for entry in quarantined:
+            self.events_consumed += len(entry["ids"])
+        self._inflight = []
+        self._journal_state()
+        if self.on_commit is not None:
+            for entry in applied:
+                info = {
+                    "window": entry["window"],
+                    "ids": entry["ids"],
+                    "events_consumed": self.events_consumed,
+                    "last_id": entry["ids"][-1],
+                }
+                try:
+                    self.on_commit(info, epoch)
+                except Exception:  # noqa: BLE001 - observer containment
+                    pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamIngestor(consumed={self.events_consumed}, "
+            f"open={len(self._windows)}, dlq={len(self.dlq)})"
+        )

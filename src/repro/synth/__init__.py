@@ -19,6 +19,16 @@ from .goodcore import (
     repair_core,
     subsample_core,
 )
+from .crawler import (
+    ATTACK_KINDS,
+    CrawlEvent,
+    CrawlStream,
+    TemporalAttack,
+    parse_event_line,
+    read_stream,
+    synthesize_stream,
+    validate_event,
+)
 from .hostgraph import BaseWeb, BaseWebConfig, generate_base_web, sample_targets
 from .huge import (
     CORE_LINK_FRACTION,
@@ -74,4 +84,12 @@ __all__ = [
     "iter_huge_edges",
     "validate_world",
     "assert_valid_world",
+    "ATTACK_KINDS",
+    "CrawlEvent",
+    "CrawlStream",
+    "TemporalAttack",
+    "parse_event_line",
+    "read_stream",
+    "synthesize_stream",
+    "validate_event",
 ]

@@ -1,0 +1,586 @@
+"""Simulated crawler frontier: timestamped edge-event streams.
+
+The paper's threat model is temporal — expired-domain takeovers
+(Section 2.3) happen *to* a graph over time, farms are grown link by
+link to stay under the ``ρ`` radar, and a good-core member can rot
+long after ``Ṽ⁺`` was assembled.  A single snapshot cannot exhibit any
+of that, so this module emits what a crawler frontier would: a
+deterministic, seeded stream of timestamped edge events over an
+existing :class:`~repro.synth.assembler.SyntheticWorld` (or any
+labeled graph), with scripted *temporal attacks* interleaved into the
+background churn.
+
+Event schema (one JSON object per line on the wire)::
+
+    {"id": 17, "ts": 42, "op": "+", "src": 3, "dst": 9}
+
+``id`` is a unique non-negative event id, sequential in true stream
+order (duplicates and reordering are transport artifacts the ingestor
+must undo); ``ts`` is a non-decreasing event-time tick; ``op`` is
+``"+"`` (link appeared) or ``"-"`` (link disappeared).  The schema is
+deliberately strict — :func:`validate_event` rejects everything else
+with a typed :class:`~repro.errors.StreamEventError` so the ingestor
+can quarantine malformed records under a machine-readable reason.
+
+Attack scripts
+--------------
+``expired-takeover``
+    A reputable good host's domain expires and a spammer re-registers
+    it: the ground-truth label flips at onset, the host's outgoing
+    good links rot away, and a farm of previously dormant hosts grows
+    to amplify it.  Caught when Algorithm 2 fires (scaled PageRank
+    ≥ ρ and relative mass ≥ τ).
+``gradual-farm``
+    A farm grown one booster every few events, staying under ``ρ``
+    for as long as possible.  Same catch condition.
+``stale-core``
+    A member of the good core goes stale and gets hijacked: its
+    outlinks rot, dormant boosters point at it.  Caught by the core
+    audit (relative mass ≥ the audit threshold) — the detector the
+    ``audit-core`` flow runs.
+
+Everything is deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import StreamError, StreamEventError
+from ..graph.webgraph import WebGraph
+
+__all__ = [
+    "ATTACK_KINDS",
+    "CrawlEvent",
+    "TemporalAttack",
+    "CrawlStream",
+    "validate_event",
+    "parse_event_line",
+    "synthesize_stream",
+    "read_stream",
+]
+
+PathLike = Union[str, Path]
+
+#: The scripted attack kinds, in the order they are scheduled.
+ATTACK_KINDS = ("expired-takeover", "gradual-farm", "stale-core")
+
+_REQUIRED_FIELDS = ("id", "ts", "op", "src", "dst")
+
+
+class CrawlEvent:
+    """One timestamped edge event of the crawl stream."""
+
+    __slots__ = ("id", "ts", "op", "src", "dst")
+
+    def __init__(self, id: int, ts: int, op: str, src: int, dst: int) -> None:
+        self.id = int(id)
+        self.ts = int(ts)
+        self.op = str(op)
+        self.src = int(src)
+        self.dst = int(dst)
+
+    def edge(self) -> Tuple[int, int]:
+        return (self.src, self.dst)
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "ts": self.ts,
+            "op": self.op,
+            "src": self.src,
+            "dst": self.dst,
+        }
+
+    def to_line(self) -> str:
+        """The canonical one-line wire encoding (no trailing newline)."""
+        return json.dumps(self.as_dict(), separators=(",", ":"))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CrawlEvent):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrawlEvent(id={self.id}, ts={self.ts}, "
+            f"{self.op}({self.src}, {self.dst}))"
+        )
+
+
+def validate_event(obj: object, *, num_nodes: Optional[int] = None) -> CrawlEvent:
+    """Validate a decoded event object against the strict schema.
+
+    Returns the typed :class:`CrawlEvent`; raises
+    :class:`~repro.errors.StreamEventError` with a machine-readable
+    ``reason`` otherwise.  ``num_nodes`` (when given) additionally
+    bounds the endpoints — the crawl universe is fixed, an endpoint
+    outside it is a poison record, not a new host.
+    """
+    if not isinstance(obj, dict):
+        raise StreamEventError("bad-type", f"event must be an object, got {type(obj).__name__}")
+    for field in _REQUIRED_FIELDS:
+        if field not in obj:
+            raise StreamEventError("missing-field", f"event is missing {field!r}")
+    unknown = set(obj) - set(_REQUIRED_FIELDS)
+    if unknown:
+        raise StreamEventError(
+            "bad-type", f"event carries unknown field {sorted(unknown)[0]!r}"
+        )
+    for field in ("id", "ts", "src", "dst"):
+        value = obj[field]
+        # bool is an int subclass; a crawler emitting `true` is broken
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise StreamEventError(
+                "bad-type", f"event field {field!r} must be an integer, got {value!r}"
+            )
+    op = obj["op"]
+    if op not in ("+", "-"):
+        raise StreamEventError("bad-op", f"event op must be '+' or '-', got {op!r}")
+    if obj["id"] < 0 or obj["ts"] < 0:
+        raise StreamEventError(
+            "negative-id", f"event id/ts must be non-negative (id={obj['id']}, ts={obj['ts']})"
+        )
+    src, dst = obj["src"], obj["dst"]
+    if src < 0 or dst < 0:
+        raise StreamEventError("negative-id", f"negative endpoint ({src}, {dst})")
+    if src == dst:
+        raise StreamEventError("self-link", f"self-link ({src}, {dst})")
+    if num_nodes is not None and (src >= num_nodes or dst >= num_nodes):
+        raise StreamEventError(
+            "out-of-range", f"endpoint ({src}, {dst}) outside the {num_nodes}-host universe"
+        )
+    return CrawlEvent(obj["id"], obj["ts"], op, src, dst)
+
+
+def parse_event_line(line: str, *, num_nodes: Optional[int] = None) -> CrawlEvent:
+    """Decode + validate one wire line (torn JSON → ``"bad-json"``)."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, TypeError) as exc:
+        raise StreamEventError("bad-json", f"unparsable event line: {exc}") from None
+    return validate_event(obj, num_nodes=num_nodes)
+
+
+class TemporalAttack:
+    """One scripted temporal attack and its ground truth.
+
+    Attributes
+    ----------
+    name:
+        Unique label (``"expired-takeover:0"``).
+    kind:
+        One of :data:`ATTACK_KINDS`.
+    target:
+        The node the attack promotes (and the detector must catch).
+    onset_id:
+        Event id of the attack's first step — detection latency is
+        measured in events past this point.
+    nodes:
+        Every node the script touches (boosters + target), sorted.
+    """
+
+    __slots__ = ("name", "kind", "target", "onset_id", "nodes")
+
+    def __init__(
+        self, name: str, kind: str, target: int, onset_id: int, nodes: Sequence[int]
+    ) -> None:
+        if kind not in ATTACK_KINDS:
+            raise StreamError(f"unknown attack kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.target = int(target)
+        self.onset_id = int(onset_id)
+        self.nodes = np.unique(np.asarray(list(nodes), dtype=np.int64))
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "onset_id": self.onset_id,
+            "nodes": [int(n) for n in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TemporalAttack":
+        return cls(
+            data["name"], data["kind"], data["target"], data["onset_id"], data["nodes"]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TemporalAttack({self.name}, target={self.target}, "
+            f"onset_id={self.onset_id}, nodes={len(self.nodes)})"
+        )
+
+
+class CrawlStream:
+    """A synthesized event stream plus its attack ground truth."""
+
+    __slots__ = ("events", "attacks", "num_nodes", "seed")
+
+    def __init__(
+        self,
+        events: Sequence[CrawlEvent],
+        attacks: Sequence[TemporalAttack],
+        num_nodes: int,
+        seed: int,
+    ) -> None:
+        self.events = list(events)
+        self.attacks = list(attacks)
+        self.num_nodes = int(num_nodes)
+        self.seed = int(seed)
+
+    def lines(self) -> List[str]:
+        """The wire encoding, one line per event (true order)."""
+        return [event.to_line() for event in self.events]
+
+    def write(self, path: PathLike) -> Path:
+        """Write the stream as JSONL plus a ``.attacks.json`` sidecar."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self.events:
+                fh.write(event.to_line() + "\n")
+        sidecar = {
+            "num_nodes": self.num_nodes,
+            "seed": self.seed,
+            "num_events": len(self.events),
+            "attacks": [attack.as_dict() for attack in self.attacks],
+        }
+        attacks_path(path).write_text(
+            json.dumps(sidecar, indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrawlStream(events={len(self.events)}, "
+            f"attacks={len(self.attacks)}, n={self.num_nodes})"
+        )
+
+
+def attacks_path(stream_path: PathLike) -> Path:
+    """The sidecar path holding a stream's attack ground truth."""
+    stream_path = Path(stream_path)
+    return stream_path.with_name(stream_path.name + ".attacks.json")
+
+
+def read_stream(path: PathLike, *, num_nodes: Optional[int] = None) -> CrawlStream:
+    """Read a stream written by :meth:`CrawlStream.write`.
+
+    Strict: any malformed line raises (this reads *trusted* synthesized
+    streams — the lenient path is the ingestor's DLQ, not this reader).
+    """
+    path = Path(path)
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            events.append(parse_event_line(raw, num_nodes=num_nodes))
+    sidecar = attacks_path(path)
+    attacks: List[TemporalAttack] = []
+    n = num_nodes or 0
+    seed = 0
+    if sidecar.exists():
+        data = json.loads(sidecar.read_text(encoding="utf-8"))
+        attacks = [TemporalAttack.from_dict(a) for a in data.get("attacks", [])]
+        n = int(data.get("num_nodes", n))
+        seed = int(data.get("seed", 0))
+    if not n:
+        n = 1 + max((max(e.src, e.dst) for e in events), default=0)
+    return CrawlStream(events, attacks, n, seed)
+
+
+# ----------------------------------------------------------------------
+# synthesis
+# ----------------------------------------------------------------------
+
+
+class _AttackScript:
+    """A precomputed step list scheduled into the background churn."""
+
+    __slots__ = ("name", "kind", "target", "steps", "stride", "onset", "nodes")
+
+    def __init__(self, name, kind, target, steps, stride, onset, nodes) -> None:
+        self.name = name
+        self.kind = kind
+        self.target = target
+        self.steps = steps  # list of (op, src, dst)
+        self.stride = stride
+        self.onset = onset  # event index of the first step
+        self.nodes = nodes
+
+
+def _script_expired_takeover(
+    rng: np.random.Generator,
+    graph: WebGraph,
+    target: int,
+    boosters: np.ndarray,
+) -> List[Tuple[str, int, int]]:
+    """The takeover script: old endorsements rot, a booster farm grows."""
+    steps: List[Tuple[str, int, int]] = []
+    # the re-registered domain stops endorsing anyone (parked page)
+    for v in graph.out_neighbors(target):
+        steps.append(("-", int(target), int(v)))
+    # the good web gradually cleans up its links to the parked page —
+    # the residual trusted rank the spammer bought decays away...
+    for w in graph.in_neighbors(target):
+        steps.append(("-", int(w), int(target)))
+    # ...while the amplification farm grows one booster at a time
+    for booster in boosters:
+        steps.append(("+", int(booster), int(target)))
+    return steps
+
+
+def _script_gradual_farm(
+    rng: np.random.Generator, target: int, boosters: np.ndarray
+) -> List[Tuple[str, int, int]]:
+    """A farm grown link by link around a dormant target."""
+    return [("+", int(b), int(target)) for b in boosters]
+
+
+def _script_stale_core(
+    rng: np.random.Generator,
+    graph: WebGraph,
+    target: int,
+    boosters: np.ndarray,
+) -> List[Tuple[str, int, int]]:
+    """A core member rots, then gets hijacked by a booster farm."""
+    steps: List[Tuple[str, int, int]] = []
+    # staleness: most of its pages stop linking out (one outlink is
+    # kept — a fully dangling core member would recirculate its own
+    # mass through the core jump vector and mask the hijack), and the
+    # good community stops endorsing it, so its core-backed share fades
+    for v in graph.out_neighbors(target)[1:]:
+        steps.append(("-", int(target), int(v)))
+    for w in graph.in_neighbors(target):
+        steps.append(("-", int(w), int(target)))
+    # the hijacker's farm then points at the husk
+    for booster in boosters:
+        steps.append(("+", int(booster), int(target)))
+    return steps
+
+
+def synthesize_stream(
+    graph: WebGraph,
+    *,
+    spam_mask: Optional[np.ndarray] = None,
+    core: Optional[np.ndarray] = None,
+    seed: int = 0,
+    num_events: int = 1500,
+    attacks: Sequence[str] = ATTACK_KINDS,
+    boosters_per_attack: int = 30,
+    attack_stride: int = 4,
+    ts_increment: int = 2,
+    burst: Optional[Tuple[int, int]] = None,
+) -> CrawlStream:
+    """Emit a deterministic crawl-event stream over ``graph``.
+
+    Background churn (inserts and deletes over the connected good part
+    of the graph) is interleaved with one script per requested attack
+    kind.  Attack actors are drawn from the *dormant* pool — isolated
+    hosts, which every synthetic world carries (~25% of the base web) —
+    so the fixed node universe never needs to grow mid-stream.
+
+    Parameters
+    ----------
+    spam_mask:
+        Ground-truth labels; attack targets are drawn from the good
+        side.  Defaults to all-good.
+    core:
+        Good-core node ids; required for the ``stale-core`` attack
+        (its target must be a core member with outlinks).
+    boosters_per_attack:
+        Farm size each attack grows to.  Together with the graph size
+        this controls when the attack crosses ρ.
+    attack_stride:
+        Background events between consecutive steps of one attack —
+        the "gradual" in gradual farm growth.
+    ts_increment:
+        Mean event-time advance per event (drawn from
+        ``[0, ts_increment]``; 0 allows ts ties).
+    burst:
+        Optional ``(start_index, length)``: events in that index range
+        advance ``ts`` by 0 — a flood arriving "at the same instant",
+        for backpressure tests.
+    """
+    if num_events < 1:
+        raise StreamError("num_events must be positive")
+    for kind in attacks:
+        if kind not in ATTACK_KINDS:
+            raise StreamError(f"unknown attack kind {kind!r}")
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    if spam_mask is None:
+        spam_mask = np.zeros(n, dtype=bool)
+    spam_mask = np.asarray(spam_mask, dtype=bool)
+
+    isolated = np.flatnonzero(graph.isolated_mask())
+    active = np.flatnonzero(~graph.isolated_mask() & ~spam_mask)
+    if len(active) < 8:
+        raise StreamError("graph has too few active good hosts to churn")
+
+    # --- build the attack scripts -----------------------------------
+    scripts: List[_AttackScript] = []
+    claimed: set = set()
+    dormant_pool = list(isolated)
+    rng.shuffle(dormant_pool)
+
+    def _claim_dormant(count: int) -> np.ndarray:
+        picked = []
+        while dormant_pool and len(picked) < count:
+            node = int(dormant_pool.pop())
+            if node not in claimed:
+                claimed.add(node)
+                picked.append(node)
+        if len(picked) < count:
+            raise StreamError(
+                f"dormant pool exhausted: needed {count} isolated hosts, "
+                f"got {len(picked)}"
+            )
+        return np.asarray(picked, dtype=np.int64)
+
+    indeg = graph.in_degree()
+    outdeg = graph.out_degree()
+    # two scripts may tear down the same base edge (e.g. an expired
+    # target that links to the stale core member: one deletes its
+    # out-link, the other its in-link) — only the first delete is real
+    script_deletes: set = set()
+    for i, kind in enumerate(attacks):
+        if kind == "expired-takeover":
+            # a reputable host: good, linked-to, with outlinks to rot
+            pool = active[(indeg[active] >= 2) & (outdeg[active] >= 1)]
+            pool = pool[~np.isin(pool, list(claimed))]
+            if len(pool) == 0:
+                raise StreamError("no reputable good host to expire")
+            target = int(pool[int(rng.integers(0, len(pool)))])
+            boosters = _claim_dormant(boosters_per_attack)
+            steps = _script_expired_takeover(rng, graph, target, boosters)
+        elif kind == "gradual-farm":
+            boosters = _claim_dormant(boosters_per_attack)
+            target = int(_claim_dormant(1)[0])
+            steps = _script_gradual_farm(rng, target, boosters)
+        elif kind == "stale-core":
+            if core is None or len(core) == 0:
+                raise StreamError("stale-core attack requires a good core")
+            core = np.asarray(core, dtype=np.int64)
+            pool = core[(outdeg[core] >= 1)]
+            pool = pool[~np.isin(pool, list(claimed))]
+            if len(pool) == 0:
+                raise StreamError("no core member with outlinks to go stale")
+            target = int(pool[int(rng.integers(0, len(pool)))])
+            # a core member starts with a 1/|core| jump-share floor on
+            # its core PageRank; pushing relative mass past the audit
+            # gate takes a farm roughly twice the size
+            boosters = _claim_dormant(2 * boosters_per_attack)
+            steps = _script_stale_core(rng, graph, target, boosters)
+        steps = [
+            step
+            for step in steps
+            if step[0] == "+" or (step[1], step[2]) not in script_deletes
+        ]
+        script_deletes.update(
+            (step[1], step[2]) for step in steps if step[0] == "-"
+        )
+        claimed.add(target)
+        claimed.update(int(b) for b in boosters)
+        scripts.append(
+            _AttackScript(
+                f"{kind}:{i}",
+                kind,
+                target,
+                steps,
+                attack_stride,
+                0,  # onset assigned below
+                np.concatenate([[target], boosters]),
+            )
+        )
+
+    # stagger onsets so the scripts overlap but start distinctly; make
+    # sure every script fits before the stream ends
+    for i, script in enumerate(scripts):
+        span = len(script.steps) * script.stride
+        latest = max(1, num_events - span - 1)
+        onset = int(num_events * (0.15 + 0.18 * i))
+        script.onset = min(onset, latest)
+
+    # schedule: event index -> (script, step index)
+    scheduled: Dict[int, Tuple[_AttackScript, int]] = {}
+    for script in scripts:
+        for j in range(len(script.steps)):
+            idx = script.onset + j * script.stride
+            while idx in scheduled:  # collision: slide to the next slot
+                idx += 1
+            scheduled[idx] = (script, j)
+
+    # --- background churn over the active good web -------------------
+    # live set + deletable pool (never touching attack-claimed nodes)
+    live = set()
+    deletable: List[Tuple[int, int]] = []
+    for u, v in zip(
+        np.repeat(np.arange(n, dtype=np.int64), outdeg), graph.indices
+    ):
+        edge = (int(u), int(v))
+        live.add(edge)
+        if edge[0] not in claimed and edge[1] not in claimed:
+            deletable.append(edge)
+    rng.shuffle(deletable)
+    churn_pool = active[~np.isin(active, list(claimed))]
+    if len(churn_pool) < 4:
+        raise StreamError("attack scripts claimed the whole active pool")
+
+    def _churn_step() -> Tuple[str, int, int]:
+        if deletable and rng.random() < 0.4:
+            u, v = deletable.pop()
+            if (u, v) in live:
+                return ("-", u, v)
+        for _ in range(64):
+            u = int(churn_pool[int(rng.integers(0, len(churn_pool)))])
+            v = int(churn_pool[int(rng.integers(0, len(churn_pool)))])
+            if u != v and (u, v) not in live:
+                return ("+", u, v)
+        raise StreamError("could not draw a fresh churn edge")
+
+    events: List[CrawlEvent] = []
+    onset_ids: Dict[str, int] = {}
+    ts = 0
+    for i in range(num_events):
+        if i in scheduled:
+            script, j = scheduled[i]
+            op, u, v = script.steps[j]
+            if j == 0:
+                onset_ids[script.name] = i
+        else:
+            op, u, v = _churn_step()
+        # keep the live set exact so every event is applicable in order
+        if op == "+":
+            if (u, v) in live:
+                raise StreamError(f"internal: duplicate insert ({u}, {v})")
+            live.add((u, v))
+        else:
+            if (u, v) not in live:
+                raise StreamError(f"internal: deleting a dead edge ({u}, {v})")
+            live.discard((u, v))
+        events.append(CrawlEvent(i, ts, op, u, v))
+        in_burst = burst is not None and burst[0] <= i < burst[0] + burst[1]
+        if not in_burst and ts_increment > 0:
+            ts += int(rng.integers(0, ts_increment + 1))
+
+    attacks_out = [
+        TemporalAttack(
+            s.name, s.kind, s.target, onset_ids.get(s.name, s.onset), s.nodes
+        )
+        for s in scripts
+    ]
+    return CrawlStream(events, attacks_out, n, seed)

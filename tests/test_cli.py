@@ -441,3 +441,43 @@ def test_parser_engine_defaults():
     rep = parser.parse_args(["reproduce", "--experiment", "T1"])
     assert rep.cache_size == 8
     assert rep.workers is None
+
+
+def test_precision_autoselect_respects_threshold(
+    world_dir, tmp_path, capsys, monkeypatch
+):
+    """Above the node threshold the auto default flips to 'adaptive';
+    the numbers stay within solver tolerance of plain float64."""
+    import repro.cli as cli
+
+    code = main(
+        ["estimate", "--world", str(world_dir),
+         "--out-prefix", str(tmp_path / "f64")]
+    )
+    assert code == 0
+    assert "precision: float64 (auto:" in capsys.readouterr().out
+
+    monkeypatch.setattr(cli, "AUTO_PRECISION_NODES", 10)
+    code = main(
+        ["estimate", "--world", str(world_dir),
+         "--out-prefix", str(tmp_path / "adp")]
+    )
+    assert code == 0
+    assert "precision: adaptive (auto:" in capsys.readouterr().out
+
+    # an explicit flag beats the (monkeypatched) auto rule
+    code = main(
+        ["estimate", "--world", str(world_dir),
+         "--out-prefix", str(tmp_path / "exp"),
+         "--precision", "float64"]
+    )
+    assert code == 0
+    assert "precision: float64 (explicit --precision)" in (
+        capsys.readouterr().out
+    )
+
+    f64 = read_scores(f"{tmp_path / 'f64'}.pagerank.scores")
+    adp = read_scores(f"{tmp_path / 'adp'}.pagerank.scores")
+    exp = read_scores(f"{tmp_path / 'exp'}.pagerank.scores")
+    assert np.array_equal(f64, exp)
+    assert np.abs(f64 - adp).max() <= 1e-9

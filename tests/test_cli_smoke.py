@@ -737,3 +737,186 @@ def test_serve_replicated_subprocess_round_trip(small_world_dir, tmp_path):
     # the writer published its chain where the flag default says
     assert (ckpt / "ship" / "CURRENT").exists()
     assert not sock.exists()
+
+
+def test_stream_synth_ingest_dlq_round_trip(small_world_dir, tmp_path):
+    """`stream synth` → poison one line → `stream ingest --probe` →
+    `stream dlq`: the full streaming surface through real
+    subprocesses, with the malformed record quarantined and listed."""
+    ckpt, _ = _checkpointed_estimate(small_world_dir, tmp_path)
+    stream_file = tmp_path / "events.jsonl"
+    syn = run_cli(
+        "stream", "synth",
+        "--world", str(small_world_dir),
+        "--out", str(stream_file),
+        "--seed", "3",
+        "--events", "300",
+        "--boosters", "10",
+        "--stride", "3",
+        cwd=tmp_path,
+    )
+    assert syn.returncode == 0, syn.stderr
+    assert "scripted attacks" in syn.stdout
+    sidecar = stream_file.with_name(stream_file.name + ".attacks.json")
+    assert sidecar.exists()
+
+    # a torn record on the wire: ingest must quarantine, not die
+    with open(stream_file, "a", encoding="utf-8") as fh:
+        fh.write('{"id": 90000, "ts":\n')
+
+    ing = run_cli(
+        "stream", "ingest",
+        "--world", str(small_world_dir),
+        "--checkpoint-dir", str(ckpt),
+        "--events", str(stream_file),
+        "--rho", "1.5",
+        "--tau", "0.9",
+        "--probe",
+        cwd=tmp_path,
+    )
+    assert ing.returncode == 0, ing.stderr
+    assert "windows committed" in ing.stdout
+    assert "1 malformed" in ing.stdout
+    assert "detection latency" in ing.stdout
+    assert "caught after" in ing.stdout
+
+    dlq = run_cli(
+        "stream", "dlq",
+        "--dlq-dir", str(ckpt / "stream"),
+        cwd=tmp_path,
+    )
+    assert dlq.returncode == 0, dlq.stderr
+    assert "bad-json" in dlq.stdout
+
+    # re-running the same ingest resumes at EOF: a machine-readable
+    # no-op (same consumed count, no new windows)
+    again = run_cli(
+        "stream", "ingest",
+        "--world", str(small_world_dir),
+        "--checkpoint-dir", str(ckpt),
+        "--events", str(stream_file),
+        "--json",
+        cwd=tmp_path,
+    )
+    assert again.returncode == 0, again.stderr
+    payload = json.loads(again.stdout)
+    assert payload["stats"]["events_consumed"] == 300
+    assert payload["stats"]["buffered"] == 0
+
+
+@pytest.mark.parametrize(
+    "flag,value,message",
+    [
+        ("--window", "0", "must be a positive integer"),
+        ("--window", "x", "is not an integer"),
+        ("--max-lateness", "-1", "must be a non-negative integer"),
+        ("--min-window", "0", "must be a positive integer"),
+        ("--max-pending-windows", "0", "must be a positive integer"),
+        ("--flood-threshold", "0", "must be a positive integer"),
+        ("--apply-every", "0", "must be a positive integer"),
+        ("--max-staleness", "0", "must be a positive integer"),
+        ("--batch-deltas", "-1", "must be a positive integer"),
+        ("--precision", "float16", "invalid choice"),
+    ],
+)
+def test_stream_ingest_rejects_bad_flags(tmp_path, flag, value, message):
+    """The stream family shares the validation conventions: exit 2 at
+    parse time, before any path is touched."""
+    proc = run_cli(
+        "stream", "ingest",
+        "--world", str(tmp_path / "does-not-exist"),
+        "--checkpoint-dir", str(tmp_path / "nor-this"),
+        "--events", str(tmp_path / "no-events.jsonl"),
+        flag, value,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert message in proc.stderr
+    assert not (tmp_path / "nor-this").exists()
+
+
+@pytest.mark.parametrize(
+    "argv,message",
+    [
+        (
+            ["--window", "4", "--min-window", "8"],
+            "--min-window must not exceed --window",
+        ),
+        (
+            ["--apply-every", "8", "--max-pending-windows", "4"],
+            "--apply-every must not exceed --max-pending-windows",
+        ),
+    ],
+    ids=["min-window", "apply-every"],
+)
+def test_stream_ingest_cross_flag_validation(tmp_path, argv, message):
+    """Individually-valid flags that contradict each other: exit 2
+    with a named pair, before the world is even opened."""
+    proc = run_cli(
+        "stream", "ingest",
+        "--world", str(tmp_path / "does-not-exist"),
+        "--checkpoint-dir", str(tmp_path / "nor-this"),
+        "--events", str(tmp_path / "no-events.jsonl"),
+        *argv,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert message in proc.stderr
+
+
+def test_stream_synth_rejects_unknown_attack(tmp_path):
+    proc = run_cli(
+        "stream", "synth",
+        "--world", str(tmp_path / "does-not-exist"),
+        "--out", str(tmp_path / "events.jsonl"),
+        "--attacks", "dns-hijack",
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert "unknown attack kind" in proc.stderr
+    assert not (tmp_path / "events.jsonl").exists()
+
+
+def test_stream_ingest_probe_requires_sidecar(tmp_path):
+    """--probe without the ground-truth sidecar is a usage error,
+    caught before the daemon loads anything."""
+    events = tmp_path / "events.jsonl"
+    events.write_text(
+        '{"id": 0, "ts": 0, "op": "+", "src": 0, "dst": 1}\n'
+    )
+    proc = run_cli(
+        "stream", "ingest",
+        "--world", str(tmp_path / "does-not-exist"),
+        "--checkpoint-dir", str(tmp_path / "nor-this"),
+        "--events", str(events),
+        "--probe",
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert "attack sidecar" in proc.stderr
+
+
+def test_estimate_precision_autoselect_logs_choice(
+    small_world_dir, tmp_path
+):
+    """Satellite contract: the auto default prints the decision, an
+    explicit flag prints the override."""
+    auto = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "auto"),
+        cwd=tmp_path,
+    )
+    assert auto.returncode == 0, auto.stderr
+    assert re.search(
+        r"precision: float64 \(auto: [\d,]+ nodes < [\d,]+\)", auto.stdout
+    )
+    explicit = run_cli(
+        "estimate",
+        "--world", str(small_world_dir),
+        "--out-prefix", str(tmp_path / "explicit"),
+        "--precision", "adaptive",
+        cwd=tmp_path,
+    )
+    assert explicit.returncode == 0, explicit.stderr
+    assert "precision: adaptive (explicit --precision)" in explicit.stdout

@@ -1,0 +1,194 @@
+"""Crawler-frontier contracts: strict schema, determinism, attacks.
+
+The stream synthesizer is the trusted side of the streaming story: the
+wire format it emits must validate under the ingestor's strict schema,
+replaying it against the base graph must never conflict (every insert
+is new, every delete exists), and the scripted temporal attacks must
+carry accurate ground truth for the detection-latency probe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamEventError
+from repro.graph import WebGraph
+from repro.synth import (
+    ATTACK_KINDS,
+    CrawlEvent,
+    parse_event_line,
+    read_stream,
+    synthesize_stream,
+    validate_event,
+)
+
+N, ACTIVE = 100, 40
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    rng = np.random.default_rng(7)
+    edges = set()
+    while len(edges) < 200:
+        u, v = rng.integers(0, ACTIVE, 2)
+        if u != v:
+            edges.add((int(u), int(v)))
+    return WebGraph.from_edges(N, sorted(edges))
+
+
+@pytest.fixture(scope="module")
+def stream(base_graph):
+    return synthesize_stream(
+        base_graph,
+        core=np.arange(10),
+        seed=3,
+        num_events=300,
+        boosters_per_attack=8,
+        attack_stride=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+
+
+def _event_dict(**over):
+    base = {"id": 1, "ts": 4, "op": "+", "src": 2, "dst": 3}
+    base.update(over)
+    return base
+
+
+def test_validate_event_accepts_well_formed():
+    event = validate_event(_event_dict(), num_nodes=10)
+    assert isinstance(event, CrawlEvent)
+    assert event.edge() == (2, 3)
+
+
+@pytest.mark.parametrize(
+    "mutate, reason",
+    [
+        (lambda d: d.pop("op"), "missing-field"),
+        (lambda d: d.update(op="insert"), "bad-op"),
+        (lambda d: d.update(extra=1), "bad-type"),
+        (lambda d: d.update(src="2"), "bad-type"),
+        (lambda d: d.update(src=True), "bad-type"),
+        (lambda d: d.update(id=-1), "negative-id"),
+        (lambda d: d.update(ts=-3), "negative-id"),
+        (lambda d: d.update(dst=-2), "negative-id"),
+        (lambda d: d.update(src=3, dst=3), "self-link"),
+        (lambda d: d.update(dst=10), "out-of-range"),
+    ],
+)
+def test_validate_event_typed_rejections(mutate, reason):
+    obj = _event_dict()
+    mutate(obj)
+    with pytest.raises(StreamEventError) as err:
+        validate_event(obj, num_nodes=10)
+    assert err.value.reason == reason
+
+
+def test_parse_event_line_bad_json():
+    with pytest.raises(StreamEventError) as err:
+        parse_event_line('{"id": 1, "ts":')
+    assert err.value.reason == "bad-json"
+    with pytest.raises(StreamEventError) as err:
+        parse_event_line('[1, 2, 3]')
+    assert err.value.reason == "bad-type"
+
+
+def test_event_line_roundtrip():
+    event = CrawlEvent(7, 12, "-", 4, 9)
+    assert parse_event_line(event.to_line()) == event
+
+
+# ----------------------------------------------------------------------
+# synthesis
+# ----------------------------------------------------------------------
+
+
+def test_stream_is_deterministic(base_graph):
+    core = np.arange(10)
+    a = synthesize_stream(base_graph, core=core, seed=11, num_events=120,
+                          boosters_per_attack=8)
+    b = synthesize_stream(base_graph, core=core, seed=11, num_events=120,
+                          boosters_per_attack=8)
+    assert a.lines() == b.lines()
+    c = synthesize_stream(base_graph, core=core, seed=12, num_events=120,
+                          boosters_per_attack=8)
+    assert a.lines() != c.lines()
+
+
+def test_ids_sequential_and_ts_monotone(stream):
+    ids = [e.id for e in stream.events]
+    assert ids == list(range(len(ids)))
+    ts = [e.ts for e in stream.events]
+    assert all(b >= a for a, b in zip(ts, ts[1:]))
+
+
+def test_events_validate_under_strict_schema(stream):
+    for event in stream.events:
+        parsed = parse_event_line(event.to_line(), num_nodes=N)
+        assert parsed == event
+
+
+def test_replay_never_conflicts(base_graph, stream):
+    """Every insert is new and every delete exists at its event time."""
+    live = set(base_graph.edges())
+    for event in stream.events:
+        edge = event.edge()
+        if event.op == "+":
+            assert edge not in live, f"double insert at event {event.id}"
+            live.add(edge)
+        else:
+            assert edge in live, f"phantom delete at event {event.id}"
+            live.remove(edge)
+
+
+def test_attack_ground_truth(base_graph, stream):
+    kinds = [a.kind for a in stream.attacks]
+    assert kinds == list(ATTACK_KINDS)
+    onsets = [a.onset_id for a in stream.attacks]
+    assert onsets == sorted(onsets)
+    core = set(range(10))
+    for attack in stream.attacks:
+        assert 0 <= attack.onset_id < len(stream.events)
+        if attack.kind == "stale-core":
+            assert attack.target in core
+        elif attack.kind == "expired-takeover":
+            # the hijacked host is a reputable member of the active web
+            assert attack.target not in core
+            assert attack.target < ACTIVE
+        else:
+            # a gradual farm is built from nothing on a dormant host
+            assert attack.target >= ACTIVE
+        # booster actors are claimed from the dormant (isolated) pool
+        boosters = [n for n in attack.nodes if n != attack.target]
+        assert all(node >= ACTIVE for node in boosters)
+
+
+def test_attacks_none_is_pure_churn(base_graph):
+    stream = synthesize_stream(
+        base_graph, seed=5, num_events=80, attacks=()
+    )
+    assert stream.attacks == []
+    assert len(stream.events) == 80
+
+
+def test_burst_freezes_event_time(base_graph):
+    stream = synthesize_stream(
+        base_graph, seed=9, num_events=120, attacks=(),
+        burst=(40, 30),
+    )
+    ts = [e.ts for e in stream.events]
+    assert len(set(ts[40:70])) == 1, "burst events must share one instant"
+
+
+def test_write_read_roundtrip(tmp_path, stream):
+    path = tmp_path / "events.jsonl"
+    stream.write(path)
+    back = read_stream(path)
+    assert back.events == stream.events
+    assert back.num_nodes == stream.num_nodes
+    assert [a.as_dict() for a in back.attacks] == [
+        a.as_dict() for a in stream.attacks
+    ]
